@@ -1,0 +1,90 @@
+// Command etxbench regenerates the tables and figures of the paper's
+// evaluation (Frølund & Guerraoui, "Implementing e-Transactions with
+// Asynchronous Replication", DSN 2000) on the simulated substrate, plus the
+// extension experiments indexed in DESIGN.md.
+//
+// Usage:
+//
+//	etxbench -exp all                # every experiment
+//	etxbench -exp f8 -scale 0.05     # the Figure-8 latency table
+//	etxbench -exp f7                 # Figure-7 communication steps
+//	etxbench -exp f1                 # Figure-1 protocol executions
+//	etxbench -exp failover           # response time under primary crashes
+//	etxbench -exp scaling            # latency vs deployment size
+//	etxbench -exp suspicion          # false-suspicion robustness (PB vs AR)
+//	etxbench -exp woregister         # wo-register microbenchmark
+//	etxbench -exp gc                 # register garbage-collection ablation
+//
+// -scale multiplies the paper's calibrated component costs: 1.0 reproduces
+// the paper's real-time latencies (a slow run), 0.05 keeps the ratios and
+// finishes in seconds.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"etx/internal/bench"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "etxbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	exp := flag.String("exp", "all", "experiment: all|f8|f7|f1|failover|scaling|suspicion|woregister|patience|gc")
+	scale := flag.Float64("scale", 0.05, "cost-model scale (1.0 = the paper's real-time costs)")
+	requests := flag.Int("requests", 30, "requests per measured column")
+	runs := flag.Int("runs", 5, "runs per failure scenario")
+	flag.Parse()
+
+	type experiment struct {
+		name string
+		run  func() (fmt.Stringer, error)
+	}
+	experiments := []experiment{
+		{"f8", func() (fmt.Stringer, error) {
+			out, err := bench.RunFigure8(bench.Figure8Config{Scale: *scale, Requests: *requests})
+			if err != nil {
+				return nil, err
+			}
+			paper := bench.PaperFigure8()
+			fmt.Println("--- paper's published Figure 8 ---")
+			fmt.Print(paper.String())
+			fmt.Println()
+			return out, nil
+		}},
+		{"f7", func() (fmt.Stringer, error) { return bench.RunFigure7(*scale) }},
+		{"f1", func() (fmt.Stringer, error) { return bench.RunFigure1(*scale) }},
+		{"failover", func() (fmt.Stringer, error) {
+			return bench.RunFailover(bench.FailoverConfig{Scale: *scale, Runs: *runs})
+		}},
+		{"scaling", func() (fmt.Stringer, error) { return bench.RunScaling(*scale, *requests) }},
+		{"suspicion", func() (fmt.Stringer, error) { return bench.RunSuspicion(*scale, *runs) }},
+		{"woregister", func() (fmt.Stringer, error) { return bench.RunWORegister(*scale, 3, *requests) }},
+		{"patience", func() (fmt.Stringer, error) { return bench.RunPatience(*scale, *runs) }},
+		{"gc", func() (fmt.Stringer, error) { return bench.RunGCAblation(5 * *runs * *runs) }},
+	}
+
+	matched := false
+	for _, e := range experiments {
+		if *exp != "all" && *exp != e.name {
+			continue
+		}
+		matched = true
+		fmt.Printf("=== experiment %s ===\n", e.name)
+		out, err := e.run()
+		if err != nil {
+			return fmt.Errorf("%s: %w", e.name, err)
+		}
+		fmt.Println(out.String())
+	}
+	if !matched {
+		return fmt.Errorf("unknown experiment %q", *exp)
+	}
+	return nil
+}

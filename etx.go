@@ -1,0 +1,289 @@
+// Package etx is a from-scratch Go implementation of the e-Transaction
+// (exactly-once transaction) abstraction of Frølund & Guerraoui,
+// "Implementing e-Transactions with Asynchronous Replication" (DSN 2000).
+//
+// An e-Transaction executes exactly once despite crashes of application
+// servers, crashes and recoveries of database servers, client retries and
+// unreliable failure detection. The package assembles the full three-tier
+// architecture in process: replicated stateless application servers running
+// the paper's protocol over write-once registers (consensus), XA-style
+// transactional database engines with write-ahead logging and recovery, and
+// clients that retry behind the scenes until a committed result arrives.
+//
+// Quick start:
+//
+//	c, err := etx.New(etx.Config{
+//		Seed: map[string]int64{"acct/alice": 100},
+//		Logic: func(ctx context.Context, tx *etx.Tx, req []byte) ([]byte, error) {
+//			balance, err := tx.Add(ctx, 0, "acct/alice", -10)
+//			if err != nil {
+//				return nil, err
+//			}
+//			return []byte(fmt.Sprintf("balance %d", balance)), nil
+//		},
+//	})
+//	...
+//	result, err := c.Issue(ctx, 1, []byte("withdraw"))
+//
+// The result is delivered exactly once: if an application server crashes
+// mid-request the remaining replicas either finish its commitment or abort
+// the attempt and re-execute, without ever double-charging and without the
+// client's involvement.
+package etx
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"etx/internal/cluster"
+	"etx/internal/core"
+	"etx/internal/id"
+	"etx/internal/kv"
+	"etx/internal/msg"
+	"etx/internal/transport"
+)
+
+// Logic is the application's business logic — the paper's compute()
+// function. It runs on an application server, manipulates the database tier
+// through tx, and returns the result delivered to the client. It may run
+// several times for one request (once per internal try), so all its effects
+// must go through tx; a returned error aborts the current try and the
+// request is retried.
+type Logic func(ctx context.Context, tx *Tx, request []byte) ([]byte, error)
+
+// Config describes a deployment. The zero value of every field has a
+// sensible default.
+type Config struct {
+	// AppServers is the number of replicated application servers
+	// (default 3; a majority must stay up).
+	AppServers int
+	// DataServers is the number of database servers (default 1).
+	DataServers int
+	// Clients is the number of client processes (default 1).
+	Clients int
+	// Logic is the business logic. Required.
+	Logic Logic
+	// Seed is the databases' initial integer table (every database gets the
+	// same image).
+	Seed map[string]int64
+	// NetworkLatency is the one-way message latency; NetworkJitter adds a
+	// uniform random component.
+	NetworkLatency time.Duration
+	NetworkJitter  time.Duration
+	// LossProbability and DupProbability inject message loss/duplication;
+	// setting either enables the reliable-channel layer automatically.
+	LossProbability float64
+	DupProbability  float64
+	// FsyncLatency is the simulated cost of a forced database log write.
+	FsyncLatency time.Duration
+	// SuspicionTimeout tunes the failure detector among application servers
+	// (default 60ms): smaller means faster failover, more false suspicions
+	// (which are safe but cost retries).
+	SuspicionTimeout time.Duration
+	// ClientBackoff is how long a client waits for the primary before
+	// broadcasting its request to all application servers (default 150ms).
+	ClientBackoff time.Duration
+}
+
+// Cluster is a running three-tier deployment.
+type Cluster struct {
+	inner *cluster.Cluster
+	cfg   Config
+}
+
+// Errors returned by Tx operations and the invariant checker.
+var (
+	// ErrCheckFailed reports a violated CheckAtLeast guard; the databases
+	// will refuse to commit the try (a user-level abort in the paper's
+	// model).
+	ErrCheckFailed = errors.New("etx: check failed")
+	// ErrOpFailed reports a data operation the database rejected (lock
+	// timeout, finished branch, ...). The try aborts and is retried.
+	ErrOpFailed = errors.New("etx: operation failed")
+)
+
+// New builds and starts a deployment.
+func New(cfg Config) (*Cluster, error) {
+	if cfg.Logic == nil {
+		return nil, errors.New("etx: Config.Logic is required")
+	}
+	seed := make([]kv.Write, 0, len(cfg.Seed))
+	for k, v := range cfg.Seed {
+		seed = append(seed, kv.Write{Key: k, Val: kv.EncodeInt(v)})
+	}
+	logic := cfg.Logic
+	inner, err := cluster.New(cluster.Config{
+		AppServers:  cfg.AppServers,
+		DataServers: cfg.DataServers,
+		Clients:     cfg.Clients,
+		Net: transport.Options{
+			DefaultLatency: cfg.NetworkLatency,
+			Jitter:         cfg.NetworkJitter,
+			LossProb:       cfg.LossProbability,
+			DupProb:        cfg.DupProbability,
+		},
+		Reliable:          cfg.LossProbability > 0 || cfg.DupProbability > 0,
+		ForceLatency:      cfg.FsyncLatency,
+		Seed:              seed,
+		SuspectTimeout:    cfg.SuspicionTimeout,
+		ClientBackoff:     cfg.ClientBackoff,
+		ClientRebroadcast: cfg.ClientBackoff,
+		Logic: core.LogicFunc(func(ctx context.Context, tx *core.Tx, req []byte) ([]byte, error) {
+			return logic(ctx, &Tx{inner: tx}, req)
+		}),
+	})
+	if err != nil {
+		return nil, fmt.Errorf("etx: %w", err)
+	}
+	return &Cluster{inner: inner, cfg: cfg}, nil
+}
+
+// Close tears the deployment down.
+func (c *Cluster) Close() { c.inner.Stop() }
+
+// Issue submits a request on behalf of client (1-based) and blocks until the
+// committed result is delivered — the paper's issue() primitive. Internally
+// the request may go through several aborted tries; exactly one ever
+// commits. Cancelling ctx models a client crash: the request then executes
+// at most once and all database resources are eventually released.
+func (c *Cluster) Issue(ctx context.Context, client int, request []byte) ([]byte, error) {
+	cl := c.inner.Client(client)
+	if cl == nil {
+		return nil, fmt.Errorf("etx: unknown client %d", client)
+	}
+	return cl.Issue(ctx, request)
+}
+
+// CrashAppServer crashes an application server (1-based). Application
+// servers are stateless and do not recover in the model; the protocol
+// tolerates any minority being down.
+func (c *Cluster) CrashAppServer(i int) { c.inner.CrashApp(i) }
+
+// CrashDBServer crashes a database server, preserving its stable storage.
+func (c *Cluster) CrashDBServer(i int) { c.inner.CrashDB(i) }
+
+// RecoverDBServer restarts a crashed database server: it replays its
+// write-ahead log, restores in-doubt transaction branches, and announces
+// recovery to the middle tier.
+func (c *Cluster) RecoverDBServer(i int) error { return c.inner.RecoverDB(i) }
+
+// ReadInt reads an integer key directly from a database's committed state
+// (0 when the key is absent). Intended for inspection, not transactions.
+func (c *Cluster) ReadInt(db int, key string) (int64, error) {
+	e := c.inner.Engine(db)
+	if e == nil {
+		return 0, fmt.Errorf("etx: database %d is down or unknown", db)
+	}
+	return e.Store().GetInt(key)
+}
+
+// Read reads a raw key directly from a database's committed state.
+func (c *Cluster) Read(db int, key string) ([]byte, bool) {
+	e := c.inner.Engine(db)
+	if e == nil {
+		return nil, false
+	}
+	return e.Store().Get(key)
+}
+
+// CheckInvariants verifies the paper's agreement and validity properties
+// over the deployment's current state (nil when everything holds). It is the
+// library's built-in correctness oracle.
+func (c *Cluster) CheckInvariants() error {
+	if rep := c.inner.CheckProperties(); !rep.Ok() {
+		return fmt.Errorf("etx: %s", rep)
+	}
+	return nil
+}
+
+// Tx is the transaction handle Logic manipulates the database tier through.
+// Database indexes are 0-based positions in the deployment's database list.
+type Tx struct {
+	inner *core.Tx
+}
+
+// NumDBs returns the number of database servers.
+func (t *Tx) NumDBs() int { return len(t.inner.DBs()) }
+
+func (t *Tx) db(i int) (id.NodeID, error) {
+	dbs := t.inner.DBs()
+	if i < 0 || i >= len(dbs) {
+		return id.NodeID{}, fmt.Errorf("etx: database index %d out of range [0,%d)", i, len(dbs))
+	}
+	return dbs[i], nil
+}
+
+func (t *Tx) exec(ctx context.Context, dbIdx int, op msg.Op) (msg.OpResult, error) {
+	db, err := t.db(dbIdx)
+	if err != nil {
+		return msg.OpResult{}, err
+	}
+	rep, err := t.inner.Exec(ctx, db, op)
+	if err != nil {
+		return msg.OpResult{}, err
+	}
+	return rep, nil
+}
+
+// Get reads key on database db, returning the raw value and its integer
+// interpretation.
+func (t *Tx) Get(ctx context.Context, db int, key string) ([]byte, int64, error) {
+	rep, err := t.exec(ctx, db, msg.Op{Code: msg.OpGet, Key: key})
+	if err != nil {
+		return nil, 0, err
+	}
+	if !rep.OK {
+		return nil, 0, fmt.Errorf("%w: get %q: %s", ErrOpFailed, key, rep.Err)
+	}
+	return rep.Val, rep.Num, nil
+}
+
+// Put writes val to key on database db.
+func (t *Tx) Put(ctx context.Context, db int, key string, val []byte) error {
+	rep, err := t.exec(ctx, db, msg.Op{Code: msg.OpPut, Key: key, Val: val})
+	if err != nil {
+		return err
+	}
+	if !rep.OK {
+		return fmt.Errorf("%w: put %q: %s", ErrOpFailed, key, rep.Err)
+	}
+	return nil
+}
+
+// Add atomically adds delta to the integer at key on database db and returns
+// the new value.
+func (t *Tx) Add(ctx context.Context, db int, key string, delta int64) (int64, error) {
+	rep, err := t.exec(ctx, db, msg.Op{Code: msg.OpAdd, Key: key, Delta: delta})
+	if err != nil {
+		return 0, err
+	}
+	if !rep.OK {
+		return 0, fmt.Errorf("%w: add %q: %s", ErrOpFailed, key, rep.Err)
+	}
+	return rep.Num, nil
+}
+
+// CheckAtLeast installs a commitment-time guard: if the integer at key is
+// below min, the database refuses to commit the try (votes no) and
+// ErrCheckFailed is returned. Returning the error from Logic aborts the try;
+// swallowing it and returning a normal result reproduces the paper's model
+// of user-level aborts, where the databases refuse the result instead.
+func (t *Tx) CheckAtLeast(ctx context.Context, db int, key string, min int64) error {
+	rep, err := t.exec(ctx, db, msg.Op{Code: msg.OpCheckGE, Key: key, Delta: min})
+	if err != nil {
+		return err
+	}
+	if !rep.OK {
+		return fmt.Errorf("%w: %s", ErrCheckFailed, rep.Err)
+	}
+	return nil
+}
+
+// SimulateWork models data-manipulation time spent at database db (useful
+// for benchmarks and capacity planning).
+func (t *Tx) SimulateWork(ctx context.Context, db int, d time.Duration) error {
+	_, err := t.exec(ctx, db, msg.Op{Code: msg.OpSleep, Delta: int64(d)})
+	return err
+}

@@ -1,0 +1,56 @@
+// Quickstart: a three-tier deployment in one process — three replicated
+// application servers, one database server, one client — running a bank
+// withdrawal exactly once.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"time"
+
+	"etx"
+)
+
+func main() {
+	c, err := etx.New(etx.Config{
+		Seed: map[string]int64{"acct/alice": 100},
+		Logic: func(ctx context.Context, tx *etx.Tx, req []byte) ([]byte, error) {
+			// Withdraw 10 from alice, refusing overdrafts at commitment time.
+			balance, err := tx.Add(ctx, 0, "acct/alice", -10)
+			if err != nil {
+				return nil, err
+			}
+			if err := tx.CheckAtLeast(ctx, 0, "acct/alice", 0); err != nil {
+				return nil, err
+			}
+			return []byte(fmt.Sprintf("new balance: %d", balance)), nil
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer c.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	for i := 1; i <= 3; i++ {
+		result, err := c.Issue(ctx, 1, []byte("withdraw"))
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("request %d -> %s\n", i, result)
+	}
+
+	balance, err := c.ReadInt(1, "acct/alice")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("database says alice has %d (exactly three withdrawals)\n", balance)
+
+	if err := c.CheckInvariants(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("all e-Transaction properties hold")
+}

@@ -1,0 +1,117 @@
+// Travel: the paper's motivating scenario — an end-user books a flight, a
+// hotel and a rental car, each living in a different back-end database. The
+// booking commits atomically across all three databases or not at all, and
+// sold-out inventory is reported through a committed informational result
+// (the paper's footnote-4 treatment of user-level aborts) instead of an
+// exception the user would have to interpret.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"log"
+	"time"
+
+	"etx"
+)
+
+// itinerary is this application's result payload.
+type itinerary struct {
+	Booked   bool   `json:"booked"`
+	SoldOut  string `json:"sold_out,omitempty"`
+	Flight   string `json:"flight,omitempty"`
+	Hotel    string `json:"hotel,omitempty"`
+	Car      string `json:"car,omitempty"`
+	SeatLeft int64  `json:"seats_left"`
+}
+
+func main() {
+	c, err := etx.New(etx.Config{
+		DataServers: 3, // flights on db 0, hotels on db 1, cars on db 2
+		Seed: map[string]int64{
+			"flight/LX1438": 2,
+			"hotel/Beau":    2,
+			"car/compact":   2,
+		},
+		Logic: bookTrip,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer c.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+
+	// Two seats of everything: the first two bookings succeed, the third is
+	// politely refused — exactly once each, with no double-bookings.
+	for traveller := 1; traveller <= 3; traveller++ {
+		res, err := c.Issue(ctx, 1, []byte(`{"trip":"GVA"}`))
+		if err != nil {
+			log.Fatal(err)
+		}
+		var it itinerary
+		if err := json.Unmarshal(res, &it); err != nil {
+			log.Fatal(err)
+		}
+		if it.Booked {
+			fmt.Printf("traveller %d: booked %s + %s + %s (%d seats left)\n",
+				traveller, it.Flight, it.Hotel, it.Car, it.SeatLeft)
+		} else {
+			fmt.Printf("traveller %d: sorry, %s is sold out\n", traveller, it.SoldOut)
+		}
+	}
+
+	seats, _ := c.ReadInt(1, "flight/LX1438")
+	rooms, _ := c.ReadInt(2, "hotel/Beau")
+	cars, _ := c.ReadInt(3, "car/compact")
+	fmt.Printf("inventory after the rush: seats=%d rooms=%d cars=%d\n", seats, rooms, cars)
+	if err := c.CheckInvariants(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("all e-Transaction properties hold")
+}
+
+// bookTrip books one unit of each item across the three databases.
+func bookTrip(ctx context.Context, tx *etx.Tx, req []byte) ([]byte, error) {
+	items := []struct {
+		db  int
+		key string
+	}{
+		{0, "flight/LX1438"},
+		{1, "hotel/Beau"},
+		{2, "car/compact"},
+	}
+	// Availability pass first: if anything is sold out, compute a result
+	// that "can actually run to completion" (footnote 4) — it touches
+	// nothing, so the databases happily commit it.
+	for _, it := range items {
+		_, n, err := tx.Get(ctx, it.db, it.key)
+		if err != nil {
+			return nil, err
+		}
+		if n <= 0 {
+			return json.Marshal(itinerary{Booked: false, SoldOut: it.key})
+		}
+	}
+	// Booking pass with commitment-time guards: concurrent bookings that
+	// overshoot make the databases vote no, the try aborts and is retried —
+	// where the availability pass then reports sold-out.
+	var left int64
+	for _, it := range items {
+		n, err := tx.Add(ctx, it.db, it.key, -1)
+		if err != nil {
+			return nil, err
+		}
+		if err := tx.CheckAtLeast(ctx, it.db, it.key, 0); err != nil {
+			return nil, err
+		}
+		if it.db == 0 {
+			left = n
+		}
+	}
+	return json.Marshal(itinerary{
+		Booked: true, Flight: "LX1438", Hotel: "Beau", Car: "compact", SeatLeft: left,
+	})
+}

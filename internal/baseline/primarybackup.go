@@ -1,0 +1,289 @@
+package baseline
+
+import (
+	"errors"
+	"sync"
+	"time"
+
+	"etx/internal/core"
+	"etx/internal/fd"
+	"etx/internal/id"
+	"etx/internal/msg"
+	"etx/internal/transport"
+)
+
+// PBConfig parameterizes one server of the Figure 7(c) primary-backup pair.
+type PBConfig struct {
+	Self        id.NodeID
+	Peer        id.NodeID // the other member of the pair
+	Primary     bool      // initial role
+	DataServers []id.NodeID
+	Endpoint    transport.Endpoint
+	Logic       Logic
+	// Detector must be PERFECT for the scheme to be correct; injecting an
+	// unreliable one demonstrates the inconsistency the paper warns about
+	// ("a false suspicion might lead to an inconsistency").
+	Detector fd.Detector
+	Resend   time.Duration
+	// TakeoverInterval is how often the backup polls the detector.
+	TakeoverInterval time.Duration
+	// Hooks carries crash-injection points for the failure experiments.
+	Hooks *core.Hooks
+}
+
+// PBServer is one member of the primary-backup e-Transaction scheme the
+// authors adapted in [18]: the primary records start and outcome at the
+// backup (replacing 2PC's forced disk writes), and the backup finishes or
+// aborts in-flight requests when its failure detector reports the primary
+// dead. Exactly-once holds only if that detector never lies.
+type PBServer struct {
+	cfg  PBConfig
+	base *serverBase
+
+	mu        sync.Mutex
+	started   map[id.ResultID][]byte       // start records (request bodies)
+	outcomes  map[id.ResultID]msg.Decision // outcome records
+	handled   map[id.ResultID]bool         // requests this server completed or cleaned
+	pbWaiters map[pbAckKey]chan struct{}
+	primary   bool
+}
+
+// NewPBServer creates one member of the pair.
+func NewPBServer(cfg PBConfig) (*PBServer, error) {
+	if cfg.Endpoint == nil || cfg.Logic == nil || len(cfg.DataServers) == 0 || cfg.Detector == nil {
+		return nil, errors.New("baseline: PB server needs Endpoint, Logic, DataServers and Detector")
+	}
+	if cfg.TakeoverInterval <= 0 {
+		cfg.TakeoverInterval = 10 * time.Millisecond
+	}
+	return &PBServer{
+		cfg:       cfg,
+		base:      newServerBase(cfg.Self, cfg.DataServers, cfg.Endpoint, cfg.Resend),
+		started:   make(map[id.ResultID][]byte),
+		outcomes:  make(map[id.ResultID]msg.Decision),
+		handled:   make(map[id.ResultID]bool),
+		pbWaiters: make(map[pbAckKey]chan struct{}),
+		primary:   cfg.Primary,
+	}, nil
+}
+
+// Start launches the server and (on the backup) the takeover monitor.
+func (s *PBServer) Start() {
+	s.base.wg.Add(2)
+	go s.loop()
+	go s.takeoverLoop()
+}
+
+// Stop terminates the server.
+func (s *PBServer) Stop() { s.base.stop() }
+
+// IsPrimary reports the server's current role.
+func (s *PBServer) IsPrimary() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.primary
+}
+
+// RecordedOutcome returns the decision this server believes rid reached
+// (experiment oracle: comparing it with the databases' recorded outcomes
+// exposes the false-suspicion inconsistency).
+func (s *PBServer) RecordedOutcome(rid id.ResultID) (msg.Decision, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	dec, ok := s.outcomes[rid]
+	return dec, ok
+}
+
+func (s *PBServer) loop() {
+	defer s.base.wg.Done()
+	for {
+		select {
+		case env, ok := <-s.cfg.Endpoint.Recv():
+			if !ok {
+				return
+			}
+			if s.base.route(env) {
+				continue
+			}
+			switch m := env.Payload.(type) {
+			case msg.Request:
+				if s.IsPrimary() {
+					s.base.wg.Add(1)
+					go func() {
+						defer s.base.wg.Done()
+						s.serve(m)
+					}()
+				}
+				// A backup ignores client requests until takeover; the
+				// client keeps retransmitting.
+			case msg.PBStart:
+				s.mu.Lock()
+				s.started[m.RID] = m.Body
+				s.mu.Unlock()
+				_ = s.cfg.Endpoint.Send(msg.Envelope{To: env.From, Payload: msg.PBStartAck{RID: m.RID}})
+			case msg.PBOutcome:
+				s.mu.Lock()
+				s.outcomes[m.RID] = m.Dec
+				s.mu.Unlock()
+				_ = s.cfg.Endpoint.Send(msg.Envelope{To: env.From, Payload: msg.PBOutcomeAck{RID: m.RID}})
+			case msg.PBStartAck, msg.PBOutcomeAck:
+				s.routePBAck(env)
+			}
+		case <-s.base.ctx.Done():
+			return
+		}
+	}
+}
+
+// pbAckWaiters correlates start/outcome acknowledgements.
+var errStopped = errors.New("baseline: server stopping")
+
+type pbAckKey struct {
+	rid     id.ResultID
+	outcome bool
+}
+
+func (s *PBServer) routePBAck(env msg.Envelope) {
+	var key pbAckKey
+	switch m := env.Payload.(type) {
+	case msg.PBStartAck:
+		key = pbAckKey{rid: m.RID}
+	case msg.PBOutcomeAck:
+		key = pbAckKey{rid: m.RID, outcome: true}
+	default:
+		return
+	}
+	s.mu.Lock()
+	ch, ok := s.pbWaiters[key]
+	s.mu.Unlock()
+	if ok {
+		select {
+		case ch <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// record sends a start or outcome record to the peer and waits for its ack,
+// retransmitting as needed.
+func (s *PBServer) record(rid id.ResultID, p msg.Payload, outcome bool) error {
+	key := pbAckKey{rid: rid, outcome: outcome}
+	ch := make(chan struct{}, 1)
+	s.mu.Lock()
+	s.pbWaiters[key] = ch
+	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		delete(s.pbWaiters, key)
+		s.mu.Unlock()
+	}()
+	send := func() { _ = s.cfg.Endpoint.Send(msg.Envelope{To: s.cfg.Peer, Payload: p}) }
+	send()
+	ticker := time.NewTicker(s.base.resend)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ch:
+			return nil
+		case <-ticker.C:
+			send()
+		case <-s.base.ctx.Done():
+			return errStopped
+		}
+	}
+}
+
+func (s *PBServer) serve(req msg.Request) {
+	rid := req.RID
+	s.mu.Lock()
+	if s.handled[rid] {
+		// Retransmission of a finished request: resend its outcome.
+		dec, ok := s.outcomes[rid]
+		s.mu.Unlock()
+		if ok {
+			_ = s.cfg.Endpoint.Send(msg.Envelope{To: rid.Client, Payload: msg.Result{RID: rid, Dec: dec}})
+		}
+		return
+	}
+	s.mu.Unlock()
+
+	// Start record at the backup (replaces 2PC's forced log-start).
+	if err := s.record(rid, msg.PBStart{RID: rid, Body: req.Body}, false); err != nil {
+		return
+	}
+	crashIf(s.cfg.Hooks, core.PointAfterRegA, rid)
+
+	dec := msg.Decision{Outcome: msg.OutcomeAbort}
+	result, err := s.cfg.Logic.Compute(s.base.ctx, &Tx{base: s.base, rid: rid}, req.Body)
+	if err == nil {
+		dec.Outcome = s.base.votePhase(rid)
+		if dec.Outcome == msg.OutcomeCommit {
+			dec.Result = result
+		}
+	}
+	crashIf(s.cfg.Hooks, core.PointAfterPrepare, rid)
+
+	// Outcome record at the backup (replaces 2PC's forced log-outcome).
+	if err := s.record(rid, msg.PBOutcome{RID: rid, Dec: dec}, true); err != nil {
+		return
+	}
+	crashIf(s.cfg.Hooks, core.PointAfterRegD, rid)
+
+	s.base.decidePhase(rid, dec.Outcome)
+	s.mu.Lock()
+	s.handled[rid] = true
+	s.outcomes[rid] = dec
+	s.mu.Unlock()
+	_ = s.cfg.Endpoint.Send(msg.Envelope{To: rid.Client, Payload: msg.Result{RID: rid, Dec: dec}})
+}
+
+// takeoverLoop is the backup's monitor: when the detector reports the
+// primary crashed, finish every request with a recorded outcome and abort
+// every request that only has a start record, then serve new requests.
+// With a perfect detector this is exactly-once; with false suspicions the
+// cleanup races the live primary WITHOUT any write-once arbitration — the
+// inconsistency the asynchronous scheme eliminates.
+func (s *PBServer) takeoverLoop() {
+	defer s.base.wg.Done()
+	ticker := time.NewTicker(s.cfg.TakeoverInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ticker.C:
+			if s.IsPrimary() || !s.cfg.Detector.Suspects(s.cfg.Peer) {
+				continue
+			}
+			s.takeover()
+		case <-s.base.ctx.Done():
+			return
+		}
+	}
+}
+
+func (s *PBServer) takeover() {
+	s.mu.Lock()
+	s.primary = true
+	type job struct {
+		rid id.ResultID
+		dec msg.Decision
+	}
+	var jobs []job
+	for rid := range s.started {
+		if s.handled[rid] {
+			continue
+		}
+		s.handled[rid] = true
+		dec, ok := s.outcomes[rid]
+		if !ok {
+			dec = msg.Decision{Outcome: msg.OutcomeAbort}
+			s.outcomes[rid] = dec
+		}
+		jobs = append(jobs, job{rid: rid, dec: dec})
+	}
+	s.mu.Unlock()
+
+	for _, j := range jobs {
+		s.base.decidePhase(j.rid, j.dec.Outcome)
+		_ = s.cfg.Endpoint.Send(msg.Envelope{To: j.rid.Client, Payload: msg.Result{RID: j.rid, Dec: j.dec}})
+	}
+}

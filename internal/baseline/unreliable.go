@@ -1,0 +1,147 @@
+package baseline
+
+import (
+	"context"
+	"errors"
+	"time"
+
+	"etx/internal/core"
+	"etx/internal/id"
+	"etx/internal/msg"
+	"etx/internal/transport"
+)
+
+// UnreliableConfig parameterizes the Figure 7(a) baseline server.
+type UnreliableConfig struct {
+	Self        id.NodeID
+	DataServers []id.NodeID
+	Endpoint    transport.Endpoint
+	Logic       Logic
+	Resend      time.Duration
+	Hooks       *core.Hooks
+}
+
+// UnreliableServer is the paper's baseline: one stateless application server
+// that computes and single-phase-commits, with no logging, no replication
+// and no recovery. Fast, and silent about failures.
+type UnreliableServer struct {
+	cfg  UnreliableConfig
+	base *serverBase
+}
+
+// NewUnreliableServer creates the baseline server.
+func NewUnreliableServer(cfg UnreliableConfig) (*UnreliableServer, error) {
+	if cfg.Endpoint == nil || cfg.Logic == nil || len(cfg.DataServers) == 0 {
+		return nil, errors.New("baseline: unreliable server needs Endpoint, Logic and DataServers")
+	}
+	return &UnreliableServer{
+		cfg:  cfg,
+		base: newServerBase(cfg.Self, cfg.DataServers, cfg.Endpoint, cfg.Resend),
+	}, nil
+}
+
+// Start launches the server loop.
+func (s *UnreliableServer) Start() {
+	s.base.wg.Add(1)
+	go s.loop()
+}
+
+// Stop terminates the server.
+func (s *UnreliableServer) Stop() { s.base.stop() }
+
+func (s *UnreliableServer) loop() {
+	defer s.base.wg.Done()
+	for {
+		select {
+		case env, ok := <-s.cfg.Endpoint.Recv():
+			if !ok {
+				return
+			}
+			if s.base.route(env) {
+				continue
+			}
+			if req, ok := env.Payload.(msg.Request); ok {
+				s.base.wg.Add(1)
+				go func() {
+					defer s.base.wg.Done()
+					s.serve(req)
+				}()
+			}
+		case <-s.base.ctx.Done():
+			return
+		}
+	}
+}
+
+func (s *UnreliableServer) serve(req msg.Request) {
+	rid := req.RID
+	dec := msg.Decision{Outcome: msg.OutcomeAbort}
+
+	t0 := time.Now()
+	result, err := s.cfg.Logic.Compute(s.base.ctx, &Tx{base: s.base, rid: rid}, req.Body)
+	spanIf(s.cfg.Hooks, rid, core.SpanSQL, time.Since(t0))
+	if err == nil {
+		t0 = time.Now()
+		dec.Outcome = s.base.commit1P(rid)
+		spanIf(s.cfg.Hooks, rid, core.SpanCommit, time.Since(t0))
+		if dec.Outcome == msg.OutcomeCommit {
+			dec.Result = result
+		}
+	}
+	_ = s.cfg.Endpoint.Send(msg.Envelope{To: rid.Client, Payload: msg.Result{RID: rid, Dec: dec}})
+}
+
+func spanIf(h *core.Hooks, rid id.ResultID, s core.Span, d time.Duration) {
+	if h != nil && h.Span != nil {
+		h.Span(rid, s, d)
+	}
+}
+
+func crashIf(h *core.Hooks, p core.CrashPoint, rid id.ResultID) {
+	if h != nil && h.Crash != nil {
+		h.Crash(p, rid)
+	}
+}
+
+// OneShotClient sends one request to one server and waits for the result:
+// the client side of the unreliable and 2PC protocols. There is no retry —
+// at-most-once is all these protocols offer, and on timeout the caller
+// cannot know what happened (the paper's motivating problem).
+type OneShotClient struct {
+	self   id.NodeID
+	server id.NodeID
+	ep     transport.Endpoint
+	seq    uint64
+}
+
+// NewOneShotClient creates a client talking to one application server.
+func NewOneShotClient(self, server id.NodeID, ep transport.Endpoint) *OneShotClient {
+	return &OneShotClient{self: self, server: server, ep: ep}
+}
+
+// ErrOutcomeUnknown is returned when the call times out: the request may or
+// may not have executed.
+var ErrOutcomeUnknown = errors.New("baseline: outcome unknown (timeout)")
+
+// Call issues one request and returns the decision. A context expiry maps to
+// ErrOutcomeUnknown.
+func (c *OneShotClient) Call(ctx context.Context, request []byte) (msg.Decision, error) {
+	c.seq++
+	rid := id.ResultID{Client: c.self, Seq: c.seq, Try: 1}
+	if err := c.ep.Send(msg.Envelope{To: c.server, Payload: msg.Request{RID: rid, Body: request}}); err != nil {
+		return msg.Decision{}, err
+	}
+	for {
+		select {
+		case env, ok := <-c.ep.Recv():
+			if !ok {
+				return msg.Decision{}, errors.New("baseline: client endpoint closed")
+			}
+			if res, ok := env.Payload.(msg.Result); ok && res.RID == rid {
+				return res.Dec, nil
+			}
+		case <-ctx.Done():
+			return msg.Decision{}, ErrOutcomeUnknown
+		}
+	}
+}

@@ -1,0 +1,456 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"etx/internal/cluster"
+	"etx/internal/consensus"
+	"etx/internal/core"
+	"etx/internal/fd"
+	"etx/internal/id"
+	"etx/internal/latcost"
+	"etx/internal/metrics"
+	"etx/internal/msg"
+	"etx/internal/transport"
+	"etx/internal/workload"
+)
+
+// --- EXP-SC: overhead vs replication degree and database count --------------
+
+// ScalingRow is one deployment size's mean latency.
+type ScalingRow struct {
+	AppServers  int
+	DataServers int
+	Latency     metrics.Summary
+}
+
+// Scaling reports latency as the middle tier and the database tier grow.
+type Scaling struct {
+	Scale float64
+	Rows  []ScalingRow
+}
+
+// RunScaling measures the replicated protocol at 3/5/7 application servers
+// and 1..3 database servers.
+func RunScaling(scale float64, requests int) (*Scaling, error) {
+	if scale <= 0 {
+		scale = 0.05
+	}
+	if requests <= 0 {
+		requests = 10
+	}
+	model := latcost.Paper(scale)
+	out := &Scaling{Scale: scale}
+	for _, shape := range []struct{ apps, dbs int }{
+		{3, 1}, {5, 1}, {7, 1}, {3, 2}, {3, 3},
+	} {
+		c, err := arDeployment(model, shape.apps, shape.dbs, nil, 1)
+		if err != nil {
+			return nil, errf("scaling %d/%d: %w", shape.apps, shape.dbs, err)
+		}
+		lats := metrics.NewSample()
+		deadline := 300 * estimatedTotal(model)
+		for i := 0; i < requests; i++ {
+			ctx, cancel := context.WithTimeout(context.Background(), deadline)
+			t0 := time.Now()
+			_, err := c.Client(1).Issue(ctx, benchRequest())
+			cancel()
+			if err != nil {
+				c.Stop()
+				return nil, errf("scaling %d/%d request %d: %w", shape.apps, shape.dbs, i, err)
+			}
+			if i > 0 { // skip the cold first request
+				lats.AddDuration(time.Since(t0))
+			}
+		}
+		c.Stop()
+		out.Rows = append(out.Rows, ScalingRow{
+			AppServers: shape.apps, DataServers: shape.dbs, Latency: lats.Summarize(),
+		})
+	}
+	return out, nil
+}
+
+// String renders the scaling report.
+func (s *Scaling) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Latency vs deployment size (scale %.3f; paper time base)\n", s.Scale)
+	fmt.Fprintf(&b, "%-12s %-12s %12s\n", "app servers", "db servers", "mean (ms)")
+	for _, r := range s.Rows {
+		// Measurements are in scaled milliseconds; divide by the scale to
+		// report in the paper's time base like every other table.
+		fmt.Fprintf(&b, "%-12d %-12d %12.1f\n", r.AppServers, r.DataServers, r.Latency.Mean/s.Scale)
+	}
+	b.WriteString("(the voting and decide rounds broadcast to every database; the register\n" +
+		" writes need one majority round trip regardless of replica count)\n")
+	return b.String()
+}
+
+// --- EXP-FS: false suspicions — AR stays safe, primary-backup does not ------
+
+// Suspicion reports how many runs of each protocol produced an inconsistency
+// under injected false suspicions.
+type Suspicion struct {
+	Runs           int
+	PBInconsistent int
+	ARInconsistent int
+	ARDeliveredAll int
+	PBDescription  string
+}
+
+// RunSuspicion injects a false suspicion of the live primary mid-protocol in
+// both the primary-backup scheme and the replicated protocol, many times,
+// and counts observable inconsistencies (server-believed outcome differing
+// from the database-recorded outcome, or oracle violations).
+func RunSuspicion(scale float64, runs int) (*Suspicion, error) {
+	if scale <= 0 {
+		scale = 0.02
+	}
+	if runs <= 0 {
+		runs = 10
+	}
+	model := latcost.Paper(scale)
+	out := &Suspicion{Runs: runs,
+		PBDescription: "primary believes commit while the database aborted (lost result)"}
+
+	for i := 0; i < runs; i++ {
+		bad, err := onePBSuspicionRun(model)
+		if err != nil {
+			return nil, errf("suspicion PB run %d: %w", i, err)
+		}
+		if bad {
+			out.PBInconsistent++
+		}
+	}
+	for i := 0; i < runs; i++ {
+		delivered, bad, err := oneARSuspicionRun(model)
+		if err != nil {
+			return nil, errf("suspicion AR run %d: %w", i, err)
+		}
+		if bad {
+			out.ARInconsistent++
+		}
+		if delivered {
+			out.ARDeliveredAll++
+		}
+	}
+	return out, nil
+}
+
+// onePBSuspicionRun reproduces the deterministic false-suspicion window in
+// the primary-backup scheme and reports whether the inconsistency appeared.
+func onePBSuspicionRun(model latcost.Model) (bool, error) {
+	backupDet := fd.NewScripted()
+	var once atomic.Bool
+	hooks := map[id.NodeID]*core.Hooks{
+		id.AppServer(1): {Crash: func(p core.CrashPoint, rid id.ResultID) {
+			if p == core.PointAfterPrepare && once.CompareAndSwap(false, true) {
+				backupDet.Set(id.AppServer(1), true)
+				time.Sleep(30 * time.Millisecond) // give the backup time to "clean up"
+			}
+		}},
+	}
+	rig, err := newPBRig(model, hooks, func(self, peer id.NodeID, net *transport.MemNetwork) fd.Detector {
+		if self == id.AppServer(2) {
+			return backupDet
+		}
+		return nil
+	})
+	if err != nil {
+		return false, err
+	}
+	defer rig.stop()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if _, err := rig.client.Issue(ctx, benchRequest()); err != nil {
+		return false, err
+	}
+	rid := id.ResultID{Client: id.Client(1), Seq: 1, Try: 1}
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if dec, ok := rig.servers[id.AppServer(1)].RecordedOutcome(rid); ok {
+			dbOutcome := rig.engines[id.DBServer(1)].Outcomes()[rid]
+			return dec.Outcome == msg.OutcomeCommit && dbOutcome == msg.OutcomeAbort, nil
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	return false, errf("PB primary never recorded an outcome")
+}
+
+// oneARSuspicionRun injects the same false suspicion into the replicated
+// protocol: the cleaner races the live executor, the wo-register arbitrates.
+func oneARSuspicionRun(model latcost.Model) (delivered, inconsistent bool, err error) {
+	dets := make(map[id.NodeID]*fd.Scripted)
+	total := estimatedTotal(model)
+	c, buildErr := arDeploymentWithDetectors(model, dets)
+	if buildErr != nil {
+		return false, false, buildErr
+	}
+	defer c.Stop()
+
+	// False suspicion storm against the live primary, lifted later
+	// (eventual accuracy).
+	dets[id.AppServer(2)].Set(id.AppServer(1), true)
+	dets[id.AppServer(3)].Set(id.AppServer(1), true)
+	go func() {
+		time.Sleep(40 * total)
+		dets[id.AppServer(2)].Set(id.AppServer(1), false)
+		dets[id.AppServer(3)].Set(id.AppServer(1), false)
+	}()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	_, issueErr := c.Client(1).Issue(ctx, benchRequest())
+	rep := c.CheckProperties()
+	return issueErr == nil, !rep.Ok(), nil
+}
+
+// arDeploymentWithDetectors builds an AR cluster with scripted detectors and
+// an aggressive cleaner, so injected suspicions bite quickly.
+func arDeploymentWithDetectors(model latcost.Model, dets map[id.NodeID]*fd.Scripted) (*cluster.Cluster, error) {
+	total := estimatedTotal(model)
+	return cluster.New(cluster.Config{
+		AppServers:  3,
+		DataServers: 1,
+		Net:         transport.Options{Latency: model.LatencyFunc()},
+		Logic: core.LogicFunc(func(ctx context.Context, tx *core.Tx, req []byte) ([]byte, error) {
+			return workload.Bank(ctx, tx, req, model.SQLWork)
+		}),
+		ForceLatency: model.DBForce,
+		Seed:         benchSeed(),
+
+		ResendInterval:    100 * total,
+		CleanInterval:     2 * time.Millisecond,
+		ClientBackoff:     4 * total,
+		ClientRebroadcast: 4 * total,
+		ComputeTimeout:    200 * total,
+		ConsensusPoll:     500 * time.Microsecond,
+		Detector: func(self id.NodeID) fd.Detector {
+			d := fd.NewScripted()
+			dets[self] = d
+			return d
+		},
+	})
+}
+
+// String renders the suspicion report.
+func (s *Suspicion) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "False-suspicion robustness (%d runs per protocol)\n", s.Runs)
+	fmt.Fprintf(&b, "%-18s %14s %14s\n", "protocol", "inconsistent", "delivered")
+	fmt.Fprintf(&b, "%-18s %14d %14s\n", ProtocolPB, s.PBInconsistent, "n/a")
+	fmt.Fprintf(&b, "%-18s %14d %14d\n", ProtocolAR, s.ARInconsistent, s.ARDeliveredAll)
+	fmt.Fprintf(&b, "(PB inconsistency: %s;\n AR tolerates unreliable failure detection by construction)\n", s.PBDescription)
+	return b.String()
+}
+
+// --- EXP-WO: wo-register microbenchmark --------------------------------------
+
+// WORegister reports write latency of the register substrate.
+type WORegister struct {
+	Replicas    int
+	Uncontended metrics.Summary
+	Contended   metrics.Summary
+}
+
+// RunWORegister measures wo-register writes over a consensus group with the
+// calibrated app-app latency: the uncontended case (coordinator writes, the
+// paper's single-round-trip fast path) and the contended case (all replicas
+// write simultaneously).
+func RunWORegister(scale float64, replicas, writes int) (*WORegister, error) {
+	if scale <= 0 {
+		scale = 0.05
+	}
+	if replicas <= 0 {
+		replicas = 3
+	}
+	if writes <= 0 {
+		writes = 20
+	}
+	model := latcost.Paper(scale)
+	rig, err := newConsensusRig(model, replicas)
+	if err != nil {
+		return nil, err
+	}
+	defer rig.stop()
+
+	out := &WORegister{Replicas: replicas}
+	unc := metrics.NewSample()
+	ctx := context.Background()
+	for i := 0; i < writes; i++ {
+		key := msg.RegKey{Array: msg.RegA, RID: id.ResultID{Client: id.Client(1), Seq: uint64(i), Try: 1}}
+		t0 := time.Now()
+		if _, err := rig.nodes[0].Propose(ctx, key, []byte("v")); err != nil {
+			return nil, errf("woregister uncontended write %d: %w", i, err)
+		}
+		unc.AddDuration(time.Since(t0))
+	}
+	out.Uncontended = unc.Summarize()
+
+	con := metrics.NewSample()
+	for i := 0; i < writes; i++ {
+		key := msg.RegKey{Array: msg.RegD, RID: id.ResultID{Client: id.Client(2), Seq: uint64(i), Try: 1}}
+		t0 := time.Now()
+		errs := make(chan error, len(rig.nodes))
+		for r, n := range rig.nodes {
+			go func(r int, n *consensus.Node) {
+				_, err := n.Propose(ctx, key, []byte{byte(r)})
+				errs <- err
+			}(r, n)
+		}
+		for range rig.nodes {
+			if err := <-errs; err != nil {
+				return nil, errf("woregister contended write %d: %w", i, err)
+			}
+		}
+		con.AddDuration(time.Since(t0))
+	}
+	out.Contended = con.Summarize()
+	return out, nil
+}
+
+// String renders the microbenchmark report.
+func (w *WORegister) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "wo-register write latency (%d replicas)\n", w.Replicas)
+	fmt.Fprintf(&b, "%-14s %s\n", "uncontended:", w.Uncontended)
+	fmt.Fprintf(&b, "%-14s %s\n", "contended:", w.Contended)
+	b.WriteString("(the uncontended coordinator write is the paper's one-round-trip fast path)\n")
+	return b.String()
+}
+
+// consensusRig wires bare consensus nodes for microbenchmarks.
+type consensusRig struct {
+	net   *transport.MemNetwork
+	nodes []*consensus.Node
+	stops []func()
+}
+
+func (r *consensusRig) stop() {
+	for i := len(r.stops) - 1; i >= 0; i-- {
+		r.stops[i]()
+	}
+	r.net.Close()
+}
+
+func newConsensusRig(model latcost.Model, replicas int) (*consensusRig, error) {
+	rig := &consensusRig{net: transport.NewMemNetwork(transport.Options{Latency: model.LatencyFunc()})}
+	var peers []id.NodeID
+	for i := 1; i <= replicas; i++ {
+		peers = append(peers, id.AppServer(i))
+	}
+	for _, p := range peers {
+		ep, err := rig.net.Attach(p)
+		if err != nil {
+			rig.stop()
+			return nil, err
+		}
+		node, err := consensus.New(consensus.Config{
+			Self: p, Peers: peers, Detector: fd.NewScripted(),
+			Poll: 500 * time.Microsecond,
+			Send: func(to id.NodeID, pl msg.Payload) error {
+				return ep.Send(msg.Envelope{To: to, Payload: pl})
+			},
+		})
+		if err != nil {
+			rig.stop()
+			return nil, err
+		}
+		rig.nodes = append(rig.nodes, node)
+		rig.stops = append(rig.stops, node.Stop)
+		done := make(chan struct{})
+		go func(ep transport.Endpoint, node *consensus.Node) {
+			defer close(done)
+			for env := range ep.Recv() {
+				node.Handle(env.From, env.Payload)
+			}
+		}(ep, node)
+		epRef := ep
+		rig.stops = append(rig.stops, func() {
+			epRef.Close()
+			<-done
+		})
+	}
+	return rig, nil
+}
+
+// --- EXP-GC: register retirement ablation ------------------------------------
+
+// GCAblation reports register-state growth with and without retirement.
+type GCAblation struct {
+	Requests         int
+	KeysWithout      int
+	KeysWith         int
+	HeapDeltaWithout uint64
+	HeapDeltaWith    uint64
+}
+
+// RunGCAblation issues many requests with and without the Retire extension
+// and reports retained register keys (summed over replicas) and heap growth,
+// quantifying the garbage-collection concern the paper defers in Section 5.
+func RunGCAblation(requests int) (*GCAblation, error) {
+	if requests <= 0 {
+		requests = 150
+	}
+	out := &GCAblation{Requests: requests}
+	for _, retire := range []bool{false, true} {
+		model := latcost.Paper(0.001) // latency is irrelevant here
+		c, err := arDeployment(model, 3, 1, nil, 1)
+		if err != nil {
+			return nil, errf("gc ablation: %w", err)
+		}
+		runtime.GC()
+		var before runtime.MemStats
+		runtime.ReadMemStats(&before)
+		ctx := context.Background()
+		for i := 0; i < requests; i++ {
+			if _, err := c.Client(1).Issue(ctx, benchRequest()); err != nil {
+				c.Stop()
+				return nil, errf("gc ablation request %d: %w", i, err)
+			}
+			if retire {
+				c.Retire(id.RequestKey{Client: id.Client(1), Seq: uint64(i + 1)}, 1)
+			}
+		}
+		keys := 0
+		for i := 1; i <= 3; i++ {
+			if app := c.App(i); app != nil {
+				keys += len(app.Registers().KnownTries())
+			}
+		}
+		runtime.GC()
+		var after runtime.MemStats
+		runtime.ReadMemStats(&after)
+		heap := uint64(0)
+		if after.HeapAlloc > before.HeapAlloc {
+			heap = after.HeapAlloc - before.HeapAlloc
+		}
+		if retire {
+			out.KeysWith = keys
+			out.HeapDeltaWith = heap
+		} else {
+			out.KeysWithout = keys
+			out.HeapDeltaWithout = heap
+		}
+		c.Stop()
+	}
+	return out, nil
+}
+
+// String renders the ablation report.
+func (g *GCAblation) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Register garbage-collection ablation (%d requests)\n", g.Requests)
+	fmt.Fprintf(&b, "%-22s %14s %16s\n", "variant", "register keys", "heap delta (KiB)")
+	fmt.Fprintf(&b, "%-22s %14d %16d\n", "no retirement (paper)", g.KeysWithout, g.HeapDeltaWithout/1024)
+	fmt.Fprintf(&b, "%-22s %14d %16d\n", "with retirement", g.KeysWith, g.HeapDeltaWith/1024)
+	b.WriteString("(retirement is safe once the client acknowledged delivery — the timed\n" +
+		" guarantee the paper says a complete treatment would need)\n")
+	return b.String()
+}

@@ -1,0 +1,8 @@
+//go:build race
+
+package bench
+
+// raceEnabled reports that the race detector is active: its instrumentation
+// inflates in-memory round trips severalfold, so timing-shape assertions are
+// skipped (functional assertions still run).
+const raceEnabled = true

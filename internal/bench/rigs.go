@@ -1,0 +1,306 @@
+// Package bench contains the experiment harness that regenerates every
+// table and figure of the paper's evaluation (Appendix 3), plus the
+// extension experiments DESIGN.md's index lists (failover response time,
+// scaling, false-suspicion robustness, wo-register microbenchmarks and the
+// garbage-collection ablation).
+//
+// Each experiment builds fresh deployments on the in-memory network with the
+// calibrated latcost model, runs the paper's bank workload, and reports
+// paper-style tables. Absolute values depend on the Scale knob; the claims
+// under reproduction are about shape: ordering, ratios and crossover points.
+package bench
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"etx/internal/baseline"
+	"etx/internal/cluster"
+	"etx/internal/core"
+	"etx/internal/fd"
+	"etx/internal/id"
+	"etx/internal/kv"
+	"etx/internal/latcost"
+	"etx/internal/stablestore"
+	"etx/internal/transport"
+	"etx/internal/workload"
+	"etx/internal/xadb"
+)
+
+// Protocol names used across reports.
+const (
+	ProtocolBaseline = "baseline"
+	ProtocolAR       = "AR" // the paper's asynchronous-replication protocol
+	Protocol2PC      = "2PC"
+	ProtocolPB       = "primary-backup"
+)
+
+// seedAccount is the bank account every latency experiment updates.
+const seedAccount = "bench"
+
+func benchSeed() []kv.Write {
+	return workload.BankSeed(map[string]int64{seedAccount: 1 << 40})
+}
+
+func benchRequest() []byte {
+	return workload.EncodeBank(workload.BankRequest{Account: seedAccount, Amount: -1})
+}
+
+// arDeployment builds an AR cluster calibrated with the model.
+func arDeployment(model latcost.Model, appServers, dbServers int, rec *latcost.Recorder, netSeed int64) (*cluster.Cluster, error) {
+	total := estimatedTotal(model)
+	cfg := cluster.Config{
+		AppServers:  appServers,
+		DataServers: dbServers,
+		Net: transport.Options{
+			Latency: model.LatencyFunc(),
+			Seed:    netSeed,
+		},
+		Logic: core.LogicFunc(func(ctx context.Context, tx *core.Tx, req []byte) ([]byte, error) {
+			return workload.Bank(ctx, tx, req, model.SQLWork)
+		}),
+		ForceLatency: model.DBForce,
+		Seed:         benchSeed(),
+
+		// Keep background machinery out of the measured path: suspicions and
+		// protocol resends must never fire in a failure-free run.
+		HeartbeatInterval: 20 * time.Millisecond,
+		SuspectTimeout:    50 * total,
+		ResendInterval:    100 * total,
+		CleanInterval:     25 * time.Millisecond,
+		ClientBackoff:     20 * total,
+		ClientRebroadcast: 20 * total,
+		ComputeTimeout:    200 * total,
+		ConsensusPoll:     500 * time.Microsecond,
+	}
+	if rec != nil {
+		cfg.Hooks = func(self id.NodeID) *core.Hooks { return rec.Hooks() }
+	}
+	return cluster.New(cfg)
+}
+
+// estimatedTotal approximates one failure-free request's latency, used to
+// derive safe timeout knobs.
+func estimatedTotal(m latcost.Model) time.Duration {
+	t := m.ClientStart + m.ClientEnd + m.SQLWork +
+		2*m.ClientApp + 8*m.AppDB + 4*m.AppApp + 2*m.DBForce
+	if t < 5*time.Millisecond {
+		t = 5 * time.Millisecond
+	}
+	return t
+}
+
+// soloRig hosts one non-replicated protocol (baseline or 2PC): its
+// application server, the database tier, and a one-shot client.
+type soloRig struct {
+	net    *transport.MemNetwork
+	client *baseline.OneShotClient
+	stops  []func()
+}
+
+func (r *soloRig) stop() {
+	for i := len(r.stops) - 1; i >= 0; i-- {
+		r.stops[i]()
+	}
+	r.net.Close()
+}
+
+// newSoloRig wires the database tier and the given server constructor.
+func newSoloRig(model latcost.Model, dbServers int, build func(ep transport.Endpoint, dbs []id.NodeID) (startStop, error)) (*soloRig, error) {
+	rig := &soloRig{net: transport.NewMemNetwork(transport.Options{Latency: model.LatencyFunc()})}
+	var dbs []id.NodeID
+	for i := 1; i <= dbServers; i++ {
+		dbID := id.DBServer(i)
+		dbs = append(dbs, dbID)
+		ep, err := rig.net.Attach(dbID)
+		if err != nil {
+			rig.stop()
+			return nil, err
+		}
+		engine, err := xadb.Open(stablestore.New(model.DBForce), xadb.Config{Self: dbID})
+		if err != nil {
+			rig.stop()
+			return nil, err
+		}
+		engine.Seed(benchSeed())
+		srv, err := core.NewDataServer(core.DataServerConfig{Self: dbID, Engine: engine, Endpoint: ep})
+		if err != nil {
+			rig.stop()
+			return nil, err
+		}
+		srv.Start()
+		rig.stops = append(rig.stops, srv.Stop)
+	}
+
+	appID := id.AppServer(1)
+	appEP, err := rig.net.Attach(appID)
+	if err != nil {
+		rig.stop()
+		return nil, err
+	}
+	srv, err := build(appEP, dbs)
+	if err != nil {
+		rig.stop()
+		return nil, err
+	}
+	srv.Start()
+	rig.stops = append(rig.stops, srv.Stop)
+
+	clEP, err := rig.net.Attach(id.Client(1))
+	if err != nil {
+		rig.stop()
+		return nil, err
+	}
+	rig.client = baseline.NewOneShotClient(id.Client(1), appID, clEP)
+	return rig, nil
+}
+
+type startStop interface {
+	Start()
+	Stop()
+}
+
+// newBaselineRig builds the Figure 7(a) deployment.
+func newBaselineRig(model latcost.Model, rec *latcost.Recorder) (*soloRig, error) {
+	return newSoloRig(model, 1, func(ep transport.Endpoint, dbs []id.NodeID) (startStop, error) {
+		var hooks *core.Hooks
+		if rec != nil {
+			hooks = rec.Hooks()
+		}
+		return baseline.NewUnreliableServer(baseline.UnreliableConfig{
+			Self: ep.ID(), DataServers: dbs, Endpoint: ep,
+			Logic: baseline.LogicFunc(func(ctx context.Context, tx *baseline.Tx, req []byte) ([]byte, error) {
+				return workload.Bank(ctx, tx, req, model.SQLWork)
+			}),
+			Resend: 100 * estimatedTotal(model),
+			Hooks:  hooks,
+		})
+	})
+}
+
+// newTwoPCRig builds the Figure 7(b) deployment.
+func newTwoPCRig(model latcost.Model, rec *latcost.Recorder) (*soloRig, error) {
+	return newSoloRig(model, 1, func(ep transport.Endpoint, dbs []id.NodeID) (startStop, error) {
+		var hooks *core.Hooks
+		if rec != nil {
+			hooks = rec.Hooks()
+		}
+		return baseline.NewTwoPCServer(baseline.TwoPCConfig{
+			Self: ep.ID(), DataServers: dbs, Endpoint: ep,
+			Logic: baseline.LogicFunc(func(ctx context.Context, tx *baseline.Tx, req []byte) ([]byte, error) {
+				return workload.Bank(ctx, tx, req, model.SQLWork)
+			}),
+			Log:    stablestore.New(model.CoordForce),
+			Resend: 100 * estimatedTotal(model),
+			Hooks:  hooks,
+		})
+	})
+}
+
+// pbRig hosts the Figure 7(c) primary-backup pair.
+type pbRig struct {
+	net     *transport.MemNetwork
+	client  *core.Client
+	servers map[id.NodeID]*baseline.PBServer
+	engines map[id.NodeID]*xadb.Engine
+	stops   []func()
+}
+
+func (r *pbRig) stop() {
+	for i := len(r.stops) - 1; i >= 0; i-- {
+		r.stops[i]()
+	}
+	r.net.Close()
+}
+
+// newPBRig builds the primary-backup deployment. detFor overrides the
+// failure detector per server (nil = perfect detection from network ground
+// truth).
+func newPBRig(model latcost.Model, hooks map[id.NodeID]*core.Hooks, detFor func(self, peer id.NodeID, net *transport.MemNetwork) fd.Detector) (*pbRig, error) {
+	rig := &pbRig{
+		net:     transport.NewMemNetwork(transport.Options{Latency: model.LatencyFunc()}),
+		servers: make(map[id.NodeID]*baseline.PBServer),
+		engines: make(map[id.NodeID]*xadb.Engine),
+	}
+	dbID := id.DBServer(1)
+	dbEP, err := rig.net.Attach(dbID)
+	if err != nil {
+		rig.stop()
+		return nil, err
+	}
+	engine, err := xadb.Open(stablestore.New(model.DBForce), xadb.Config{Self: dbID})
+	if err != nil {
+		rig.stop()
+		return nil, err
+	}
+	engine.Seed(benchSeed())
+	dbSrv, err := core.NewDataServer(core.DataServerConfig{Self: dbID, Engine: engine, Endpoint: dbEP})
+	if err != nil {
+		rig.stop()
+		return nil, err
+	}
+	dbSrv.Start()
+	rig.stops = append(rig.stops, dbSrv.Stop)
+	rig.engines[dbID] = engine
+
+	a1, a2 := id.AppServer(1), id.AppServer(2)
+	for _, pair := range []struct {
+		self, peer id.NodeID
+		primary    bool
+	}{{a1, a2, true}, {a2, a1, false}} {
+		ep, err := rig.net.Attach(pair.self)
+		if err != nil {
+			rig.stop()
+			return nil, err
+		}
+		var det fd.Detector
+		if detFor != nil {
+			det = detFor(pair.self, pair.peer, rig.net)
+		}
+		if det == nil {
+			det = &fd.Perfect{Truth: rig.net, Peers: []id.NodeID{pair.peer}}
+		}
+		srv, err := baseline.NewPBServer(baseline.PBConfig{
+			Self: pair.self, Peer: pair.peer, Primary: pair.primary,
+			DataServers: []id.NodeID{dbID}, Endpoint: ep,
+			Logic: baseline.LogicFunc(func(ctx context.Context, tx *baseline.Tx, req []byte) ([]byte, error) {
+				return workload.Bank(ctx, tx, req, model.SQLWork)
+			}),
+			Detector:         det,
+			Resend:           100 * estimatedTotal(model),
+			TakeoverInterval: 2 * time.Millisecond,
+			Hooks:            hooks[pair.self],
+		})
+		if err != nil {
+			rig.stop()
+			return nil, err
+		}
+		srv.Start()
+		rig.stops = append(rig.stops, srv.Stop)
+		rig.servers[pair.self] = srv
+	}
+
+	clEP, err := rig.net.Attach(id.Client(1))
+	if err != nil {
+		rig.stop()
+		return nil, err
+	}
+	total := estimatedTotal(model)
+	cl, err := core.NewClient(core.ClientConfig{
+		Self: id.Client(1), AppServers: []id.NodeID{a1, a2}, Endpoint: clEP,
+		Backoff: 20 * total, Rebroadcast: 20 * total,
+	})
+	if err != nil {
+		rig.stop()
+		return nil, err
+	}
+	rig.stops = append(rig.stops, cl.Stop)
+	rig.client = cl
+	return rig, nil
+}
+
+// errf wraps experiment failures uniformly.
+func errf(format string, args ...any) error {
+	return fmt.Errorf("bench: "+format, args...)
+}

@@ -1,0 +1,78 @@
+package bench
+
+import (
+	"context"
+
+	"etx/internal/latcost"
+)
+
+// Runner is a running deployment of one protocol with a uniform
+// issue-one-request surface, used by the repository-level testing.B
+// benchmarks.
+type Runner struct {
+	issue func(ctx context.Context) error
+	stop  func()
+}
+
+// Issue runs one committed request end to end.
+func (r *Runner) Issue(ctx context.Context) error { return r.issue(ctx) }
+
+// Stop tears the deployment down.
+func (r *Runner) Stop() { r.stop() }
+
+// NewRunner builds a deployment of the named protocol (ProtocolBaseline,
+// Protocol2PC, ProtocolPB or ProtocolAR) on the cost model at the given
+// scale.
+func NewRunner(protocol string, scale float64) (*Runner, error) {
+	model := latcost.Paper(scale)
+	switch protocol {
+	case ProtocolBaseline, Protocol2PC:
+		build := newBaselineRig
+		if protocol == Protocol2PC {
+			build = newTwoPCRig
+		}
+		rig, err := build(model, nil)
+		if err != nil {
+			return nil, err
+		}
+		return &Runner{
+			issue: func(ctx context.Context) error {
+				dec, err := rig.client.Call(ctx, benchRequest())
+				if err != nil {
+					return err
+				}
+				if !dec.Committed() {
+					return errf("%s request aborted", protocol)
+				}
+				return nil
+			},
+			stop: rig.stop,
+		}, nil
+	case ProtocolPB:
+		rig, err := newPBRig(model, nil, nil)
+		if err != nil {
+			return nil, err
+		}
+		return &Runner{
+			issue: func(ctx context.Context) error {
+				_, err := rig.client.Issue(ctx, benchRequest())
+				return err
+			},
+			stop: rig.stop,
+		}, nil
+	case ProtocolAR:
+		c, err := arDeployment(model, 3, 1, nil, 1)
+		if err != nil {
+			return nil, err
+		}
+		return &Runner{
+			issue: func(ctx context.Context) error {
+				_, err := c.Client(1).Issue(ctx, benchRequest())
+				return err
+			},
+			stop: c.Stop,
+		}, nil
+	default:
+		return nil, errf("unknown protocol %q", protocol)
+	}
+}

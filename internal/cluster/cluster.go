@@ -1,0 +1,524 @@
+// Package cluster assembles full in-process deployments of the e-Transaction
+// stack — m application servers, n database servers, k clients over one
+// in-memory network — and provides the fault-injection controls and the
+// correctness oracle the integration tests and experiments use.
+//
+// Failure model knobs follow the paper's Section 2: application servers and
+// clients crash (and stay down — a majority of app servers must survive),
+// database servers crash and recover with their stable storage intact.
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"etx/internal/core"
+	"etx/internal/fd"
+	"etx/internal/id"
+	"etx/internal/kv"
+	"etx/internal/msg"
+	"etx/internal/rchan"
+	"etx/internal/stablestore"
+	"etx/internal/transport"
+	"etx/internal/xadb"
+)
+
+// Config parameterizes a deployment.
+type Config struct {
+	// AppServers is the middle-tier size (default 3: tolerate one crash with
+	// a majority, as in the paper's analysis).
+	AppServers int
+	// DataServers is the database-tier size (default 1, the paper's setup).
+	DataServers int
+	// Clients is the front-tier size (default 1).
+	Clients int
+	// Net configures the in-memory network.
+	Net transport.Options
+	// Reliable wraps every endpoint in the reliable-channel layer
+	// (retransmission + duplicate suppression). Required for correctness
+	// whenever Net configures loss or duplication; harmless otherwise.
+	Reliable bool
+	// Retransmit is the reliable-channel resend period (default 25ms).
+	Retransmit time.Duration
+	// Logic is the business logic installed on every application server.
+	Logic core.Logic
+	// ForceLatency is the simulated fsync cost of database stable storage.
+	ForceLatency time.Duration
+	// LockTimeout is the databases' lock-wait bound.
+	LockTimeout time.Duration
+	// Seed is the initial content of every database.
+	Seed []kv.Write
+
+	// Knobs forwarded to the processes (zero = package defaults).
+	HeartbeatInterval time.Duration
+	SuspectTimeout    time.Duration
+	ConsensusPoll     time.Duration
+	ResendInterval    time.Duration
+	CleanInterval     time.Duration
+	ComputeTimeout    time.Duration
+	ClientBackoff     time.Duration
+	ClientRebroadcast time.Duration
+	Workers           int
+
+	// Hooks, if set, supplies per-application-server instrumentation.
+	Hooks func(self id.NodeID) *core.Hooks
+	// Detector, if set, overrides the failure detector per app server.
+	Detector func(self id.NodeID) fd.Detector
+}
+
+type dbNode struct {
+	srv    *core.DataServer
+	engine *xadb.Engine
+	store  *stablestore.Store
+}
+
+// Cluster is a running deployment.
+type Cluster struct {
+	cfg Config
+
+	Net *transport.MemNetwork
+
+	appIDs    []id.NodeID
+	dbIDs     []id.NodeID
+	clientIDs []id.NodeID
+
+	mu      sync.Mutex
+	apps    map[id.NodeID]*core.AppServer
+	dbs     map[id.NodeID]*dbNode
+	clients map[id.NodeID]*core.Client
+
+	computedMu sync.Mutex
+	computed   map[id.ResultID]bool // V.1 oracle: tries the logic computed
+
+	stopOnce sync.Once
+	stopWG   sync.WaitGroup
+}
+
+// New builds and starts a deployment.
+func New(cfg Config) (*Cluster, error) {
+	if cfg.AppServers <= 0 {
+		cfg.AppServers = 3
+	}
+	if cfg.DataServers <= 0 {
+		cfg.DataServers = 1
+	}
+	if cfg.Clients <= 0 {
+		cfg.Clients = 1
+	}
+	if cfg.Logic == nil {
+		return nil, errors.New("cluster: Logic is required")
+	}
+	if (cfg.Net.LossProb > 0 || cfg.Net.DupProb > 0) && !cfg.Reliable {
+		return nil, errors.New("cluster: a lossy/duplicating network requires Reliable channels")
+	}
+	c := &Cluster{
+		cfg:      cfg,
+		Net:      transport.NewMemNetwork(cfg.Net),
+		apps:     make(map[id.NodeID]*core.AppServer),
+		dbs:      make(map[id.NodeID]*dbNode),
+		clients:  make(map[id.NodeID]*core.Client),
+		computed: make(map[id.ResultID]bool),
+	}
+	for i := 1; i <= cfg.AppServers; i++ {
+		c.appIDs = append(c.appIDs, id.AppServer(i))
+	}
+	for i := 1; i <= cfg.DataServers; i++ {
+		c.dbIDs = append(c.dbIDs, id.DBServer(i))
+	}
+	for i := 1; i <= cfg.Clients; i++ {
+		c.clientIDs = append(c.clientIDs, id.Client(i))
+	}
+
+	for _, dbID := range c.dbIDs {
+		if err := c.startDB(dbID, stablestore.New(cfg.ForceLatency), false); err != nil {
+			c.Stop()
+			return nil, err
+		}
+	}
+	for _, appID := range c.appIDs {
+		if err := c.startApp(appID); err != nil {
+			c.Stop()
+			return nil, err
+		}
+	}
+	for _, clID := range c.clientIDs {
+		if err := c.startClient(clID); err != nil {
+			c.Stop()
+			return nil, err
+		}
+	}
+	return c, nil
+}
+
+// loggedLogic wraps the configured logic to record computed tries (V.1).
+type loggedLogic struct {
+	c     *Cluster
+	inner core.Logic
+}
+
+// Compute implements core.Logic.
+func (l *loggedLogic) Compute(ctx context.Context, tx *core.Tx, req []byte) ([]byte, error) {
+	l.c.computedMu.Lock()
+	l.c.computed[tx.RID()] = true
+	l.c.computedMu.Unlock()
+	return l.inner.Compute(ctx, tx, req)
+}
+
+// attach connects a node to the network, adding the reliable-channel layer
+// when configured.
+func (c *Cluster) attach(node id.NodeID) (transport.Endpoint, error) {
+	ep, err := c.Net.Attach(node)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: attach %s: %w", node, err)
+	}
+	if c.cfg.Reliable {
+		return rchan.Wrap(ep, c.cfg.Retransmit), nil
+	}
+	return ep, nil
+}
+
+func (c *Cluster) startDB(dbID id.NodeID, store *stablestore.Store, recovery bool) error {
+	ep, err := c.attach(dbID)
+	if err != nil {
+		return err
+	}
+	engine, err := xadb.Open(store, xadb.Config{Self: dbID, LockTimeout: c.cfg.LockTimeout})
+	if err != nil {
+		return fmt.Errorf("cluster: open engine %s: %w", dbID, err)
+	}
+	if !recovery && len(c.cfg.Seed) > 0 {
+		engine.Seed(c.cfg.Seed)
+	}
+	srv, err := core.NewDataServer(core.DataServerConfig{
+		Self:       dbID,
+		AppServers: c.appIDs,
+		Engine:     engine,
+		Endpoint:   ep,
+		Recovery:   recovery,
+	})
+	if err != nil {
+		return err
+	}
+	srv.Start()
+	c.mu.Lock()
+	c.dbs[dbID] = &dbNode{srv: srv, engine: engine, store: store}
+	c.mu.Unlock()
+	return nil
+}
+
+func (c *Cluster) startApp(appID id.NodeID) error {
+	ep, err := c.attach(appID)
+	if err != nil {
+		return err
+	}
+	var hooks *core.Hooks
+	if c.cfg.Hooks != nil {
+		hooks = c.cfg.Hooks(appID)
+	}
+	var det fd.Detector
+	if c.cfg.Detector != nil {
+		det = c.cfg.Detector(appID)
+	}
+	srv, err := core.NewAppServer(core.AppServerConfig{
+		Self:              appID,
+		AppServers:        c.appIDs,
+		DataServers:       c.dbIDs,
+		Endpoint:          ep,
+		Logic:             &loggedLogic{c: c, inner: c.cfg.Logic},
+		Detector:          det,
+		HeartbeatInterval: c.cfg.HeartbeatInterval,
+		SuspectTimeout:    c.cfg.SuspectTimeout,
+		ConsensusPoll:     c.cfg.ConsensusPoll,
+		ResendInterval:    c.cfg.ResendInterval,
+		CleanInterval:     c.cfg.CleanInterval,
+		ComputeTimeout:    c.cfg.ComputeTimeout,
+		Workers:           c.cfg.Workers,
+		Hooks:             hooks,
+	})
+	if err != nil {
+		return err
+	}
+	srv.Start()
+	c.mu.Lock()
+	c.apps[appID] = srv
+	c.mu.Unlock()
+	return nil
+}
+
+func (c *Cluster) startClient(clID id.NodeID) error {
+	ep, err := c.attach(clID)
+	if err != nil {
+		return err
+	}
+	cl, err := core.NewClient(core.ClientConfig{
+		Self:        clID,
+		AppServers:  c.appIDs,
+		Endpoint:    ep,
+		Backoff:     c.cfg.ClientBackoff,
+		Rebroadcast: c.cfg.ClientRebroadcast,
+	})
+	if err != nil {
+		return err
+	}
+	c.mu.Lock()
+	c.clients[clID] = cl
+	c.mu.Unlock()
+	return nil
+}
+
+// Client returns the i-th client (1-based).
+func (c *Cluster) Client(i int) *core.Client {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.clients[id.Client(i)]
+}
+
+// App returns the i-th application server (1-based), or nil if crashed.
+func (c *Cluster) App(i int) *core.AppServer {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.apps[id.AppServer(i)]
+}
+
+// Engine returns the i-th database engine (1-based).
+func (c *Cluster) Engine(i int) *xadb.Engine {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if n, ok := c.dbs[id.DBServer(i)]; ok {
+		return n.engine
+	}
+	return nil
+}
+
+// AppIDs returns the middle-tier membership.
+func (c *Cluster) AppIDs() []id.NodeID { return append([]id.NodeID(nil), c.appIDs...) }
+
+// DBIDs returns the database-tier membership.
+func (c *Cluster) DBIDs() []id.NodeID { return append([]id.NodeID(nil), c.dbIDs...) }
+
+// CrashApp crashes the i-th application server: it is isolated from the
+// network immediately; its goroutines are stopped in the background (they
+// can no longer affect the world). Application servers do not recover in the
+// paper's model.
+func (c *Cluster) CrashApp(i int) {
+	appID := id.AppServer(i)
+	c.Net.Crash(appID)
+	c.mu.Lock()
+	srv := c.apps[appID]
+	delete(c.apps, appID)
+	c.mu.Unlock()
+	if srv != nil {
+		c.stopWG.Add(1)
+		go func() {
+			defer c.stopWG.Done()
+			srv.Stop()
+		}()
+	}
+}
+
+// CrashDB crashes the i-th database server, keeping its stable storage for a
+// later RecoverDB.
+func (c *Cluster) CrashDB(i int) {
+	dbID := id.DBServer(i)
+	c.Net.Crash(dbID)
+	c.mu.Lock()
+	n := c.dbs[dbID]
+	if n != nil {
+		n.srv = nilStop(n.srv, &c.stopWG)
+		n.engine = nil
+	}
+	c.mu.Unlock()
+}
+
+func nilStop(srv *core.DataServer, wg *sync.WaitGroup) *core.DataServer {
+	if srv != nil {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			srv.Stop()
+		}()
+	}
+	return nil
+}
+
+// RecoverDB restarts the i-th database server on its surviving stable
+// storage; the fresh server runs recovery and announces [Ready].
+func (c *Cluster) RecoverDB(i int) error {
+	dbID := id.DBServer(i)
+	c.mu.Lock()
+	n, ok := c.dbs[dbID]
+	c.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("cluster: unknown database %s", dbID)
+	}
+	return c.startDB(dbID, n.store, true)
+}
+
+// Retire drops per-request register and cache state on every live
+// application server (the Section-5 garbage-collection extension). Only call
+// it for requests whose results the client has delivered.
+func (c *Cluster) Retire(req id.RequestKey, maxTry uint64) {
+	c.mu.Lock()
+	apps := make([]*core.AppServer, 0, len(c.apps))
+	for _, a := range c.apps {
+		apps = append(apps, a)
+	}
+	c.mu.Unlock()
+	for _, a := range apps {
+		a.Retire(req, maxTry)
+	}
+}
+
+// Stop tears the whole deployment down.
+func (c *Cluster) Stop() {
+	c.stopOnce.Do(func() {
+		c.mu.Lock()
+		clients := c.clients
+		apps := c.apps
+		dbs := c.dbs
+		c.clients = map[id.NodeID]*core.Client{}
+		c.apps = map[id.NodeID]*core.AppServer{}
+		c.dbs = map[id.NodeID]*dbNode{}
+		c.mu.Unlock()
+		for _, cl := range clients {
+			cl.Stop()
+		}
+		for _, a := range apps {
+			a.Stop()
+		}
+		for _, d := range dbs {
+			if d.srv != nil {
+				d.srv.Stop()
+			}
+		}
+		c.Net.Close()
+		c.stopWG.Wait()
+	})
+}
+
+// --- correctness oracle ------------------------------------------------------
+
+// OracleReport is the verdict of CheckProperties.
+type OracleReport struct {
+	Violations []string
+}
+
+// Ok reports whether no property was violated.
+func (r OracleReport) Ok() bool { return len(r.Violations) == 0 }
+
+// String lists the violations.
+func (r OracleReport) String() string {
+	if r.Ok() {
+		return "all properties hold"
+	}
+	out := ""
+	for _, v := range r.Violations {
+		out += v + "\n"
+	}
+	return out
+}
+
+// CheckProperties asserts the paper's agreement and validity properties over
+// the current state of the deployment:
+//
+//	A.1  every delivered result is committed by every database server
+//	A.2  at most one try per logical request is committed anywhere
+//	A.3  no two database servers decided differently on the same try
+//	V.1  every delivered result belongs to a try the business logic computed
+//
+// (T.1/T.2 are liveness: the tests assert them by bounded waiting; V.2 is
+// enforced structurally in the engine and checked by its unit tests.)
+func (c *Cluster) CheckProperties() OracleReport {
+	var rep OracleReport
+
+	c.mu.Lock()
+	engines := make(map[id.NodeID]*xadb.Engine, len(c.dbs))
+	for dbID, n := range c.dbs {
+		if n.engine != nil {
+			engines[dbID] = n.engine
+		}
+	}
+	clients := make([]*core.Client, 0, len(c.clients))
+	for _, cl := range c.clients {
+		clients = append(clients, cl)
+	}
+	c.mu.Unlock()
+
+	// Gather decided outcomes per try per database.
+	type verdicts map[id.NodeID]msg.Outcome
+	byTry := make(map[id.ResultID]verdicts)
+	for dbID, e := range engines {
+		for rid, o := range e.Outcomes() {
+			v, ok := byTry[rid]
+			if !ok {
+				v = make(verdicts)
+				byTry[rid] = v
+			}
+			v[dbID] = o
+		}
+	}
+
+	// A.3: all verdicts for a try agree.
+	tries := make([]id.ResultID, 0, len(byTry))
+	for rid := range byTry {
+		tries = append(tries, rid)
+	}
+	sort.Slice(tries, func(i, j int) bool { return tries[i].Less(tries[j]) })
+	committedPerRequest := make(map[id.RequestKey][]id.ResultID)
+	for _, rid := range tries {
+		var first msg.Outcome
+		firstSet := false
+		anyCommit := false
+		for _, o := range byTry[rid] {
+			if !firstSet {
+				first, firstSet = o, true
+			} else if o != first {
+				rep.Violations = append(rep.Violations,
+					fmt.Sprintf("A.3 violated: databases disagree on %s", rid))
+				break
+			}
+			if o == msg.OutcomeCommit {
+				anyCommit = true
+			}
+		}
+		if anyCommit {
+			k := rid.Request()
+			committedPerRequest[k] = append(committedPerRequest[k], rid)
+		}
+	}
+
+	// A.2: at most one committed try per logical request.
+	for k, rids := range committedPerRequest {
+		if len(rids) > 1 {
+			rep.Violations = append(rep.Violations,
+				fmt.Sprintf("A.2 violated: request %s committed %d tries: %v", k, len(rids), rids))
+		}
+	}
+
+	// A.1 + V.1 over every delivery of every client.
+	c.computedMu.Lock()
+	computed := make(map[id.ResultID]bool, len(c.computed))
+	for rid := range c.computed {
+		computed[rid] = true
+	}
+	c.computedMu.Unlock()
+	for _, cl := range clients {
+		for _, d := range cl.Delivered() {
+			for dbID, e := range engines {
+				if o, ok := e.Outcomes()[d.RID]; !ok || o != msg.OutcomeCommit {
+					rep.Violations = append(rep.Violations,
+						fmt.Sprintf("A.1 violated: delivered %s not committed at %s", d.RID, dbID))
+				}
+			}
+			if !computed[d.RID] {
+				rep.Violations = append(rep.Violations,
+					fmt.Sprintf("V.1 violated: delivered %s was never computed by any app server", d.RID))
+			}
+		}
+	}
+	return rep
+}

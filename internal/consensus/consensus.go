@@ -1,0 +1,697 @@
+// Package consensus implements Chandra–Toueg ◊S rotating-coordinator
+// consensus among the application servers, the substrate the paper assumes
+// for its wo-registers ("every application server would have a copy of the
+// register ... writing a value comes down to proposing that value for the
+// consensus protocol, e.g. [4]").
+//
+// One Node runs on each application server and multiplexes any number of
+// independent consensus instances, keyed by msg.RegKey (one instance per
+// wo-register). The algorithm per instance is the classic one from
+// Chandra & Toueg, "Unreliable failure detectors for reliable distributed
+// systems" (JACM 1996):
+//
+//	round r (r = 1, 2, ...), coordinator c = peers[(r-1) mod n]:
+//	 phase 1: every process sends its estimate (value, ts) to c
+//	 phase 2: c gathers a majority of estimates, picks the one with the
+//	          highest ts, and proposes it to all
+//	 phase 3: each process waits for c's proposal (adopt + ack) or until it
+//	          suspects c (nack), then moves to round r+1
+//	 phase 4: if c gathers a majority of acks it decides and reliably
+//	          broadcasts the decision
+//
+// Safety (agreement, validity) holds with any failure-detector behaviour;
+// termination needs a majority of correct processes and the eventual accuracy
+// of the detector — exactly the paper's correctness assumptions.
+//
+// Processes walk rounds strictly sequentially (no round skipping): the
+// liveness argument of CT depends on every correct process eventually sending
+// its phase-1 estimate for every round it passes through.
+package consensus
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"etx/internal/fd"
+	"etx/internal/id"
+	"etx/internal/msg"
+	"etx/internal/queue"
+)
+
+// SendFunc transmits a payload to a peer.
+type SendFunc func(to id.NodeID, p msg.Payload) error
+
+// Config parameterizes a consensus Node.
+type Config struct {
+	// Self is this process.
+	Self id.NodeID
+	// Peers is the full, identically-ordered membership on every process
+	// (it must include Self). peers[0] is the round-1 coordinator; the
+	// paper makes that the default primary application server so that a
+	// failure-free register write costs a single round trip.
+	Peers []id.NodeID
+	// Send transmits consensus messages. Messages to Self short-circuit and
+	// never touch Send.
+	Send SendFunc
+	// Detector provides the suspect() predicate (◊P suffices for ◊S).
+	Detector fd.Detector
+	// Poll is how often a blocked phase re-checks the failure detector.
+	// Defaults to 1ms.
+	Poll time.Duration
+}
+
+func (c Config) validate() error {
+	if !c.Self.Role.Valid() {
+		return errors.New("consensus: invalid Self")
+	}
+	if c.Send == nil {
+		return errors.New("consensus: Send is required")
+	}
+	if c.Detector == nil {
+		return errors.New("consensus: Detector is required")
+	}
+	found := false
+	for _, p := range c.Peers {
+		if p == c.Self {
+			found = true
+		}
+	}
+	if !found {
+		return errors.New("consensus: Peers must contain Self")
+	}
+	return nil
+}
+
+// ErrStopped is returned by Propose when the node shuts down mid-wait.
+var ErrStopped = errors.New("consensus: node stopped")
+
+// Node multiplexes consensus instances for one process.
+type Node struct {
+	cfg  Config
+	maj  int
+	poll time.Duration
+
+	ctx    context.Context
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+
+	mu        sync.Mutex
+	stopped   bool
+	instances map[msg.RegKey]*instance
+	decided   map[msg.RegKey][]byte
+	relayed   map[msg.RegKey]bool
+	subs      map[msg.RegKey][]chan []byte
+}
+
+// New creates a consensus node. Call Stop when done to release its
+// goroutines.
+func New(cfg Config) (*Node, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Poll <= 0 {
+		cfg.Poll = time.Millisecond
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	return &Node{
+		cfg:       cfg,
+		maj:       len(cfg.Peers)/2 + 1,
+		poll:      cfg.Poll,
+		ctx:       ctx,
+		cancel:    cancel,
+		instances: make(map[msg.RegKey]*instance),
+		decided:   make(map[msg.RegKey][]byte),
+		relayed:   make(map[msg.RegKey]bool),
+		subs:      make(map[msg.RegKey][]chan []byte),
+	}, nil
+}
+
+// Stop shuts down all instance goroutines and fails pending Proposes with
+// ErrStopped.
+func (n *Node) Stop() {
+	n.mu.Lock()
+	n.stopped = true
+	n.mu.Unlock()
+	n.cancel()
+	n.wg.Wait()
+}
+
+// Propose submits val for the instance key and blocks until that instance
+// decides (returning the decided value, which may differ from val), the
+// caller's ctx is cancelled, or the node stops.
+func (n *Node) Propose(ctx context.Context, key msg.RegKey, val []byte) ([]byte, error) {
+	if v, ok := n.Decided(key); ok {
+		return v, nil
+	}
+	inst := n.getInstance(key, true)
+	if inst == nil {
+		// Decided between the check and instance creation.
+		if v, ok := n.Decided(key); ok {
+			return v, nil
+		}
+		return nil, ErrStopped
+	}
+	inst.propose(val)
+	select {
+	case <-inst.done:
+		return inst.result, nil
+	case <-ctx.Done():
+		return nil, fmt.Errorf("consensus: propose %s: %w", key, ctx.Err())
+	case <-n.ctx.Done():
+		return nil, ErrStopped
+	}
+}
+
+// Decided returns the decided value of an instance, if any. It implements
+// the weak read of the paper's wo-register: it may lag behind a decision made
+// elsewhere, but repeated calls eventually observe it (decision broadcasts).
+func (n *Node) Decided(key msg.RegKey) ([]byte, bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	v, ok := n.decided[key]
+	return v, ok
+}
+
+// Watch returns a channel that receives the decided value of key (buffered;
+// at most one send). If the instance already decided, the value is delivered
+// immediately.
+func (n *Node) Watch(key msg.RegKey) <-chan []byte {
+	ch := make(chan []byte, 1)
+	n.mu.Lock()
+	if v, ok := n.decided[key]; ok {
+		n.mu.Unlock()
+		ch <- v
+		return ch
+	}
+	n.subs[key] = append(n.subs[key], ch)
+	n.mu.Unlock()
+	return ch
+}
+
+// Forget discards the decided value of an instance, freeing its memory.
+// This implements the garbage collection the paper defers in Section 5: it
+// is only safe once the client can no longer retransmit the corresponding
+// request (the at-most-once guarantee is conditioned on exactly that, as the
+// paper notes). Forgetting an undecided instance is a no-op.
+func (n *Node) Forget(key msg.RegKey) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if _, ok := n.decided[key]; !ok {
+		return
+	}
+	delete(n.decided, key)
+	delete(n.relayed, key)
+}
+
+// Keys returns every register key this node has ever seen (decided or in
+// flight). The cleaning thread scans this in place of the paper's unbounded
+// register-array walk.
+func (n *Node) Keys() []msg.RegKey {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	out := make([]msg.RegKey, 0, len(n.decided)+len(n.instances))
+	seen := make(map[msg.RegKey]bool, len(n.decided))
+	for k := range n.decided {
+		out = append(out, k)
+		seen[k] = true
+	}
+	for k := range n.instances {
+		if !seen[k] {
+			out = append(out, k)
+		}
+	}
+	return out
+}
+
+// Handle ingests one consensus message (Estimate, Propose, CAck, CNack,
+// CDecision); the owning node's demux loop calls it.
+func (n *Node) Handle(from id.NodeID, p msg.Payload) {
+	switch m := p.(type) {
+	case msg.CDecision:
+		n.learn(m.Reg, m.Val)
+	case msg.Estimate:
+		n.dispatch(from, m.Reg, p)
+	case msg.Propose:
+		n.dispatch(from, m.Reg, p)
+	case msg.CAck:
+		n.dispatch(from, m.Reg, p)
+	case msg.CNack:
+		n.dispatch(from, m.Reg, p)
+	}
+}
+
+func (n *Node) dispatch(from id.NodeID, key msg.RegKey, p msg.Payload) {
+	n.mu.Lock()
+	if v, ok := n.decided[key]; ok {
+		n.mu.Unlock()
+		// Help laggards: answer any chatter about a decided instance with
+		// the decision itself.
+		_ = n.cfg.Send(from, msg.CDecision{Reg: key, Val: v})
+		return
+	}
+	n.mu.Unlock()
+	inst := n.getInstance(key, true)
+	if inst == nil {
+		return
+	}
+	inst.inbox.Push(inMsg{from: from, p: p})
+}
+
+// learn records a decision (local or remote) and relays it once to all peers
+// (the reliable-broadcast echo).
+func (n *Node) learn(key msg.RegKey, val []byte) {
+	n.mu.Lock()
+	if _, ok := n.decided[key]; ok {
+		n.mu.Unlock()
+		return
+	}
+	n.decided[key] = val
+	inst := n.instances[key]
+	subs := n.subs[key]
+	delete(n.subs, key)
+	relay := !n.relayed[key]
+	n.relayed[key] = true
+	n.mu.Unlock()
+
+	if inst != nil {
+		inst.finish(val)
+	}
+	for _, ch := range subs {
+		ch <- val
+	}
+	if relay {
+		for _, p := range n.cfg.Peers {
+			if p == n.cfg.Self {
+				continue
+			}
+			_ = n.cfg.Send(p, msg.CDecision{Reg: key, Val: val})
+		}
+	}
+}
+
+// getInstance returns the live instance for key, creating and starting it if
+// needed. Returns nil if the node is stopped or the key already decided
+// (when create is true the decided check must be done by the caller).
+func (n *Node) getInstance(key msg.RegKey, create bool) *instance {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if inst, ok := n.instances[key]; ok {
+		return inst
+	}
+	if !create {
+		return nil
+	}
+	if _, ok := n.decided[key]; ok {
+		return nil
+	}
+	if n.stopped {
+		return nil
+	}
+	inst := newInstance(n, key)
+	n.instances[key] = inst
+	n.wg.Add(1)
+	go inst.run(n.ctx)
+	return inst
+}
+
+// forget drops the instance bookkeeping after it decided (its memory of
+// per-round tallies is released; the decided value stays).
+func (n *Node) forget(key msg.RegKey) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	delete(n.instances, key)
+}
+
+// send transmits to a peer, short-circuiting self-sends straight back into
+// Handle so a register write by the round-1 coordinator costs exactly one
+// network round trip, as the paper's analysis assumes.
+func (n *Node) send(to id.NodeID, p msg.Payload) {
+	if to == n.cfg.Self {
+		n.Handle(n.cfg.Self, p)
+		return
+	}
+	_ = n.cfg.Send(to, p)
+}
+
+// --- instance ---------------------------------------------------------------
+
+type inMsg struct {
+	from id.NodeID
+	p    msg.Payload
+}
+
+type estVal struct {
+	val []byte
+	ts  uint32
+}
+
+// instance is one consensus execution. All protocol state is confined to the
+// run goroutine; cross-goroutine interaction happens via inbox, proposeCh and
+// done.
+type instance struct {
+	node *Node
+	key  msg.RegKey
+
+	inbox *queue.Queue[inMsg]
+
+	proposeMu sync.Mutex
+	proposal  []byte
+	hasProp   bool
+	propWake  chan struct{}
+
+	done   chan struct{} // closed once result is set
+	result []byte
+	dOnce  sync.Once
+
+	// goroutine-local protocol state
+	est       []byte
+	hasEst    bool
+	ts        uint32
+	round     uint32
+	estimates map[uint32]map[id.NodeID]estVal
+	proposals map[uint32][]byte
+	replies   map[uint32]map[id.NodeID]bool // sender -> isAck
+	decided   bool
+}
+
+func newInstance(n *Node, key msg.RegKey) *instance {
+	return &instance{
+		node:      n,
+		key:       key,
+		inbox:     queue.New[inMsg](),
+		propWake:  make(chan struct{}, 1),
+		done:      make(chan struct{}),
+		estimates: make(map[uint32]map[id.NodeID]estVal),
+		proposals: make(map[uint32][]byte),
+		replies:   make(map[uint32]map[id.NodeID]bool),
+	}
+}
+
+// propose records the local proposal (first one wins locally) and wakes the
+// run loop.
+func (inst *instance) propose(val []byte) {
+	inst.proposeMu.Lock()
+	if !inst.hasProp {
+		inst.proposal = val
+		inst.hasProp = true
+	}
+	inst.proposeMu.Unlock()
+	select {
+	case inst.propWake <- struct{}{}:
+	default:
+	}
+}
+
+// finish publishes the decided value and unblocks waiters. Called by
+// Node.learn (possibly from another goroutine than run).
+func (inst *instance) finish(val []byte) {
+	inst.dOnce.Do(func() {
+		inst.result = val
+		close(inst.done)
+	})
+}
+
+func (inst *instance) coord(r uint32) id.NodeID {
+	peers := inst.node.cfg.Peers
+	return peers[int((r-1)%uint32(len(peers)))]
+}
+
+// drain processes every queued message. It returns false if the instance is
+// finished (decided externally).
+func (inst *instance) drain() bool {
+	select {
+	case <-inst.done:
+		return false
+	default:
+	}
+	for {
+		m, ok := inst.inbox.Pop()
+		if !ok {
+			return true
+		}
+		switch p := m.p.(type) {
+		case msg.Estimate:
+			byNode, ok := inst.estimates[p.Round]
+			if !ok {
+				byNode = make(map[id.NodeID]estVal)
+				inst.estimates[p.Round] = byNode
+			}
+			if _, dup := byNode[m.from]; !dup {
+				byNode[m.from] = estVal{val: p.Est, ts: p.TS}
+			}
+		case msg.Propose:
+			if _, dup := inst.proposals[p.Round]; !dup {
+				inst.proposals[p.Round] = p.Val
+			}
+		case msg.CAck:
+			inst.reply(p.Round, m.from, true)
+		case msg.CNack:
+			inst.reply(p.Round, m.from, false)
+		}
+	}
+}
+
+func (inst *instance) reply(round uint32, from id.NodeID, ack bool) {
+	byNode, ok := inst.replies[round]
+	if !ok {
+		byNode = make(map[id.NodeID]bool)
+		inst.replies[round] = byNode
+	}
+	if _, dup := byNode[from]; !dup {
+		byNode[from] = ack
+	}
+}
+
+// block waits for new input: a message, a local proposal, a poll tick (to
+// re-check the failure detector) or shutdown. Returns false on shutdown or
+// external decision.
+func (inst *instance) block(ctx context.Context, timer *time.Timer) bool {
+	if !timer.Stop() {
+		select {
+		case <-timer.C:
+		default:
+		}
+	}
+	timer.Reset(inst.node.poll)
+	select {
+	case <-inst.inbox.Out():
+		return true
+	case <-inst.propWake:
+		return true
+	case <-timer.C:
+		return true
+	case <-inst.done:
+		return false
+	case <-ctx.Done():
+		return false
+	}
+}
+
+// run executes the CT round structure until a decision is reached or the
+// node stops.
+func (inst *instance) run(ctx context.Context) {
+	defer inst.node.wg.Done()
+	defer inst.node.forget(inst.key)
+	timer := time.NewTimer(time.Hour)
+	defer timer.Stop()
+
+	self := inst.node.cfg.Self
+	maj := inst.node.maj
+
+	// Acquire an initial estimate: the local proposal, or the first value
+	// observed in any incoming estimate/proposal.
+	for !inst.hasEst {
+		if !inst.drain() {
+			return
+		}
+		inst.proposeMu.Lock()
+		if inst.hasProp {
+			inst.est, inst.hasEst, inst.ts = inst.proposal, true, 0
+		}
+		inst.proposeMu.Unlock()
+		if !inst.hasEst {
+			inst.adoptFromMessages()
+		}
+		if inst.hasEst {
+			break
+		}
+		if !inst.block(ctx, timer) {
+			return
+		}
+	}
+
+	for {
+		inst.round++
+		r := inst.round
+		c := inst.coord(r)
+
+		// Phase 1 + 2. In round 1 a coordinator that is up to date can skip
+		// gathering estimates: no value can be locked before round 1, so its
+		// own estimate is safe to propose directly. This is the optimization
+		// the paper's analysis assumes ("in a nice run, it takes only a round
+		// trip for the first primary to write into the register"). In every
+		// other case the estimate is broadcast to all peers — the coordinator
+		// tallies it, and it simultaneously announces the instance to passive
+		// replicas so that they join and keep every round live.
+		var proposedVal []byte
+		_, haveProposal := inst.proposals[r]
+		switch {
+		case c == self && r == 1:
+			proposedVal = inst.est
+			for _, p := range inst.node.cfg.Peers {
+				inst.node.send(p, msg.Propose{Reg: inst.key, Round: r, Val: proposedVal})
+			}
+		case haveProposal:
+			// The round's proposal is already in hand (we joined late): our
+			// phase-1 estimate could no longer influence it, so skip the
+			// broadcast and fall through to phase 3.
+		default:
+			for _, p := range inst.node.cfg.Peers {
+				inst.node.send(p, msg.Estimate{Reg: inst.key, Round: r, TS: inst.ts, Est: inst.est})
+			}
+			if c == self {
+				// Phase 2: gather a majority of estimates, propose the freshest.
+				for {
+					if !inst.drain() {
+						return
+					}
+					if len(inst.estimates[r]) >= maj {
+						break
+					}
+					if !inst.block(ctx, timer) {
+						return
+					}
+				}
+				best := estVal{}
+				first := true
+				for _, ev := range inst.estimates[r] {
+					if first || ev.ts > best.ts {
+						best = ev
+						first = false
+					}
+				}
+				proposedVal = best.val
+				for _, p := range inst.node.cfg.Peers {
+					inst.node.send(p, msg.Propose{Reg: inst.key, Round: r, Val: proposedVal})
+				}
+			}
+		}
+
+		// Phase 3 (everyone): adopt the coordinator's proposal, or nack if the
+		// coordinator is suspected.
+		acked := false
+		for {
+			if !inst.drain() {
+				return
+			}
+			if v, ok := inst.proposals[r]; ok {
+				inst.est, inst.ts = v, r
+				inst.node.send(c, msg.CAck{Reg: inst.key, Round: r})
+				acked = true
+				break
+			}
+			if c != self && inst.node.cfg.Detector.Suspects(c) {
+				inst.node.send(c, msg.CNack{Reg: inst.key, Round: r})
+				break
+			}
+			if !inst.block(ctx, timer) {
+				return
+			}
+		}
+
+		// Practical refinement over textbook CT: a participant that acked
+		// waits for the decision before starting the next round, advancing
+		// early only if it comes to suspect the coordinator or sees evidence
+		// of a higher round (the coordinator moved on after a failed round).
+		// This removes the round-cycling chatter of eager participants
+		// without touching liveness: every exit condition is driven by a
+		// message that the assumptions guarantee, or by the detector.
+		if acked && c != self {
+			for {
+				if !inst.drain() {
+					return
+				}
+				if inst.node.cfg.Detector.Suspects(c) || inst.sawRoundAbove(r) {
+					break
+				}
+				if !inst.block(ctx, timer) {
+					return
+				}
+			}
+		}
+
+		// Phase 4 (coordinator): a majority of acks decides.
+		if c == self {
+			if proposedVal == nil {
+				proposedVal = inst.proposals[r]
+			}
+			for {
+				if !inst.drain() {
+					return
+				}
+				acks, nacks := 0, 0
+				for _, isAck := range inst.replies[r] {
+					if isAck {
+						acks++
+					} else {
+						nacks++
+					}
+				}
+				if acks >= maj {
+					inst.node.learn(inst.key, proposedVal)
+					return
+				}
+				if acks+nacks >= maj {
+					break // round failed; move on
+				}
+				if !inst.block(ctx, timer) {
+					return
+				}
+			}
+		}
+
+		// Release tallies of the finished round.
+		delete(inst.estimates, r)
+		delete(inst.replies, r)
+		delete(inst.proposals, r)
+	}
+}
+
+// sawRoundAbove reports whether any message for a round greater than r has
+// been received (evidence that the group moved past r).
+func (inst *instance) sawRoundAbove(r uint32) bool {
+	for round := range inst.estimates {
+		if round > r {
+			return true
+		}
+	}
+	for round := range inst.proposals {
+		if round > r {
+			return true
+		}
+	}
+	for round := range inst.replies {
+		if round > r {
+			return true
+		}
+	}
+	return false
+}
+
+// adoptFromMessages bootstraps a passive participant's estimate from any
+// value-carrying message already received.
+func (inst *instance) adoptFromMessages() {
+	for _, byNode := range inst.estimates {
+		for _, ev := range byNode {
+			inst.est, inst.hasEst, inst.ts = ev.val, true, 0
+			return
+		}
+	}
+	for _, v := range inst.proposals {
+		inst.est, inst.hasEst, inst.ts = v, true, 0
+		return
+	}
+}

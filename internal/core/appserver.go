@@ -1,0 +1,704 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"etx/internal/consensus"
+	"etx/internal/fd"
+	"etx/internal/id"
+	"etx/internal/msg"
+	"etx/internal/queue"
+	"etx/internal/transport"
+	"etx/internal/woregister"
+)
+
+// Logic is the business logic the paper abstracts as compute(): it performs
+// transient data manipulations against the database tier through tx and
+// returns a result. It must not commit anything — commitment is the
+// protocol's job — and it may be invoked several times for the same logical
+// request (once per try), so its effects must live entirely inside the
+// transaction branch. A returned error aborts the try with the paper's
+// (nil, abort) decision.
+type Logic interface {
+	Compute(ctx context.Context, tx *Tx, req []byte) ([]byte, error)
+}
+
+// LogicFunc adapts a function to the Logic interface.
+type LogicFunc func(ctx context.Context, tx *Tx, req []byte) ([]byte, error)
+
+// Compute implements Logic.
+func (f LogicFunc) Compute(ctx context.Context, tx *Tx, req []byte) ([]byte, error) {
+	return f(ctx, tx, req)
+}
+
+// AppServerConfig parameterizes an application-server process.
+type AppServerConfig struct {
+	// Self identifies the server.
+	Self id.NodeID
+	// AppServers is the full middle tier, identically ordered everywhere;
+	// AppServers[0] is the default primary and round-1 consensus coordinator.
+	AppServers []id.NodeID
+	// DataServers is the paper's dlist: every database server.
+	DataServers []id.NodeID
+	// Endpoint is the server's network attachment.
+	Endpoint transport.Endpoint
+	// Logic is the business logic run by the compute thread.
+	Logic Logic
+	// Detector overrides the built-in heartbeat detector (tests inject
+	// scripted suspicions). When nil a heartbeat ◊P detector runs.
+	Detector fd.Detector
+	// HeartbeatInterval and SuspectTimeout tune the built-in detector.
+	HeartbeatInterval time.Duration
+	SuspectTimeout    time.Duration
+	// ConsensusPoll is the failure-detector polling interval inside
+	// consensus waits. Defaults to 1ms.
+	ConsensusPoll time.Duration
+	// ResendInterval is the protocol-level retransmission period of
+	// Prepare/Decide rounds. Defaults to 100ms.
+	ResendInterval time.Duration
+	// CleanInterval is the cleaning thread's scan period. Defaults to 25ms.
+	CleanInterval time.Duration
+	// ComputeTimeout bounds one compute() invocation. Defaults to 5s.
+	ComputeTimeout time.Duration
+	// Workers is the number of compute threads. The paper runs exactly one;
+	// values >1 are a documented generalization. Defaults to 1.
+	Workers int
+	// Hooks carries optional instrumentation and crash injection.
+	Hooks *Hooks
+}
+
+func (c *AppServerConfig) setDefaults() {
+	if c.ConsensusPoll <= 0 {
+		c.ConsensusPoll = time.Millisecond
+	}
+	if c.ResendInterval <= 0 {
+		c.ResendInterval = 100 * time.Millisecond
+	}
+	if c.CleanInterval <= 0 {
+		c.CleanInterval = 25 * time.Millisecond
+	}
+	if c.ComputeTimeout <= 0 {
+		c.ComputeTimeout = 5 * time.Second
+	}
+	if c.Workers <= 0 {
+		c.Workers = 1
+	}
+	if c.HeartbeatInterval <= 0 {
+		c.HeartbeatInterval = 10 * time.Millisecond
+	}
+	if c.SuspectTimeout <= 0 {
+		c.SuspectTimeout = 6 * c.HeartbeatInterval
+	}
+}
+
+// AppServer is the paper's application-server process (Figures 4-6). It is
+// stateless in the paper's sense: everything it holds is soft state
+// reconstructible from the wo-registers and the databases; no disk is used.
+type AppServer struct {
+	cfg AppServerConfig
+
+	cons *consensus.Node
+	regs *woregister.Registers
+	hb   *fd.Heartbeat // nil when an external detector is injected
+	det  fd.Detector
+
+	ctx    context.Context
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+
+	computeQ *queue.Queue[msg.Request]
+
+	pendingMu sync.Mutex
+	pending   map[id.ResultID]bool
+
+	commitMu  sync.Mutex
+	committed map[id.RequestKey]cachedDecision
+
+	calls  callRouter
+	execID atomic.Uint64
+}
+
+type cachedDecision struct {
+	try uint64
+	dec msg.Decision
+}
+
+// NewAppServer creates an application-server process. Call Start to run it.
+func NewAppServer(cfg AppServerConfig) (*AppServer, error) {
+	if cfg.Endpoint == nil {
+		return nil, errors.New("core: AppServer needs an Endpoint")
+	}
+	if cfg.Logic == nil {
+		return nil, errors.New("core: AppServer needs Logic")
+	}
+	if len(cfg.AppServers) == 0 || len(cfg.DataServers) == 0 {
+		return nil, errors.New("core: AppServer needs non-empty server lists")
+	}
+	cfg.setDefaults()
+
+	s := &AppServer{
+		cfg:       cfg,
+		computeQ:  queue.New[msg.Request](),
+		pending:   make(map[id.ResultID]bool),
+		committed: make(map[id.RequestKey]cachedDecision),
+	}
+	s.ctx, s.cancel = context.WithCancel(context.Background())
+	s.calls.init()
+
+	if cfg.Detector != nil {
+		s.det = cfg.Detector
+	} else {
+		s.hb = fd.NewHeartbeat(fd.Config{
+			Self:     cfg.Self,
+			Peers:    cfg.AppServers,
+			Interval: cfg.HeartbeatInterval,
+			Timeout:  cfg.SuspectTimeout,
+			Send: func(to id.NodeID, p msg.Payload) error {
+				return cfg.Endpoint.Send(msg.Envelope{To: to, Payload: p})
+			},
+		})
+		s.det = s.hb
+	}
+
+	cons, err := consensus.New(consensus.Config{
+		Self:     cfg.Self,
+		Peers:    cfg.AppServers,
+		Detector: s.det,
+		Poll:     cfg.ConsensusPoll,
+		Send: func(to id.NodeID, p msg.Payload) error {
+			return cfg.Endpoint.Send(msg.Envelope{To: to, Payload: p})
+		},
+	})
+	if err != nil {
+		return nil, fmt.Errorf("core: appserver consensus: %w", err)
+	}
+	s.cons = cons
+	s.regs = woregister.New(cons)
+	return s, nil
+}
+
+// Registers exposes the server's wo-register view (tests, oracles).
+func (s *AppServer) Registers() *woregister.Registers { return s.regs }
+
+// Retire drops all local state of a finished logical request: its cached
+// committed decision and the registers of every try up to maxTry. The paper
+// leaves this garbage collection open (Section 5); it is only safe once the
+// client is known to have delivered the result and will not retransmit —
+// the ablation benchmark quantifies the memory it reclaims.
+func (s *AppServer) Retire(req id.RequestKey, maxTry uint64) {
+	s.commitMu.Lock()
+	delete(s.committed, req)
+	s.commitMu.Unlock()
+	for try := uint64(1); try <= maxTry; try++ {
+		s.regs.Retire(id.ResultID{Client: req.Client, Seq: req.Seq, Try: try})
+	}
+}
+
+// Detector exposes the failure detector in use.
+func (s *AppServer) Detector() fd.Detector { return s.det }
+
+// Start launches the demultiplexer, the compute thread(s) and the cleaning
+// thread — the cobegin of Figure 4.
+func (s *AppServer) Start() {
+	if s.hb != nil {
+		s.hb.Start(s.ctx)
+	}
+	s.wg.Add(1)
+	go s.demux()
+	for i := 0; i < s.cfg.Workers; i++ {
+		s.wg.Add(1)
+		go s.computeThread()
+	}
+	s.wg.Add(1)
+	go s.cleanThread()
+}
+
+// Stop terminates every goroutine of the server.
+func (s *AppServer) Stop() {
+	s.cancel()
+	s.computeQ.Close()
+	s.cons.Stop()
+	s.wg.Wait()
+	if s.hb != nil {
+		s.hb.Wait()
+	}
+}
+
+// demux routes incoming messages to the consensus node, the failure
+// detector, the compute queue and the pending-call router.
+func (s *AppServer) demux() {
+	defer s.wg.Done()
+	for {
+		select {
+		case env, ok := <-s.cfg.Endpoint.Recv():
+			if !ok {
+				return
+			}
+			switch m := env.Payload.(type) {
+			case msg.Heartbeat:
+				if s.hb != nil {
+					s.hb.Observe(env.From)
+				}
+			case msg.Estimate, msg.Propose, msg.CAck, msg.CNack, msg.CDecision:
+				s.cons.Handle(env.From, m)
+			case msg.Request:
+				s.enqueue(m)
+			case msg.VoteMsg:
+				s.calls.routeVote(env.From, m)
+			case msg.AckDecide:
+				s.calls.routeAck(env.From, m)
+			case msg.Ready:
+				s.calls.routeReady(env.From, m.Inc)
+			case msg.ExecReply:
+				s.calls.routeExecReply(m)
+			}
+		case <-s.ctx.Done():
+			return
+		}
+	}
+}
+
+// enqueue admits a request to the compute queue, deduplicating tries already
+// queued or being executed (client retransmissions).
+func (s *AppServer) enqueue(req msg.Request) {
+	s.pendingMu.Lock()
+	if s.pending[req.RID] {
+		s.pendingMu.Unlock()
+		return
+	}
+	s.pending[req.RID] = true
+	s.pendingMu.Unlock()
+	s.computeQ.Push(req)
+}
+
+func (s *AppServer) clearPending(rid id.ResultID) {
+	s.pendingMu.Lock()
+	delete(s.pending, rid)
+	s.pendingMu.Unlock()
+}
+
+// computeThread is the paper's computation thread (Figure 5): it serves
+// queued requests one at a time.
+func (s *AppServer) computeThread() {
+	defer s.wg.Done()
+	for {
+		for {
+			req, ok := s.computeQ.Pop()
+			if !ok {
+				break
+			}
+			s.handleRequest(req)
+		}
+		if s.computeQ.Closed() {
+			return
+		}
+		select {
+		case <-s.computeQ.Out():
+		case <-s.ctx.Done():
+			return
+		}
+	}
+}
+
+// handleRequest executes Figure 5 for one incoming [Request, request, j].
+func (s *AppServer) handleRequest(req msg.Request) {
+	rid := req.RID
+	defer s.clearPending(rid)
+
+	// Figure 5, lines 3-4: a committed decision for this request is simply
+	// re-sent (the client retransmitted because the result got lost).
+	s.commitMu.Lock()
+	cached, haveCached := s.committed[rid.Request()]
+	s.commitMu.Unlock()
+	if haveCached && cached.try == rid.Try {
+		s.sendResult(rid, cached.dec)
+		return
+	}
+
+	// A try whose decision is already in regD (e.g. the cleaning thread
+	// finished it) is re-terminated: decides are idempotent at the
+	// databases and the client deduplicates results.
+	if dec, ok := s.regs.ReadD(rid); ok {
+		s.terminate(rid, dec)
+		return
+	}
+
+	// Figure 5, line 6: claim the try in regA.
+	t0 := time.Now()
+	winner, err := s.regs.WriteA(s.ctx, rid, s.cfg.Self)
+	if err != nil {
+		return // shutting down
+	}
+	s.cfg.Hooks.span(rid, SpanLogStart, time.Since(t0))
+	s.cfg.Hooks.crash(PointAfterRegA, rid)
+	if winner != s.cfg.Self {
+		// Figure 5, line 7: another server owns this try; it (or its
+		// cleaner) will answer the client.
+		return
+	}
+
+	// Figure 5, lines 8-9: compute, then run the voting phase.
+	decision := msg.Decision{Outcome: msg.OutcomeAbort} // (nil, abort)
+	cctx, cancel := context.WithTimeout(s.ctx, s.cfg.ComputeTimeout)
+	tx := &Tx{s: s, rid: rid, incs: make(map[id.NodeID]uint64)}
+	t0 = time.Now()
+	result, err := s.cfg.Logic.Compute(cctx, tx, req.Body)
+	cancel()
+	s.cfg.Hooks.span(rid, SpanSQL, time.Since(t0))
+	s.cfg.Hooks.crash(PointAfterCompute, rid)
+	if err == nil {
+		decision.Result = result
+		t0 = time.Now()
+		decision.Outcome = s.prepare(rid, tx)
+		s.cfg.Hooks.span(rid, SpanPrepare, time.Since(t0))
+	}
+	s.cfg.Hooks.crash(PointAfterPrepare, rid)
+
+	// Figure 5, line 10: the wo-register arbitrates with any cleaner.
+	t0 = time.Now()
+	final, err := s.regs.WriteD(s.ctx, rid, decision)
+	if err != nil {
+		return
+	}
+	s.cfg.Hooks.span(rid, SpanLogOutcome, time.Since(t0))
+	s.cfg.Hooks.crash(PointAfterRegD, rid)
+
+	// Figure 5, line 11.
+	s.terminate(rid, final)
+}
+
+// prepare implements Figure 4's prepare(): a voting round over every
+// database server. Commit requires a yes vote from every server, each from
+// the same incarnation the business logic executed against; a Ready
+// (recovery notification) in place of a vote means the server lost its
+// branch, so the try aborts.
+func (s *AppServer) prepare(rid id.ResultID, tx *Tx) msg.Outcome {
+	col := s.calls.addCollector(rid)
+	defer s.calls.removeCollector(col)
+
+	type answer struct {
+		vote  msg.Vote
+		inc   uint64
+		ready bool
+	}
+	answers := make(map[id.NodeID]answer, len(s.cfg.DataServers))
+	sendTo := func(only map[id.NodeID]answer) {
+		for _, db := range s.cfg.DataServers {
+			if _, done := only[db]; done {
+				continue
+			}
+			_ = s.cfg.Endpoint.Send(msg.Envelope{To: db, Payload: msg.Prepare{RID: rid}})
+		}
+	}
+	sendTo(nil)
+
+	ticker := time.NewTicker(s.cfg.ResendInterval)
+	defer ticker.Stop()
+	for len(answers) < len(s.cfg.DataServers) {
+		select {
+		case ev := <-col.ch:
+			if _, done := answers[ev.from]; done {
+				break
+			}
+			switch ev.kind {
+			case evVote:
+				answers[ev.from] = answer{vote: ev.vote, inc: ev.inc}
+			case evReady:
+				answers[ev.from] = answer{ready: true}
+			}
+		case <-ticker.C:
+			sendTo(answers)
+		case <-s.ctx.Done():
+			return msg.OutcomeAbort
+		}
+	}
+	for db, a := range answers {
+		if a.ready || a.vote != msg.VoteYes {
+			return msg.OutcomeAbort
+		}
+		if want, touched := tx.incarnation(db); touched && a.inc != want {
+			// The server crashed between compute() and prepare(): its
+			// branch (and unprepared work) is gone. The vote we got is from
+			// a later incarnation's empty branch; committing would lose the
+			// writes, so the try aborts and will be recomputed.
+			return msg.OutcomeAbort
+		}
+	}
+	return msg.OutcomeCommit
+}
+
+// terminate implements Figure 4's terminate(): drive the outcome to every
+// database server until all acknowledge (re-sending to servers that announce
+// recovery with Ready), then report the decision to the client.
+func (s *AppServer) terminate(rid id.ResultID, dec msg.Decision) {
+	t0 := time.Now()
+	col := s.calls.addCollector(rid)
+
+	acked := make(map[id.NodeID]bool, len(s.cfg.DataServers))
+	send := func(db id.NodeID) {
+		_ = s.cfg.Endpoint.Send(msg.Envelope{To: db, Payload: msg.Decide{RID: rid, O: dec.Outcome}})
+	}
+	for _, db := range s.cfg.DataServers {
+		send(db)
+	}
+	ticker := time.NewTicker(s.cfg.ResendInterval)
+	for len(acked) < len(s.cfg.DataServers) {
+		select {
+		case ev := <-col.ch:
+			switch ev.kind {
+			case evAck:
+				acked[ev.from] = true
+			case evReady:
+				if !acked[ev.from] {
+					send(ev.from)
+				}
+			}
+		case <-ticker.C:
+			for _, db := range s.cfg.DataServers {
+				if !acked[db] {
+					send(db)
+				}
+			}
+		case <-s.ctx.Done():
+			ticker.Stop()
+			s.calls.removeCollector(col)
+			return
+		}
+	}
+	ticker.Stop()
+	s.calls.removeCollector(col)
+	s.cfg.Hooks.span(rid, SpanCommit, time.Since(t0))
+
+	if dec.Outcome == msg.OutcomeCommit {
+		s.commitMu.Lock()
+		s.committed[rid.Request()] = cachedDecision{try: rid.Try, dec: dec}
+		s.commitMu.Unlock()
+	}
+	s.cfg.Hooks.crash(PointBeforeResult, rid)
+	s.sendResult(rid, dec)
+}
+
+func (s *AppServer) sendResult(rid id.ResultID, dec msg.Decision) {
+	_ = s.cfg.Endpoint.Send(msg.Envelope{To: rid.Client, Payload: msg.Result{RID: rid, Dec: dec}})
+}
+
+// cleanThread is the paper's cleaning thread (Figure 6): for every suspected
+// peer, abort-or-finish every try that peer owns in regA.
+func (s *AppServer) cleanThread() {
+	defer s.wg.Done()
+	cleaned := make(map[id.ResultID]bool)
+	ticker := time.NewTicker(s.cfg.CleanInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ticker.C:
+			s.cleanSweep(cleaned)
+		case <-s.ctx.Done():
+			return
+		}
+	}
+}
+
+// cleanSweep performs one pass of Figure 6's outer loop.
+func (s *AppServer) cleanSweep(cleaned map[id.ResultID]bool) {
+	for _, ai := range s.cfg.AppServers {
+		if ai == s.cfg.Self || !s.det.Suspects(ai) {
+			continue
+		}
+		tries := s.regs.KnownTries()
+		sort.Slice(tries, func(i, j int) bool { return tries[i].Less(tries[j]) })
+		for _, rid := range tries {
+			if cleaned[rid] {
+				continue
+			}
+			owner, ok := s.regs.ReadA(rid)
+			if !ok || owner != ai {
+				continue
+			}
+			// Figure 6, lines 7-8: try to abort; the write-once register
+			// returns the executor's decision if it got there first, in
+			// which case we finish its commit instead.
+			dec, err := s.regs.WriteD(s.ctx, rid, msg.Decision{Outcome: msg.OutcomeAbort})
+			if err != nil {
+				return // shutting down
+			}
+			s.terminate(rid, dec)
+			cleaned[rid] = true
+		}
+	}
+}
+
+// --- business-data access for Logic -----------------------------------------
+
+// Tx is the handle through which Logic manipulates the database tier inside
+// one try's transaction branch. It is not safe for concurrent use by
+// multiple goroutines (compute() is a single logical thread, as in the
+// paper).
+type Tx struct {
+	s    *AppServer
+	rid  id.ResultID
+	incs map[id.NodeID]uint64
+}
+
+// RID returns the try this transaction belongs to.
+func (t *Tx) RID() id.ResultID { return t.rid }
+
+// DBs returns the database servers of the deployment.
+func (t *Tx) DBs() []id.NodeID { return t.s.cfg.DataServers }
+
+// incarnation returns the incarnation recorded at the first Exec against db.
+func (t *Tx) incarnation(db id.NodeID) (uint64, bool) {
+	inc, ok := t.incs[db]
+	return inc, ok
+}
+
+// Exec runs one data operation on db inside this try's branch. A failed
+// operation is reported in the OpResult (business-level failure: lock
+// timeout, check violation); an error return means the call itself could not
+// complete (timeout, shutdown, database restarted mid-transaction).
+func (t *Tx) Exec(ctx context.Context, db id.NodeID, op msg.Op) (msg.OpResult, error) {
+	callID := t.s.execID.Add(1)
+	ch := t.s.calls.addExec(callID)
+	defer t.s.calls.removeExec(callID)
+	err := t.s.cfg.Endpoint.Send(msg.Envelope{To: db, Payload: msg.Exec{RID: t.rid, CallID: callID, Op: op}})
+	if err != nil {
+		return msg.OpResult{}, fmt.Errorf("core: exec on %s: %w", db, err)
+	}
+	select {
+	case rep := <-ch:
+		if prev, ok := t.incs[db]; !ok {
+			t.incs[db] = rep.Inc
+		} else if prev != rep.Inc {
+			return rep.Rep, fmt.Errorf("core: database %s restarted mid-transaction (incarnation %d -> %d)", db, prev, rep.Inc)
+		}
+		return rep.Rep, nil
+	case <-ctx.Done():
+		return msg.OpResult{}, fmt.Errorf("core: exec on %s: %w", db, ctx.Err())
+	case <-t.s.ctx.Done():
+		return msg.OpResult{}, errors.New("core: server stopping")
+	}
+}
+
+// --- pending-call routing ----------------------------------------------------
+
+type colEventKind uint8
+
+const (
+	evVote colEventKind = iota + 1
+	evAck
+	evReady
+)
+
+type colEvent struct {
+	kind colEventKind
+	from id.NodeID
+	vote msg.Vote
+	inc  uint64
+}
+
+type collector struct {
+	rid id.ResultID
+	ch  chan colEvent
+}
+
+// callRouter correlates replies from database servers with the waiting
+// prepare/terminate rounds and Exec calls. Ready notifications fan out to
+// every active collector, like the paper's "(receive ... or [Ready])" waits.
+type callRouter struct {
+	mu    sync.Mutex
+	execs map[uint64]chan msg.ExecReply
+	cols  map[id.ResultID]map[*collector]bool
+}
+
+func (r *callRouter) init() {
+	r.execs = make(map[uint64]chan msg.ExecReply)
+	r.cols = make(map[id.ResultID]map[*collector]bool)
+}
+
+func (r *callRouter) addCollector(rid id.ResultID) *collector {
+	col := &collector{rid: rid, ch: make(chan colEvent, 256)}
+	r.mu.Lock()
+	set, ok := r.cols[rid]
+	if !ok {
+		set = make(map[*collector]bool, 1)
+		r.cols[rid] = set
+	}
+	set[col] = true
+	r.mu.Unlock()
+	return col
+}
+
+func (r *callRouter) removeCollector(col *collector) {
+	r.mu.Lock()
+	if set, ok := r.cols[col.rid]; ok {
+		delete(set, col)
+		if len(set) == 0 {
+			delete(r.cols, col.rid)
+		}
+	}
+	r.mu.Unlock()
+}
+
+func (r *callRouter) routeVote(from id.NodeID, m msg.VoteMsg) {
+	r.route(m.RID, colEvent{kind: evVote, from: from, vote: m.V, inc: m.Inc})
+}
+
+func (r *callRouter) routeAck(from id.NodeID, m msg.AckDecide) {
+	r.route(m.RID, colEvent{kind: evAck, from: from})
+}
+
+func (r *callRouter) route(rid id.ResultID, ev colEvent) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for col := range r.cols[rid] {
+		select {
+		case col.ch <- ev:
+		default: // collector overwhelmed; protocol-level resends recover
+		}
+	}
+}
+
+func (r *callRouter) routeReady(from id.NodeID, inc uint64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, set := range r.cols {
+		for col := range set {
+			select {
+			case col.ch <- colEvent{kind: evReady, from: from, inc: inc}:
+			default:
+			}
+		}
+	}
+}
+
+func (r *callRouter) addExec(callID uint64) chan msg.ExecReply {
+	ch := make(chan msg.ExecReply, 2)
+	r.mu.Lock()
+	r.execs[callID] = ch
+	r.mu.Unlock()
+	return ch
+}
+
+func (r *callRouter) removeExec(callID uint64) {
+	r.mu.Lock()
+	delete(r.execs, callID)
+	r.mu.Unlock()
+}
+
+func (r *callRouter) routeExecReply(m msg.ExecReply) {
+	r.mu.Lock()
+	ch, ok := r.execs[m.CallID]
+	r.mu.Unlock()
+	if ok {
+		select {
+		case ch <- m:
+		default: // duplicate reply
+		}
+	}
+}

@@ -1,0 +1,207 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"etx/internal/id"
+	"etx/internal/msg"
+	"etx/internal/transport"
+)
+
+// ClientConfig parameterizes a client process.
+type ClientConfig struct {
+	// Self identifies the client.
+	Self id.NodeID
+	// AppServers is the full middle tier; AppServers[0] is the default
+	// primary that receives the initial send (Figure 2).
+	AppServers []id.NodeID
+	// Endpoint is the client's network attachment.
+	Endpoint transport.Endpoint
+	// Backoff is the paper's thePeriod: how long to wait for the primary
+	// before broadcasting the request to all application servers.
+	// Defaults to 150ms.
+	Backoff time.Duration
+	// Rebroadcast is the interval at which an unanswered broadcast is
+	// repeated. The paper's Figure 2 waits forever after the first
+	// broadcast, relying on reliable channels; periodic retransmission is
+	// the practical equivalent its prose describes. Defaults to Backoff.
+	Rebroadcast time.Duration
+	// Hooks carries optional instrumentation.
+	Hooks *Hooks
+}
+
+// Client implements the paper's client algorithm (Figure 2): issue a request,
+// retransmit until a result arrives, deliver only committed results, step to
+// the next try on abort.
+type Client struct {
+	cfg ClientConfig
+
+	ctx    context.Context
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+
+	mu      sync.Mutex
+	seq     uint64
+	issuing bool
+	waitRID id.ResultID
+	waitCh  chan msg.Decision
+
+	deliveredMu sync.Mutex
+	delivered   []Delivery
+}
+
+// Delivery records one result the client delivered, for the validity oracle.
+type Delivery struct {
+	RID    id.ResultID
+	Result []byte
+	Tries  uint64
+}
+
+// ErrBusy reports a second concurrent Issue; the paper's client issues
+// requests one at a time.
+var ErrBusy = errors.New("core: client already has a request in flight")
+
+// NewClient creates a client process and starts its receive loop.
+func NewClient(cfg ClientConfig) (*Client, error) {
+	if cfg.Endpoint == nil {
+		return nil, errors.New("core: Client needs an Endpoint")
+	}
+	if len(cfg.AppServers) == 0 {
+		return nil, errors.New("core: Client needs at least one application server")
+	}
+	if cfg.Backoff <= 0 {
+		cfg.Backoff = 150 * time.Millisecond
+	}
+	if cfg.Rebroadcast <= 0 {
+		cfg.Rebroadcast = cfg.Backoff
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	c := &Client{cfg: cfg, ctx: ctx, cancel: cancel}
+	c.wg.Add(1)
+	go c.recvLoop()
+	return c, nil
+}
+
+// Stop terminates the client's receive loop. In-flight Issues fail.
+func (c *Client) Stop() {
+	c.cancel()
+	c.wg.Wait()
+}
+
+// Delivered returns every result this client has delivered (oracle support).
+func (c *Client) Delivered() []Delivery {
+	c.deliveredMu.Lock()
+	defer c.deliveredMu.Unlock()
+	out := make([]Delivery, len(c.delivered))
+	copy(out, c.delivered)
+	return out
+}
+
+func (c *Client) recvLoop() {
+	defer c.wg.Done()
+	for {
+		select {
+		case env, ok := <-c.cfg.Endpoint.Recv():
+			if !ok {
+				return
+			}
+			res, ok := env.Payload.(msg.Result)
+			if !ok {
+				continue
+			}
+			c.mu.Lock()
+			// Accept only the result of the try currently awaited; stale
+			// retransmissions and duplicates are dropped (at-most-once use
+			// of each decision).
+			if c.issuing && res.RID == c.waitRID {
+				select {
+				case c.waitCh <- res.Dec:
+				default: // duplicate for the same try; first one suffices
+				}
+			}
+			c.mu.Unlock()
+		case <-c.ctx.Done():
+			return
+		}
+	}
+}
+
+// Issue implements the paper's issue() primitive: it blocks until a committed
+// result for the request is delivered, ctx is cancelled (the model's client
+// crash), or the client is stopped. It returns the committed result.
+func (c *Client) Issue(ctx context.Context, request []byte) ([]byte, error) {
+	c.mu.Lock()
+	if c.issuing {
+		c.mu.Unlock()
+		return nil, ErrBusy
+	}
+	c.issuing = true
+	c.seq++
+	seq := c.seq
+	c.mu.Unlock()
+	defer func() {
+		c.mu.Lock()
+		c.issuing = false
+		c.mu.Unlock()
+	}()
+
+	start := time.Now()
+	primary := c.cfg.AppServers[0]
+	for try := uint64(1); ; try++ {
+		rid := id.ResultID{Client: c.cfg.Self, Seq: seq, Try: try}
+		ch := make(chan msg.Decision, 1)
+		c.mu.Lock()
+		c.waitRID = rid
+		c.waitCh = ch
+		c.mu.Unlock()
+
+		req := msg.Request{RID: rid, Body: request}
+		// Initial send to the default primary only (failure-free fast path).
+		if err := c.cfg.Endpoint.Send(msg.Envelope{To: primary, Payload: req}); err != nil {
+			return nil, fmt.Errorf("core: issue: %w", err)
+		}
+
+		dec, err := c.awaitDecision(ctx, rid, req, ch)
+		if err != nil {
+			return nil, err
+		}
+		if dec.Outcome == msg.OutcomeCommit {
+			c.cfg.Hooks.span(rid, SpanTotal, time.Since(start))
+			c.deliveredMu.Lock()
+			c.delivered = append(c.delivered, Delivery{RID: rid, Result: dec.Result, Tries: try})
+			c.deliveredMu.Unlock()
+			return dec.Result, nil
+		}
+		// Abort: step to the next try (Figure 2, line 10).
+	}
+}
+
+// awaitDecision waits for the decision of rid: first a back-off period
+// listening for the primary, then a broadcast to all application servers,
+// repeated every Rebroadcast interval.
+func (c *Client) awaitDecision(ctx context.Context, rid id.ResultID, req msg.Request, ch chan msg.Decision) (msg.Decision, error) {
+	timer := time.NewTimer(c.cfg.Backoff)
+	defer timer.Stop()
+	for {
+		select {
+		case dec := <-ch:
+			return dec, nil
+		case <-timer.C:
+			// Back-off expired: send to every application server (Figure 2,
+			// line 6), and keep re-sending — the practical form of the
+			// paper's reliable-channel retransmission.
+			if err := transport.Broadcast(c.cfg.Endpoint, c.cfg.AppServers, req); err != nil {
+				return msg.Decision{}, fmt.Errorf("core: issue broadcast: %w", err)
+			}
+			timer.Reset(c.cfg.Rebroadcast)
+		case <-ctx.Done():
+			return msg.Decision{}, fmt.Errorf("core: issue %s: %w", rid, ctx.Err())
+		case <-c.ctx.Done():
+			return msg.Decision{}, errors.New("core: client stopped")
+		}
+	}
+}

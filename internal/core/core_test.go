@@ -1,0 +1,264 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"etx/internal/id"
+	"etx/internal/msg"
+	"etx/internal/stablestore"
+	"etx/internal/transport"
+	"etx/internal/xadb"
+)
+
+func testNet(t *testing.T) *transport.MemNetwork {
+	t.Helper()
+	net := transport.NewMemNetwork(transport.Options{})
+	t.Cleanup(net.Close)
+	return net
+}
+
+func attach(t *testing.T, net *transport.MemNetwork, n id.NodeID) transport.Endpoint {
+	t.Helper()
+	ep, err := net.Attach(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ep
+}
+
+func noopLogic() Logic {
+	return LogicFunc(func(ctx context.Context, tx *Tx, req []byte) ([]byte, error) {
+		return []byte("ok"), nil
+	})
+}
+
+func TestAppServerConfigValidation(t *testing.T) {
+	net := testNet(t)
+	ep := attach(t, net, id.AppServer(1))
+	apps := []id.NodeID{id.AppServer(1)}
+	dbs := []id.NodeID{id.DBServer(1)}
+	cases := []struct {
+		name string
+		cfg  AppServerConfig
+	}{
+		{"no endpoint", AppServerConfig{Self: id.AppServer(1), AppServers: apps, DataServers: dbs, Logic: noopLogic()}},
+		{"no logic", AppServerConfig{Self: id.AppServer(1), AppServers: apps, DataServers: dbs, Endpoint: ep}},
+		{"no app servers", AppServerConfig{Self: id.AppServer(1), DataServers: dbs, Endpoint: ep, Logic: noopLogic()}},
+		{"no db servers", AppServerConfig{Self: id.AppServer(1), AppServers: apps, Endpoint: ep, Logic: noopLogic()}},
+	}
+	for _, tc := range cases {
+		if _, err := NewAppServer(tc.cfg); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+	srv, err := NewAppServer(AppServerConfig{
+		Self: id.AppServer(1), AppServers: apps, DataServers: dbs, Endpoint: ep, Logic: noopLogic(),
+	})
+	if err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+	srv.Start()
+	srv.Stop()
+}
+
+func TestDataServerConfigValidation(t *testing.T) {
+	net := testNet(t)
+	ep := attach(t, net, id.DBServer(1))
+	engine, err := xadb.Open(stablestore.New(0), xadb.Config{Self: id.DBServer(1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewDataServer(DataServerConfig{Self: id.DBServer(1), Endpoint: ep}); err == nil {
+		t.Error("missing engine accepted")
+	}
+	if _, err := NewDataServer(DataServerConfig{Self: id.DBServer(1), Engine: engine}); err == nil {
+		t.Error("missing endpoint accepted")
+	}
+	srv, err := NewDataServer(DataServerConfig{Self: id.DBServer(1), Engine: engine, Endpoint: ep})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.Start()
+	srv.Stop()
+}
+
+func TestClientConfigValidation(t *testing.T) {
+	net := testNet(t)
+	ep := attach(t, net, id.Client(1))
+	if _, err := NewClient(ClientConfig{Self: id.Client(1), AppServers: []id.NodeID{id.AppServer(1)}}); err == nil {
+		t.Error("missing endpoint accepted")
+	}
+	if _, err := NewClient(ClientConfig{Self: id.Client(1), Endpoint: ep}); err == nil {
+		t.Error("missing app servers accepted")
+	}
+}
+
+func TestClientRejectsConcurrentIssue(t *testing.T) {
+	net := testNet(t)
+	ep := attach(t, net, id.Client(1))
+	cl, err := NewClient(ClientConfig{
+		Self: id.Client(1), AppServers: []id.NodeID{id.AppServer(1)}, Endpoint: ep,
+		Backoff: 50 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Stop()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go cl.Issue(ctx, []byte("first")) // nobody answers; it just retries
+	time.Sleep(10 * time.Millisecond)
+	if _, err := cl.Issue(ctx, []byte("second")); !errors.Is(err, ErrBusy) {
+		t.Fatalf("concurrent issue: %v, want ErrBusy", err)
+	}
+}
+
+func TestClientStopsOnContextCancel(t *testing.T) {
+	net := testNet(t)
+	ep := attach(t, net, id.Client(1))
+	cl, err := NewClient(ClientConfig{
+		Self: id.Client(1), AppServers: []id.NodeID{id.AppServer(1)}, Endpoint: ep,
+		Backoff: 10 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Stop()
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	if _, err := cl.Issue(ctx, []byte("r")); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("issue on dead deployment: %v, want deadline exceeded", err)
+	}
+}
+
+func TestClientIgnoresStaleAndForeignResults(t *testing.T) {
+	net := testNet(t)
+	clEP := attach(t, net, id.Client(1))
+	appEP := attach(t, net, id.AppServer(1))
+	cl, err := NewClient(ClientConfig{
+		Self: id.Client(1), AppServers: []id.NodeID{id.AppServer(1)}, Endpoint: clEP,
+		Backoff: time.Hour, // no broadcasts: only the direct conversation
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Stop()
+
+	// The fake app server answers the first request with a stale try, a
+	// foreign request's result, then the real answer.
+	go func() {
+		for env := range appEP.Recv() {
+			req, ok := env.Payload.(msg.Request)
+			if !ok {
+				continue
+			}
+			stale := req.RID
+			stale.Try += 7
+			appEP.Send(msg.Envelope{To: env.From, Payload: msg.Result{
+				RID: stale, Dec: msg.Decision{Result: []byte("stale"), Outcome: msg.OutcomeCommit}}})
+			foreign := req.RID
+			foreign.Seq += 99
+			appEP.Send(msg.Envelope{To: env.From, Payload: msg.Result{
+				RID: foreign, Dec: msg.Decision{Result: []byte("foreign"), Outcome: msg.OutcomeCommit}}})
+			appEP.Send(msg.Envelope{To: env.From, Payload: msg.Result{
+				RID: req.RID, Dec: msg.Decision{Result: []byte("real"), Outcome: msg.OutcomeCommit}}})
+			return
+		}
+	}()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	res, err := cl.Issue(ctx, []byte("r"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(res) != "real" {
+		t.Fatalf("client accepted %q", res)
+	}
+	deliveries := cl.Delivered()
+	if len(deliveries) != 1 {
+		t.Fatalf("deliveries = %v", deliveries)
+	}
+}
+
+func TestClientStepsTriesOnAbort(t *testing.T) {
+	net := testNet(t)
+	clEP := attach(t, net, id.Client(1))
+	appEP := attach(t, net, id.AppServer(1))
+	cl, err := NewClient(ClientConfig{
+		Self: id.Client(1), AppServers: []id.NodeID{id.AppServer(1)}, Endpoint: clEP,
+		Backoff: time.Hour,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Stop()
+
+	go func() {
+		for env := range appEP.Recv() {
+			req, ok := env.Payload.(msg.Request)
+			if !ok {
+				continue
+			}
+			dec := msg.Decision{Outcome: msg.OutcomeAbort}
+			if req.RID.Try >= 3 {
+				dec = msg.Decision{Result: []byte("third time lucky"), Outcome: msg.OutcomeCommit}
+			}
+			appEP.Send(msg.Envelope{To: env.From, Payload: msg.Result{RID: req.RID, Dec: dec}})
+		}
+	}()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	res, err := cl.Issue(ctx, []byte("r"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(res) != "third time lucky" {
+		t.Fatalf("res = %q", res)
+	}
+	ds := cl.Delivered()
+	if len(ds) != 1 || ds[0].Tries != 3 {
+		t.Fatalf("deliveries = %+v, want try 3", ds)
+	}
+}
+
+func TestHooksNilSafety(t *testing.T) {
+	var h *Hooks
+	h.span(id.ResultID{}, SpanSQL, time.Second) // must not panic
+	h.crash(PointAfterRegA, id.ResultID{})
+	h2 := &Hooks{}
+	h2.span(id.ResultID{}, SpanSQL, time.Second)
+	h2.crash(PointAfterRegA, id.ResultID{})
+}
+
+func TestAppServerRetireDropsState(t *testing.T) {
+	net := testNet(t)
+	ep := attach(t, net, id.AppServer(1))
+	srv, err := NewAppServer(AppServerConfig{
+		Self:        id.AppServer(1),
+		AppServers:  []id.NodeID{id.AppServer(1)},
+		DataServers: []id.NodeID{id.DBServer(1)},
+		Endpoint:    ep,
+		Logic:       noopLogic(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.Start()
+	defer srv.Stop()
+	// Single-replica consensus decides instantly: write both registers.
+	rid := id.ResultID{Client: id.Client(1), Seq: 1, Try: 1}
+	ctx := context.Background()
+	if _, err := srv.Registers().WriteA(ctx, rid, id.AppServer(1)); err != nil {
+		t.Fatal(err)
+	}
+	if len(srv.Registers().KnownTries()) != 1 {
+		t.Fatal("register write not visible")
+	}
+	srv.Retire(rid.Request(), rid.Try)
+	if len(srv.Registers().KnownTries()) != 0 {
+		t.Fatal("Retire left register state behind")
+	}
+}

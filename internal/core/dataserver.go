@@ -1,0 +1,116 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"sync"
+
+	"etx/internal/id"
+	"etx/internal/msg"
+	"etx/internal/transport"
+	"etx/internal/xadb"
+)
+
+// DataServerConfig parameterizes a database-server process.
+type DataServerConfig struct {
+	// Self identifies the server.
+	Self id.NodeID
+	// AppServers is the middle tier (recipients of Ready notifications).
+	AppServers []id.NodeID
+	// Engine is the opened transactional engine (recovery already ran in
+	// xadb.Open).
+	Engine *xadb.Engine
+	// Endpoint is the server's network attachment.
+	Endpoint transport.Endpoint
+	// Recovery distinguishes a recovery start from the initial start, like
+	// the recovery parameter of Figure 3: when true the server announces
+	// [Ready] to all application servers.
+	Recovery bool
+}
+
+// DataServer is the paper's database-server process (Figure 3): a pure
+// server that votes on and decides results, and additionally executes the
+// business logic's data operations (the paper folds those into compute()).
+type DataServer struct {
+	cfg DataServerConfig
+
+	ctx    context.Context
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+}
+
+// NewDataServer creates a database-server process. Call Start to run it.
+func NewDataServer(cfg DataServerConfig) (*DataServer, error) {
+	if cfg.Engine == nil {
+		return nil, errors.New("core: DataServer needs an Engine")
+	}
+	if cfg.Endpoint == nil {
+		return nil, errors.New("core: DataServer needs an Endpoint")
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	return &DataServer{cfg: cfg, ctx: ctx, cancel: cancel}, nil
+}
+
+// Start launches the server loop. If this is a recovery start it first
+// notifies all application servers with [Ready] (Figure 3, lines 1-2).
+func (d *DataServer) Start() {
+	if d.cfg.Recovery {
+		_ = transport.Broadcast(d.cfg.Endpoint, d.cfg.AppServers,
+			msg.Ready{Inc: d.cfg.Engine.Incarnation()})
+	}
+	d.wg.Add(1)
+	go d.loop()
+}
+
+// Stop terminates the server loop and waits for in-flight handlers.
+func (d *DataServer) Stop() {
+	d.cancel()
+	d.wg.Wait()
+}
+
+// Engine exposes the underlying engine (tests, oracles).
+func (d *DataServer) Engine() *xadb.Engine { return d.cfg.Engine }
+
+func (d *DataServer) loop() {
+	defer d.wg.Done()
+	for {
+		select {
+		case env, ok := <-d.cfg.Endpoint.Recv():
+			if !ok {
+				return
+			}
+			// Each message is served on its own goroutine: an Exec blocked on
+			// a lock must not delay the Decide(abort) that would release it.
+			d.wg.Add(1)
+			go func() {
+				defer d.wg.Done()
+				d.serve(env)
+			}()
+		case <-d.ctx.Done():
+			return
+		}
+	}
+}
+
+func (d *DataServer) serve(env msg.Envelope) {
+	reply := func(p msg.Payload) {
+		_ = d.cfg.Endpoint.Send(msg.Envelope{To: env.From, Payload: p})
+	}
+	switch m := env.Payload.(type) {
+	case msg.Exec:
+		rep := d.cfg.Engine.Exec(d.ctx, m.RID, m.Op)
+		reply(msg.ExecReply{RID: m.RID, CallID: m.CallID, Rep: rep, Inc: d.cfg.Engine.Incarnation()})
+	case msg.Prepare:
+		v := d.cfg.Engine.Vote(m.RID)
+		reply(msg.VoteMsg{RID: m.RID, V: v, Inc: d.cfg.Engine.Incarnation()})
+	case msg.Decide:
+		o := d.cfg.Engine.Decide(m.RID, m.O)
+		reply(msg.AckDecide{RID: m.RID, O: o})
+	case msg.Commit1P:
+		// Single-phase commit for the unreliable baseline (Figure 7a).
+		o := d.cfg.Engine.CommitDirect(m.RID)
+		reply(msg.AckDecide{RID: m.RID, O: o})
+	default:
+		// Database servers are pure servers: everything else is ignored.
+	}
+}

@@ -1,0 +1,84 @@
+// Package core implements the paper's e-Transaction protocol — the client
+// algorithm of Figure 2, the database-server algorithm of Figure 3, and the
+// application-server algorithm of Figures 4-6 (compute thread, cleaning
+// thread, prepare() and terminate()) — over the substrates in the sibling
+// packages: wo-registers on Chandra–Toueg consensus, an eventually-perfect
+// heartbeat failure detector, and XA database engines.
+//
+// The package generalizes the paper's single-client/single-request
+// presentation in the ways DESIGN.md documents: registers and transaction
+// branches are keyed by ResultID (client, request sequence, try), the client
+// rebroadcasts periodically instead of waiting forever after its first
+// broadcast, and the cleaning thread scans the set of register keys the
+// replica has seen instead of an unbounded array.
+package core
+
+import (
+	"time"
+
+	"etx/internal/id"
+)
+
+// Span names the protocol components whose latency the hooks report; they
+// correspond 1:1 to the rows of the paper's Figure 8.
+type Span string
+
+// Spans reported by the application server and client.
+const (
+	// SpanSQL is the business logic's data manipulation (Figure 8 "SQL").
+	SpanSQL Span = "SQL"
+	// SpanPrepare is the voting round at the databases (Figure 8 "prepare").
+	SpanPrepare Span = "prepare"
+	// SpanCommit is the decide/ack round at the databases (Figure 8 "commit").
+	SpanCommit Span = "commit"
+	// SpanLogStart is recording who executes the try: the regA write for the
+	// replicated protocol, the forced start record for 2PC (Figure 8
+	// "log-start").
+	SpanLogStart Span = "log-start"
+	// SpanLogOutcome is recording the decision: the regD write for the
+	// replicated protocol, the forced outcome record for 2PC (Figure 8
+	// "log-outcome").
+	SpanLogOutcome Span = "log-outcome"
+	// SpanStart and SpanEnd are the client-side request marshalling and
+	// result delivery costs (Figure 8 "start"/"end").
+	SpanStart Span = "start"
+	SpanEnd   Span = "end"
+	// SpanTotal is the client-observed end-to-end latency.
+	SpanTotal Span = "total"
+)
+
+// CrashPoint names instants in the executor's path where tests inject
+// crashes; they correspond to the failure scenarios of Figure 1 (c) and (d)
+// and the failover experiment grid.
+type CrashPoint string
+
+// Crash points, in protocol order.
+const (
+	PointBeforeRegA   CrashPoint = "before-regA"
+	PointAfterRegA    CrashPoint = "after-regA"
+	PointAfterCompute CrashPoint = "after-compute"
+	PointAfterPrepare CrashPoint = "after-prepare"
+	PointAfterRegD    CrashPoint = "after-regD"
+	PointBeforeResult CrashPoint = "before-result"
+)
+
+// Hooks carries optional instrumentation. All fields may be nil.
+type Hooks struct {
+	// Span reports a component latency for one try.
+	Span func(rid id.ResultID, span Span, d time.Duration)
+	// Crash is called at each CrashPoint of the executor path; tests use it
+	// to take the server down at exact protocol instants.
+	Crash func(point CrashPoint, rid id.ResultID)
+}
+
+func (h *Hooks) span(rid id.ResultID, s Span, d time.Duration) {
+	if h != nil && h.Span != nil {
+		h.Span(rid, s, d)
+	}
+}
+
+func (h *Hooks) crash(p CrashPoint, rid id.ResultID) {
+	if h != nil && h.Crash != nil {
+		h.Crash(p, rid)
+	}
+}

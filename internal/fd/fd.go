@@ -1,0 +1,321 @@
+// Package fd implements the failure-detection schemes of the paper
+// (Section 5, "On the failure detection schemes"):
+//
+//  1. Among application servers, an eventually-perfect detector (◊P in the
+//     sense of Chandra & Toueg): Heartbeat sends periodic beacons and
+//     suspects peers whose beacons stop; its per-peer timeout grows on every
+//     false suspicion, so in a partially synchronous run there is a time
+//     after which no correct process is suspected (accuracy) while crashed
+//     processes are permanently suspected (completeness).
+//  2. A Perfect detector backed by ground truth (only the primary-backup
+//     baseline needs it; the paper stresses that requiring it is a weakness).
+//  3. A Scripted detector for tests and experiments that inject false
+//     suspicions on demand.
+//
+// Failure detection between the other tiers is structural, as in the paper:
+// clients use timeouts (client protocol), and database servers announce
+// recovery with Ready messages rather than being monitored.
+package fd
+
+import (
+	"context"
+	"sort"
+	"sync"
+	"time"
+
+	"etx/internal/id"
+	"etx/internal/msg"
+)
+
+// Detector answers the paper's suspect() predicate.
+type Detector interface {
+	// Suspects reports whether node is currently suspected to have crashed.
+	Suspects(node id.NodeID) bool
+	// Suspected returns a sorted snapshot of all currently suspected nodes.
+	Suspected() []id.NodeID
+}
+
+// SendFunc transmits a payload to a peer; Heartbeat uses it so it can share
+// the owning node's endpoint instead of owning one.
+type SendFunc func(to id.NodeID, p msg.Payload) error
+
+// Config parameterizes a Heartbeat detector.
+type Config struct {
+	// Self is the monitoring node (excluded from suspicion).
+	Self id.NodeID
+	// Peers are the monitored nodes (heartbeats are exchanged with them).
+	Peers []id.NodeID
+	// Send transmits heartbeats; required.
+	Send SendFunc
+	// Interval between heartbeat broadcasts. Defaults to 10ms.
+	Interval time.Duration
+	// Timeout is the initial per-peer suspicion timeout. Defaults to
+	// 6*Interval.
+	Timeout time.Duration
+	// Increment is added to a peer's timeout each time it proves a suspicion
+	// wrong, making the detector eventually perfect. Defaults to Interval.
+	Increment time.Duration
+	// MaxTimeout caps the adaptive growth. Defaults to 100*Timeout.
+	MaxTimeout time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.Interval <= 0 {
+		c.Interval = 10 * time.Millisecond
+	}
+	if c.Timeout <= 0 {
+		c.Timeout = 6 * c.Interval
+	}
+	if c.Increment <= 0 {
+		c.Increment = c.Interval
+	}
+	if c.MaxTimeout <= 0 {
+		c.MaxTimeout = 100 * c.Timeout
+	}
+	return c
+}
+
+// Heartbeat is the eventually-perfect detector used among application
+// servers. Construct with NewHeartbeat, feed incoming heartbeats to Observe,
+// and run Start in the node's lifetime context.
+type Heartbeat struct {
+	cfg Config
+
+	mu       sync.Mutex
+	lastSeen map[id.NodeID]time.Time
+	timeout  map[id.NodeID]time.Duration
+	wasSusp  map[id.NodeID]bool // last published state, for adaptive growth
+	seq      uint64
+
+	wg sync.WaitGroup
+}
+
+// NewHeartbeat creates a heartbeat detector. Peers get a grace period of one
+// full timeout from construction before they can be suspected.
+func NewHeartbeat(cfg Config) *Heartbeat {
+	cfg = cfg.withDefaults()
+	h := &Heartbeat{
+		cfg:      cfg,
+		lastSeen: make(map[id.NodeID]time.Time, len(cfg.Peers)),
+		timeout:  make(map[id.NodeID]time.Duration, len(cfg.Peers)),
+		wasSusp:  make(map[id.NodeID]bool, len(cfg.Peers)),
+	}
+	now := time.Now()
+	for _, p := range cfg.Peers {
+		if p == cfg.Self {
+			continue
+		}
+		h.lastSeen[p] = now
+		h.timeout[p] = cfg.Timeout
+	}
+	return h
+}
+
+// Start launches the heartbeat broadcaster; it stops when ctx is cancelled.
+// Wait for termination with Wait.
+func (h *Heartbeat) Start(ctx context.Context) {
+	h.wg.Add(1)
+	go func() {
+		defer h.wg.Done()
+		ticker := time.NewTicker(h.cfg.Interval)
+		defer ticker.Stop()
+		for {
+			h.beat()
+			select {
+			case <-ctx.Done():
+				return
+			case <-ticker.C:
+			}
+		}
+	}()
+}
+
+// Wait blocks until the broadcaster goroutine has exited.
+func (h *Heartbeat) Wait() { h.wg.Wait() }
+
+func (h *Heartbeat) beat() {
+	h.mu.Lock()
+	h.seq++
+	seq := h.seq
+	h.mu.Unlock()
+	for _, p := range h.cfg.Peers {
+		if p == h.cfg.Self {
+			continue
+		}
+		// Send errors mean we are shutting down or crashed; the detector has
+		// nothing useful to do with them.
+		_ = h.cfg.Send(p, msg.Heartbeat{Seq: seq})
+	}
+}
+
+// Observe records an incoming heartbeat from a peer. If the peer was
+// suspected, the suspicion was false: its timeout grows (◊P accuracy).
+func (h *Heartbeat) Observe(from id.NodeID) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if _, monitored := h.lastSeen[from]; !monitored {
+		return
+	}
+	if h.wasSusp[from] {
+		h.wasSusp[from] = false
+		if t := h.timeout[from] + h.cfg.Increment; t <= h.cfg.MaxTimeout {
+			h.timeout[from] = t
+		}
+	}
+	h.lastSeen[from] = time.Now()
+}
+
+// Suspects implements Detector.
+func (h *Heartbeat) Suspects(node id.NodeID) bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.suspectsLocked(node, time.Now())
+}
+
+func (h *Heartbeat) suspectsLocked(node id.NodeID, now time.Time) bool {
+	last, monitored := h.lastSeen[node]
+	if !monitored {
+		return false
+	}
+	susp := now.Sub(last) > h.timeout[node]
+	if susp {
+		h.wasSusp[node] = true
+	}
+	return susp
+}
+
+// Suspected implements Detector.
+func (h *Heartbeat) Suspected() []id.NodeID {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	now := time.Now()
+	var out []id.NodeID
+	for p := range h.lastSeen {
+		if h.suspectsLocked(p, now) {
+			out = append(out, p)
+		}
+	}
+	sortNodes(out)
+	return out
+}
+
+// PeerTimeout returns the current adaptive timeout for a peer (observability
+// for tests and the failover experiments).
+func (h *Heartbeat) PeerTimeout(node id.NodeID) time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.timeout[node]
+}
+
+// GroundTruth exposes the real up/down state of nodes; the in-memory network
+// implements it. Only the Perfect detector (primary-backup baseline) may use
+// it — the paper's own protocol never needs ground truth.
+type GroundTruth interface {
+	Down(node id.NodeID) bool
+}
+
+// Perfect is a detector with perfect completeness and accuracy, implemented
+// by consulting ground truth. The primary-backup baseline of Figure 7(c)
+// requires it; a false suspicion there leads to inconsistency, which is the
+// paper's argument for the asynchronous scheme.
+type Perfect struct {
+	Truth GroundTruth
+	Peers []id.NodeID
+}
+
+// Suspects implements Detector.
+func (p *Perfect) Suspects(node id.NodeID) bool { return p.Truth.Down(node) }
+
+// Suspected implements Detector.
+func (p *Perfect) Suspected() []id.NodeID {
+	var out []id.NodeID
+	for _, n := range p.Peers {
+		if p.Truth.Down(n) {
+			out = append(out, n)
+		}
+	}
+	sortNodes(out)
+	return out
+}
+
+// Scripted is a detector whose suspicions are set explicitly by tests and
+// experiments (e.g. to inject false suspicions, or to wrap another detector
+// with overrides).
+type Scripted struct {
+	mu        sync.Mutex
+	suspected map[id.NodeID]bool
+	// Base, if non-nil, is consulted for nodes without an explicit override.
+	Base Detector
+}
+
+// NewScripted creates an empty scripted detector.
+func NewScripted() *Scripted {
+	return &Scripted{suspected: make(map[id.NodeID]bool)}
+}
+
+// Set forces the suspicion state of node.
+func (s *Scripted) Set(node id.NodeID, suspected bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.suspected[node] = suspected
+}
+
+// Clear removes the override for node, falling back to Base.
+func (s *Scripted) Clear(node id.NodeID) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.suspected, node)
+}
+
+// Suspects implements Detector.
+func (s *Scripted) Suspects(node id.NodeID) bool {
+	s.mu.Lock()
+	v, ok := s.suspected[node]
+	s.mu.Unlock()
+	if ok {
+		return v
+	}
+	if s.Base != nil {
+		return s.Base.Suspects(node)
+	}
+	return false
+}
+
+// Suspected implements Detector.
+func (s *Scripted) Suspected() []id.NodeID {
+	seen := make(map[id.NodeID]bool)
+	var out []id.NodeID
+	s.mu.Lock()
+	for n, v := range s.suspected {
+		seen[n] = true
+		if v {
+			out = append(out, n)
+		}
+	}
+	s.mu.Unlock()
+	if s.Base != nil {
+		for _, n := range s.Base.Suspected() {
+			if !seen[n] {
+				out = append(out, n)
+			}
+		}
+	}
+	sortNodes(out)
+	return out
+}
+
+func sortNodes(ns []id.NodeID) {
+	sort.Slice(ns, func(i, j int) bool {
+		if ns[i].Role != ns[j].Role {
+			return ns[i].Role < ns[j].Role
+		}
+		return ns[i].Index < ns[j].Index
+	})
+}
+
+// Compile-time interface checks.
+var (
+	_ Detector = (*Heartbeat)(nil)
+	_ Detector = (*Perfect)(nil)
+	_ Detector = (*Scripted)(nil)
+)

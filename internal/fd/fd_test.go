@@ -1,0 +1,230 @@
+package fd
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"etx/internal/id"
+	"etx/internal/msg"
+	"etx/internal/transport"
+)
+
+// wire connects two Heartbeat detectors through a MemNetwork.
+type wire struct {
+	net *transport.MemNetwork
+	eps map[id.NodeID]transport.Endpoint
+	hbs map[id.NodeID]*Heartbeat
+	wg  sync.WaitGroup
+}
+
+func newWire(t *testing.T, cfgTweak func(*Config), nodes ...id.NodeID) *wire {
+	t.Helper()
+	w := &wire{
+		net: transport.NewMemNetwork(transport.Options{}),
+		eps: make(map[id.NodeID]transport.Endpoint),
+		hbs: make(map[id.NodeID]*Heartbeat),
+	}
+	t.Cleanup(w.net.Close)
+	for _, n := range nodes {
+		ep, err := w.net.Attach(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		w.eps[n] = ep
+		cfg := Config{
+			Self:      n,
+			Peers:     nodes,
+			Interval:  5 * time.Millisecond,
+			Timeout:   25 * time.Millisecond,
+			Increment: 10 * time.Millisecond,
+			Send: func(to id.NodeID, p msg.Payload) error {
+				return ep.Send(msg.Envelope{To: to, Payload: p})
+			},
+		}
+		if cfgTweak != nil {
+			cfgTweak(&cfg)
+		}
+		w.hbs[n] = NewHeartbeat(cfg)
+	}
+	// Demux loop per node: feed heartbeats into the detector.
+	for _, n := range nodes {
+		n := n
+		w.wg.Add(1)
+		go func() {
+			defer w.wg.Done()
+			for env := range w.eps[n].Recv() {
+				if env.Payload.Kind() == msg.KindHeartbeat {
+					w.hbs[n].Observe(env.From)
+				}
+			}
+		}()
+	}
+	return w
+}
+
+func (w *wire) start(ctx context.Context) {
+	for _, h := range w.hbs {
+		h.Start(ctx)
+	}
+}
+
+func eventually(t *testing.T, within time.Duration, cond func() bool, desc string) {
+	t.Helper()
+	deadline := time.Now().Add(within)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("condition never held within %v: %s", within, desc)
+}
+
+func TestNoSuspicionAmongCorrectProcesses(t *testing.T) {
+	a1, a2, a3 := id.AppServer(1), id.AppServer(2), id.AppServer(3)
+	w := newWire(t, nil, a1, a2, a3)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	w.start(ctx)
+	time.Sleep(100 * time.Millisecond)
+	for self, h := range w.hbs {
+		for peer := range w.hbs {
+			if self != peer && h.Suspects(peer) {
+				t.Errorf("%v wrongly suspects %v", self, peer)
+			}
+		}
+	}
+	cancel()
+	for _, h := range w.hbs {
+		h.Wait()
+	}
+}
+
+func TestCompletenessCrashedPeerIsSuspected(t *testing.T) {
+	a1, a2 := id.AppServer(1), id.AppServer(2)
+	w := newWire(t, nil, a1, a2)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	w.start(ctx)
+	time.Sleep(30 * time.Millisecond)
+	w.net.Crash(a2)
+	eventually(t, time.Second, func() bool { return w.hbs[a1].Suspects(a2) },
+		"a1 suspects crashed a2")
+	// Completeness is permanent: still suspected later.
+	time.Sleep(50 * time.Millisecond)
+	if !w.hbs[a1].Suspects(a2) {
+		t.Error("suspicion of a crashed peer must be permanent")
+	}
+	if got := w.hbs[a1].Suspected(); len(got) != 1 || got[0] != a2 {
+		t.Errorf("Suspected() = %v, want [appserver-2]", got)
+	}
+}
+
+func TestAccuracyTimeoutGrowsAfterFalseSuspicion(t *testing.T) {
+	a1, a2 := id.AppServer(1), id.AppServer(2)
+	w := newWire(t, nil, a1, a2)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	w.start(ctx)
+	time.Sleep(20 * time.Millisecond)
+
+	// Induce a false suspicion by blocking a2 -> a1, then heal.
+	before := w.hbs[a1].PeerTimeout(a2)
+	w.net.SetBlocked(a2, a1, true)
+	eventually(t, time.Second, func() bool { return w.hbs[a1].Suspects(a2) },
+		"a1 suspects silenced a2")
+	w.net.SetBlocked(a2, a1, false)
+	eventually(t, time.Second, func() bool { return !w.hbs[a1].Suspects(a2) },
+		"suspicion lifts once heartbeats resume")
+	eventually(t, time.Second, func() bool { return w.hbs[a1].PeerTimeout(a2) > before },
+		"timeout grows after a false suspicion (eventual accuracy)")
+}
+
+func TestSelfAndStrangersNeverSuspected(t *testing.T) {
+	a1, a2 := id.AppServer(1), id.AppServer(2)
+	w := newWire(t, nil, a1, a2)
+	h := w.hbs[a1]
+	if h.Suspects(a1) {
+		t.Error("a node must not suspect itself")
+	}
+	if h.Suspects(id.DBServer(9)) {
+		t.Error("unmonitored nodes must not be suspected")
+	}
+	// Observing a stranger must not register it.
+	h.Observe(id.DBServer(9))
+	if h.Suspects(id.DBServer(9)) {
+		t.Error("observed stranger must remain unmonitored")
+	}
+}
+
+func TestGracePeriodBeforeFirstHeartbeat(t *testing.T) {
+	// A freshly created detector must not suspect peers immediately, even if
+	// no heartbeat was ever received.
+	h := NewHeartbeat(Config{
+		Self:    id.AppServer(1),
+		Peers:   []id.NodeID{id.AppServer(1), id.AppServer(2)},
+		Timeout: 200 * time.Millisecond,
+		Send:    func(id.NodeID, msg.Payload) error { return nil },
+	})
+	if h.Suspects(id.AppServer(2)) {
+		t.Error("peer suspected during grace period")
+	}
+}
+
+func TestPerfectDetectorTracksGroundTruth(t *testing.T) {
+	net := transport.NewMemNetwork(transport.Options{})
+	defer net.Close()
+	a1, a2 := id.AppServer(1), id.AppServer(2)
+	net.Attach(a1)
+	net.Attach(a2)
+	p := &Perfect{Truth: net, Peers: []id.NodeID{a1, a2}}
+	if p.Suspects(a1) || p.Suspects(a2) {
+		t.Error("perfect detector suspects live nodes")
+	}
+	net.Crash(a2)
+	if !p.Suspects(a2) {
+		t.Error("perfect detector misses a crash")
+	}
+	if got := p.Suspected(); len(got) != 1 || got[0] != a2 {
+		t.Errorf("Suspected() = %v", got)
+	}
+}
+
+func TestScriptedDetectorOverridesAndFallsBack(t *testing.T) {
+	base := NewScripted()
+	base.Set(id.AppServer(3), true)
+	s := &Scripted{Base: base}
+	s.suspected = make(map[id.NodeID]bool)
+
+	if !s.Suspects(id.AppServer(3)) {
+		t.Error("must fall back to base detector")
+	}
+	s.Set(id.AppServer(3), false)
+	if s.Suspects(id.AppServer(3)) {
+		t.Error("override must win over base")
+	}
+	s.Set(id.AppServer(1), true)
+	if !s.Suspects(id.AppServer(1)) {
+		t.Error("explicit suspicion ignored")
+	}
+	s.Clear(id.AppServer(3))
+	if !s.Suspects(id.AppServer(3)) {
+		t.Error("Clear must restore base behaviour")
+	}
+	got := s.Suspected()
+	if len(got) != 2 {
+		t.Errorf("Suspected() = %v, want two nodes", got)
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	c := Config{}.withDefaults()
+	if c.Interval <= 0 || c.Timeout <= 0 || c.Increment <= 0 || c.MaxTimeout <= 0 {
+		t.Errorf("defaults not applied: %+v", c)
+	}
+	if c.Timeout < c.Interval {
+		t.Error("default timeout must exceed the heartbeat interval")
+	}
+}

@@ -1,0 +1,144 @@
+// Package id defines the typed identifiers used throughout the e-Transaction
+// stack: node identities for the three tiers (clients, application servers,
+// database servers) and result identifiers.
+//
+// The paper (Frølund & Guerraoui, DSN 2000) presents its protocol for a single
+// client issuing a single request "without loss of generality"; a practical
+// library must multiplex many clients and many requests. A ResultID therefore
+// carries the full coordinate of one *try*: which client, which request
+// sequence number at that client, and which attempt (the paper's "j"). The
+// pair (Client, Seq) identifies the logical request; Try identifies one
+// physical transaction attempt for it. Exactly-once (property A.2) is enforced
+// per (Client, Seq): at most one Try ever commits.
+package id
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Role distinguishes the three tiers of the architecture.
+type Role uint8
+
+// Roles start at 1 so the zero value is invalid and detectable.
+const (
+	RoleClient Role = iota + 1
+	RoleAppServer
+	RoleDBServer
+)
+
+// String returns a short human-readable tag for the role.
+func (r Role) String() string {
+	switch r {
+	case RoleClient:
+		return "client"
+	case RoleAppServer:
+		return "appserver"
+	case RoleDBServer:
+		return "dbserver"
+	default:
+		return fmt.Sprintf("role(%d)", uint8(r))
+	}
+}
+
+// Valid reports whether r is one of the three defined roles.
+func (r Role) Valid() bool {
+	return r == RoleClient || r == RoleAppServer || r == RoleDBServer
+}
+
+// NodeID identifies one process in the system. It is comparable and usable as
+// a map key. The zero value is invalid.
+type NodeID struct {
+	Role  Role
+	Index int
+}
+
+// Client returns the NodeID of the i-th client (i starts at 1).
+func Client(i int) NodeID { return NodeID{Role: RoleClient, Index: i} }
+
+// AppServer returns the NodeID of the i-th application server (i starts at 1).
+func AppServer(i int) NodeID { return NodeID{Role: RoleAppServer, Index: i} }
+
+// DBServer returns the NodeID of the i-th database server (i starts at 1).
+func DBServer(i int) NodeID { return NodeID{Role: RoleDBServer, Index: i} }
+
+// IsZero reports whether n is the zero (invalid) NodeID.
+func (n NodeID) IsZero() bool { return n.Role == 0 && n.Index == 0 }
+
+// String renders the node id as, e.g., "appserver-2".
+func (n NodeID) String() string {
+	if n.IsZero() {
+		return "node(zero)"
+	}
+	return n.Role.String() + "-" + strconv.Itoa(n.Index)
+}
+
+// ParseNodeID parses the String form back into a NodeID. It accepts the exact
+// output of NodeID.String ("role-index").
+func ParseNodeID(s string) (NodeID, error) {
+	i := strings.LastIndexByte(s, '-')
+	if i < 0 {
+		return NodeID{}, fmt.Errorf("id: malformed node id %q", s)
+	}
+	idx, err := strconv.Atoi(s[i+1:])
+	if err != nil {
+		return NodeID{}, fmt.Errorf("id: malformed node index in %q: %w", s, err)
+	}
+	var role Role
+	switch s[:i] {
+	case "client":
+		role = RoleClient
+	case "appserver":
+		role = RoleAppServer
+	case "dbserver":
+		role = RoleDBServer
+	default:
+		return NodeID{}, fmt.Errorf("id: unknown role in %q", s)
+	}
+	return NodeID{Role: role, Index: idx}, nil
+}
+
+// RequestKey identifies one logical request: the unit over which exactly-once
+// is guaranteed.
+type RequestKey struct {
+	Client NodeID
+	Seq    uint64
+}
+
+// String renders the request key as, e.g., "client-1/7".
+func (k RequestKey) String() string {
+	return k.Client.String() + "/" + strconv.FormatUint(k.Seq, 10)
+}
+
+// ResultID identifies one physical try of a logical request. It corresponds to
+// the paper's result identifier j, extended with the client/request coordinate
+// so that many requests can be in flight concurrently.
+type ResultID struct {
+	Client NodeID
+	Seq    uint64
+	Try    uint64
+}
+
+// Request returns the logical-request key this try belongs to.
+func (r ResultID) Request() RequestKey { return RequestKey{Client: r.Client, Seq: r.Seq} }
+
+// String renders the result id as, e.g., "client-1/7#3".
+func (r ResultID) String() string {
+	return r.Request().String() + "#" + strconv.FormatUint(r.Try, 10)
+}
+
+// Less orders ResultIDs lexicographically by (client, seq, try). It provides a
+// deterministic iteration order for cleaning and reporting.
+func (r ResultID) Less(o ResultID) bool {
+	if r.Client != o.Client {
+		if r.Client.Role != o.Client.Role {
+			return r.Client.Role < o.Client.Role
+		}
+		return r.Client.Index < o.Client.Index
+	}
+	if r.Seq != o.Seq {
+		return r.Seq < o.Seq
+	}
+	return r.Try < o.Try
+}

@@ -1,0 +1,154 @@
+package id
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestRoleString(t *testing.T) {
+	tests := []struct {
+		role Role
+		want string
+	}{
+		{RoleClient, "client"},
+		{RoleAppServer, "appserver"},
+		{RoleDBServer, "dbserver"},
+		{Role(0), "role(0)"},
+		{Role(99), "role(99)"},
+	}
+	for _, tt := range tests {
+		if got := tt.role.String(); got != tt.want {
+			t.Errorf("Role(%d).String() = %q, want %q", tt.role, got, tt.want)
+		}
+	}
+}
+
+func TestRoleValid(t *testing.T) {
+	if !RoleClient.Valid() || !RoleAppServer.Valid() || !RoleDBServer.Valid() {
+		t.Error("defined roles must be valid")
+	}
+	if Role(0).Valid() || Role(42).Valid() {
+		t.Error("undefined roles must be invalid")
+	}
+}
+
+func TestNodeIDConstructors(t *testing.T) {
+	tests := []struct {
+		got  NodeID
+		want NodeID
+	}{
+		{Client(1), NodeID{RoleClient, 1}},
+		{AppServer(3), NodeID{RoleAppServer, 3}},
+		{DBServer(2), NodeID{RoleDBServer, 2}},
+	}
+	for _, tt := range tests {
+		if tt.got != tt.want {
+			t.Errorf("constructor gave %v, want %v", tt.got, tt.want)
+		}
+	}
+}
+
+func TestNodeIDStringParseRoundTrip(t *testing.T) {
+	nodes := []NodeID{Client(1), Client(999), AppServer(1), AppServer(7), DBServer(4)}
+	for _, n := range nodes {
+		s := n.String()
+		back, err := ParseNodeID(s)
+		if err != nil {
+			t.Fatalf("ParseNodeID(%q): %v", s, err)
+		}
+		if back != n {
+			t.Errorf("round trip %v -> %q -> %v", n, s, back)
+		}
+	}
+}
+
+func TestParseNodeIDErrors(t *testing.T) {
+	for _, s := range []string{"", "client", "frobnicator-1", "client-x", "-3"} {
+		if _, err := ParseNodeID(s); err == nil {
+			t.Errorf("ParseNodeID(%q) succeeded, want error", s)
+		}
+	}
+}
+
+func TestNodeIDIsZero(t *testing.T) {
+	var z NodeID
+	if !z.IsZero() {
+		t.Error("zero NodeID must report IsZero")
+	}
+	if Client(1).IsZero() {
+		t.Error("client-1 must not report IsZero")
+	}
+	if z.String() != "node(zero)" {
+		t.Errorf("zero NodeID String = %q", z.String())
+	}
+}
+
+func TestResultIDString(t *testing.T) {
+	r := ResultID{Client: Client(2), Seq: 7, Try: 3}
+	if got, want := r.String(), "client-2/7#3"; got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+	if got, want := r.Request().String(), "client-2/7"; got != want {
+		t.Errorf("Request().String() = %q, want %q", got, want)
+	}
+}
+
+func TestResultIDRequestGroups(t *testing.T) {
+	a := ResultID{Client: Client(1), Seq: 1, Try: 1}
+	b := ResultID{Client: Client(1), Seq: 1, Try: 2}
+	c := ResultID{Client: Client(1), Seq: 2, Try: 1}
+	if a.Request() != b.Request() {
+		t.Error("tries of the same request must share a RequestKey")
+	}
+	if a.Request() == c.Request() {
+		t.Error("different requests must not share a RequestKey")
+	}
+}
+
+func TestResultIDLessIsStrictTotalOrder(t *testing.T) {
+	// Less must be irreflexive, asymmetric and transitive on a sample set.
+	ids := []ResultID{
+		{Client: Client(1), Seq: 1, Try: 1},
+		{Client: Client(1), Seq: 1, Try: 2},
+		{Client: Client(1), Seq: 2, Try: 1},
+		{Client: Client(2), Seq: 1, Try: 1},
+		{Client: AppServer(1), Seq: 0, Try: 0},
+	}
+	for i, a := range ids {
+		if a.Less(a) {
+			t.Errorf("Less must be irreflexive: %v", a)
+		}
+		for j, b := range ids {
+			if i == j {
+				continue
+			}
+			if a.Less(b) && b.Less(a) {
+				t.Errorf("Less must be asymmetric: %v vs %v", a, b)
+			}
+			if !a.Less(b) && !b.Less(a) && a != b {
+				t.Errorf("Less must totally order distinct ids: %v vs %v", a, b)
+			}
+			for _, c := range ids {
+				if a.Less(b) && b.Less(c) && !a.Less(c) {
+					t.Errorf("Less must be transitive: %v < %v < %v", a, b, c)
+				}
+			}
+		}
+	}
+}
+
+func TestResultIDLessProperty(t *testing.T) {
+	// Property: Less agrees with comparing String() forms only when client
+	// ids are equal width; instead verify antisymmetry on random pairs.
+	f := func(s1, s2, t1, t2 uint64, i1, i2 uint8) bool {
+		a := ResultID{Client: Client(int(i1)), Seq: s1, Try: t1}
+		b := ResultID{Client: Client(int(i2)), Seq: s2, Try: t2}
+		if a == b {
+			return !a.Less(b) && !b.Less(a)
+		}
+		return a.Less(b) != b.Less(a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,138 @@
+// Package kv is the volatile in-memory data store of a database server: the
+// table space that the paper's SQL manipulations read and write. Durability
+// is not kv's job — the transactional engine (internal/xadb) logs committed
+// write-sets to stable storage and rebuilds the kv store during recovery.
+package kv
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Write is one after-image: the value Key will hold if the surrounding
+// transaction commits.
+type Write struct {
+	Key string
+	Val []byte
+}
+
+// Store is a concurrency-safe string->bytes map with numeric helpers.
+// The zero value is not usable; call New.
+type Store struct {
+	mu sync.RWMutex
+	m  map[string][]byte
+}
+
+// New creates an empty store.
+func New() *Store {
+	return &Store{m: make(map[string][]byte)}
+}
+
+// Get returns the value at key.
+func (s *Store) Get(key string) ([]byte, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	v, ok := s.m[key]
+	if !ok {
+		return nil, false
+	}
+	cp := make([]byte, len(v))
+	copy(cp, v)
+	return cp, true
+}
+
+// Put sets key to val.
+func (s *Store) Put(key string, val []byte) {
+	cp := make([]byte, len(val))
+	copy(cp, val)
+	s.mu.Lock()
+	s.m[key] = cp
+	s.mu.Unlock()
+}
+
+// Delete removes key.
+func (s *Store) Delete(key string) {
+	s.mu.Lock()
+	delete(s.m, key)
+	s.mu.Unlock()
+}
+
+// Len returns the number of keys.
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.m)
+}
+
+// Apply installs a write-set atomically with respect to other Store calls.
+func (s *Store) Apply(ws []Write) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, w := range ws {
+		cp := make([]byte, len(w.Val))
+		copy(cp, w.Val)
+		s.m[w.Key] = cp
+	}
+}
+
+// Snapshot returns a deterministic (key-sorted) copy of the full contents.
+func (s *Store) Snapshot() []Write {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	keys := make([]string, 0, len(s.m))
+	for k := range s.m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]Write, 0, len(keys))
+	for _, k := range keys {
+		v := s.m[k]
+		cp := make([]byte, len(v))
+		copy(cp, v)
+		out = append(out, Write{Key: k, Val: cp})
+	}
+	return out
+}
+
+// Reset replaces the entire contents with the given snapshot.
+func (s *Store) Reset(ws []Write) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.m = make(map[string][]byte, len(ws))
+	for _, w := range ws {
+		cp := make([]byte, len(w.Val))
+		copy(cp, w.Val)
+		s.m[w.Key] = cp
+	}
+}
+
+// GetInt reads key as an int64 (missing keys read as 0).
+func (s *Store) GetInt(key string) (int64, error) {
+	v, ok := s.Get(key)
+	if !ok {
+		return 0, nil
+	}
+	return DecodeInt(v)
+}
+
+// PutInt stores an int64 at key.
+func (s *Store) PutInt(key string, v int64) {
+	s.Put(key, EncodeInt(v))
+}
+
+// EncodeInt serializes an int64 for storage.
+func EncodeInt(v int64) []byte {
+	buf := make([]byte, 8)
+	binary.BigEndian.PutUint64(buf, uint64(v))
+	return buf
+}
+
+// DecodeInt parses EncodeInt's output.
+func DecodeInt(b []byte) (int64, error) {
+	if len(b) != 8 {
+		return 0, fmt.Errorf("kv: integer value has %d bytes, want 8", len(b))
+	}
+	return int64(binary.BigEndian.Uint64(b)), nil
+}

@@ -1,0 +1,143 @@
+package kv
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestGetPutDelete(t *testing.T) {
+	s := New()
+	if _, ok := s.Get("k"); ok {
+		t.Fatal("empty store returned a value")
+	}
+	s.Put("k", []byte("v"))
+	if v, ok := s.Get("k"); !ok || string(v) != "v" {
+		t.Fatalf("Get = (%q,%v)", v, ok)
+	}
+	s.Delete("k")
+	if _, ok := s.Get("k"); ok {
+		t.Fatal("Delete left the key behind")
+	}
+	if s.Len() != 0 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+}
+
+func TestPutAndGetCopy(t *testing.T) {
+	s := New()
+	in := []byte("orig")
+	s.Put("k", in)
+	in[0] = 'X'
+	v, _ := s.Get("k")
+	if string(v) != "orig" {
+		t.Fatal("Put aliased caller's buffer")
+	}
+	v[0] = 'Y'
+	v2, _ := s.Get("k")
+	if string(v2) != "orig" {
+		t.Fatal("Get aliased internal buffer")
+	}
+}
+
+func TestApplyWriteSet(t *testing.T) {
+	s := New()
+	s.Put("a", []byte("old"))
+	s.Apply([]Write{{Key: "a", Val: []byte("new")}, {Key: "b", Val: []byte("fresh")}})
+	if v, _ := s.Get("a"); string(v) != "new" {
+		t.Fatal("Apply did not overwrite")
+	}
+	if v, _ := s.Get("b"); string(v) != "fresh" {
+		t.Fatal("Apply did not insert")
+	}
+}
+
+func TestSnapshotAndReset(t *testing.T) {
+	s := New()
+	s.Put("b", []byte("2"))
+	s.Put("a", []byte("1"))
+	snap := s.Snapshot()
+	if len(snap) != 2 || snap[0].Key != "a" || snap[1].Key != "b" {
+		t.Fatalf("Snapshot not key-sorted: %v", snap)
+	}
+	s2 := New()
+	s2.Put("junk", []byte("x"))
+	s2.Reset(snap)
+	if s2.Len() != 2 {
+		t.Fatalf("Reset kept extra keys: %d", s2.Len())
+	}
+	if v, _ := s2.Get("a"); string(v) != "1" {
+		t.Fatal("Reset lost data")
+	}
+}
+
+func TestIntHelpers(t *testing.T) {
+	s := New()
+	if v, err := s.GetInt("missing"); err != nil || v != 0 {
+		t.Fatalf("GetInt(missing) = (%d,%v), want (0,nil)", v, err)
+	}
+	s.PutInt("n", -42)
+	if v, err := s.GetInt("n"); err != nil || v != -42 {
+		t.Fatalf("GetInt = (%d,%v)", v, err)
+	}
+	s.Put("bad", []byte{1, 2})
+	if _, err := s.GetInt("bad"); err == nil {
+		t.Fatal("GetInt on malformed value must fail")
+	}
+}
+
+func TestIntRoundTripProperty(t *testing.T) {
+	f := func(v int64) bool {
+		got, err := DecodeInt(EncodeInt(v))
+		return err == nil && got == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSnapshotResetRoundTripProperty(t *testing.T) {
+	f := func(keys []string, vals [][]byte) bool {
+		s := New()
+		for i, k := range keys {
+			var v []byte
+			if i < len(vals) {
+				v = vals[i]
+			}
+			s.Put(k, v)
+		}
+		s2 := New()
+		s2.Reset(s.Snapshot())
+		if s2.Len() != s.Len() {
+			return false
+		}
+		for _, w := range s.Snapshot() {
+			v, ok := s2.Get(w.Key)
+			if !ok || !bytes.Equal(v, w.Val) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestConcurrentAccessIsSafe(t *testing.T) {
+	s := New()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 200; j++ {
+				s.PutInt("ctr", int64(j))
+				s.Get("ctr")
+				s.Snapshot()
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -1,0 +1,247 @@
+// Package lockmgr provides strict two-phase locking for the database engine,
+// implementing the serializability the paper assumes ("We assume the
+// existence of some serializability protocol [3]").
+//
+// Locks are per-key, shared or exclusive, granted in FIFO order to prevent
+// starvation. Deadlocks are resolved by timeout: Acquire takes a context and
+// fails when it is cancelled, after which the engine aborts the transaction
+// branch — matching how the paper's protocol treats any compute() failure
+// (the try aborts and the client retries a fresh try).
+package lockmgr
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"etx/internal/id"
+)
+
+// Mode is a lock mode.
+type Mode uint8
+
+// Lock modes.
+const (
+	Shared Mode = iota + 1
+	Exclusive
+)
+
+// String returns "shared" or "exclusive".
+func (m Mode) String() string {
+	switch m {
+	case Shared:
+		return "shared"
+	case Exclusive:
+		return "exclusive"
+	default:
+		return fmt.Sprintf("mode(%d)", uint8(m))
+	}
+}
+
+// ErrTimeout reports an Acquire that gave up waiting (deadlock resolution).
+var ErrTimeout = errors.New("lockmgr: lock wait timed out")
+
+// Manager is a lock table. The zero value is not usable; call New.
+type Manager struct {
+	mu    sync.Mutex
+	locks map[string]*lockState
+	held  map[id.ResultID]map[string]Mode // per-transaction held keys
+}
+
+type lockState struct {
+	holders map[id.ResultID]Mode
+	queue   []*waiter
+}
+
+type waiter struct {
+	tx      id.ResultID
+	mode    Mode
+	granted chan struct{}
+	gone    bool // abandoned (timeout); skip when granting
+}
+
+// New creates an empty lock manager.
+func New() *Manager {
+	return &Manager{
+		locks: make(map[string]*lockState),
+		held:  make(map[id.ResultID]map[string]Mode),
+	}
+}
+
+// Acquire takes key in the given mode on behalf of tx, blocking until granted
+// or ctx is done. Re-acquiring an already-held lock is a no-op; holding a
+// shared lock and requesting exclusive attempts an upgrade.
+func (m *Manager) Acquire(ctx context.Context, tx id.ResultID, key string, mode Mode) error {
+	m.mu.Lock()
+	ls, ok := m.locks[key]
+	if !ok {
+		ls = &lockState{holders: make(map[id.ResultID]Mode)}
+		m.locks[key] = ls
+	}
+
+	if cur, holds := ls.holders[tx]; holds {
+		if cur == Exclusive || mode == Shared {
+			m.mu.Unlock()
+			return nil // already sufficient
+		}
+		// Upgrade shared -> exclusive: immediate if sole holder.
+		if len(ls.holders) == 1 {
+			ls.holders[tx] = Exclusive
+			m.recordLocked(tx, key, Exclusive)
+			m.mu.Unlock()
+			return nil
+		}
+		// Otherwise wait like everyone else; the shared lock stays held, so
+		// two upgraders deadlock — the timeout resolves that, as documented.
+	} else if m.grantableLocked(ls, tx, mode) {
+		ls.holders[tx] = mode
+		m.recordLocked(tx, key, mode)
+		m.mu.Unlock()
+		return nil
+	}
+
+	w := &waiter{tx: tx, mode: mode, granted: make(chan struct{})}
+	ls.queue = append(ls.queue, w)
+	m.mu.Unlock()
+
+	select {
+	case <-w.granted:
+		return nil
+	case <-ctx.Done():
+		m.mu.Lock()
+		select {
+		case <-w.granted:
+			// Granted concurrently with cancellation: keep the lock.
+			m.mu.Unlock()
+			return nil
+		default:
+		}
+		w.gone = true
+		m.promoteLocked(key, ls)
+		m.mu.Unlock()
+		if errors.Is(ctx.Err(), context.DeadlineExceeded) {
+			return fmt.Errorf("%w: %s on %q", ErrTimeout, mode, key)
+		}
+		return fmt.Errorf("lockmgr: acquire %q: %w", key, ctx.Err())
+	}
+}
+
+// grantableLocked reports whether tx may take key in mode right now:
+// compatible with all holders and not overtaking earlier waiters.
+func (m *Manager) grantableLocked(ls *lockState, tx id.ResultID, mode Mode) bool {
+	for _, w := range ls.queue {
+		if !w.gone {
+			return false // FIFO fairness: queue is not empty
+		}
+	}
+	if len(ls.holders) == 0 {
+		return true
+	}
+	if mode == Exclusive {
+		return false
+	}
+	for holder, hm := range ls.holders {
+		if hm == Exclusive && holder != tx {
+			return false
+		}
+	}
+	return true
+}
+
+// promoteLocked grants queued waiters that have become compatible.
+func (m *Manager) promoteLocked(key string, ls *lockState) {
+	// Compact abandoned waiters first.
+	live := ls.queue[:0]
+	for _, w := range ls.queue {
+		if !w.gone {
+			live = append(live, w)
+		}
+	}
+	ls.queue = live
+
+	for len(ls.queue) > 0 {
+		w := ls.queue[0]
+		if cur, holds := ls.holders[w.tx]; holds && w.mode == Exclusive && cur == Shared {
+			// Pending upgrade: grant only when sole holder.
+			if len(ls.holders) != 1 {
+				return
+			}
+			ls.holders[w.tx] = Exclusive
+			m.recordLocked(w.tx, key, Exclusive)
+		} else {
+			granted := len(ls.holders) == 0
+			if !granted && w.mode == Shared {
+				granted = true
+				for _, hm := range ls.holders {
+					if hm == Exclusive {
+						granted = false
+					}
+				}
+			}
+			if !granted {
+				return
+			}
+			ls.holders[w.tx] = w.mode
+			m.recordLocked(w.tx, key, w.mode)
+		}
+		ls.queue = ls.queue[1:]
+		close(w.granted)
+		if w.mode == Exclusive {
+			return // nothing after an exclusive grant can proceed
+		}
+	}
+	if len(ls.holders) == 0 && len(ls.queue) == 0 {
+		delete(m.locks, key)
+	}
+}
+
+func (m *Manager) recordLocked(tx id.ResultID, key string, mode Mode) {
+	byKey, ok := m.held[tx]
+	if !ok {
+		byKey = make(map[string]Mode)
+		m.held[tx] = byKey
+	}
+	byKey[key] = mode
+}
+
+// ReleaseAll drops every lock held by tx and wakes eligible waiters. The
+// engine calls it at commit/abort (strict 2PL: no early release).
+func (m *Manager) ReleaseAll(tx id.ResultID) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	byKey := m.held[tx]
+	delete(m.held, tx)
+	for key := range byKey {
+		ls, ok := m.locks[key]
+		if !ok {
+			continue
+		}
+		delete(ls.holders, tx)
+		m.promoteLocked(key, ls)
+		if len(ls.holders) == 0 && len(ls.queue) == 0 {
+			delete(m.locks, key)
+		}
+	}
+}
+
+// Held returns the keys tx currently holds, sorted (observability/tests).
+func (m *Manager) Held(tx id.ResultID) []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	keys := make([]string, 0, len(m.held[tx]))
+	for k := range m.held[tx] {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// HeldMode returns the mode tx holds on key, if any.
+func (m *Manager) HeldMode(tx id.ResultID, key string) (Mode, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	mode, ok := m.held[tx][key]
+	return mode, ok
+}

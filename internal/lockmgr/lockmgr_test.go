@@ -1,0 +1,264 @@
+package lockmgr
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"etx/internal/id"
+)
+
+func tx(n uint64) id.ResultID {
+	return id.ResultID{Client: id.Client(1), Seq: n, Try: 1}
+}
+
+func TestExclusiveBlocksSecondAcquirer(t *testing.T) {
+	m := New()
+	ctx := context.Background()
+	if err := m.Acquire(ctx, tx(1), "k", Exclusive); err != nil {
+		t.Fatal(err)
+	}
+	short, cancel := context.WithTimeout(ctx, 20*time.Millisecond)
+	defer cancel()
+	err := m.Acquire(short, tx(2), "k", Exclusive)
+	if !errors.Is(err, ErrTimeout) {
+		t.Fatalf("second exclusive acquire: %v, want ErrTimeout", err)
+	}
+	m.ReleaseAll(tx(1))
+	if err := m.Acquire(ctx, tx(2), "k", Exclusive); err != nil {
+		t.Fatalf("acquire after release: %v", err)
+	}
+}
+
+func TestSharedLocksCoexist(t *testing.T) {
+	m := New()
+	ctx := context.Background()
+	for i := uint64(1); i <= 3; i++ {
+		if err := m.Acquire(ctx, tx(i), "k", Shared); err != nil {
+			t.Fatalf("shared acquire %d: %v", i, err)
+		}
+	}
+	// An exclusive must wait for all of them.
+	short, cancel := context.WithTimeout(ctx, 20*time.Millisecond)
+	defer cancel()
+	if err := m.Acquire(short, tx(9), "k", Exclusive); !errors.Is(err, ErrTimeout) {
+		t.Fatalf("exclusive over shared: %v, want ErrTimeout", err)
+	}
+}
+
+func TestReentrantAcquire(t *testing.T) {
+	m := New()
+	ctx := context.Background()
+	if err := m.Acquire(ctx, tx(1), "k", Exclusive); err != nil {
+		t.Fatal(err)
+	}
+	// Same transaction re-acquiring in any mode is a no-op.
+	if err := m.Acquire(ctx, tx(1), "k", Exclusive); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Acquire(ctx, tx(1), "k", Shared); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUpgradeSoleHolder(t *testing.T) {
+	m := New()
+	ctx := context.Background()
+	if err := m.Acquire(ctx, tx(1), "k", Shared); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Acquire(ctx, tx(1), "k", Exclusive); err != nil {
+		t.Fatalf("sole-holder upgrade: %v", err)
+	}
+	if mode, _ := m.HeldMode(tx(1), "k"); mode != Exclusive {
+		t.Fatalf("mode after upgrade = %v", mode)
+	}
+}
+
+func TestUpgradeWaitsForOtherReaders(t *testing.T) {
+	m := New()
+	ctx := context.Background()
+	m.Acquire(ctx, tx(1), "k", Shared)
+	m.Acquire(ctx, tx(2), "k", Shared)
+	done := make(chan error, 1)
+	go func() {
+		done <- m.Acquire(ctx, tx(1), "k", Exclusive)
+	}()
+	select {
+	case err := <-done:
+		t.Fatalf("upgrade succeeded with another reader present: %v", err)
+	case <-time.After(20 * time.Millisecond):
+	}
+	m.ReleaseAll(tx(2))
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("upgrade after reader left: %v", err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("upgrade never granted")
+	}
+}
+
+func TestFIFOFairnessNoOvertaking(t *testing.T) {
+	m := New()
+	ctx := context.Background()
+	m.Acquire(ctx, tx(1), "k", Exclusive)
+
+	order := make(chan uint64, 2)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if err := m.Acquire(ctx, tx(2), "k", Exclusive); err == nil {
+			order <- 2
+			m.ReleaseAll(tx(2))
+		}
+	}()
+	time.Sleep(10 * time.Millisecond) // ensure tx2 queues first
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if err := m.Acquire(ctx, tx(3), "k", Exclusive); err == nil {
+			order <- 3
+			m.ReleaseAll(tx(3))
+		}
+	}()
+	time.Sleep(10 * time.Millisecond)
+	// A newcomer shared lock must not overtake the queued exclusives.
+	short, cancel := context.WithTimeout(ctx, 20*time.Millisecond)
+	defer cancel()
+	if err := m.Acquire(short, tx(4), "k", Shared); !errors.Is(err, ErrTimeout) {
+		t.Fatalf("shared overtook queued exclusives: %v", err)
+	}
+	m.ReleaseAll(tx(1))
+	wg.Wait()
+	close(order)
+	var got []uint64
+	for v := range order {
+		got = append(got, v)
+	}
+	if len(got) != 2 || got[0] != 2 || got[1] != 3 {
+		t.Fatalf("grant order = %v, want [2 3]", got)
+	}
+}
+
+func TestDeadlockResolvedByTimeout(t *testing.T) {
+	m := New()
+	ctx := context.Background()
+	m.Acquire(ctx, tx(1), "a", Exclusive)
+	m.Acquire(ctx, tx(2), "b", Exclusive)
+
+	// tx1 wants b, tx2 wants a: classic deadlock; both time out.
+	var wg sync.WaitGroup
+	errs := make([]error, 2)
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		c, cancel := context.WithTimeout(ctx, 50*time.Millisecond)
+		defer cancel()
+		errs[0] = m.Acquire(c, tx(1), "b", Exclusive)
+	}()
+	go func() {
+		defer wg.Done()
+		c, cancel := context.WithTimeout(ctx, 50*time.Millisecond)
+		defer cancel()
+		errs[1] = m.Acquire(c, tx(2), "a", Exclusive)
+	}()
+	wg.Wait()
+	if !errors.Is(errs[0], ErrTimeout) || !errors.Is(errs[1], ErrTimeout) {
+		t.Fatalf("deadlock not resolved: %v / %v", errs[0], errs[1])
+	}
+	// After both abort (release), the keys are free.
+	m.ReleaseAll(tx(1))
+	m.ReleaseAll(tx(2))
+	if err := m.Acquire(ctx, tx(3), "a", Exclusive); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Acquire(ctx, tx(3), "b", Exclusive); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAbandonedWaiterDoesNotBlockGrants(t *testing.T) {
+	m := New()
+	ctx := context.Background()
+	m.Acquire(ctx, tx(1), "k", Exclusive)
+	// tx2 queues then gives up.
+	short, cancel := context.WithTimeout(ctx, 20*time.Millisecond)
+	m.Acquire(short, tx(2), "k", Exclusive)
+	cancel()
+	// tx3 queues and must be granted once tx1 releases, despite the corpse
+	// of tx2 ahead of it.
+	done := make(chan error, 1)
+	go func() { done <- m.Acquire(ctx, tx(3), "k", Exclusive) }()
+	time.Sleep(10 * time.Millisecond)
+	m.ReleaseAll(tx(1))
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("grant blocked by abandoned waiter")
+	}
+}
+
+func TestReleaseAllReleasesEverything(t *testing.T) {
+	m := New()
+	ctx := context.Background()
+	m.Acquire(ctx, tx(1), "a", Exclusive)
+	m.Acquire(ctx, tx(1), "b", Shared)
+	if got := m.Held(tx(1)); len(got) != 2 {
+		t.Fatalf("Held = %v", got)
+	}
+	m.ReleaseAll(tx(1))
+	if got := m.Held(tx(1)); len(got) != 0 {
+		t.Fatalf("Held after release = %v", got)
+	}
+	if err := m.Acquire(ctx, tx(2), "a", Exclusive); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Acquire(ctx, tx(2), "b", Exclusive); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReleaseAllUnknownTxIsNoop(t *testing.T) {
+	m := New()
+	m.ReleaseAll(tx(42)) // must not panic
+}
+
+func TestConcurrentStress(t *testing.T) {
+	m := New()
+	keys := []string{"a", "b", "c", "d"}
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			txn := id.ResultID{Client: id.Client(i + 1), Seq: 1, Try: 1}
+			for j := 0; j < 50; j++ {
+				ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+				k1, k2 := keys[(i+j)%4], keys[(i+j+1)%4]
+				if m.Acquire(ctx, txn, k1, Shared) == nil {
+					m.Acquire(ctx, txn, k2, Exclusive)
+				}
+				m.ReleaseAll(txn)
+				cancel()
+			}
+		}()
+	}
+	wg.Wait()
+	// Everything must be free afterwards.
+	ctx := context.Background()
+	probe := tx(999)
+	for _, k := range keys {
+		if err := m.Acquire(ctx, probe, k, Exclusive); err != nil {
+			t.Fatalf("key %q still locked after stress: %v", k, err)
+		}
+	}
+}

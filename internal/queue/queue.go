@@ -1,0 +1,94 @@
+// Package queue provides a small unbounded MPSC queue used by protocol state
+// machines whose correctness depends on never dropping an in-process message
+// (consensus instances, node mailboxes). Senders never block; the single
+// consumer blocks on a channel-compatible Out() until an item is ready or the
+// queue is closed.
+//
+// Unbounded growth is deliberate here: the layers above bound the number of
+// in-flight protocol steps, and dropping a consensus message would stall an
+// instance forever, which is strictly worse than transient memory growth.
+package queue
+
+import "sync"
+
+// Queue is an unbounded multi-producer single-consumer queue of T.
+// The zero value is not usable; call New.
+type Queue[T any] struct {
+	mu     sync.Mutex
+	items  []T
+	wake   chan struct{} // capacity 1: level-triggered wakeup
+	closed bool
+}
+
+// New returns an empty queue.
+func New[T any]() *Queue[T] {
+	return &Queue[T]{wake: make(chan struct{}, 1)}
+}
+
+// Push appends an item. It never blocks. Pushing to a closed queue is a no-op
+// and returns false.
+func (q *Queue[T]) Push(item T) bool {
+	q.mu.Lock()
+	if q.closed {
+		q.mu.Unlock()
+		return false
+	}
+	q.items = append(q.items, item)
+	q.mu.Unlock()
+	q.signal()
+	return true
+}
+
+// Pop removes and returns the oldest item. ok is false when the queue is
+// empty; Pop never blocks (use Wait or Out to block).
+func (q *Queue[T]) Pop() (item T, ok bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if len(q.items) == 0 {
+		var zero T
+		return zero, false
+	}
+	item = q.items[0]
+	// Shift rather than re-slice so the backing array does not pin all
+	// previously queued items.
+	copy(q.items, q.items[1:])
+	q.items = q.items[:len(q.items)-1]
+	if len(q.items) > 0 {
+		q.signal()
+	}
+	return item, true
+}
+
+// Out returns a channel that is signalled whenever items may be available or
+// the queue is closed. The consumer loops: <-Out(), then Pop until empty.
+func (q *Queue[T]) Out() <-chan struct{} { return q.wake }
+
+// Len returns the number of queued items.
+func (q *Queue[T]) Len() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.items)
+}
+
+// Close marks the queue closed and wakes the consumer. Items already queued
+// can still be popped.
+func (q *Queue[T]) Close() {
+	q.mu.Lock()
+	q.closed = true
+	q.mu.Unlock()
+	q.signal()
+}
+
+// Closed reports whether Close has been called.
+func (q *Queue[T]) Closed() bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.closed
+}
+
+func (q *Queue[T]) signal() {
+	select {
+	case q.wake <- struct{}{}:
+	default:
+	}
+}

@@ -1,0 +1,251 @@
+// Package rchan implements the paper's reliable channels over a lossy,
+// duplicating network, exactly the way Section 5 describes: "the abstraction
+// of reliable channels is implemented by retransmitting messages and tracking
+// duplicates".
+//
+// Wrap turns any transport.Endpoint into one whose sends satisfy the
+// termination property (if neither endpoint crashes, the message is
+// eventually delivered: unacknowledged messages are retransmitted forever)
+// and whose deliveries satisfy integrity (duplicates are suppressed by
+// per-sender sequence numbers).
+//
+// Heartbeats deliberately bypass the layer: retransmitting a stale heartbeat
+// would defeat failure detection, and the detector tolerates loss by design.
+package rchan
+
+import (
+	"sync"
+	"time"
+
+	"etx/internal/id"
+	"etx/internal/msg"
+	"etx/internal/queue"
+	"etx/internal/transport"
+)
+
+// Endpoint is a reliable-channel wrapper around an inner endpoint. It
+// implements transport.Endpoint.
+type Endpoint struct {
+	inner      transport.Endpoint
+	retransmit time.Duration
+
+	mu  sync.Mutex
+	out map[id.NodeID]*sendState
+	in  map[id.NodeID]*recvState
+
+	inbox     *queue.Queue[msg.Envelope]
+	recv      chan msg.Envelope
+	done      chan struct{}
+	innerDone chan struct{} // closed when the inner endpoint's Recv closes
+	wg        sync.WaitGroup
+
+	closeOnce sync.Once
+}
+
+type sendState struct {
+	next    uint64
+	unacked map[uint64]msg.Payload
+}
+
+type recvState struct {
+	// seen tracks delivered sequence numbers above low; everything <= low is
+	// known-delivered (compacted).
+	low  uint64
+	seen map[uint64]bool
+}
+
+// Wrap layers reliable-channel semantics over inner. retransmit is the
+// resend period for unacknowledged messages (default 25ms).
+func Wrap(inner transport.Endpoint, retransmit time.Duration) *Endpoint {
+	if retransmit <= 0 {
+		retransmit = 25 * time.Millisecond
+	}
+	ep := &Endpoint{
+		inner:      inner,
+		retransmit: retransmit,
+		out:        make(map[id.NodeID]*sendState),
+		in:         make(map[id.NodeID]*recvState),
+		inbox:      queue.New[msg.Envelope](),
+		recv:       make(chan msg.Envelope, 64),
+		done:       make(chan struct{}),
+		innerDone:  make(chan struct{}),
+	}
+	ep.wg.Add(3)
+	go ep.recvLoop()
+	go ep.retransmitLoop()
+	go ep.pump()
+	return ep
+}
+
+// ID implements transport.Endpoint.
+func (ep *Endpoint) ID() id.NodeID { return ep.inner.ID() }
+
+// Recv implements transport.Endpoint.
+func (ep *Endpoint) Recv() <-chan msg.Envelope { return ep.recv }
+
+// Send implements transport.Endpoint. Non-heartbeat payloads are sequenced,
+// buffered and retransmitted until acknowledged.
+func (ep *Endpoint) Send(env msg.Envelope) error {
+	if env.Payload == nil {
+		return transport.ErrClosed
+	}
+	if env.Payload.Kind() == msg.KindHeartbeat {
+		return ep.inner.Send(env)
+	}
+	ep.mu.Lock()
+	st, ok := ep.out[env.To]
+	if !ok {
+		st = &sendState{unacked: make(map[uint64]msg.Payload)}
+		ep.out[env.To] = st
+	}
+	st.next++
+	seq := st.next
+	st.unacked[seq] = env.Payload
+	ep.mu.Unlock()
+	return ep.inner.Send(msg.Envelope{To: env.To, Payload: msg.RData{Seq: seq, Inner: env.Payload}})
+}
+
+// Close implements transport.Endpoint.
+func (ep *Endpoint) Close() error {
+	var err error
+	ep.closeOnce.Do(func() {
+		close(ep.done)
+		err = ep.inner.Close()
+		ep.inbox.Close()
+		ep.wg.Wait()
+	})
+	return err
+}
+
+// Unacked returns the number of buffered unacknowledged messages
+// (observability for tests and memory ablations).
+func (ep *Endpoint) Unacked() int {
+	ep.mu.Lock()
+	defer ep.mu.Unlock()
+	n := 0
+	for _, st := range ep.out {
+		n += len(st.unacked)
+	}
+	return n
+}
+
+func (ep *Endpoint) recvLoop() {
+	defer ep.wg.Done()
+	for {
+		select {
+		case env, ok := <-ep.inner.Recv():
+			if !ok {
+				// The inner endpoint died (node crash): stop retransmitting
+				// and drain out.
+				close(ep.innerDone)
+				ep.inbox.Close()
+				return
+			}
+			ep.handle(env)
+		case <-ep.done:
+			return
+		}
+	}
+}
+
+func (ep *Endpoint) handle(env msg.Envelope) {
+	switch p := env.Payload.(type) {
+	case msg.RData:
+		// Always (re-)acknowledge; deliver only the first copy.
+		_ = ep.inner.Send(msg.Envelope{To: env.From, Payload: msg.RAck{Seq: p.Seq}})
+		if ep.firstDelivery(env.From, p.Seq) {
+			ep.inbox.Push(msg.Envelope{From: env.From, To: env.To, Payload: p.Inner})
+		}
+	case msg.RAck:
+		ep.mu.Lock()
+		if st, ok := ep.out[env.From]; ok {
+			delete(st.unacked, p.Seq)
+		}
+		ep.mu.Unlock()
+	default:
+		// Unsequenced traffic (heartbeats) passes straight through.
+		ep.inbox.Push(env)
+	}
+}
+
+// firstDelivery marks seq from peer as delivered and reports whether it was
+// new. The seen set is compacted by advancing low over contiguous runs.
+func (ep *Endpoint) firstDelivery(from id.NodeID, seq uint64) bool {
+	ep.mu.Lock()
+	defer ep.mu.Unlock()
+	st, ok := ep.in[from]
+	if !ok {
+		st = &recvState{seen: make(map[uint64]bool)}
+		ep.in[from] = st
+	}
+	if seq <= st.low || st.seen[seq] {
+		return false
+	}
+	st.seen[seq] = true
+	for st.seen[st.low+1] {
+		st.low++
+		delete(st.seen, st.low)
+	}
+	return true
+}
+
+func (ep *Endpoint) retransmitLoop() {
+	defer ep.wg.Done()
+	ticker := time.NewTicker(ep.retransmit)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ticker.C:
+			ep.mu.Lock()
+			type resend struct {
+				to  id.NodeID
+				seq uint64
+				p   msg.Payload
+			}
+			var pending []resend
+			for to, st := range ep.out {
+				for seq, p := range st.unacked {
+					pending = append(pending, resend{to: to, seq: seq, p: p})
+				}
+			}
+			ep.mu.Unlock()
+			for _, r := range pending {
+				_ = ep.inner.Send(msg.Envelope{To: r.to, Payload: msg.RData{Seq: r.seq, Inner: r.p}})
+			}
+		case <-ep.innerDone:
+			return
+		case <-ep.done:
+			return
+		}
+	}
+}
+
+// pump moves delivered messages from the unbounded inbox to the recv channel.
+func (ep *Endpoint) pump() {
+	defer ep.wg.Done()
+	defer close(ep.recv)
+	for {
+		for {
+			env, ok := ep.inbox.Pop()
+			if !ok {
+				break
+			}
+			select {
+			case ep.recv <- env:
+			case <-ep.done:
+				return
+			}
+		}
+		select {
+		case <-ep.inbox.Out():
+			if ep.inbox.Closed() && ep.inbox.Len() == 0 {
+				return
+			}
+		case <-ep.done:
+			return
+		}
+	}
+}
+
+// Compile-time interface check.
+var _ transport.Endpoint = (*Endpoint)(nil)

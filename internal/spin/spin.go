@@ -1,0 +1,32 @@
+// Package spin provides a precise sleep for the cost-model simulation.
+// time.Sleep on this class of kernel overshoots by up to ~1 ms, which
+// distorts scaled-down component costs (at scale 0.05 the paper's 3.4 ms
+// client marshalling becomes 170 µs — far below the overshoot). Sleep
+// therefore sleeps only for the bulk of long durations and yield-polls the
+// remainder: the loop calls runtime.Gosched every iteration so that, even on
+// a single-core machine, concurrent protocol goroutines keep running while
+// the simulated work "executes".
+package spin
+
+import (
+	"runtime"
+	"time"
+)
+
+// tail is the window that is yield-polled rather than slept, sized to cover
+// the worst time.Sleep overshoot observed on coarse-timer kernels.
+const tail = 2 * time.Millisecond
+
+// Sleep blocks for d with well-under-a-millisecond precision.
+func Sleep(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	deadline := time.Now().Add(d)
+	if d > tail {
+		time.Sleep(d - tail)
+	}
+	for time.Now().Before(deadline) {
+		runtime.Gosched()
+	}
+}

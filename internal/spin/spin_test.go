@@ -1,0 +1,38 @@
+package spin
+
+import (
+	"testing"
+	"time"
+)
+
+func TestSleepZeroAndNegativeReturnImmediately(t *testing.T) {
+	start := time.Now()
+	Sleep(0)
+	Sleep(-time.Second)
+	if time.Since(start) > 5*time.Millisecond {
+		t.Error("zero/negative sleep blocked")
+	}
+}
+
+func TestSleepIsAccurate(t *testing.T) {
+	for _, d := range []time.Duration{50 * time.Microsecond, 300 * time.Microsecond, 2 * time.Millisecond} {
+		// Never early is a hard guarantee; the overshoot bound depends on
+		// machine load (the yield loop shares the core), so measure the
+		// best of several attempts before judging it.
+		best := time.Duration(1 << 62)
+		for attempt := 0; attempt < 5; attempt++ {
+			start := time.Now()
+			Sleep(d)
+			got := time.Since(start)
+			if got < d {
+				t.Errorf("Sleep(%v) returned after %v (early)", d, got)
+			}
+			if got < best {
+				best = got
+			}
+		}
+		if best > d+2*time.Millisecond {
+			t.Errorf("Sleep(%v): best of 5 took %v (too much overshoot)", d, best)
+		}
+	}
+}

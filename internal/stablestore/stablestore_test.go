@@ -1,0 +1,111 @@
+package stablestore
+
+import (
+	"testing"
+	"time"
+)
+
+func TestAppendAndReadBack(t *testing.T) {
+	s := New(0)
+	s.Append("wal", []byte("a"), false)
+	s.Append("wal", []byte("b"), true)
+	s.Append("other", []byte("x"), false)
+	got := s.ReadLog("wal")
+	if len(got) != 2 || string(got[0]) != "a" || string(got[1]) != "b" {
+		t.Fatalf("ReadLog = %q", got)
+	}
+	if s.LogLen("wal") != 2 || s.LogLen("other") != 1 || s.LogLen("missing") != 0 {
+		t.Fatal("LogLen misreports")
+	}
+}
+
+func TestAppendCopiesInput(t *testing.T) {
+	s := New(0)
+	buf := []byte("mutate-me")
+	s.Append("wal", buf, false)
+	buf[0] = 'X'
+	if got := s.ReadLog("wal"); string(got[0]) != "mutate-me" {
+		t.Fatalf("stored record aliased caller's buffer: %q", got[0])
+	}
+	// And reads return copies too.
+	out := s.ReadLog("wal")
+	out[0][0] = 'Y'
+	if got := s.ReadLog("wal"); string(got[0]) != "mutate-me" {
+		t.Fatalf("read aliased internal buffer: %q", got[0])
+	}
+}
+
+func TestForcedWriteLatencyAndCount(t *testing.T) {
+	const lat = 20 * time.Millisecond
+	s := New(lat)
+	start := time.Now()
+	s.Append("wal", []byte("forced"), true)
+	if el := time.Since(start); el < lat {
+		t.Errorf("forced append took %v, want >= %v", el, lat)
+	}
+	start = time.Now()
+	s.Append("wal", []byte("lazy"), false)
+	if el := time.Since(start); el > lat/2 {
+		t.Errorf("unforced append took %v, should be immediate", el)
+	}
+	if s.ForcedWrites() != 1 {
+		t.Errorf("ForcedWrites = %d, want 1", s.ForcedWrites())
+	}
+	if s.TotalWrites() != 2 {
+		t.Errorf("TotalWrites = %d, want 2", s.TotalWrites())
+	}
+}
+
+func TestSetForceLatency(t *testing.T) {
+	s := New(50 * time.Millisecond)
+	s.SetForceLatency(0)
+	start := time.Now()
+	s.Append("wal", []byte("r"), true)
+	if el := time.Since(start); el > 20*time.Millisecond {
+		t.Errorf("forced append after SetForceLatency(0) took %v", el)
+	}
+}
+
+func TestTruncateLog(t *testing.T) {
+	s := New(0)
+	s.Append("wal", []byte("r"), false)
+	s.TruncateLog("wal")
+	if s.LogLen("wal") != 0 {
+		t.Fatal("TruncateLog left records behind")
+	}
+}
+
+func TestPutGet(t *testing.T) {
+	s := New(0)
+	if _, ok := s.Get("inc"); ok {
+		t.Fatal("Get on empty store returned a value")
+	}
+	s.Put("inc", []byte{7})
+	v, ok := s.Get("inc")
+	if !ok || len(v) != 1 || v[0] != 7 {
+		t.Fatalf("Get = (%v,%v)", v, ok)
+	}
+	s.Put("inc", []byte{8})
+	if v, _ := s.Get("inc"); v[0] != 8 {
+		t.Fatal("Put must overwrite")
+	}
+	if s.ForcedWrites() != 2 {
+		t.Errorf("Put must always force; ForcedWrites = %d", s.ForcedWrites())
+	}
+}
+
+func TestSurvivesLikeStableStorage(t *testing.T) {
+	// The crash model: the Store object persists while the process object is
+	// rebuilt. Nothing in the store may depend on process state, so after a
+	// "crash" (drop all references except the store) everything reads back.
+	s := New(0)
+	s.Append("wal", []byte("pre-crash"), true)
+	s.Put("incarnation", []byte{3})
+	// ... crash happens: a brand-new engine opens the same store ...
+	if got := s.ReadLog("wal"); len(got) != 1 || string(got[0]) != "pre-crash" {
+		t.Fatal("log lost across simulated crash")
+	}
+	if v, ok := s.Get("incarnation"); !ok || v[0] != 3 {
+		t.Fatal("kv lost across simulated crash")
+	}
+}

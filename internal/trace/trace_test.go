@@ -1,0 +1,126 @@
+package trace
+
+import (
+	"testing"
+	"time"
+
+	"etx/internal/id"
+	"etx/internal/msg"
+	"etx/internal/transport"
+)
+
+func rid() id.ResultID { return id.ResultID{Client: id.Client(1), Seq: 1, Try: 1} }
+
+func sendAll(t *testing.T, net *transport.MemNetwork, sends []msg.Envelope) {
+	t.Helper()
+	eps := make(map[id.NodeID]transport.Endpoint)
+	ep := func(n id.NodeID) transport.Endpoint {
+		if e, ok := eps[n]; ok {
+			return e
+		}
+		e, err := net.Attach(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		eps[n] = e
+		// Drain so the recv pumps never back up.
+		go func() {
+			for range e.Recv() { //nolint:revive // draining
+			}
+		}()
+		return e
+	}
+	for _, env := range sends {
+		ep(env.To) // ensure the destination exists
+		if err := ep(env.From).Send(env); err != nil {
+			t.Fatal(err)
+		}
+		time.Sleep(time.Millisecond) // keep timeline order deterministic
+	}
+}
+
+func TestCountsAndTotal(t *testing.T) {
+	net := transport.NewMemNetwork(transport.Options{})
+	defer net.Close()
+	c := New(net, nil)
+	sendAll(t, net, []msg.Envelope{
+		{From: id.Client(1), To: id.AppServer(1), Payload: msg.Request{RID: rid()}},
+		{From: id.AppServer(1), To: id.DBServer(1), Payload: msg.Prepare{RID: rid()}},
+		{From: id.DBServer(1), To: id.AppServer(1), Payload: msg.VoteMsg{RID: rid(), V: msg.VoteYes}},
+		{From: id.AppServer(1), To: id.Client(1), Payload: msg.Result{RID: rid()}},
+	})
+	counts := c.Counts()
+	if counts[msg.KindRequest] != 1 || counts[msg.KindPrepare] != 1 ||
+		counts[msg.KindVote] != 1 || counts[msg.KindResult] != 1 {
+		t.Fatalf("counts = %v", counts)
+	}
+	if c.Total() != 4 {
+		t.Fatalf("total = %d", c.Total())
+	}
+	if c.Total(msg.KindPrepare, msg.KindVote) != 2 {
+		t.Fatalf("filtered total = %d", c.Total(msg.KindPrepare, msg.KindVote))
+	}
+}
+
+func TestProtocolOnlyFilterDropsHeartbeats(t *testing.T) {
+	net := transport.NewMemNetwork(transport.Options{})
+	defer net.Close()
+	c := New(net, ProtocolOnly)
+	sendAll(t, net, []msg.Envelope{
+		{From: id.AppServer(1), To: id.AppServer(2), Payload: msg.Heartbeat{Seq: 1}},
+		{From: id.Client(1), To: id.AppServer(1), Payload: msg.Request{RID: rid()}},
+	})
+	if c.Total() != 1 {
+		t.Fatalf("total = %d, heartbeat must be filtered", c.Total())
+	}
+}
+
+func TestStepsCollapseBursts(t *testing.T) {
+	net := transport.NewMemNetwork(transport.Options{})
+	defer net.Close()
+	c := New(net, nil)
+	sendAll(t, net, []msg.Envelope{
+		{From: id.AppServer(1), To: id.DBServer(1), Payload: msg.Prepare{RID: rid()}},
+		{From: id.AppServer(1), To: id.DBServer(2), Payload: msg.Prepare{RID: rid()}},
+		{From: id.AppServer(1), To: id.DBServer(3), Payload: msg.Prepare{RID: rid()}},
+		{From: id.DBServer(1), To: id.AppServer(1), Payload: msg.VoteMsg{RID: rid(), V: msg.VoteYes}},
+		{From: id.DBServer(2), To: id.AppServer(1), Payload: msg.VoteMsg{RID: rid(), V: msg.VoteYes}},
+	})
+	steps := c.Steps()
+	if len(steps) != 2 {
+		t.Fatalf("steps = %v, want 2 collapsed bursts", steps)
+	}
+	if steps[0].Kind != msg.KindPrepare || steps[0].Count != 3 {
+		t.Errorf("step 0 = %v", steps[0])
+	}
+	if steps[1].Kind != msg.KindVote || steps[1].Count != 2 {
+		t.Errorf("step 1 = %v", steps[1])
+	}
+	if c.CriticalSteps() != 2 {
+		t.Errorf("critical steps = %d", c.CriticalSteps())
+	}
+	if steps[0].String() == "" {
+		t.Error("step string empty")
+	}
+}
+
+func TestResetClears(t *testing.T) {
+	net := transport.NewMemNetwork(transport.Options{})
+	defer net.Close()
+	c := New(net, nil)
+	sendAll(t, net, []msg.Envelope{
+		{From: id.Client(1), To: id.AppServer(1), Payload: msg.Request{RID: rid()}},
+	})
+	c.Reset()
+	if c.Total() != 0 {
+		t.Fatalf("total after reset = %d", c.Total())
+	}
+}
+
+func TestFormatCountsStable(t *testing.T) {
+	counts := map[msg.Kind]int{msg.KindResult: 1, msg.KindRequest: 2}
+	s := FormatCounts(counts)
+	if s != "Request:2  Result:1" {
+		t.Fatalf("FormatCounts = %q", s)
+	}
+}

@@ -1,0 +1,339 @@
+package transport
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"etx/internal/id"
+	"etx/internal/msg"
+)
+
+func recvOne(t *testing.T, ep Endpoint, within time.Duration) msg.Envelope {
+	t.Helper()
+	select {
+	case env, ok := <-ep.Recv():
+		if !ok {
+			t.Fatal("endpoint closed while waiting for a message")
+		}
+		return env
+	case <-time.After(within):
+		t.Fatal("timed out waiting for a message")
+	}
+	panic("unreachable")
+}
+
+func TestDeliverBasic(t *testing.T) {
+	net := NewMemNetwork(Options{})
+	defer net.Close()
+	a, err := net.Attach(id.Client(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := net.Attach(id.AppServer(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := msg.Heartbeat{Seq: 7}
+	if err := a.Send(msg.Envelope{To: b.ID(), Payload: want}); err != nil {
+		t.Fatal(err)
+	}
+	env := recvOne(t, b, time.Second)
+	if env.From != a.ID() || env.To != b.ID() {
+		t.Errorf("bad addressing: %v", env)
+	}
+	if hb, ok := env.Payload.(msg.Heartbeat); !ok || hb.Seq != 7 {
+		t.Errorf("payload = %#v, want %#v", env.Payload, want)
+	}
+}
+
+func TestSendForcesFromField(t *testing.T) {
+	net := NewMemNetwork(Options{})
+	defer net.Close()
+	a, _ := net.Attach(id.Client(1))
+	b, _ := net.Attach(id.Client(2))
+	// Spoof the From field; the network must overwrite it.
+	if err := a.Send(msg.Envelope{From: id.AppServer(9), To: b.ID(), Payload: msg.Heartbeat{}}); err != nil {
+		t.Fatal(err)
+	}
+	env := recvOne(t, b, time.Second)
+	if env.From != a.ID() {
+		t.Errorf("From = %v, want %v (spoofing must be impossible)", env.From, a.ID())
+	}
+}
+
+func TestCrashStopsDelivery(t *testing.T) {
+	net := NewMemNetwork(Options{DefaultLatency: 5 * time.Millisecond})
+	defer net.Close()
+	a, _ := net.Attach(id.AppServer(1))
+	b, _ := net.Attach(id.AppServer(2))
+	// Crash b while a message is in flight: it must not be delivered even
+	// after b re-attaches.
+	if err := a.Send(msg.Envelope{To: b.ID(), Payload: msg.Heartbeat{Seq: 1}}); err != nil {
+		t.Fatal(err)
+	}
+	net.Crash(b.ID())
+	if !net.Down(b.ID()) {
+		t.Fatal("Down must report crashed node")
+	}
+	// Old endpoint's recv closes.
+	select {
+	case _, ok := <-b.Recv():
+		if ok {
+			t.Fatal("crashed endpoint delivered a message")
+		}
+	case <-time.After(time.Second):
+		t.Fatal("crashed endpoint did not close")
+	}
+	b2, err := net.Attach(id.AppServer(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// In-flight message from before the crash must not appear.
+	select {
+	case env := <-b2.Recv():
+		t.Fatalf("stale pre-crash message delivered: %v", env)
+	case <-time.After(30 * time.Millisecond):
+	}
+	// New sends do arrive.
+	if err := a.Send(msg.Envelope{To: b2.ID(), Payload: msg.Heartbeat{Seq: 2}}); err != nil {
+		t.Fatal(err)
+	}
+	env := recvOne(t, b2, time.Second)
+	if hb := env.Payload.(msg.Heartbeat); hb.Seq != 2 {
+		t.Errorf("got seq %d, want 2", hb.Seq)
+	}
+}
+
+func TestCrashedNodeCannotSend(t *testing.T) {
+	net := NewMemNetwork(Options{})
+	defer net.Close()
+	a, _ := net.Attach(id.AppServer(1))
+	net.Attach(id.AppServer(2))
+	net.Crash(a.ID())
+	if err := a.Send(msg.Envelope{To: id.AppServer(2), Payload: msg.Heartbeat{}}); err == nil {
+		t.Fatal("send from crashed node must fail")
+	}
+}
+
+func TestBlockedLinkDrops(t *testing.T) {
+	net := NewMemNetwork(Options{})
+	defer net.Close()
+	a, _ := net.Attach(id.AppServer(1))
+	b, _ := net.Attach(id.AppServer(2))
+	net.SetBlocked(a.ID(), b.ID(), true)
+	if err := a.Send(msg.Envelope{To: b.ID(), Payload: msg.Heartbeat{Seq: 1}}); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-b.Recv():
+		t.Fatal("blocked link delivered")
+	case <-time.After(30 * time.Millisecond):
+	}
+	// Reverse direction is unaffected.
+	if err := b.Send(msg.Envelope{To: a.ID(), Payload: msg.Heartbeat{Seq: 2}}); err != nil {
+		t.Fatal(err)
+	}
+	recvOne(t, a, time.Second)
+	// Heal restores the link.
+	net.Heal()
+	if err := a.Send(msg.Envelope{To: b.ID(), Payload: msg.Heartbeat{Seq: 3}}); err != nil {
+		t.Fatal(err)
+	}
+	recvOne(t, b, time.Second)
+}
+
+func TestPartitionBlocksBothWays(t *testing.T) {
+	net := NewMemNetwork(Options{})
+	defer net.Close()
+	a, _ := net.Attach(id.AppServer(1))
+	b, _ := net.Attach(id.AppServer(2))
+	net.Partition([]id.NodeID{a.ID()}, []id.NodeID{b.ID()})
+	a.Send(msg.Envelope{To: b.ID(), Payload: msg.Heartbeat{}})
+	b.Send(msg.Envelope{To: a.ID(), Payload: msg.Heartbeat{}})
+	select {
+	case <-a.Recv():
+		t.Fatal("partitioned link delivered to a")
+	case <-b.Recv():
+		t.Fatal("partitioned link delivered to b")
+	case <-time.After(30 * time.Millisecond):
+	}
+}
+
+func TestLossProbabilityDropsRoughly(t *testing.T) {
+	net := NewMemNetwork(Options{LossProb: 0.5, Seed: 42})
+	defer net.Close()
+	a, _ := net.Attach(id.AppServer(1))
+	b, _ := net.Attach(id.AppServer(2))
+	const n = 400
+	for i := 0; i < n; i++ {
+		a.Send(msg.Envelope{To: b.ID(), Payload: msg.Heartbeat{Seq: uint64(i)}})
+	}
+	got := 0
+	deadline := time.After(2 * time.Second)
+collect:
+	for {
+		select {
+		case <-b.Recv():
+			got++
+		case <-deadline:
+			break collect
+		case <-time.After(50 * time.Millisecond):
+			break collect
+		}
+	}
+	if got < n/4 || got > 3*n/4 {
+		t.Errorf("with 50%% loss, delivered %d of %d", got, n)
+	}
+}
+
+func TestDuplicationDelivers(t *testing.T) {
+	net := NewMemNetwork(Options{DupProb: 1.0, Seed: 3})
+	defer net.Close()
+	a, _ := net.Attach(id.AppServer(1))
+	b, _ := net.Attach(id.AppServer(2))
+	a.Send(msg.Envelope{To: b.ID(), Payload: msg.Heartbeat{Seq: 5}})
+	recvOne(t, b, time.Second)
+	recvOne(t, b, time.Second) // the duplicate
+}
+
+func TestLatencyDelaysDelivery(t *testing.T) {
+	const lat = 40 * time.Millisecond
+	net := NewMemNetwork(Options{DefaultLatency: lat})
+	defer net.Close()
+	a, _ := net.Attach(id.AppServer(1))
+	b, _ := net.Attach(id.AppServer(2))
+	start := time.Now()
+	a.Send(msg.Envelope{To: b.ID(), Payload: msg.Heartbeat{}})
+	recvOne(t, b, time.Second)
+	if el := time.Since(start); el < lat {
+		t.Errorf("delivered after %v, want >= %v", el, lat)
+	}
+}
+
+func TestLatencyFuncPerLink(t *testing.T) {
+	slow := id.DBServer(1)
+	net := NewMemNetwork(Options{
+		Latency: func(from, to id.NodeID, p msg.Payload) time.Duration {
+			if to == slow {
+				return 50 * time.Millisecond
+			}
+			return 0
+		},
+	})
+	defer net.Close()
+	a, _ := net.Attach(id.AppServer(1))
+	fast, _ := net.Attach(id.AppServer(2))
+	slowEP, _ := net.Attach(slow)
+
+	start := time.Now()
+	a.Send(msg.Envelope{To: fast.ID(), Payload: msg.Heartbeat{}})
+	recvOne(t, fast, time.Second)
+	if el := time.Since(start); el > 20*time.Millisecond {
+		t.Errorf("fast link took %v", el)
+	}
+	start = time.Now()
+	a.Send(msg.Envelope{To: slow, Payload: msg.Heartbeat{}})
+	recvOne(t, slowEP, time.Second)
+	if el := time.Since(start); el < 50*time.Millisecond {
+		t.Errorf("slow link took %v, want >= 50ms", el)
+	}
+}
+
+func TestPerLinkOrderIsFIFOWithoutJitter(t *testing.T) {
+	net := NewMemNetwork(Options{DefaultLatency: time.Millisecond})
+	defer net.Close()
+	a, _ := net.Attach(id.AppServer(1))
+	b, _ := net.Attach(id.AppServer(2))
+	const n = 200
+	for i := 0; i < n; i++ {
+		a.Send(msg.Envelope{To: b.ID(), Payload: msg.Heartbeat{Seq: uint64(i)}})
+	}
+	for i := 0; i < n; i++ {
+		env := recvOne(t, b, time.Second)
+		if hb := env.Payload.(msg.Heartbeat); hb.Seq != uint64(i) {
+			t.Fatalf("message %d arrived out of order (seq %d)", i, hb.Seq)
+		}
+	}
+}
+
+func TestSnifferSeesTraffic(t *testing.T) {
+	net := NewMemNetwork(Options{})
+	defer net.Close()
+	var mu sync.Mutex
+	var events []SniffEvent
+	net.AddSniffer(func(ev SniffEvent) {
+		mu.Lock()
+		events = append(events, ev)
+		mu.Unlock()
+	})
+	a, _ := net.Attach(id.Client(1))
+	b, _ := net.Attach(id.AppServer(1))
+	a.Send(msg.Envelope{To: b.ID(), Payload: msg.Request{RID: id.ResultID{Client: a.ID(), Seq: 1, Try: 1}}})
+	recvOne(t, b, time.Second)
+	mu.Lock()
+	defer mu.Unlock()
+	if len(events) != 1 {
+		t.Fatalf("sniffer saw %d events, want 1", len(events))
+	}
+	if events[0].Payload.Kind() != msg.KindRequest || events[0].Dropped {
+		t.Errorf("bad sniff event: %+v", events[0])
+	}
+}
+
+func TestBroadcastHelper(t *testing.T) {
+	net := NewMemNetwork(Options{})
+	defer net.Close()
+	a, _ := net.Attach(id.AppServer(1))
+	var eps []Endpoint
+	var dests []id.NodeID
+	for i := 1; i <= 3; i++ {
+		ep, _ := net.Attach(id.DBServer(i))
+		eps = append(eps, ep)
+		dests = append(dests, ep.ID())
+	}
+	if err := Broadcast(a, dests, msg.Ready{Inc: 1}); err != nil {
+		t.Fatal(err)
+	}
+	for _, ep := range eps {
+		env := recvOne(t, ep, time.Second)
+		if env.Payload.Kind() != msg.KindReady {
+			t.Errorf("got %v", env)
+		}
+	}
+}
+
+func TestCloseIsIdempotentAndStopsSends(t *testing.T) {
+	net := NewMemNetwork(Options{})
+	a, _ := net.Attach(id.AppServer(1))
+	net.Close()
+	net.Close() // second close must not panic
+	if err := a.Send(msg.Envelope{To: id.AppServer(2), Payload: msg.Heartbeat{}}); err == nil {
+		t.Fatal("send after network close must fail")
+	}
+	if _, err := net.Attach(id.AppServer(3)); err == nil {
+		t.Fatal("attach after close must fail")
+	}
+}
+
+func TestReattachReplacesEndpoint(t *testing.T) {
+	net := NewMemNetwork(Options{})
+	defer net.Close()
+	old, _ := net.Attach(id.AppServer(1))
+	neu, _ := net.Attach(id.AppServer(1))
+	// Old endpoint must be closed.
+	select {
+	case _, ok := <-old.Recv():
+		if ok {
+			t.Fatal("old endpoint received after re-attach")
+		}
+	case <-time.After(time.Second):
+		t.Fatal("old endpoint not closed on re-attach")
+	}
+	b, _ := net.Attach(id.AppServer(2))
+	b.Send(msg.Envelope{To: id.AppServer(1), Payload: msg.Heartbeat{Seq: 3}})
+	env := recvOne(t, neu, time.Second)
+	if hb := env.Payload.(msg.Heartbeat); hb.Seq != 3 {
+		t.Errorf("new endpoint got %v", env)
+	}
+}

@@ -1,0 +1,310 @@
+// Package tcptransport implements the transport abstraction over real TCP,
+// for multi-process deployments (the cmd/ binaries). Frames are
+// length-prefixed msg.Encode payloads; each direction of a link dials its
+// own connection lazily and drops messages on connection failure — the
+// fair-loss behaviour the reliable-channel layer (internal/rchan) is
+// designed to sit on.
+package tcptransport
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"etx/internal/id"
+	"etx/internal/msg"
+	"etx/internal/queue"
+	"etx/internal/transport"
+)
+
+// maxFrame bounds a frame to guard against corrupted length prefixes.
+const maxFrame = 32 << 20
+
+// Config parameterizes a TCP endpoint.
+type Config struct {
+	// Self is this process's identity.
+	Self id.NodeID
+	// Listen is the local listen address (host:port).
+	Listen string
+	// Peers maps every other node to its listen address.
+	Peers map[id.NodeID]string
+	// DialTimeout bounds connection attempts. Default 2s.
+	DialTimeout time.Duration
+}
+
+// Endpoint is a TCP-backed transport.Endpoint.
+type Endpoint struct {
+	cfg Config
+	ln  net.Listener
+
+	mu       sync.Mutex
+	conns    map[id.NodeID]net.Conn
+	accepted map[net.Conn]bool
+
+	inbox  *queue.Queue[msg.Envelope]
+	recv   chan msg.Envelope
+	done   chan struct{}
+	wg     sync.WaitGroup
+	closed sync.Once
+}
+
+// Listen starts a TCP endpoint for cfg.Self on cfg.Listen.
+func Listen(cfg Config) (*Endpoint, error) {
+	if cfg.DialTimeout <= 0 {
+		cfg.DialTimeout = 2 * time.Second
+	}
+	ln, err := net.Listen("tcp", cfg.Listen)
+	if err != nil {
+		return nil, fmt.Errorf("tcptransport: listen %s: %w", cfg.Listen, err)
+	}
+	ep := &Endpoint{
+		cfg:      cfg,
+		ln:       ln,
+		conns:    make(map[id.NodeID]net.Conn),
+		accepted: make(map[net.Conn]bool),
+		inbox:    queue.New[msg.Envelope](),
+		recv:     make(chan msg.Envelope, 64),
+		done:     make(chan struct{}),
+	}
+	ep.wg.Add(2)
+	go ep.acceptLoop()
+	go ep.pump()
+	return ep, nil
+}
+
+// Addr returns the bound listen address (useful with ":0").
+func (ep *Endpoint) Addr() string { return ep.ln.Addr().String() }
+
+// SetPeers replaces the address book. Two-pass wiring support: listen on
+// ":0" everywhere first, gather the bound addresses, then install the
+// complete book before the protocol starts.
+func (ep *Endpoint) SetPeers(book map[id.NodeID]string) {
+	cp := make(map[id.NodeID]string, len(book))
+	for k, v := range book {
+		cp[k] = v
+	}
+	ep.mu.Lock()
+	ep.cfg.Peers = cp
+	ep.mu.Unlock()
+}
+
+// ID implements transport.Endpoint.
+func (ep *Endpoint) ID() id.NodeID { return ep.cfg.Self }
+
+// Recv implements transport.Endpoint.
+func (ep *Endpoint) Recv() <-chan msg.Envelope { return ep.recv }
+
+// Close implements transport.Endpoint.
+func (ep *Endpoint) Close() error {
+	var err error
+	ep.closed.Do(func() {
+		close(ep.done)
+		err = ep.ln.Close()
+		ep.mu.Lock()
+		for _, c := range ep.conns {
+			c.Close()
+		}
+		ep.conns = make(map[id.NodeID]net.Conn)
+		// Incoming connections must be closed too or their read loops would
+		// block in Read forever and Wait would never return.
+		for c := range ep.accepted {
+			c.Close()
+		}
+		ep.accepted = make(map[net.Conn]bool)
+		ep.mu.Unlock()
+		ep.inbox.Close()
+		ep.wg.Wait()
+	})
+	return err
+}
+
+// Send implements transport.Endpoint. Failures to reach the peer silently
+// drop the message (fair-loss link); the connection is discarded so the next
+// send redials.
+func (ep *Endpoint) Send(env msg.Envelope) error {
+	select {
+	case <-ep.done:
+		return transport.ErrClosed
+	default:
+	}
+	env.From = ep.cfg.Self
+	buf, err := msg.Encode(env)
+	if err != nil {
+		return fmt.Errorf("tcptransport: encode: %w", err)
+	}
+	conn, err := ep.conn(env.To)
+	if err != nil {
+		return nil // unreachable peer: fair loss
+	}
+	frame := make([]byte, 4+len(buf))
+	binary.BigEndian.PutUint32(frame, uint32(len(buf)))
+	copy(frame[4:], buf)
+	if _, err := conn.Write(frame); err != nil {
+		ep.dropConn(env.To, conn)
+		return nil // broken link: fair loss
+	}
+	return nil
+}
+
+// conn returns (dialing if needed) the outgoing connection to peer.
+func (ep *Endpoint) conn(peer id.NodeID) (net.Conn, error) {
+	ep.mu.Lock()
+	if c, ok := ep.conns[peer]; ok {
+		ep.mu.Unlock()
+		return c, nil
+	}
+	addr, ok := ep.cfg.Peers[peer]
+	ep.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("tcptransport: no address for %s", peer)
+	}
+	c, err := net.DialTimeout("tcp", addr, ep.cfg.DialTimeout)
+	if err != nil {
+		return nil, err
+	}
+	ep.mu.Lock()
+	defer ep.mu.Unlock()
+	if existing, ok := ep.conns[peer]; ok {
+		c.Close()
+		return existing, nil
+	}
+	ep.conns[peer] = c
+	return c, nil
+}
+
+func (ep *Endpoint) dropConn(peer id.NodeID, conn net.Conn) {
+	conn.Close()
+	ep.mu.Lock()
+	if ep.conns[peer] == conn {
+		delete(ep.conns, peer)
+	}
+	ep.mu.Unlock()
+}
+
+func (ep *Endpoint) acceptLoop() {
+	defer ep.wg.Done()
+	for {
+		c, err := ep.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		ep.mu.Lock()
+		ep.accepted[c] = true
+		ep.mu.Unlock()
+		ep.wg.Add(1)
+		go func() {
+			defer ep.wg.Done()
+			ep.readLoop(c)
+		}()
+	}
+}
+
+// readLoop decodes frames from one incoming connection until it breaks.
+func (ep *Endpoint) readLoop(c net.Conn) {
+	defer func() {
+		c.Close()
+		ep.mu.Lock()
+		delete(ep.accepted, c)
+		ep.mu.Unlock()
+	}()
+	var lenBuf [4]byte
+	for {
+		select {
+		case <-ep.done:
+			return
+		default:
+		}
+		if _, err := io.ReadFull(c, lenBuf[:]); err != nil {
+			return
+		}
+		n := binary.BigEndian.Uint32(lenBuf[:])
+		if n == 0 || n > maxFrame {
+			return
+		}
+		buf := make([]byte, n)
+		if _, err := io.ReadFull(c, buf); err != nil {
+			return
+		}
+		env, err := msg.Decode(buf)
+		if err != nil {
+			continue // corrupted frame: drop, keep the stream
+		}
+		ep.inbox.Push(env)
+	}
+}
+
+// pump moves delivered messages to the recv channel.
+func (ep *Endpoint) pump() {
+	defer ep.wg.Done()
+	defer close(ep.recv)
+	for {
+		for {
+			env, ok := ep.inbox.Pop()
+			if !ok {
+				break
+			}
+			select {
+			case ep.recv <- env:
+			case <-ep.done:
+				return
+			}
+		}
+		select {
+		case <-ep.inbox.Out():
+			if ep.inbox.Closed() && ep.inbox.Len() == 0 {
+				return
+			}
+		case <-ep.done:
+			return
+		}
+	}
+}
+
+// ParsePeers parses an address book of the form "1=host:port,2=host:port"
+// for the given role (cmd flag support).
+func ParsePeers(role id.Role, spec string) (map[id.NodeID]string, error) {
+	out := make(map[id.NodeID]string)
+	if spec == "" {
+		return out, nil
+	}
+	for _, part := range splitComma(spec) {
+		var idx int
+		var addr string
+		if n, err := fmt.Sscanf(part, "%d=%s", &idx, &addr); n != 2 || err != nil {
+			return nil, fmt.Errorf("tcptransport: malformed peer %q (want index=host:port)", part)
+		}
+		out[id.NodeID{Role: role, Index: idx}] = addr
+	}
+	return out, nil
+}
+
+func splitComma(s string) []string {
+	var out []string
+	start := 0
+	for i := 0; i <= len(s); i++ {
+		if i == len(s) || s[i] == ',' {
+			if i > start {
+				out = append(out, s[start:i])
+			}
+			start = i + 1
+		}
+	}
+	return out
+}
+
+// Merge combines address books.
+func Merge(books ...map[id.NodeID]string) map[id.NodeID]string {
+	out := make(map[id.NodeID]string)
+	for _, b := range books {
+		for k, v := range b {
+			out[k] = v
+		}
+	}
+	return out
+}
+
+// Compile-time interface check.
+var _ transport.Endpoint = (*Endpoint)(nil)

@@ -1,0 +1,185 @@
+package wal
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"etx/internal/id"
+	"etx/internal/kv"
+	"etx/internal/stablestore"
+)
+
+func rid(seq, try uint64) id.ResultID {
+	return id.ResultID{Client: id.Client(1), Seq: seq, Try: try}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	recs := []Record{
+		{Type: RecSnapshot, Writes: []kv.Write{{Key: "acct/1", Val: kv.EncodeInt(100)}}},
+		{Type: RecPrepared, RID: rid(1, 1), Writes: []kv.Write{{Key: "a", Val: []byte("x")}, {Key: "b", Val: nil}}},
+		{Type: RecCommitted, RID: rid(1, 1)},
+		{Type: RecAborted, RID: rid(2, 3)},
+	}
+	for _, rec := range recs {
+		back, err := Decode(Encode(rec))
+		if err != nil {
+			t.Fatalf("%v: %v", rec.Type, err)
+		}
+		if back.Type != rec.Type || back.RID != rec.RID || len(back.Writes) != len(rec.Writes) {
+			t.Fatalf("round trip mangled %+v -> %+v", rec, back)
+		}
+		for i := range rec.Writes {
+			if back.Writes[i].Key != rec.Writes[i].Key || !bytes.Equal(back.Writes[i].Val, rec.Writes[i].Val) {
+				t.Fatalf("write %d mangled", i)
+			}
+		}
+	}
+}
+
+func TestEncodeDecodeProperty(t *testing.T) {
+	f := func(typ uint8, seq, try uint64, keys []string, vals [][]byte) bool {
+		rec := Record{Type: RecType(typ%4 + 1), RID: rid(seq, try)}
+		for i, k := range keys {
+			var v []byte
+			if i < len(vals) {
+				v = vals[i]
+			}
+			rec.Writes = append(rec.Writes, kv.Write{Key: k, Val: v})
+		}
+		back, err := Decode(Encode(rec))
+		if err != nil {
+			return false
+		}
+		if back.Type != rec.Type || back.RID != rec.RID || len(back.Writes) != len(rec.Writes) {
+			return false
+		}
+		for i := range rec.Writes {
+			if back.Writes[i].Key != rec.Writes[i].Key || !bytes.Equal(back.Writes[i].Val, rec.Writes[i].Val) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDecodeGarbageFails(t *testing.T) {
+	cases := [][]byte{nil, {1}, {99, 1, 2, 3}, Encode(Record{Type: RecCommitted, RID: rid(1, 1)})[:3]}
+	for i, b := range cases {
+		if _, err := Decode(b); err == nil {
+			t.Errorf("case %d: Decode succeeded on garbage", i)
+		}
+	}
+	// Trailing bytes must be rejected.
+	good := Encode(Record{Type: RecAborted, RID: rid(1, 1)})
+	if _, err := Decode(append(good, 0)); err == nil {
+		t.Error("Decode accepted trailing bytes")
+	}
+}
+
+func TestLogAppendScan(t *testing.T) {
+	st := stablestore.New(0)
+	l := New(st)
+	l.Append(Record{Type: RecSnapshot, Writes: []kv.Write{{Key: "k", Val: []byte("0")}}}, false)
+	l.Append(Record{Type: RecPrepared, RID: rid(1, 1), Writes: []kv.Write{{Key: "k", Val: []byte("1")}}}, true)
+	l.Append(Record{Type: RecCommitted, RID: rid(1, 1)}, true)
+	if l.Len() != 3 {
+		t.Fatalf("Len = %d", l.Len())
+	}
+	rv, err := l.Scan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rv.InDoubt) != 0 {
+		t.Fatalf("InDoubt = %v, want none", rv.InDoubt)
+	}
+	if !rv.Committed[rid(1, 1)] {
+		t.Fatal("commit record lost")
+	}
+	// Image = snapshot then committed write-set.
+	if len(rv.Image) != 2 || string(rv.Image[1].Val) != "1" {
+		t.Fatalf("Image = %v", rv.Image)
+	}
+}
+
+func TestScanFindsInDoubtBranches(t *testing.T) {
+	st := stablestore.New(0)
+	l := New(st)
+	l.Append(Record{Type: RecPrepared, RID: rid(1, 1), Writes: []kv.Write{{Key: "a", Val: []byte("1")}}}, true)
+	l.Append(Record{Type: RecPrepared, RID: rid(2, 1), Writes: []kv.Write{{Key: "b", Val: []byte("2")}}}, true)
+	l.Append(Record{Type: RecAborted, RID: rid(2, 1)}, false)
+	rv, err := l.Scan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rv.InDoubt) != 1 {
+		t.Fatalf("InDoubt = %v, want exactly the undecided branch", rv.InDoubt)
+	}
+	ws, ok := rv.InDoubt[rid(1, 1)]
+	if !ok || len(ws) != 1 || ws[0].Key != "a" {
+		t.Fatalf("in-doubt branch lost its write-set: %v", rv.InDoubt)
+	}
+	if !rv.Aborted[rid(2, 1)] {
+		t.Fatal("aborted branch not recorded")
+	}
+	// Aborted writes must not reach the image.
+	for _, w := range rv.Image {
+		if w.Key == "b" {
+			t.Fatal("aborted write leaked into the image")
+		}
+	}
+}
+
+func TestScanSurvivesCrashRecoveryCycle(t *testing.T) {
+	// Simulate: prepare, crash, recover (scan), commit, crash, recover.
+	st := stablestore.New(0)
+	l1 := New(st)
+	l1.Append(Record{Type: RecSnapshot, Writes: []kv.Write{{Key: "acct", Val: kv.EncodeInt(100)}}}, false)
+	l1.Append(Record{Type: RecPrepared, RID: rid(1, 1), Writes: []kv.Write{{Key: "acct", Val: kv.EncodeInt(90)}}}, true)
+	// Crash: new Log over the same store.
+	l2 := New(st)
+	rv, err := l2.Scan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := rv.InDoubt[rid(1, 1)]; !ok {
+		t.Fatal("prepared branch lost across crash")
+	}
+	l2.Append(Record{Type: RecCommitted, RID: rid(1, 1)}, true)
+	// Second crash.
+	l3 := New(st)
+	rv, err = l3.Scan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rv.InDoubt) != 0 {
+		t.Fatal("committed branch still in doubt after second recovery")
+	}
+	var acct []byte
+	for _, w := range rv.Image {
+		if w.Key == "acct" {
+			acct = w.Val
+		}
+	}
+	v, err := kv.DecodeInt(acct)
+	if err != nil || v != 90 {
+		t.Fatalf("recovered balance = %d (%v), want 90", v, err)
+	}
+}
+
+func TestRecTypeStrings(t *testing.T) {
+	for _, tt := range []struct {
+		t    RecType
+		want string
+	}{
+		{RecSnapshot, "snapshot"}, {RecPrepared, "prepared"},
+		{RecCommitted, "committed"}, {RecAborted, "aborted"}, {RecType(9), "rectype(9)"},
+	} {
+		if got := tt.t.String(); got != tt.want {
+			t.Errorf("String() = %q, want %q", got, tt.want)
+		}
+	}
+}

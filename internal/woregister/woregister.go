@@ -1,0 +1,168 @@
+// Package woregister implements the paper's write-once registers
+// (Section 4): consensus-like abstractions "that capture the nice intuition
+// of CD-ROMs — they can be written once but read several times".
+//
+// One Registers value runs on each application server, layered on that
+// server's consensus node, exactly as the paper prescribes: "every
+// application server would have a copy of the register ... writing a value
+// comes down to proposing that value for the consensus protocol; to read a
+// value, a process simply returns the decision value received from the
+// consensus protocol, if any, and returns ⊥ if no consensus has been
+// triggered".
+//
+// Two register arrays exist, keyed by try (ResultID): regA[j] holds the
+// identity of the application server executing try j, and regD[j] holds the
+// decision (result, outcome) of try j.
+package woregister
+
+import (
+	"context"
+	"encoding/binary"
+	"fmt"
+
+	"etx/internal/consensus"
+	"etx/internal/id"
+	"etx/internal/msg"
+)
+
+// Registers is the pair of wo-register arrays of one application server.
+type Registers struct {
+	node *consensus.Node
+}
+
+// New layers the register arrays over a consensus node.
+func New(node *consensus.Node) *Registers {
+	return &Registers{node: node}
+}
+
+// WriteA writes who into regA[rid]. Per wo-register semantics the returned
+// value is the value actually in the register: who if this write won the
+// race, or the previously written server otherwise.
+func (r *Registers) WriteA(ctx context.Context, rid id.ResultID, who id.NodeID) (id.NodeID, error) {
+	key := msg.RegKey{Array: msg.RegA, RID: rid}
+	raw, err := r.node.Propose(ctx, key, EncodeNode(who))
+	if err != nil {
+		return id.NodeID{}, fmt.Errorf("woregister: write %s: %w", key, err)
+	}
+	winner, err := DecodeNode(raw)
+	if err != nil {
+		return id.NodeID{}, fmt.Errorf("woregister: corrupt %s: %w", key, err)
+	}
+	return winner, nil
+}
+
+// ReadA reads regA[rid]; ok is false when the register is still ⊥.
+// The read is weak, as in the paper: it may lag a write performed elsewhere,
+// but repeated reads eventually observe it.
+func (r *Registers) ReadA(rid id.ResultID) (id.NodeID, bool) {
+	raw, ok := r.node.Decided(msg.RegKey{Array: msg.RegA, RID: rid})
+	if !ok {
+		return id.NodeID{}, false
+	}
+	n, err := DecodeNode(raw)
+	if err != nil {
+		return id.NodeID{}, false
+	}
+	return n, true
+}
+
+// WriteD writes dec into regD[rid] and returns the decision actually in the
+// register. The cleaning thread's regD[j].write(nil, abort) and the
+// executor's regD[j].write(result, outcome) race through here; consensus
+// arbitrates.
+func (r *Registers) WriteD(ctx context.Context, rid id.ResultID, dec msg.Decision) (msg.Decision, error) {
+	key := msg.RegKey{Array: msg.RegD, RID: rid}
+	raw, err := r.node.Propose(ctx, key, EncodeDecision(dec))
+	if err != nil {
+		return msg.Decision{}, fmt.Errorf("woregister: write %s: %w", key, err)
+	}
+	winner, err := DecodeDecision(raw)
+	if err != nil {
+		return msg.Decision{}, fmt.Errorf("woregister: corrupt %s: %w", key, err)
+	}
+	return winner, nil
+}
+
+// ReadD reads regD[rid]; ok is false when the register is still ⊥.
+func (r *Registers) ReadD(rid id.ResultID) (msg.Decision, bool) {
+	raw, ok := r.node.Decided(msg.RegKey{Array: msg.RegD, RID: rid})
+	if !ok {
+		return msg.Decision{}, false
+	}
+	d, err := DecodeDecision(raw)
+	if err != nil {
+		return msg.Decision{}, false
+	}
+	return d, true
+}
+
+// KnownTries returns every try for which this replica has seen regA activity
+// (a local or remote write, decided or in flight). The cleaning thread scans
+// this set in place of the paper's infinite register-array walk; the sets
+// coincide on every decided entry, which is all the paper's scan can act on.
+func (r *Registers) KnownTries() []id.ResultID {
+	keys := r.node.Keys()
+	out := make([]id.ResultID, 0, len(keys))
+	for _, k := range keys {
+		if k.Array == msg.RegA {
+			out = append(out, k.RID)
+		}
+	}
+	return out
+}
+
+// Retire discards both registers of a try (regA[rid] and regD[rid]),
+// implementing the paper's deferred garbage-collection concern. Callers must
+// guarantee the client will never retransmit the request again.
+func (r *Registers) Retire(rid id.ResultID) {
+	r.node.Forget(msg.RegKey{Array: msg.RegA, RID: rid})
+	r.node.Forget(msg.RegKey{Array: msg.RegD, RID: rid})
+}
+
+// --- value encodings ---------------------------------------------------
+
+// EncodeNode serializes a NodeID register value.
+func EncodeNode(n id.NodeID) []byte {
+	buf := make([]byte, 0, 1+binary.MaxVarintLen64)
+	buf = append(buf, byte(n.Role))
+	buf = binary.AppendVarint(buf, int64(n.Index))
+	return buf
+}
+
+// DecodeNode parses EncodeNode's output.
+func DecodeNode(b []byte) (id.NodeID, error) {
+	if len(b) < 2 {
+		return id.NodeID{}, fmt.Errorf("woregister: node value too short (%d bytes)", len(b))
+	}
+	role := id.Role(b[0])
+	idx, n := binary.Varint(b[1:])
+	if n <= 0 || 1+n != len(b) {
+		return id.NodeID{}, fmt.Errorf("woregister: malformed node value")
+	}
+	return id.NodeID{Role: role, Index: int(idx)}, nil
+}
+
+// EncodeDecision serializes a Decision register value.
+func EncodeDecision(d msg.Decision) []byte {
+	buf := make([]byte, 0, 1+len(d.Result))
+	buf = append(buf, byte(d.Outcome))
+	buf = append(buf, d.Result...)
+	return buf
+}
+
+// DecodeDecision parses EncodeDecision's output.
+func DecodeDecision(b []byte) (msg.Decision, error) {
+	if len(b) < 1 {
+		return msg.Decision{}, fmt.Errorf("woregister: decision value empty")
+	}
+	o := msg.Outcome(b[0])
+	if o != msg.OutcomeCommit && o != msg.OutcomeAbort {
+		return msg.Decision{}, fmt.Errorf("woregister: bad outcome byte %d", b[0])
+	}
+	var res []byte
+	if len(b) > 1 {
+		res = make([]byte, len(b)-1)
+		copy(res, b[1:])
+	}
+	return msg.Decision{Result: res, Outcome: o}, nil
+}

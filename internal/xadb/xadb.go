@@ -1,0 +1,500 @@
+// Package xadb implements the database-server engine of the paper's model: a
+// stateful, autonomous resource exposing the transaction-commitment subset of
+// the XA interface — vote() (XA prepare) and decide() (XA commit/abort) — plus
+// the data operations the business logic runs inside a transaction branch.
+//
+// The engine honours the paper's decide() contract exactly:
+//
+//	(a) if the input value is abort, the returned value is abort;
+//	(b) if the server voted yes for the result and the input is commit, the
+//	    returned value is commit.
+//
+// Durability model: a yes vote forces a Prepared record (with the branch's
+// write-set) to the WAL, so in-doubt branches survive crashes and a later
+// Decide(commit) is honoured across recoveries — the property the paper's
+// "good database servers" assumption leans on. Commits force a Committed
+// record; aborts are presumed (lazy record).
+//
+// Each recovery bumps a persisted incarnation number. Application servers pin
+// the incarnation they first executed against and treat a mismatch as a
+// broken database connection (the paper's Section 5 failure-detection scheme
+// between the middle tier and the databases), ensuring a crash that loses
+// unprepared work aborts the try instead of committing a hole.
+package xadb
+
+import (
+	"context"
+	"encoding/binary"
+	"fmt"
+	"sync"
+	"time"
+
+	"etx/internal/id"
+	"etx/internal/kv"
+	"etx/internal/lockmgr"
+	"etx/internal/msg"
+	"etx/internal/spin"
+	"etx/internal/stablestore"
+	"etx/internal/wal"
+)
+
+// incarnationKey is the stablestore key holding the incarnation counter.
+const incarnationKey = "xadb/incarnation"
+
+// Config parameterizes an Engine.
+type Config struct {
+	// Self identifies the database server (used in errors only).
+	Self id.NodeID
+	// LockTimeout bounds each lock wait; expiry poisons the branch
+	// (deadlock resolution by abort-and-retry). Defaults to 250ms.
+	LockTimeout time.Duration
+}
+
+// BranchStatus is the lifecycle state of a transaction branch.
+type BranchStatus uint8
+
+// Branch states.
+const (
+	StatusActive BranchStatus = iota + 1
+	StatusPrepared
+	StatusCommitted
+	StatusAborted
+)
+
+// String returns the status mnemonic.
+func (s BranchStatus) String() string {
+	switch s {
+	case StatusActive:
+		return "active"
+	case StatusPrepared:
+		return "prepared"
+	case StatusCommitted:
+		return "committed"
+	case StatusAborted:
+		return "aborted"
+	default:
+		return fmt.Sprintf("status(%d)", uint8(s))
+	}
+}
+
+// Engine is one database server's transactional core.
+type Engine struct {
+	cfg   Config
+	st    *stablestore.Store
+	log   *wal.Log
+	store *kv.Store
+	locks *lockmgr.Manager
+	inc   uint64
+
+	mu       sync.Mutex
+	branches map[id.ResultID]*branch
+	outcomes map[id.ResultID]msg.Outcome
+}
+
+type branch struct {
+	mu       sync.Mutex
+	rid      id.ResultID
+	status   BranchStatus
+	poisoned bool
+	reason   string
+	writes   []kv.Write
+	wIdx     map[string]int // key -> index into writes (read-your-writes)
+}
+
+// Open starts an engine over st, running crash recovery: the store image is
+// rebuilt from the WAL, in-doubt (prepared, undecided) branches are restored
+// with their locks re-acquired, and the incarnation counter is bumped.
+func Open(st *stablestore.Store, cfg Config) (*Engine, error) {
+	if cfg.LockTimeout <= 0 {
+		cfg.LockTimeout = 250 * time.Millisecond
+	}
+	e := &Engine{
+		cfg:      cfg,
+		st:       st,
+		log:      wal.New(st),
+		store:    kv.New(),
+		locks:    lockmgr.New(),
+		branches: make(map[id.ResultID]*branch),
+		outcomes: make(map[id.ResultID]msg.Outcome),
+	}
+
+	// Incarnation: read, bump, persist.
+	if raw, ok := st.Get(incarnationKey); ok && len(raw) == 8 {
+		e.inc = binary.BigEndian.Uint64(raw)
+	}
+	e.inc++
+	var buf [8]byte
+	binary.BigEndian.PutUint64(buf[:], e.inc)
+	st.Put(incarnationKey, buf[:])
+
+	// Replay the WAL.
+	rv, err := e.log.Scan()
+	if err != nil {
+		return nil, fmt.Errorf("xadb: recovery scan: %w", err)
+	}
+	e.store.Apply(rv.Image)
+	for rid := range rv.Committed {
+		e.outcomes[rid] = msg.OutcomeCommit
+	}
+	for rid := range rv.Aborted {
+		e.outcomes[rid] = msg.OutcomeAbort
+	}
+	for rid, ws := range rv.InDoubt {
+		b := &branch{rid: rid, status: StatusPrepared, writes: ws, wIdx: make(map[string]int, len(ws))}
+		for i, w := range ws {
+			b.wIdx[w.Key] = i
+			// Locks are re-acquired on a fresh lock table: cannot block.
+			if err := e.locks.Acquire(context.Background(), rid, w.Key, lockmgr.Exclusive); err != nil {
+				return nil, fmt.Errorf("xadb: relock in-doubt branch %s: %w", rid, err)
+			}
+		}
+		e.branches[rid] = b
+	}
+	return e, nil
+}
+
+// Incarnation returns this engine's incarnation (1 on first boot, +1 per
+// recovery).
+func (e *Engine) Incarnation() uint64 { return e.inc }
+
+// Store exposes the live data image (read-only use: tests, seeding checks).
+func (e *Engine) Store() *kv.Store { return e.store }
+
+// StableStore exposes the underlying stable storage (metrics).
+func (e *Engine) StableStore() *stablestore.Store { return e.st }
+
+// Seed atomically installs initial data as a committed snapshot, bypassing
+// transaction machinery (initial database population).
+func (e *Engine) Seed(ws []kv.Write) {
+	e.log.Append(wal.Record{Type: wal.RecSnapshot, Writes: e.seedImage(ws)}, true)
+	e.store.Apply(ws)
+}
+
+// seedImage merges the current image with ws so repeated seeding keeps the
+// snapshot record self-contained.
+func (e *Engine) seedImage(ws []kv.Write) []kv.Write {
+	img := e.store.Snapshot()
+	img = append(img, ws...)
+	return img
+}
+
+// InDoubt returns the RIDs of branches that are prepared but undecided.
+func (e *Engine) InDoubt() []id.ResultID {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	var out []id.ResultID
+	for rid, b := range e.branches {
+		b.mu.Lock()
+		if b.status == StatusPrepared {
+			out = append(out, rid)
+		}
+		b.mu.Unlock()
+	}
+	return out
+}
+
+// BranchStatus reports the state of a branch: recorded outcome first, then
+// live branch state; ok is false for unknown branches.
+func (e *Engine) BranchStatus(rid id.ResultID) (BranchStatus, bool) {
+	e.mu.Lock()
+	if o, ok := e.outcomes[rid]; ok {
+		e.mu.Unlock()
+		if o == msg.OutcomeCommit {
+			return StatusCommitted, true
+		}
+		return StatusAborted, true
+	}
+	b, ok := e.branches[rid]
+	e.mu.Unlock()
+	if !ok {
+		return 0, false
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.status, true
+}
+
+// getBranch returns the live branch for rid, creating it if create is set and
+// no outcome has been recorded. The bool reports whether an outcome already
+// exists (branch finished).
+func (e *Engine) getBranch(rid id.ResultID, create bool) (*branch, msg.Outcome, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if o, done := e.outcomes[rid]; done {
+		return nil, o, true
+	}
+	b, ok := e.branches[rid]
+	if !ok && create {
+		b = &branch{rid: rid, status: StatusActive, wIdx: make(map[string]int)}
+		e.branches[rid] = b
+	}
+	return b, 0, false
+}
+
+// Exec runs one data operation inside the branch of rid, creating the branch
+// on first use. Lock waits are bounded by Config.LockTimeout; a timeout
+// poisons the branch so it will vote no.
+func (e *Engine) Exec(ctx context.Context, rid id.ResultID, op msg.Op) msg.OpResult {
+	b, outcome, done := e.getBranch(rid, true)
+	if done {
+		return msg.OpResult{OK: false, Err: fmt.Sprintf("branch already %s", outcome)}
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.status {
+	case StatusPrepared:
+		return msg.OpResult{OK: false, Err: "branch already prepared"}
+	case StatusCommitted, StatusAborted:
+		return msg.OpResult{OK: false, Err: fmt.Sprintf("branch already %s", b.status)}
+	}
+
+	lockCtx, cancel := context.WithTimeout(ctx, e.cfg.LockTimeout)
+	defer cancel()
+
+	acquire := func(key string, mode lockmgr.Mode) bool {
+		if err := e.locks.Acquire(lockCtx, rid, key, mode); err != nil {
+			b.poisoned = true
+			b.reason = err.Error()
+			return false
+		}
+		return true
+	}
+
+	switch op.Code {
+	case msg.OpGet:
+		if !acquire(op.Key, lockmgr.Shared) {
+			return msg.OpResult{OK: false, Err: b.reason}
+		}
+		val, num := b.read(e.store, op.Key)
+		return msg.OpResult{Val: val, Num: num, OK: true}
+
+	case msg.OpPut:
+		if !acquire(op.Key, lockmgr.Exclusive) {
+			return msg.OpResult{OK: false, Err: b.reason}
+		}
+		b.write(op.Key, op.Val)
+		return msg.OpResult{OK: true}
+
+	case msg.OpAdd:
+		if !acquire(op.Key, lockmgr.Exclusive) {
+			return msg.OpResult{OK: false, Err: b.reason}
+		}
+		_, cur := b.read(e.store, op.Key)
+		next := cur + op.Delta
+		b.write(op.Key, kv.EncodeInt(next))
+		return msg.OpResult{Num: next, OK: true}
+
+	case msg.OpCheckGE:
+		if !acquire(op.Key, lockmgr.Shared) {
+			return msg.OpResult{OK: false, Err: b.reason}
+		}
+		_, cur := b.read(e.store, op.Key)
+		if cur < op.Delta {
+			b.poisoned = true
+			b.reason = fmt.Sprintf("check failed: %s=%d < %d", op.Key, cur, op.Delta)
+			return msg.OpResult{Num: cur, OK: false, Err: b.reason}
+		}
+		return msg.OpResult{Num: cur, OK: true}
+
+	case msg.OpSleep:
+		// Simulated data-manipulation work (the cost model's "SQL" row).
+		// spin.Sleep keeps scaled-down costs precise; cancellation is not
+		// needed because the duration is bounded by the cost model.
+		spin.Sleep(time.Duration(op.Delta))
+		return msg.OpResult{OK: true}
+
+	default:
+		return msg.OpResult{OK: false, Err: fmt.Sprintf("unknown op %d", op.Code)}
+	}
+}
+
+// read returns the branch-visible value of key: its own pending write if any,
+// else the committed store value. num is the integer interpretation (0 when
+// absent or non-integer).
+func (b *branch) read(store *kv.Store, key string) (val []byte, num int64) {
+	if i, ok := b.wIdx[key]; ok {
+		val = b.writes[i].Val
+	} else if v, ok := store.Get(key); ok {
+		val = v
+	}
+	if len(val) == 8 {
+		if n, err := kv.DecodeInt(val); err == nil {
+			num = n
+		}
+	}
+	return val, num
+}
+
+func (b *branch) write(key string, val []byte) {
+	cp := make([]byte, len(val))
+	copy(cp, val)
+	if i, ok := b.wIdx[key]; ok {
+		b.writes[i].Val = cp
+		return
+	}
+	b.wIdx[key] = len(b.writes)
+	b.writes = append(b.writes, kv.Write{Key: key, Val: cp})
+}
+
+// Vote implements the paper's vote() primitive (XA prepare). A yes vote
+// forces the branch's write-set to the WAL first. Voting on an unknown
+// branch prepares an empty branch and votes yes (this server was simply not
+// touched by the try). Poisoned branches vote no and abort immediately.
+func (e *Engine) Vote(rid id.ResultID) msg.Vote {
+	b, outcome, done := e.getBranch(rid, true)
+	if done {
+		if outcome == msg.OutcomeCommit {
+			return msg.VoteYes
+		}
+		return msg.VoteNo
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.status {
+	case StatusPrepared, StatusCommitted:
+		return msg.VoteYes
+	case StatusAborted:
+		return msg.VoteNo
+	}
+	if b.poisoned {
+		e.abortLocked(b)
+		return msg.VoteNo
+	}
+	e.log.Append(wal.Record{Type: wal.RecPrepared, RID: rid, Writes: b.writes}, true)
+	b.status = StatusPrepared
+	return msg.VoteYes
+}
+
+// Decide implements the paper's decide() primitive. It is idempotent: a
+// branch already decided returns its recorded outcome. Decide(commit) on a
+// branch that never voted yes returns abort, which the decide() contract
+// permits and safety requires.
+func (e *Engine) Decide(rid id.ResultID, outcome msg.Outcome) msg.Outcome {
+	b, prev, done := e.getBranch(rid, false)
+	if done {
+		return prev
+	}
+	if b == nil {
+		// Unknown branch. Abort is trivially recordable; commit of a branch
+		// this server never prepared applies nothing (the protocol's
+		// incarnation checks ensure no data was lost).
+		e.recordOutcome(rid, outcome)
+		if outcome == msg.OutcomeAbort {
+			e.log.Append(wal.Record{Type: wal.RecAborted, RID: rid}, false)
+		} else {
+			e.log.Append(wal.Record{Type: wal.RecCommitted, RID: rid}, true)
+		}
+		return outcome
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.status {
+	case StatusCommitted:
+		return msg.OutcomeCommit
+	case StatusAborted:
+		return msg.OutcomeAbort
+	}
+	if outcome == msg.OutcomeAbort || b.status != StatusPrepared {
+		// (a) abort in -> abort out; also commit of an unprepared branch
+		// degrades to abort (no yes vote was ever given).
+		e.abortLocked(b)
+		return msg.OutcomeAbort
+	}
+	// Prepared + commit: apply the write-set, force the commit record.
+	e.log.Append(wal.Record{Type: wal.RecCommitted, RID: rid}, true)
+	e.store.Apply(b.writes)
+	b.status = StatusCommitted
+	e.locks.ReleaseAll(rid)
+	e.finishBranch(b, msg.OutcomeCommit)
+	return msg.OutcomeCommit
+}
+
+// CommitDirect is single-phase commit for the unreliable baseline protocol
+// (Figure 7a): no vote, no prepared record — just apply and force the commit
+// record, like auto-commit against a single database. Poisoned branches
+// abort.
+func (e *Engine) CommitDirect(rid id.ResultID) msg.Outcome {
+	b, prev, done := e.getBranch(rid, false)
+	if done {
+		return prev
+	}
+	if b == nil {
+		e.recordOutcome(rid, msg.OutcomeCommit)
+		e.log.Append(wal.Record{Type: wal.RecCommitted, RID: rid}, true)
+		return msg.OutcomeCommit
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.poisoned || b.status != StatusActive {
+		e.abortLocked(b)
+		return msg.OutcomeAbort
+	}
+	// Single-phase: the write-set rides inside a prepared+committed pair so
+	// recovery replays it.
+	e.log.Append(wal.Record{Type: wal.RecPrepared, RID: rid, Writes: b.writes}, false)
+	e.log.Append(wal.Record{Type: wal.RecCommitted, RID: rid}, true)
+	e.store.Apply(b.writes)
+	b.status = StatusCommitted
+	e.locks.ReleaseAll(rid)
+	e.finishBranch(b, msg.OutcomeCommit)
+	return msg.OutcomeCommit
+}
+
+// abortLocked finishes b as aborted: locks released, lazy abort record.
+// Caller holds b.mu.
+func (e *Engine) abortLocked(b *branch) {
+	b.status = StatusAborted
+	e.log.Append(wal.Record{Type: wal.RecAborted, RID: b.rid}, false)
+	e.locks.ReleaseAll(b.rid)
+	e.finishBranch(b, msg.OutcomeAbort)
+}
+
+// finishBranch records the outcome and drops the live branch. Caller holds
+// b.mu.
+func (e *Engine) finishBranch(b *branch, o msg.Outcome) {
+	e.mu.Lock()
+	e.outcomes[b.rid] = o
+	delete(e.branches, b.rid)
+	e.mu.Unlock()
+}
+
+func (e *Engine) recordOutcome(rid id.ResultID, o msg.Outcome) {
+	e.mu.Lock()
+	e.outcomes[rid] = o
+	e.mu.Unlock()
+}
+
+// Outcomes returns a snapshot of every decided branch and its outcome
+// (correctness oracles: properties A.2 and A.3 are asserted over these).
+func (e *Engine) Outcomes() map[id.ResultID]msg.Outcome {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make(map[id.ResultID]msg.Outcome, len(e.outcomes))
+	for rid, o := range e.outcomes {
+		out[rid] = o
+	}
+	return out
+}
+
+// AbortExpired aborts every active (unprepared) branch older than the given
+// status — exposed for future lock-reaping policies; the protocol itself
+// aborts stale tries through the cleaning thread, so this is a safety net
+// used by tests.
+func (e *Engine) AbortActiveBranches() int {
+	e.mu.Lock()
+	var stale []*branch
+	for _, b := range e.branches {
+		stale = append(stale, b)
+	}
+	e.mu.Unlock()
+	n := 0
+	for _, b := range stale {
+		b.mu.Lock()
+		if b.status == StatusActive {
+			e.abortLocked(b)
+			n++
+		}
+		b.mu.Unlock()
+	}
+	return n
+}
