@@ -10,6 +10,7 @@ package etx_test
 import (
 	"context"
 	"fmt"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -226,6 +227,60 @@ func BenchmarkLockManager_AcquireRelease(b *testing.B) {
 }
 
 // --- end-to-end throughput over the public API --------------------------------
+
+// benchmarkPipelined pushes b.N requests through `clients` client handles
+// with `inflight` worker goroutines per handle, so the 1×K and K×1 shapes
+// are directly comparable: same deployment, same total work, different
+// multiplexing. The speedup of 1×K over 1×1 measures what concurrent
+// pipelining on a single handle buys.
+func benchmarkPipelined(b *testing.B, clients, inflight int) {
+	c, err := etx.New(etx.Config{
+		Clients: clients,
+		Workers: clients * inflight,
+		Seed:    map[string]int64{"acct/a": 1 << 40},
+		Logic: func(ctx context.Context, tx *etx.Tx, req []byte) ([]byte, error) {
+			_, err := tx.Add(ctx, 0, "acct/a", -1)
+			return []byte("ok"), err
+		},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer c.Close()
+	ctx := context.Background()
+	for i := 1; i <= clients; i++ {
+		if _, err := c.Client(i).Issue(ctx, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+	var next atomic.Int64
+	b.ResetTimer()
+	var wg sync.WaitGroup
+	for i := 1; i <= clients; i++ {
+		cl := c.Client(i)
+		for w := 0; w < inflight; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for next.Add(1) <= int64(b.N) {
+					if _, err := cl.Issue(ctx, nil); err != nil {
+						b.Error(err)
+						return
+					}
+				}
+			}()
+		}
+	}
+	wg.Wait()
+	b.StopTimer()
+	if err := c.CheckInvariants(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+func BenchmarkPipelined_1Client1InFlight(b *testing.B)   { benchmarkPipelined(b, 1, 1) }
+func BenchmarkPipelined_1Client16InFlight(b *testing.B)  { benchmarkPipelined(b, 1, 16) }
+func BenchmarkPipelined_16Clients1InFlight(b *testing.B) { benchmarkPipelined(b, 16, 1) }
 
 func BenchmarkThroughput_PublicAPI(b *testing.B) {
 	c, err := etx.New(etx.Config{

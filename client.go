@@ -1,0 +1,184 @@
+package etx
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"etx/internal/core"
+	"etx/internal/id"
+	"etx/internal/rchan"
+	"etx/internal/transport"
+	"etx/internal/transport/tcptransport"
+)
+
+// Client is a first-class, transport-agnostic handle on one client process of
+// the deployment. The same type fronts both deployment styles: obtain one
+// with Cluster.Client for the in-process simulation, or with Dial for a
+// multi-process TCP deployment.
+//
+// A Client is safe for concurrent use: any number of goroutines may pipeline
+// requests through it simultaneously via Issue, IssueAsync, or IssueBatch.
+// Each request runs its own instance of the paper's retry/backoff/rebroadcast
+// state machine, keyed by its sequence number, and commits exactly once.
+type Client struct {
+	inner *core.Client
+	ep    transport.Endpoint // owned transport (Dial); nil for cluster handles
+	tcp   *tcptransport.Endpoint
+	owned bool
+
+	closeOnce sync.Once
+	closeErr  error
+}
+
+// Issue submits a request and blocks until the committed result is delivered
+// — the paper's issue() primitive. Internally the request may go through
+// several aborted tries; exactly one ever commits. Cancelling ctx models a
+// client crash: the request then executes at most once and all database
+// resources are eventually released.
+func (c *Client) Issue(ctx context.Context, request []byte) ([]byte, error) {
+	return c.inner.Issue(ctx, request)
+}
+
+// IssueAsync submits a request without waiting and returns a Future that
+// resolves when the committed result arrives, ctx is cancelled, or the client
+// is closed. Cancelling ctx releases the request's in-flight slot.
+func (c *Client) IssueAsync(ctx context.Context, request []byte) (*Future, error) {
+	f, err := c.inner.IssueAsync(ctx, request)
+	if err != nil {
+		return nil, err
+	}
+	return &Future{inner: f}, nil
+}
+
+// IssueBatch pipelines all requests concurrently and blocks until every one
+// has resolved. Results are positional; the first error encountered is
+// returned and failed positions hold nil.
+func (c *Client) IssueBatch(ctx context.Context, requests [][]byte) ([][]byte, error) {
+	return c.inner.IssueBatch(ctx, requests)
+}
+
+// InFlight returns the number of currently outstanding requests.
+func (c *Client) InFlight() int { return c.inner.InFlight() }
+
+// Addr returns the client's bound listen address for dialed clients (useful
+// with ":0": pass it to the servers' -clients address book). It returns ""
+// for in-process cluster handles.
+func (c *Client) Addr() string {
+	if c.tcp == nil {
+		return ""
+	}
+	return c.tcp.Addr()
+}
+
+// Close releases the handle. For dialed clients it stops the client process
+// and closes its transport; in-flight requests fail. For handles obtained
+// from Cluster.Client it is a no-op — the cluster owns the client's
+// lifecycle.
+func (c *Client) Close() error {
+	c.closeOnce.Do(func() {
+		if !c.owned {
+			return
+		}
+		c.inner.Stop()
+		if c.ep != nil {
+			c.closeErr = c.ep.Close()
+		}
+	})
+	return c.closeErr
+}
+
+// Future is the handle of one asynchronous Issue. It resolves exactly once.
+type Future struct {
+	inner *core.Future
+}
+
+// Done is closed when the future has resolved.
+func (f *Future) Done() <-chan struct{} { return f.inner.Done() }
+
+// Result blocks until the future resolves and returns the committed result.
+func (f *Future) Result() ([]byte, error) { return f.inner.Result() }
+
+// Wait is Result with a context escape hatch: it returns ctx.Err() if ctx is
+// done first. The underlying request keeps running under the context it was
+// issued with.
+func (f *Future) Wait(ctx context.Context) ([]byte, error) { return f.inner.Wait(ctx) }
+
+// DialConfig describes how to connect a client to a running TCP deployment
+// (the cmd/etxappserver + cmd/etxdbserver binaries).
+type DialConfig struct {
+	// ID is this client's 1-based index (default 1). It must match the
+	// entry for this client in the servers' -clients address book. The
+	// deployment's exactly-once state is keyed by (ID, sequence number);
+	// Dial derives each process's sequence base from the wall clock, so
+	// restarting a client under the same ID is safe for new work as long
+	// as incarnations don't run concurrently.
+	ID int
+	// Listen is the local address results arrive on (default ":0"; read the
+	// chosen port back with Client.Addr).
+	Listen string
+	// AppServers is the middle tier's address book,
+	// e.g. "1=host:port,2=host:port,3=host:port". Required; entry 1 is the
+	// default primary.
+	AppServers string
+	// Backoff is how long to wait for the primary before broadcasting a
+	// request to all application servers (default 150ms); Rebroadcast is
+	// the re-broadcast interval after that (default Backoff).
+	Backoff     time.Duration
+	Rebroadcast time.Duration
+	// Retransmit is the reliable-channel resend period layered over TCP
+	// (default 100ms).
+	Retransmit time.Duration
+	// MaxInFlight caps concurrently outstanding requests; Issue and
+	// IssueAsync block for a slot when it is reached. 0 means unlimited.
+	MaxInFlight int
+}
+
+// Dial connects a Client to a TCP deployment. The returned handle speaks the
+// same concurrent, pipelined API as in-process cluster handles; Close it when
+// done.
+func Dial(cfg DialConfig) (*Client, error) {
+	if cfg.ID <= 0 {
+		cfg.ID = 1
+	}
+	if cfg.Listen == "" {
+		cfg.Listen = ":0"
+	}
+	if cfg.Retransmit <= 0 {
+		cfg.Retransmit = 100 * time.Millisecond
+	}
+	apps, err := tcptransport.ParsePeers(id.RoleAppServer, cfg.AppServers)
+	if err != nil {
+		return nil, fmt.Errorf("etx: dial: %w", err)
+	}
+	if len(apps) == 0 {
+		return nil, errors.New("etx: dial: AppServers address book is required")
+	}
+	self := id.Client(cfg.ID)
+	tep, err := tcptransport.Listen(tcptransport.Config{Self: self, Listen: cfg.Listen, Peers: apps})
+	if err != nil {
+		return nil, fmt.Errorf("etx: dial: %w", err)
+	}
+	rep := rchan.Wrap(tep, cfg.Retransmit)
+	inner, err := core.NewClient(core.ClientConfig{
+		Self:        self,
+		AppServers:  tcptransport.SortedPeers(apps),
+		Endpoint:    rep,
+		Backoff:     cfg.Backoff,
+		Rebroadcast: cfg.Rebroadcast,
+		MaxInFlight: cfg.MaxInFlight,
+		// A fresh sequence space per incarnation: reusing an ID across
+		// restarts must not replay the old incarnation's cached results.
+		SeqBase: uint64(time.Now().UnixNano()),
+		// Dialed clients run unbounded workloads; the delivery log exists
+		// for the in-process oracle and would grow forever here.
+		DiscardDeliveries: true,
+	})
+	if err != nil {
+		rep.Close()
+		return nil, fmt.Errorf("etx: dial: %w", err)
+	}
+	return &Client{inner: inner, ep: rep, tcp: tep, owned: true}, nil
+}

@@ -4,9 +4,9 @@
 // Example three-server deployment (one database, one client):
 //
 //	etxdbserver  -id 1 -listen :7201 -appservers "1=:7101,2=:7102,3=:7103" -data db1.journal &
-//	etxappserver -id 1 -listen :7101 -appservers "1=:7101,2=:7102,3=:7103" -dbservers "1=:7201" &
-//	etxappserver -id 2 -listen :7102 -appservers "1=:7101,2=:7102,3=:7103" -dbservers "1=:7201" &
-//	etxappserver -id 3 -listen :7103 -appservers "1=:7101,2=:7102,3=:7103" -dbservers "1=:7201" &
+//	etxappserver -id 1 -listen :7101 -appservers "1=:7101,2=:7102,3=:7103" -dbservers "1=:7201" -clients "1=:7301" &
+//	etxappserver -id 2 -listen :7102 -appservers "1=:7101,2=:7102,3=:7103" -dbservers "1=:7201" -clients "1=:7301" &
+//	etxappserver -id 3 -listen :7103 -appservers "1=:7101,2=:7102,3=:7103" -dbservers "1=:7201" -clients "1=:7301" &
 //	etxclient    -listen :7301 -appservers "1=:7101,2=:7102,3=:7103" -account alice -amount -10
 //
 // The built-in business logic is the paper's bank workload: the request
@@ -72,7 +72,9 @@ func run() error {
 	listen := flag.String("listen", ":7101", "listen address")
 	appSpec := flag.String("appservers", "", "address book, e.g. 1=:7101,2=:7102,3=:7103")
 	dbSpec := flag.String("dbservers", "", "address book, e.g. 1=:7201")
+	clSpec := flag.String("clients", "", "client address book, e.g. 1=:7301,2=:7302")
 	suspect := flag.Duration("suspect", 500*time.Millisecond, "failure-suspicion timeout")
+	workers := flag.Int("workers", 1, "compute threads (raise for pipelined clients)")
 	flag.Parse()
 
 	apps, err := tcptransport.ParsePeers(id.RoleAppServer, *appSpec)
@@ -83,21 +85,26 @@ func run() error {
 	if err != nil {
 		return err
 	}
+	clients, err := tcptransport.ParsePeers(id.RoleClient, *clSpec)
+	if err != nil {
+		return err
+	}
 	if len(apps) == 0 || len(dbs) == 0 {
 		return fmt.Errorf("need -appservers and -dbservers address books")
+	}
+	if len(clients) == 0 {
+		// Results to unknown peers are silently dropped (fair loss), so an
+		// empty book means clients hang until their deadlines. Warn loudly.
+		log.Printf("warning: no -clients address book; results cannot be delivered to any client")
 	}
 
 	self := id.AppServer(*idx)
 	ep, err := tcptransport.Listen(tcptransport.Config{
 		Self:   self,
 		Listen: *listen,
-		// Clients dial us; we answer to the From address book entries we
-		// know. Client addresses come per deployment convention: index i at
-		// the same host list is impossible to know statically, so clients
-		// must be reachable — pass them in -appservers style via env if
-		// needed; for the demo the client includes its address book entry
-		// below.
-		Peers: tcptransport.Merge(apps, dbs, clientBookFromEnv()),
+		// Results go back to the addresses in the -clients book; peers and
+		// databases come from theirs.
+		Peers: tcptransport.Merge(apps, dbs, clients),
 	})
 	if err != nil {
 		return err
@@ -106,11 +113,12 @@ func run() error {
 
 	srv, err := core.NewAppServer(core.AppServerConfig{
 		Self:           self,
-		AppServers:     sortedKeys(apps),
-		DataServers:    sortedKeys(dbs),
+		AppServers:     tcptransport.SortedPeers(apps),
+		DataServers:    tcptransport.SortedPeers(dbs),
 		Endpoint:       rchan.Wrap(ep, 100*time.Millisecond),
 		Logic:          bankLogic(),
 		SuspectTimeout: *suspect,
+		Workers:        *workers,
 	})
 	if err != nil {
 		return err
@@ -125,27 +133,4 @@ func run() error {
 	<-sig
 	log.Printf("appserver-%d shutting down", *idx)
 	return nil
-}
-
-// clientBookFromEnv reads ETX_CLIENTS ("1=host:port,...") so servers can
-// answer clients.
-func clientBookFromEnv() map[id.NodeID]string {
-	book, err := tcptransport.ParsePeers(id.RoleClient, os.Getenv("ETX_CLIENTS"))
-	if err != nil {
-		log.Printf("ignoring malformed ETX_CLIENTS: %v", err)
-		return nil
-	}
-	return book
-}
-
-func sortedKeys(m map[id.NodeID]string) []id.NodeID {
-	out := make([]id.NodeID, 0, len(m))
-	for i := 1; i <= len(m); i++ {
-		for k := range m {
-			if k.Index == i {
-				out = append(out, k)
-			}
-		}
-	}
-	return out
 }

@@ -14,6 +14,7 @@
 //	etxbench -exp suspicion          # false-suspicion robustness (PB vs AR)
 //	etxbench -exp woregister         # wo-register microbenchmark
 //	etxbench -exp gc                 # register garbage-collection ablation
+//	etxbench -exp pipeline           # pipelined-client throughput (1xK vs Kx1)
 //
 // -scale multiplies the paper's calibrated component costs: 1.0 reproduces
 // the paper's real-time latencies (a slow run), 0.05 keeps the ratios and
@@ -36,10 +37,11 @@ func main() {
 }
 
 func run() error {
-	exp := flag.String("exp", "all", "experiment: all|f8|f7|f1|failover|scaling|suspicion|woregister|patience|gc")
+	exp := flag.String("exp", "all", "experiment: all|f8|f7|f1|failover|scaling|suspicion|woregister|patience|gc|pipeline")
 	scale := flag.Float64("scale", 0.05, "cost-model scale (1.0 = the paper's real-time costs)")
 	requests := flag.Int("requests", 30, "requests per measured column")
 	runs := flag.Int("runs", 5, "runs per failure scenario")
+	inflight := flag.Int("inflight", 16, "pipelining depth K for -exp pipeline")
 	flag.Parse()
 
 	type experiment struct {
@@ -68,6 +70,7 @@ func run() error {
 		{"woregister", func() (fmt.Stringer, error) { return bench.RunWORegister(*scale, 3, *requests) }},
 		{"patience", func() (fmt.Stringer, error) { return bench.RunPatience(*scale, *runs) }},
 		{"gc", func() (fmt.Stringer, error) { return bench.RunGCAblation(5 * *runs * *runs) }},
+		{"pipeline", func() (fmt.Stringer, error) { return bench.RunPipeline(*scale, *requests, *inflight) }},
 	}
 
 	matched := false

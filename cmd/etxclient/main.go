@@ -1,8 +1,16 @@
-// Command etxclient issues one e-Transaction against a TCP deployment and
-// prints the exactly-once result. It keeps retrying behind the scenes (the
-// paper's client algorithm), so it can be started before the servers, pointed
-// at a crashed primary, or raced against failovers — the printed result is
-// committed exactly once regardless.
+// Command etxclient issues e-Transactions against a TCP deployment through
+// the public etx.Dial API and prints the exactly-once results. It keeps
+// retrying behind the scenes (the paper's client algorithm), so it can be
+// started before the servers, pointed at a crashed primary, or raced against
+// failovers — every printed result is committed exactly once regardless.
+//
+// With -inflight K > 1 the requests are pipelined: up to K are outstanding on
+// the single connection at once, which multiplies throughput without giving
+// up any of the exactly-once guarantees.
+//
+// The servers answer on the address given by -listen, so the deployment's
+// etxappserver processes must carry this client in their -clients address
+// book, e.g. -clients "1=:7301".
 package main
 
 import (
@@ -10,12 +18,11 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"sync"
+	"sync/atomic"
 	"time"
 
-	"etx/internal/core"
-	"etx/internal/id"
-	"etx/internal/rchan"
-	"etx/internal/transport/tcptransport"
+	"etx"
 )
 
 func main() {
@@ -25,55 +32,98 @@ func main() {
 }
 
 func run() error {
-	idx := flag.Int("id", 1, "client index (1-based)")
+	idx := flag.Int("id", 1, "client index (1-based; must match the servers' -clients book)")
 	listen := flag.String("listen", ":7301", "listen address (results arrive here)")
 	appSpec := flag.String("appservers", "", "address book, e.g. 1=:7101,2=:7102,3=:7103")
 	account := flag.String("account", "alice", "account to update")
 	amount := flag.Int64("amount", -10, "amount to add (negative = withdrawal)")
 	count := flag.Int("count", 1, "number of requests to issue")
+	inflight := flag.Int("inflight", 1, "maximum requests in flight at once (pipelining)")
 	timeout := flag.Duration("timeout", 60*time.Second, "per-request deadline")
 	flag.Parse()
 
-	apps, err := tcptransport.ParsePeers(id.RoleAppServer, *appSpec)
-	if err != nil {
-		return err
+	if *inflight < 1 {
+		*inflight = 1
 	}
-	if len(apps) == 0 {
-		return fmt.Errorf("need an -appservers address book")
-	}
-
-	self := id.Client(*idx)
-	ep, err := tcptransport.Listen(tcptransport.Config{Self: self, Listen: *listen, Peers: apps})
-	if err != nil {
-		return err
-	}
-	defer ep.Close()
-
-	var order []id.NodeID
-	for i := 1; i <= len(apps); i++ {
-		order = append(order, id.AppServer(i))
-	}
-	cl, err := core.NewClient(core.ClientConfig{
-		Self:       self,
-		AppServers: order,
-		Endpoint:   rchan.Wrap(ep, 100*time.Millisecond),
-		Backoff:    300 * time.Millisecond,
+	cl, err := etx.Dial(etx.DialConfig{
+		ID:          *idx,
+		Listen:      *listen,
+		AppServers:  *appSpec,
+		Backoff:     300 * time.Millisecond,
+		MaxInFlight: *inflight,
 	})
 	if err != nil {
 		return err
 	}
-	defer cl.Stop()
+	defer cl.Close()
 
-	for i := 0; i < *count; i++ {
-		ctx, cancel := context.WithTimeout(context.Background(), *timeout)
-		t0 := time.Now()
-		req := fmt.Sprintf("%s:%d", *account, *amount)
-		res, err := cl.Issue(ctx, []byte(req))
-		cancel()
-		if err != nil {
-			return fmt.Errorf("request %d: %w", i+1, err)
+	type outcome struct {
+		res    []byte
+		dur    time.Duration
+		err    error
+		issued bool
+	}
+	outcomes := make([]outcome, *count)
+	reqBody := []byte(fmt.Sprintf("%s:%d", *account, *amount))
+	// inflight workers pull request slots from a shared counter; after the
+	// first failure no new requests are started (in-flight ones finish), so
+	// a dead deployment costs one timeout, not count of them.
+	var failed atomic.Bool
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	t0 := time.Now()
+	for w := 0; w < *inflight; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= *count || failed.Load() {
+					return
+				}
+				ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+				start := time.Now()
+				res, err := cl.Issue(ctx, reqBody)
+				cancel()
+				outcomes[i] = outcome{res: res, dur: time.Since(start), err: err, issued: true}
+				if err != nil {
+					failed.Store(true)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(t0)
+
+	// Report every outcome before failing: requests racing an error may well
+	// have committed (exactly-once holds per request), and the user needs to
+	// know which transfers went through.
+	var firstErr error
+	issued := 0
+	for i, o := range outcomes {
+		switch {
+		case !o.issued:
+		case o.err != nil:
+			issued++
+			fmt.Printf("request %d -> ERROR: %v\n", i+1, o.err)
+			if firstErr == nil {
+				firstErr = fmt.Errorf("request %d: %w", i+1, o.err)
+			}
+		default:
+			issued++
+			fmt.Printf("request %d -> %s (%.1fms)\n", i+1, o.res, float64(o.dur)/1e6)
 		}
-		fmt.Printf("request %d -> %s (%.1fms)\n", i+1, res, float64(time.Since(t0))/1e6)
+	}
+	if issued < *count {
+		fmt.Printf("%d request(s) not issued (aborted after first failure)\n", *count-issued)
+	}
+	if firstErr != nil {
+		return firstErr
+	}
+	if *count > 1 {
+		fmt.Printf("%d requests in %.1fms (%.1f req/s, %d in flight)\n",
+			*count, float64(elapsed)/1e6, float64(*count)/elapsed.Seconds(), *inflight)
 	}
 	return nil
 }

@@ -79,7 +79,7 @@ func run() error {
 
 	srv, err := core.NewDataServer(core.DataServerConfig{
 		Self:       self,
-		AppServers: keys(apps),
+		AppServers: tcptransport.SortedPeers(apps),
 		Engine:     engine,
 		Endpoint:   rchan.Wrap(ep, 100*time.Millisecond),
 		Recovery:   recovery,
@@ -150,12 +150,4 @@ func parseInt(s string) (int64, error) {
 	var v int64
 	_, err := fmt.Sscanf(s, "%d", &v)
 	return v, err
-}
-
-func keys(m map[id.NodeID]string) []id.NodeID {
-	out := make([]id.NodeID, 0, len(m))
-	for k := range m {
-		out = append(out, k)
-	}
-	return out
 }

@@ -5,12 +5,25 @@
 // An e-Transaction executes exactly once despite crashes of application
 // servers, crashes and recoveries of database servers, client retries and
 // unreliable failure detection. The package assembles the full three-tier
-// architecture in process: replicated stateless application servers running
-// the paper's protocol over write-once registers (consensus), XA-style
-// transactional database engines with write-ahead logging and recovery, and
-// clients that retry behind the scenes until a committed result arrives.
+// architecture: replicated stateless application servers running the paper's
+// protocol over write-once registers (consensus), XA-style transactional
+// database engines with write-ahead logging and recovery, and clients that
+// retry behind the scenes until a committed result arrives.
 //
-// Quick start:
+// The unit of interaction is the Client handle, which is concurrent and
+// pipelined: any number of goroutines may have requests outstanding on one
+// handle at the same time (Issue blocks, IssueAsync returns a Future,
+// IssueBatch pipelines a slice), and every request commits exactly once. The
+// same handle fronts both deployment styles:
+//
+//   - In-process simulation: New assembles the whole three-tier deployment in
+//     one process and Cluster.Client hands out handles. Fault injection
+//     (CrashAppServer, CrashDBServer, RecoverDBServer) and the CheckInvariants
+//     oracle make this the right surface for tests and experiments.
+//   - Multi-process TCP: Dial connects a handle to the cmd/etxappserver and
+//     cmd/etxdbserver binaries over real sockets.
+//
+// Quick start (in-process):
 //
 //	c, err := etx.New(etx.Config{
 //		Seed: map[string]int64{"acct/alice": 100},
@@ -23,12 +36,19 @@
 //		},
 //	})
 //	...
-//	result, err := c.Issue(ctx, 1, []byte("withdraw"))
+//	cl := c.Client(1)
+//	result, err := cl.Issue(ctx, []byte("withdraw"))
 //
-// The result is delivered exactly once: if an application server crashes
-// mid-request the remaining replicas either finish its commitment or abort
-// the attempt and re-execute, without ever double-charging and without the
-// client's involvement.
+// Over TCP:
+//
+//	cl, err := etx.Dial(etx.DialConfig{AppServers: "1=:7101,2=:7102,3=:7103"})
+//	...
+//	result, err := cl.Issue(ctx, []byte("alice:-10"))
+//
+// Either way the result is delivered exactly once: if an application server
+// crashes mid-request the remaining replicas either finish its commitment or
+// abort the attempt and re-execute, without ever double-charging and without
+// the client's involvement.
 package etx
 
 import (
@@ -85,6 +105,14 @@ type Config struct {
 	// ClientBackoff is how long a client waits for the primary before
 	// broadcasting its request to all application servers (default 150ms).
 	ClientBackoff time.Duration
+	// MaxInFlight caps the number of concurrently outstanding requests per
+	// client; Issue and IssueAsync block for a slot when it is reached.
+	// 0 means unlimited.
+	MaxInFlight int
+	// Workers is the number of compute threads per application server
+	// (default 1, the paper's model). Raise it so pipelined clients get
+	// genuine middle-tier concurrency.
+	Workers int
 }
 
 // Cluster is a running three-tier deployment.
@@ -130,6 +158,8 @@ func New(cfg Config) (*Cluster, error) {
 		SuspectTimeout:    cfg.SuspicionTimeout,
 		ClientBackoff:     cfg.ClientBackoff,
 		ClientRebroadcast: cfg.ClientBackoff,
+		ClientMaxInFlight: cfg.MaxInFlight,
+		Workers:           cfg.Workers,
 		Logic: core.LogicFunc(func(ctx context.Context, tx *core.Tx, req []byte) ([]byte, error) {
 			return logic(ctx, &Tx{inner: tx}, req)
 		}),
@@ -143,13 +173,28 @@ func New(cfg Config) (*Cluster, error) {
 // Close tears the deployment down.
 func (c *Cluster) Close() { c.inner.Stop() }
 
+// Client returns a handle on the i-th client process (1-based), or nil if
+// unknown. The handle supports concurrent, pipelined requests; see Client.
+// The cluster owns the underlying process, so Close on the handle is a
+// no-op.
+func (c *Cluster) Client(i int) *Client {
+	cl := c.inner.Client(i)
+	if cl == nil {
+		return nil
+	}
+	return &Client{inner: cl}
+}
+
 // Issue submits a request on behalf of client (1-based) and blocks until the
 // committed result is delivered — the paper's issue() primitive. Internally
 // the request may go through several aborted tries; exactly one ever
 // commits. Cancelling ctx models a client crash: the request then executes
 // at most once and all database resources are eventually released.
+//
+// Issue is shorthand for Cluster.Client(client).Issue; the handle form also
+// offers IssueAsync and IssueBatch.
 func (c *Cluster) Issue(ctx context.Context, client int, request []byte) ([]byte, error) {
-	cl := c.inner.Client(client)
+	cl := c.Client(client)
 	if cl == nil {
 		return nil, fmt.Errorf("etx: unknown client %d", client)
 	}

@@ -67,18 +67,23 @@ func main() {
 		}
 	}()
 
+	// Every client pipelines its whole workload in one batch: all transfers
+	// are in flight concurrently on each handle, racing the crash/recovery
+	// above — and each still commits exactly once.
 	var wg sync.WaitGroup
-	for cl := 1; cl <= clients; cl++ {
-		cl := cl
+	for i := 1; i <= clients; i++ {
+		cl := c.Client(i)
 		wg.Add(1)
-		go func() {
+		go func(i int) {
 			defer wg.Done()
-			for i := 0; i < perClient; i++ {
-				if _, err := c.Issue(ctx, cl, []byte("transfer")); err != nil {
-					log.Fatalf("client %d: %v", cl, err)
-				}
+			batch := make([][]byte, perClient)
+			for j := range batch {
+				batch[j] = []byte("transfer")
 			}
-		}()
+			if _, err := cl.IssueBatch(ctx, batch); err != nil {
+				log.Fatalf("client %d: %v", i, err)
+			}
+		}(i)
 	}
 	wg.Wait()
 

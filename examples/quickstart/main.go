@@ -1,6 +1,7 @@
 // Quickstart: a three-tier deployment in one process — three replicated
-// application servers, one database server, one client — running a bank
-// withdrawal exactly once.
+// application servers, one database server, one client — running bank
+// withdrawals exactly once, first sequentially, then pipelined through the
+// same client handle.
 package main
 
 import (
@@ -35,19 +36,36 @@ func main() {
 	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 	defer cancel()
 
+	// A Client handle is safe for concurrent use; start with the blocking
+	// one-at-a-time form.
+	cl := c.Client(1)
 	for i := 1; i <= 3; i++ {
-		result, err := c.Issue(ctx, 1, []byte("withdraw"))
+		result, err := cl.Issue(ctx, []byte("withdraw"))
 		if err != nil {
 			log.Fatal(err)
 		}
 		fmt.Printf("request %d -> %s\n", i, result)
 	}
 
+	// Now pipeline a batch: all five withdrawals are in flight on the same
+	// handle at once, and each still commits exactly once.
+	batch := make([][]byte, 5)
+	for i := range batch {
+		batch[i] = []byte("withdraw")
+	}
+	results, err := cl.IssueBatch(ctx, batch)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, r := range results {
+		fmt.Printf("pipelined -> %s\n", r)
+	}
+
 	balance, err := c.ReadInt(1, "acct/alice")
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("database says alice has %d (exactly three withdrawals)\n", balance)
+	fmt.Printf("database says alice has %d (exactly eight withdrawals)\n", balance)
 
 	if err := c.CheckInvariants(); err != nil {
 		log.Fatal(err)

@@ -1,0 +1,3 @@
+module etx
+
+go 1.24

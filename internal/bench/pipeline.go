@@ -1,0 +1,175 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"etx/internal/cluster"
+	"etx/internal/core"
+	"etx/internal/latcost"
+	"etx/internal/transport"
+	"etx/internal/workload"
+)
+
+// --- EXP-PL: pipelined throughput — 1 client × K in flight vs K clients -----
+
+// PipelineRow is one client shape's measured throughput.
+type PipelineRow struct {
+	Clients  int
+	InFlight int
+	Requests int
+	Elapsed  time.Duration
+}
+
+// Throughput returns requests per (scaled) second.
+func (r PipelineRow) Throughput() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.Requests) / r.Elapsed.Seconds()
+}
+
+// Pipeline reports pipelined against sequential client throughput.
+type Pipeline struct {
+	Scale float64
+	K     int
+	Rows  []PipelineRow
+}
+
+// RunPipeline measures the same total number of requests through three client
+// shapes: one client issuing sequentially (the paper's Figure-2 algorithm),
+// one client with K requests pipelined on its single connection, and K
+// clients of one in-flight request each. The comparison isolates what
+// multiplexing buys: the pipelined shape rides one connection and one
+// sequence-number space yet keeps the middle tier as busy as K independent
+// clients do.
+func RunPipeline(scale float64, requests, k int) (*Pipeline, error) {
+	if scale <= 0 {
+		scale = 0.05
+	}
+	if k <= 0 {
+		k = 16
+	}
+	if requests <= 0 {
+		requests = 4 * k
+	}
+	model := latcost.Paper(scale)
+	out := &Pipeline{Scale: scale, K: k}
+	shapes := []struct {
+		clients  int
+		inflight int
+	}{
+		{1, 1},
+		{1, k},
+		{k, 1},
+	}
+	for _, sh := range shapes {
+		elapsed, err := onePipelineRun(model, sh.clients, sh.inflight, requests)
+		if err != nil {
+			return nil, errf("pipeline %dx%d: %w", sh.clients, sh.inflight, err)
+		}
+		out.Rows = append(out.Rows, PipelineRow{
+			Clients: sh.clients, InFlight: sh.inflight, Requests: requests, Elapsed: elapsed,
+		})
+	}
+	return out, nil
+}
+
+// onePipelineRun drives `requests` total requests through `clients` client
+// processes with `inflight` outstanding per client and times the whole run.
+func onePipelineRun(model latcost.Model, clients, inflight, requests int) (time.Duration, error) {
+	total := estimatedTotal(model)
+	c, err := cluster.New(cluster.Config{
+		AppServers:  3,
+		DataServers: 1,
+		Clients:     clients,
+		Net: transport.Options{
+			Latency: model.LatencyFunc(),
+			Seed:    1,
+		},
+		Logic: core.LogicFunc(func(ctx context.Context, tx *core.Tx, req []byte) ([]byte, error) {
+			return workload.Bank(ctx, tx, req, model.SQLWork)
+		}),
+		ForceLatency: model.DBForce,
+		Seed:         benchSeed(),
+		// Enough compute threads that the middle tier, not the client shape,
+		// is never the artificial bottleneck.
+		Workers: inflight * clients,
+
+		HeartbeatInterval: 20 * time.Millisecond,
+		SuspectTimeout:    50 * total,
+		ResendInterval:    100 * total,
+		CleanInterval:     25 * time.Millisecond,
+		ClientBackoff:     20 * total,
+		ClientRebroadcast: 20 * total,
+		ComputeTimeout:    200 * total,
+		ConsensusPoll:     500 * time.Microsecond,
+	})
+	if err != nil {
+		return 0, err
+	}
+	defer c.Stop()
+
+	deadline := time.Duration(requests+10) * 300 * estimatedTotal(model)
+	ctx, cancel := context.WithTimeout(context.Background(), deadline)
+	defer cancel()
+
+	// Warm-up request per client, outside the timer.
+	for i := 1; i <= clients; i++ {
+		if _, err := c.Client(i).Issue(ctx, benchRequest()); err != nil {
+			return 0, err
+		}
+	}
+
+	// All workers pull from one shared counter so every shape issues exactly
+	// `requests` requests, evenly balanced, regardless of divisibility.
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	errs := make(chan error, clients*inflight)
+	t0 := time.Now()
+	for i := 1; i <= clients; i++ {
+		cl := c.Client(i)
+		for w := 0; w < inflight; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for next.Add(1) <= int64(requests) {
+					if _, err := cl.Issue(ctx, benchRequest()); err != nil {
+						errs <- err
+						return
+					}
+				}
+			}()
+		}
+	}
+	wg.Wait()
+	elapsed := time.Since(t0)
+	close(errs)
+	if err := <-errs; err != nil {
+		return 0, err
+	}
+	if rep := c.CheckProperties(); !rep.Ok() {
+		return 0, fmt.Errorf("oracle: %s", rep)
+	}
+	return elapsed, nil
+}
+
+// String renders the pipeline report.
+func (p *Pipeline) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Pipelined throughput (scale %.3f; %d requests per row)\n", p.Scale, p.Rows[0].Requests)
+	fmt.Fprintf(&b, "%-26s %12s %14s %10s\n", "client shape", "elapsed (ms)", "req/s (scaled)", "speedup")
+	base := p.Rows[0].Throughput()
+	for _, r := range p.Rows {
+		shape := fmt.Sprintf("%d client x %d in-flight", r.Clients, r.InFlight)
+		fmt.Fprintf(&b, "%-26s %12.1f %14.1f %9.1fx\n",
+			shape, float64(r.Elapsed)/1e6, r.Throughput(), r.Throughput()/base)
+	}
+	b.WriteString("(one pipelined client rides a single connection and sequence-number space\n" +
+		" yet keeps the middle tier as busy as the same number of independent clients)\n")
+	return b.String()
+}

@@ -62,6 +62,7 @@ type Config struct {
 	ComputeTimeout    time.Duration
 	ClientBackoff     time.Duration
 	ClientRebroadcast time.Duration
+	ClientMaxInFlight int
 	Workers           int
 
 	// Hooks, if set, supplies per-application-server instrumentation.
@@ -260,6 +261,7 @@ func (c *Cluster) startClient(clID id.NodeID) error {
 		Endpoint:    ep,
 		Backoff:     c.cfg.ClientBackoff,
 		Rebroadcast: c.cfg.ClientRebroadcast,
+		MaxInFlight: c.cfg.ClientMaxInFlight,
 	})
 	if err != nil {
 		return err

@@ -30,13 +30,34 @@ type ClientConfig struct {
 	// broadcast, relying on reliable channels; periodic retransmission is
 	// the practical equivalent its prose describes. Defaults to Backoff.
 	Rebroadcast time.Duration
+	// MaxInFlight caps the number of concurrently outstanding requests.
+	// When the cap is reached, Issue and IssueAsync block until a slot
+	// frees (back-pressure, not an error). 0 means unlimited.
+	MaxInFlight int
+	// SeqBase is the starting sequence number. Exactly-once state is keyed
+	// by (Self, seq) across the whole deployment, so a fresh process
+	// reusing a node identity must not reuse sequence numbers of an
+	// earlier incarnation or it will be handed the old incarnation's
+	// cached results. Long-lived deployments set a per-process base (e.g.
+	// a timestamp); the in-process simulation keeps the deterministic 0.
+	SeqBase uint64
+	// DiscardDeliveries disables the in-memory log of delivered results
+	// that backs the Delivered oracle. Production clients set it to avoid
+	// unbounded growth; the simulation keeps the log for CheckProperties.
+	DiscardDeliveries bool
 	// Hooks carries optional instrumentation.
 	Hooks *Hooks
 }
 
-// Client implements the paper's client algorithm (Figure 2): issue a request,
-// retransmit until a result arrives, deliver only committed results, step to
-// the next try on abort.
+// Client implements the paper's client algorithm (Figure 2), generalized to
+// many concurrent requests: each logical request runs its own instance of the
+// paper's state machine — send to the primary, back off, broadcast,
+// retransmit, step tries on abort — keyed by its sequence number, so any
+// number of goroutines can pipeline requests through one client process. The
+// paper presents the algorithm for a single outstanding request "without loss
+// of generality"; the sequence number in every ResultID is exactly what makes
+// the generalization sound, because servers and the oracle already treat
+// (client, seq) as the exactly-once unit.
 type Client struct {
 	cfg ClientConfig
 
@@ -44,14 +65,23 @@ type Client struct {
 	cancel context.CancelFunc
 	wg     sync.WaitGroup
 
-	mu      sync.Mutex
-	seq     uint64
-	issuing bool
-	waitRID id.ResultID
-	waitCh  chan msg.Decision
+	sem chan struct{} // nil when MaxInFlight == 0
+
+	mu       sync.Mutex
+	stopped  bool
+	seq      uint64
+	inflight map[uint64]*call
 
 	deliveredMu sync.Mutex
 	delivered   []Delivery
+}
+
+// call is the routing slot of one in-flight request: the try currently
+// awaited and the channel its decision is delivered on. Both fields are
+// guarded by Client.mu and replaced on every try.
+type call struct {
+	rid id.ResultID
+	ch  chan msg.Decision
 }
 
 // Delivery records one result the client delivered, for the validity oracle.
@@ -61,9 +91,9 @@ type Delivery struct {
 	Tries  uint64
 }
 
-// ErrBusy reports a second concurrent Issue; the paper's client issues
-// requests one at a time.
-var ErrBusy = errors.New("core: client already has a request in flight")
+// ErrStopped reports an Issue attempted on (or interrupted by) a stopped
+// client.
+var ErrStopped = errors.New("core: client stopped")
 
 // NewClient creates a client process and starts its receive loop.
 func NewClient(cfg ClientConfig) (*Client, error) {
@@ -80,16 +110,38 @@ func NewClient(cfg ClientConfig) (*Client, error) {
 		cfg.Rebroadcast = cfg.Backoff
 	}
 	ctx, cancel := context.WithCancel(context.Background())
-	c := &Client{cfg: cfg, ctx: ctx, cancel: cancel}
+	c := &Client{
+		cfg:      cfg,
+		ctx:      ctx,
+		cancel:   cancel,
+		seq:      cfg.SeqBase,
+		inflight: make(map[uint64]*call),
+	}
+	if cfg.MaxInFlight > 0 {
+		c.sem = make(chan struct{}, cfg.MaxInFlight)
+	}
 	c.wg.Add(1)
 	go c.recvLoop()
 	return c, nil
 }
 
-// Stop terminates the client's receive loop. In-flight Issues fail.
+// Stop terminates the client's receive loop. In-flight Issues fail with
+// ErrStopped.
 func (c *Client) Stop() {
+	// The flag keeps later IssueAsync calls from racing a wg.Add against
+	// wg.Wait: once it is set no request goroutine is ever spawned again.
+	c.mu.Lock()
+	c.stopped = true
+	c.mu.Unlock()
 	c.cancel()
 	c.wg.Wait()
+}
+
+// InFlight returns the number of currently outstanding requests.
+func (c *Client) InFlight() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.inflight)
 }
 
 // Delivered returns every result this client has delivered (oracle support).
@@ -114,12 +166,13 @@ func (c *Client) recvLoop() {
 				continue
 			}
 			c.mu.Lock()
-			// Accept only the result of the try currently awaited; stale
+			// Route by sequence number to the in-flight request, then accept
+			// only the result of the try currently awaited; stale
 			// retransmissions and duplicates are dropped (at-most-once use
 			// of each decision).
-			if c.issuing && res.RID == c.waitRID {
+			if cl, ok := c.inflight[res.RID.Seq]; ok && cl.rid == res.RID {
 				select {
-				case c.waitCh <- res.Dec:
+				case cl.ch <- res.Dec:
 				default: // duplicate for the same try; first one suffices
 				}
 			}
@@ -130,33 +183,149 @@ func (c *Client) recvLoop() {
 	}
 }
 
+// Future is the handle of one asynchronous Issue. It resolves exactly once.
+type Future struct {
+	done chan struct{}
+	res  []byte
+	err  error
+}
+
+// Done is closed when the future has resolved.
+func (f *Future) Done() <-chan struct{} { return f.done }
+
+// Result blocks until the future resolves and returns the committed result.
+func (f *Future) Result() ([]byte, error) {
+	<-f.done
+	return f.res, f.err
+}
+
+// Wait is Result with a context escape hatch: it returns ctx.Err() if ctx is
+// done first. The underlying request keeps running under the context it was
+// issued with.
+func (f *Future) Wait(ctx context.Context) ([]byte, error) {
+	select {
+	case <-f.done:
+		return f.res, f.err
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
 // Issue implements the paper's issue() primitive: it blocks until a committed
 // result for the request is delivered, ctx is cancelled (the model's client
-// crash), or the client is stopped. It returns the committed result.
+// crash), or the client is stopped. It is safe to call from any number of
+// goroutines; each call pipelines an independent request.
 func (c *Client) Issue(ctx context.Context, request []byte) ([]byte, error) {
-	c.mu.Lock()
-	if c.issuing {
-		c.mu.Unlock()
-		return nil, ErrBusy
+	f, err := c.IssueAsync(ctx, request)
+	if err != nil {
+		return nil, err
 	}
-	c.issuing = true
+	return f.Result()
+}
+
+// IssueAsync submits a request without waiting for its result and returns a
+// Future that resolves when the committed result arrives, ctx is cancelled,
+// or the client is stopped. Cancelling ctx releases the request's in-flight
+// slot; the request then executes at most once.
+func (c *Client) IssueAsync(ctx context.Context, request []byte) (*Future, error) {
+	if err := c.acquire(ctx); err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	if c.stopped {
+		c.mu.Unlock()
+		c.release()
+		return nil, ErrStopped
+	}
 	c.seq++
 	seq := c.seq
+	cl := &call{}
+	c.inflight[seq] = cl
+	// Inside the lock: Stop sets stopped under the same lock before it
+	// waits, and the recvLoop keeps the counter above zero until then.
+	c.wg.Add(1)
 	c.mu.Unlock()
-	defer func() {
-		c.mu.Lock()
-		c.issuing = false
-		c.mu.Unlock()
-	}()
 
+	f := &Future{done: make(chan struct{})}
+	go func() {
+		defer c.wg.Done()
+		res, err := c.run(ctx, seq, cl, request)
+		c.mu.Lock()
+		delete(c.inflight, seq)
+		c.mu.Unlock()
+		c.release()
+		f.res, f.err = res, err
+		close(f.done)
+	}()
+	return f, nil
+}
+
+// IssueBatch pipelines all requests concurrently and blocks until every one
+// has resolved. Results are positional. The first error encountered is
+// returned; positions that failed hold nil.
+func (c *Client) IssueBatch(ctx context.Context, requests [][]byte) ([][]byte, error) {
+	futures := make([]*Future, len(requests))
+	results := make([][]byte, len(requests))
+	var firstErr error
+	for i, req := range requests {
+		f, err := c.IssueAsync(ctx, req)
+		if err != nil {
+			firstErr = err
+			break
+		}
+		futures[i] = f
+	}
+	for i, f := range futures {
+		if f == nil {
+			continue
+		}
+		res, err := f.Result()
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+		results[i] = res
+	}
+	return results, firstErr
+}
+
+// acquire takes an in-flight slot, blocking when MaxInFlight is reached.
+func (c *Client) acquire(ctx context.Context) error {
+	select {
+	case <-c.ctx.Done():
+		return ErrStopped
+	case <-ctx.Done():
+		return ctx.Err()
+	default:
+	}
+	if c.sem == nil {
+		return nil
+	}
+	select {
+	case c.sem <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-c.ctx.Done():
+		return ErrStopped
+	}
+}
+
+func (c *Client) release() {
+	if c.sem != nil {
+		<-c.sem
+	}
+}
+
+// run drives one logical request through the paper's per-request state
+// machine: try after try until a committed decision is delivered.
+func (c *Client) run(ctx context.Context, seq uint64, cl *call, request []byte) ([]byte, error) {
 	start := time.Now()
 	primary := c.cfg.AppServers[0]
 	for try := uint64(1); ; try++ {
 		rid := id.ResultID{Client: c.cfg.Self, Seq: seq, Try: try}
 		ch := make(chan msg.Decision, 1)
 		c.mu.Lock()
-		c.waitRID = rid
-		c.waitCh = ch
+		cl.rid, cl.ch = rid, ch
 		c.mu.Unlock()
 
 		req := msg.Request{RID: rid, Body: request}
@@ -171,9 +340,11 @@ func (c *Client) Issue(ctx context.Context, request []byte) ([]byte, error) {
 		}
 		if dec.Outcome == msg.OutcomeCommit {
 			c.cfg.Hooks.span(rid, SpanTotal, time.Since(start))
-			c.deliveredMu.Lock()
-			c.delivered = append(c.delivered, Delivery{RID: rid, Result: dec.Result, Tries: try})
-			c.deliveredMu.Unlock()
+			if !c.cfg.DiscardDeliveries {
+				c.deliveredMu.Lock()
+				c.delivered = append(c.delivered, Delivery{RID: rid, Result: dec.Result, Tries: try})
+				c.deliveredMu.Unlock()
+			}
 			return dec.Result, nil
 		}
 		// Abort: step to the next try (Figure 2, line 10).
@@ -201,7 +372,7 @@ func (c *Client) awaitDecision(ctx context.Context, rid id.ResultID, req msg.Req
 		case <-ctx.Done():
 			return msg.Decision{}, fmt.Errorf("core: issue %s: %w", rid, ctx.Err())
 		case <-c.ctx.Done():
-			return msg.Decision{}, errors.New("core: client stopped")
+			return msg.Decision{}, ErrStopped
 		}
 	}
 }

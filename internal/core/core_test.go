@@ -3,6 +3,8 @@ package core
 import (
 	"context"
 	"errors"
+	"fmt"
+	"sync"
 	"testing"
 	"time"
 
@@ -96,9 +98,26 @@ func TestClientConfigValidation(t *testing.T) {
 	}
 }
 
-func TestClientRejectsConcurrentIssue(t *testing.T) {
+// echoServer answers every request with a committed copy of its body.
+func echoServer(t *testing.T, net *transport.MemNetwork, n id.NodeID) {
+	t.Helper()
+	ep := attach(t, net, n)
+	go func() {
+		for env := range ep.Recv() {
+			req, ok := env.Payload.(msg.Request)
+			if !ok {
+				continue
+			}
+			ep.Send(msg.Envelope{To: env.From, Payload: msg.Result{
+				RID: req.RID, Dec: msg.Decision{Result: req.Body, Outcome: msg.OutcomeCommit}}})
+		}
+	}()
+}
+
+func TestClientPipelinesConcurrentIssues(t *testing.T) {
 	net := testNet(t)
 	ep := attach(t, net, id.Client(1))
+	echoServer(t, net, id.AppServer(1))
 	cl, err := NewClient(ClientConfig{
 		Self: id.Client(1), AppServers: []id.NodeID{id.AppServer(1)}, Endpoint: ep,
 		Backoff: 50 * time.Millisecond,
@@ -107,12 +126,89 @@ func TestClientRejectsConcurrentIssue(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer cl.Stop()
+
+	const n = 32
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			body := []byte(fmt.Sprintf("request-%d", i))
+			res, err := cl.Issue(ctx, body)
+			if err != nil {
+				t.Errorf("issue %d: %v", i, err)
+				return
+			}
+			if string(res) != string(body) {
+				t.Errorf("issue %d got %q", i, res)
+			}
+		}()
+	}
+	wg.Wait()
+	ds := cl.Delivered()
+	if len(ds) != n {
+		t.Fatalf("delivered %d results, want %d", len(ds), n)
+	}
+	seqs := make(map[uint64]bool)
+	for _, d := range ds {
+		if seqs[d.RID.Seq] {
+			t.Fatalf("sequence %d delivered twice", d.RID.Seq)
+		}
+		seqs[d.RID.Seq] = true
+	}
+}
+
+func TestClientIssueAsyncCancelReleasesSlot(t *testing.T) {
+	net := testNet(t)
+	ep := attach(t, net, id.Client(1))
+	cl, err := NewClient(ClientConfig{
+		Self: id.Client(1), AppServers: []id.NodeID{id.AppServer(1)}, Endpoint: ep,
+		Backoff: 10 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Stop()
+	ctx, cancel := context.WithCancel(context.Background())
+	f, err := cl.IssueAsync(ctx, []byte("r")) // nobody answers; it just retries
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := cl.InFlight(); n != 1 {
+		t.Fatalf("InFlight = %d, want 1", n)
+	}
+	cancel()
+	if _, err := f.Result(); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled future: %v, want context.Canceled", err)
+	}
+	if n := cl.InFlight(); n != 0 {
+		t.Fatalf("InFlight after cancel = %d, want 0 (slot leaked)", n)
+	}
+}
+
+func TestClientMaxInFlightAppliesBackpressure(t *testing.T) {
+	net := testNet(t)
+	ep := attach(t, net, id.Client(1))
+	cl, err := NewClient(ClientConfig{
+		Self: id.Client(1), AppServers: []id.NodeID{id.AppServer(1)}, Endpoint: ep,
+		Backoff: 10 * time.Millisecond, MaxInFlight: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Stop()
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
-	go cl.Issue(ctx, []byte("first")) // nobody answers; it just retries
-	time.Sleep(10 * time.Millisecond)
-	if _, err := cl.Issue(ctx, []byte("second")); !errors.Is(err, ErrBusy) {
-		t.Fatalf("concurrent issue: %v, want ErrBusy", err)
+	if _, err := cl.IssueAsync(ctx, []byte("first")); err != nil { // never answered
+		t.Fatal(err)
+	}
+	short, cancel2 := context.WithTimeout(ctx, 50*time.Millisecond)
+	defer cancel2()
+	if _, err := cl.IssueAsync(short, []byte("second")); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("over-cap issue: %v, want deadline exceeded while blocked on the cap", err)
 	}
 }
 

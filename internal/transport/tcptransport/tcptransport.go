@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"sort"
 	"sync"
 	"time"
 
@@ -292,6 +293,23 @@ func splitComma(s string) []string {
 			start = i + 1
 		}
 	}
+	return out
+}
+
+// SortedPeers returns the node ids of an address book ordered by (role,
+// index) — the deterministic membership order every process must agree on
+// (AppServers[0] is the default primary and round-1 consensus coordinator).
+func SortedPeers(book map[id.NodeID]string) []id.NodeID {
+	out := make([]id.NodeID, 0, len(book))
+	for k := range book {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Role != out[j].Role {
+			return out[i].Role < out[j].Role
+		}
+		return out[i].Index < out[j].Index
+	})
 	return out
 }
 
