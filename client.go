@@ -24,14 +24,20 @@ import (
 // Each request runs its own instance of the paper's retry/backoff/rebroadcast
 // state machine, keyed by its sequence number, and commits exactly once.
 type Client struct {
-	inner *core.Client
-	ep    transport.Endpoint // owned transport (Dial); nil for cluster handles
-	tcp   *tcptransport.Endpoint
-	owned bool
+	inner  *core.Client
+	ep     transport.Endpoint // owned transport (Dial); nil for cluster handles
+	tcp    *tcptransport.Endpoint
+	owned  bool
+	shards int
 
 	closeOnce sync.Once
 	closeErr  error
 }
+
+// Shards returns the deployment's shard count as configured at Dial time
+// (DialConfig.Shards), or 0 for in-process cluster handles and unsharded
+// deployments.
+func (c *Client) Shards() int { return c.shards }
 
 // Issue submits a request and blocks until the committed result is delivered
 // — the paper's issue() primitive. Internally the request may go through
@@ -134,6 +140,12 @@ type DialConfig struct {
 	// MaxInFlight caps concurrently outstanding requests; Issue and
 	// IssueAsync block for a slot when it is reached. 0 means unlimited.
 	MaxInFlight int
+	// Shards records the deployment's shard count (the servers' -shards
+	// value). Routing happens at the application servers, so the client
+	// needs no placement state; the value is exposed through Client.Shards
+	// so workload generators can partition their keys (with etx.ShardOf)
+	// the same way the servers do. 0 means unknown/unsharded.
+	Shards int
 }
 
 // Dial connects a Client to a TCP deployment. The returned handle speaks the
@@ -180,5 +192,5 @@ func Dial(cfg DialConfig) (*Client, error) {
 		rep.Close()
 		return nil, fmt.Errorf("etx: dial: %w", err)
 	}
-	return &Client{inner: inner, ep: rep, tcp: tep, owned: true}, nil
+	return &Client{inner: inner, ep: rep, tcp: tep, owned: true, shards: cfg.Shards}, nil
 }

@@ -28,7 +28,7 @@ import (
 
 	"etx/internal/core"
 	"etx/internal/id"
-	"etx/internal/msg"
+	"etx/internal/placement"
 	"etx/internal/rchan"
 	"etx/internal/transport/tcptransport"
 )
@@ -39,7 +39,10 @@ func main() {
 	}
 }
 
-// bankLogic parses "account:amount" and updates the account on database 1.
+// bankLogic parses "account:amount" and updates the account on its home
+// shard: the keyed Tx API routes through placement, so the whole
+// transaction stays on one database server and commits through the
+// one-shard fast path.
 func bankLogic() core.Logic {
 	return core.LogicFunc(func(ctx context.Context, tx *core.Tx, req []byte) ([]byte, error) {
 		account, amountStr, ok := strings.Cut(string(req), ":")
@@ -50,20 +53,17 @@ func bankLogic() core.Logic {
 		if err != nil {
 			return nil, fmt.Errorf("bad amount: %w", err)
 		}
-		db := tx.DBs()[0]
-		rep, err := tx.Exec(ctx, db, msg.Op{Code: msg.OpAdd, Key: "acct/" + account, Delta: amount})
+		key := "acct/" + account
+		balance, err := tx.Add(ctx, key, amount)
 		if err != nil {
 			return nil, err
 		}
-		if !rep.OK {
-			return nil, fmt.Errorf("update failed: %s", rep.Err)
-		}
 		if amount < 0 {
-			if _, err := tx.Exec(ctx, db, msg.Op{Code: msg.OpCheckGE, Key: "acct/" + account, Delta: 0}); err != nil {
+			if err := tx.CheckAtLeast(ctx, key, 0); err != nil {
 				return nil, err
 			}
 		}
-		return []byte(fmt.Sprintf("%s=%d", account, rep.Num)), nil
+		return []byte(fmt.Sprintf("%s=%d", account, balance)), nil
 	})
 }
 
@@ -75,6 +75,8 @@ func run() error {
 	clSpec := flag.String("clients", "", "client address book, e.g. 1=:7301,2=:7302")
 	suspect := flag.Duration("suspect", 500*time.Millisecond, "failure-suspicion timeout")
 	workers := flag.Int("workers", 1, "compute threads (raise for pipelined clients)")
+	shards := flag.Int("shards", 0, "key-shard the database tier over the first N -dbservers (0 = all of them)")
+	placeSpec := flag.String("placement", "hash", "partitioner: hash | range:b1,b2,... (every app server must agree)")
 	flag.Parse()
 
 	apps, err := tcptransport.ParsePeers(id.RoleAppServer, *appSpec)
@@ -91,6 +93,30 @@ func run() error {
 	}
 	if len(apps) == 0 || len(dbs) == 0 {
 		return fmt.Errorf("need -appservers and -dbservers address books")
+	}
+	dbList := tcptransport.SortedPeers(dbs)
+	if *shards <= 0 {
+		*shards = len(dbList)
+	}
+	if *shards > len(dbList) {
+		return fmt.Errorf("-shards %d exceeds the %d servers in -dbservers", *shards, len(dbList))
+	}
+	policy, err := placement.Parse(*placeSpec, *shards)
+	if err != nil {
+		return err
+	}
+	pmap, err := placement.NewMap(policy, dbList[:*shards])
+	if err != nil {
+		return err
+	}
+	// Shard s is served by the s-th entry of the sorted -dbservers book,
+	// while etxdbserver's per-shard seeding assumes server -id K owns shard
+	// K-1. Both hold only when the book's ids run 1..N; warn loudly when
+	// they do not, because seeded keys would land on the wrong shard.
+	for s, db := range dbList[:*shards] {
+		if db.Index != s+1 {
+			log.Printf("warning: shard %d is served by %s; etxdbserver -shards seeding assumes ids 1..%d, so seeded keys may sit on the wrong server", s, db, *shards)
+		}
 	}
 	if len(clients) == 0 {
 		// Results to unknown peers are silently dropped (fair loss), so an
@@ -114,7 +140,8 @@ func run() error {
 	srv, err := core.NewAppServer(core.AppServerConfig{
 		Self:           self,
 		AppServers:     tcptransport.SortedPeers(apps),
-		DataServers:    tcptransport.SortedPeers(dbs),
+		DataServers:    dbList,
+		Placement:      pmap,
 		Endpoint:       rchan.Wrap(ep, 100*time.Millisecond),
 		Logic:          bankLogic(),
 		SuspectTimeout: *suspect,
@@ -125,8 +152,8 @@ func run() error {
 	}
 	srv.Start()
 	defer srv.Stop()
-	log.Printf("appserver-%d listening on %s (%d app servers, %d db servers)",
-		*idx, ep.Addr(), len(apps), len(dbs))
+	log.Printf("appserver-%d listening on %s (%d app servers, %d db servers, %s)",
+		*idx, ep.Addr(), len(apps), len(dbs), pmap)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)

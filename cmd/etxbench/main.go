@@ -15,13 +15,18 @@
 //	etxbench -exp woregister         # wo-register microbenchmark
 //	etxbench -exp gc                 # register garbage-collection ablation
 //	etxbench -exp pipeline           # pipelined-client throughput (1xK vs Kx1)
+//	etxbench -exp shards             # throughput vs 1/2/4/8 key-sharded databases
 //
 // -scale multiplies the paper's calibrated component costs: 1.0 reproduces
 // the paper's real-time latencies (a slow run), 0.05 keeps the ratios and
-// finishes in seconds.
+// finishes in seconds. -quick shrinks the extension experiments for CI
+// smoke runs, and -json writes every produced report as machine-readable
+// JSON (keyed by experiment name) so perf trajectories can accumulate as
+// build artifacts.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -37,11 +42,13 @@ func main() {
 }
 
 func run() error {
-	exp := flag.String("exp", "all", "experiment: all|f8|f7|f1|failover|scaling|suspicion|woregister|patience|gc|pipeline")
+	exp := flag.String("exp", "all", "experiment: all|f8|f7|f1|failover|scaling|suspicion|woregister|patience|gc|pipeline|shards")
 	scale := flag.Float64("scale", 0.05, "cost-model scale (1.0 = the paper's real-time costs)")
 	requests := flag.Int("requests", 30, "requests per measured column")
 	runs := flag.Int("runs", 5, "runs per failure scenario")
 	inflight := flag.Int("inflight", 16, "pipelining depth K for -exp pipeline")
+	quick := flag.Bool("quick", false, "CI smoke mode: smaller scale and request counts for the extension experiments")
+	jsonPath := flag.String("json", "", "write the reports as JSON to this file (keyed by experiment name)")
 	flag.Parse()
 
 	type experiment struct {
@@ -71,9 +78,30 @@ func run() error {
 		{"patience", func() (fmt.Stringer, error) { return bench.RunPatience(*scale, *runs) }},
 		{"gc", func() (fmt.Stringer, error) { return bench.RunGCAblation(5 * *runs * *runs) }},
 		{"pipeline", func() (fmt.Stringer, error) { return bench.RunPipeline(*scale, *requests, *inflight) }},
+		{"shards", func() (fmt.Stringer, error) {
+			cfg := bench.ShardsConfig{Quick: *quick}
+			if !*quick {
+				cfg.Scale = *scale
+			}
+			// -scale/-requests/-inflight default to values tuned for the
+			// other experiments; in quick mode honour them only when the
+			// user set them explicitly.
+			flag.Visit(func(f *flag.Flag) {
+				switch f.Name {
+				case "scale":
+					cfg.Scale = *scale
+				case "requests":
+					cfg.Requests = *requests
+				case "inflight":
+					cfg.InFlight = *inflight
+				}
+			})
+			return bench.RunShards(cfg)
+		}},
 	}
 
 	matched := false
+	reports := make(map[string]fmt.Stringer)
 	for _, e := range experiments {
 		if *exp != "all" && *exp != e.name {
 			continue
@@ -85,9 +113,21 @@ func run() error {
 			return fmt.Errorf("%s: %w", e.name, err)
 		}
 		fmt.Println(out.String())
+		reports[e.name] = out
 	}
 	if !matched {
 		return fmt.Errorf("unknown experiment %q", *exp)
+	}
+	if *jsonPath != "" {
+		blob, err := json.MarshalIndent(reports, "", "  ")
+		if err != nil {
+			return fmt.Errorf("encode reports: %w", err)
+		}
+		blob = append(blob, '\n')
+		if err := os.WriteFile(*jsonPath, blob, 0o644); err != nil {
+			return fmt.Errorf("write %s: %w", *jsonPath, err)
+		}
+		fmt.Printf("wrote %s\n", *jsonPath)
 	}
 	return nil
 }

@@ -23,6 +23,7 @@ import (
 	"time"
 
 	"etx"
+	"etx/internal/placement"
 )
 
 func main() {
@@ -40,10 +41,32 @@ func run() error {
 	count := flag.Int("count", 1, "number of requests to issue")
 	inflight := flag.Int("inflight", 1, "maximum requests in flight at once (pipelining)")
 	timeout := flag.Duration("timeout", 60*time.Second, "per-request deadline")
+	shards := flag.Int("shards", 0, "deployment shard count: spread requests round-robin over one derived account per shard (<account>-N; they start at 0, so use deposits unless seeded)")
+	placeSpec := flag.String("placement", "hash", "partitioner the servers run: hash | range:b1,b2,...")
 	flag.Parse()
 
 	if *inflight < 1 {
 		*inflight = 1
+	}
+	// With -shards, derive one account per shard from the base name so the
+	// round-robin workload exercises every shard — under the same placement
+	// the servers route by, so request i%N is a single-shard transaction on
+	// shard i%N.
+	accounts := []string{*account}
+	if *shards > 0 {
+		policy, err := placement.Parse(*placeSpec, *shards)
+		if err != nil {
+			return err
+		}
+		accounts = make([]string, *shards)
+		for s := 0; s < *shards; s++ {
+			name, ok := placement.KeyedName(policy, s, *account+"-",
+				func(n string) string { return "acct/" + n })
+			if !ok {
+				return fmt.Errorf("no account named %s-N is homed on shard %d under %s; pick accounts manually", *account, s, policy)
+			}
+			accounts[s] = name
+		}
 	}
 	cl, err := etx.Dial(etx.DialConfig{
 		ID:          *idx,
@@ -51,6 +74,7 @@ func run() error {
 		AppServers:  *appSpec,
 		Backoff:     300 * time.Millisecond,
 		MaxInFlight: *inflight,
+		Shards:      *shards,
 	})
 	if err != nil {
 		return err
@@ -64,7 +88,9 @@ func run() error {
 		issued bool
 	}
 	outcomes := make([]outcome, *count)
-	reqBody := []byte(fmt.Sprintf("%s:%d", *account, *amount))
+	reqFor := func(i int) []byte {
+		return []byte(fmt.Sprintf("%s:%d", accounts[i%len(accounts)], *amount))
+	}
 	// inflight workers pull request slots from a shared counter; after the
 	// first failure no new requests are started (in-flight ones finish), so
 	// a dead deployment costs one timeout, not count of them.
@@ -83,7 +109,7 @@ func run() error {
 				}
 				ctx, cancel := context.WithTimeout(context.Background(), *timeout)
 				start := time.Now()
-				res, err := cl.Issue(ctx, reqBody)
+				res, err := cl.Issue(ctx, reqFor(i))
 				cancel()
 				outcomes[i] = outcome{res: res, dur: time.Since(start), err: err, issued: true}
 				if err != nil {

@@ -17,6 +17,7 @@ import (
 	"etx/internal/core"
 	"etx/internal/id"
 	"etx/internal/kv"
+	"etx/internal/placement"
 	"etx/internal/rchan"
 	"etx/internal/stablestore"
 	"etx/internal/transport/tcptransport"
@@ -36,6 +37,8 @@ func run() error {
 	dataPath := flag.String("data", "etxdb.journal", "stable-storage journal file")
 	fsync := flag.Duration("fsync", 0, "simulated forced-write latency on top of the real fsync")
 	seedAcct := flag.String("seed", "alice=100,bob=100", "initial accounts (name=balance,...)")
+	shards := flag.Int("shards", 0, "shard count of the deployment: seed only the accounts this server owns (server -id K owns shard K-1, so ids must run 1..shards); 0 seeds everything")
+	placeSpec := flag.String("placement", "hash", "partitioner: hash | range:b1,b2,... (must match the app servers' -placement)")
 	flag.Parse()
 
 	apps, err := tcptransport.ParsePeers(id.RoleAppServer, *appSpec)
@@ -66,6 +69,26 @@ func run() error {
 		seed, err := parseSeed(*seedAcct)
 		if err != nil {
 			return err
+		}
+		if *shards > 0 {
+			// Per-shard seeding: this server holds only the keys whose home
+			// shard it is. The shard of server -id N is N-1, matching the
+			// app servers' placement over the sorted -dbservers book — the
+			// partitioner must therefore be the same on both tiers.
+			policy, err := placement.Parse(*placeSpec, *shards)
+			if err != nil {
+				return err
+			}
+			if *idx > *shards {
+				log.Printf("warning: -id %d owns no shard of a %d-shard tier; seeding nothing", *idx, *shards)
+			}
+			own := seed[:0]
+			for _, w := range seed {
+				if policy.ShardFor(w.Key) == *idx-1 {
+					own = append(own, w)
+				}
+			}
+			seed = own
 		}
 		engine.Seed(seed)
 	}

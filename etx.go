@@ -62,6 +62,7 @@ import (
 	"etx/internal/id"
 	"etx/internal/kv"
 	"etx/internal/msg"
+	"etx/internal/placement"
 	"etx/internal/transport"
 )
 
@@ -81,6 +82,13 @@ type Config struct {
 	AppServers int
 	// DataServers is the number of database servers (default 1).
 	DataServers int
+	// Shards splits the database tier into key-homed shards instead of
+	// independent databases: it sets the tier size (leave DataServers 0 or
+	// equal), routes the keyed Tx methods (GetKey, PutKey, AddKey, ...) by
+	// hash placement, seeds each database with only the keys it owns, and
+	// commits each request against only the shards it touched — a
+	// single-shard transaction costs the same on 1 database as on 64.
+	Shards int
 	// Clients is the number of client processes (default 1).
 	Clients int
 	// Logic is the business logic. Required.
@@ -145,6 +153,7 @@ func New(cfg Config) (*Cluster, error) {
 	inner, err := cluster.New(cluster.Config{
 		AppServers:  cfg.AppServers,
 		DataServers: cfg.DataServers,
+		Shards:      cfg.Shards,
 		Clients:     cfg.Clients,
 		Net: transport.Options{
 			DefaultLatency: cfg.NetworkLatency,
@@ -243,14 +252,98 @@ func (c *Cluster) CheckInvariants() error {
 	return nil
 }
 
+// HomeDB returns the 1-based database server owning key's home shard —
+// where ReadInt/Read find keys written through the keyed Tx methods.
+func (c *Cluster) HomeDB(key string) int {
+	return c.inner.Placement().Home(key).Index
+}
+
+// ShardOf returns the home shard of key under the hash placement a
+// deployment of the given shard count uses. It lets clients partition their
+// own workloads (e.g. one key per shard) without talking to a server.
+func ShardOf(key string, shards int) int {
+	return placement.Hash(shards).ShardFor(key)
+}
+
 // Tx is the transaction handle Logic manipulates the database tier through.
-// Database indexes are 0-based positions in the deployment's database list.
+//
+// Two addressing styles coexist. The keyed methods (GetKey, PutKey, AddKey,
+// CheckKeyAtLeast) route each operation to the key's home shard through the
+// deployment's placement and are the surface sharded deployments should use:
+// a transaction that stays on one shard commits through the one-shard fast
+// path no matter how many databases exist. The index methods (Get, Put, Add,
+// CheckAtLeast) address a database by its 0-based position for logics that
+// manage placement themselves. Either way, commitment involves exactly the
+// databases the transaction touched.
 type Tx struct {
 	inner *core.Tx
 }
 
 // NumDBs returns the number of database servers.
 func (t *Tx) NumDBs() int { return len(t.inner.DBs()) }
+
+// HomeDB returns the 0-based database index owning key's home shard.
+func (t *Tx) HomeDB(key string) int {
+	home := t.inner.Home(key)
+	for i, db := range t.inner.DBs() {
+		if db == home {
+			return i
+		}
+	}
+	return 0
+}
+
+// GetKey reads key on its home shard, returning the raw value and its
+// integer interpretation.
+func (t *Tx) GetKey(ctx context.Context, key string) ([]byte, int64, error) {
+	rep, err := t.inner.Do(ctx, key, msg.Op{Code: msg.OpGet})
+	if err != nil {
+		return nil, 0, err
+	}
+	if !rep.OK {
+		return nil, 0, fmt.Errorf("%w: get %q: %s", ErrOpFailed, key, rep.Err)
+	}
+	return rep.Val, rep.Num, nil
+}
+
+// PutKey writes val to key on its home shard.
+func (t *Tx) PutKey(ctx context.Context, key string, val []byte) error {
+	rep, err := t.inner.Do(ctx, key, msg.Op{Code: msg.OpPut, Val: val})
+	if err != nil {
+		return err
+	}
+	if !rep.OK {
+		return fmt.Errorf("%w: put %q: %s", ErrOpFailed, key, rep.Err)
+	}
+	return nil
+}
+
+// AddKey atomically adds delta to the integer at key on its home shard and
+// returns the new value.
+func (t *Tx) AddKey(ctx context.Context, key string, delta int64) (int64, error) {
+	rep, err := t.inner.Do(ctx, key, msg.Op{Code: msg.OpAdd, Delta: delta})
+	if err != nil {
+		return 0, err
+	}
+	if !rep.OK {
+		return 0, fmt.Errorf("%w: add %q: %s", ErrOpFailed, key, rep.Err)
+	}
+	return rep.Num, nil
+}
+
+// CheckKeyAtLeast installs a commitment-time guard on key's home shard: if
+// the integer at key is below min, that shard refuses to commit the try and
+// ErrCheckFailed is returned (see CheckAtLeast for the semantics).
+func (t *Tx) CheckKeyAtLeast(ctx context.Context, key string, min int64) error {
+	rep, err := t.inner.Do(ctx, key, msg.Op{Code: msg.OpCheckGE, Delta: min})
+	if err != nil {
+		return err
+	}
+	if !rep.OK {
+		return fmt.Errorf("%w: %s", ErrCheckFailed, rep.Err)
+	}
+	return nil
+}
 
 func (t *Tx) db(i int) (id.NodeID, error) {
 	dbs := t.inner.DBs()

@@ -222,6 +222,39 @@ func TestPatienceSweepMorphsRegimes(t *testing.T) {
 	}
 }
 
+func TestShardScalingRoutesToParticipants(t *testing.T) {
+	s, err := RunShards(ShardsConfig{Scale: 0.01, Requests: 48, InFlight: 12, Shards: []int{1, 8}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s", s)
+	if len(s.Rows) != 4 {
+		t.Fatalf("want 4 rows, got %d", len(s.Rows))
+	}
+	wide := s.Row(8, "uniform")
+	if wide == nil {
+		t.Fatal("missing 8-shard uniform row")
+	}
+	// The routing certificate: a single-shard transaction on an 8-shard
+	// tier must issue Prepare and Decide to exactly 1 engine, not 8. A
+	// handful of protocol-level resends under scheduler noise is tolerated;
+	// a broadcast would put these at 8.0.
+	if wide.PreparesPerReq > 1.5 {
+		t.Errorf("8-shard uniform prepares/req = %.2f, want ~1 (participant set, not broadcast)", wide.PreparesPerReq)
+	}
+	if wide.DecidesPerReq > 1.5 {
+		t.Errorf("8-shard uniform decides/req = %.2f, want ~1", wide.DecidesPerReq)
+	}
+	if raceEnabled {
+		return // timing-shape assertions are meaningless under the race detector
+	}
+	narrow := s.Row(1, "uniform")
+	if wide.Throughput < narrow.Throughput {
+		t.Errorf("throughput must not fall as shards are added: 1 shard %.1f, 8 shards %.1f",
+			narrow.Throughput, wide.Throughput)
+	}
+}
+
 func TestScalingRuns(t *testing.T) {
 	s, err := RunScaling(0.01, 3)
 	if err != nil {

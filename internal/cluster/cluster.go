@@ -21,6 +21,7 @@ import (
 	"etx/internal/id"
 	"etx/internal/kv"
 	"etx/internal/msg"
+	"etx/internal/placement"
 	"etx/internal/rchan"
 	"etx/internal/stablestore"
 	"etx/internal/transport"
@@ -34,6 +35,15 @@ type Config struct {
 	AppServers int
 	// DataServers is the database-tier size (default 1, the paper's setup).
 	DataServers int
+	// Shards splits the database tier into key-homed shards: it sets the
+	// database-tier size (DataServers must be 0 or equal), installs keyed
+	// placement on every application server, and seeds each database with
+	// only the keys it owns. 0 keeps the paper's unsharded tier, where every
+	// database receives the full seed image.
+	Shards int
+	// Placement overrides the partitioner for a sharded deployment (default
+	// hash). Its Shards() must equal Shards.
+	Placement placement.Policy
 	// Clients is the front-tier size (default 1).
 	Clients int
 	// Net configures the in-memory network.
@@ -64,6 +74,7 @@ type Config struct {
 	ClientRebroadcast time.Duration
 	ClientMaxInFlight int
 	Workers           int
+	Terminators       int
 
 	// Hooks, if set, supplies per-application-server instrumentation.
 	Hooks func(self id.NodeID) *core.Hooks
@@ -86,6 +97,7 @@ type Cluster struct {
 	appIDs    []id.NodeID
 	dbIDs     []id.NodeID
 	clientIDs []id.NodeID
+	pmap      *placement.Map
 
 	mu      sync.Mutex
 	apps    map[id.NodeID]*core.AppServer
@@ -103,6 +115,13 @@ type Cluster struct {
 func New(cfg Config) (*Cluster, error) {
 	if cfg.AppServers <= 0 {
 		cfg.AppServers = 3
+	}
+	if cfg.Shards > 0 {
+		if cfg.DataServers > 0 && cfg.DataServers != cfg.Shards {
+			return nil, fmt.Errorf("cluster: DataServers (%d) conflicts with Shards (%d)",
+				cfg.DataServers, cfg.Shards)
+		}
+		cfg.DataServers = cfg.Shards
 	}
 	if cfg.DataServers <= 0 {
 		cfg.DataServers = 1
@@ -133,6 +152,18 @@ func New(cfg Config) (*Cluster, error) {
 	for i := 1; i <= cfg.Clients; i++ {
 		c.clientIDs = append(c.clientIDs, id.Client(i))
 	}
+
+	// Every deployment gets a placement map (so the keyed Tx API always
+	// works); only Shards > 0 additionally switches on per-shard seeding.
+	policy := cfg.Placement
+	if policy == nil {
+		policy = placement.Hash(cfg.DataServers)
+	}
+	pmap, err := placement.NewMap(policy, c.dbIDs)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: %w", err)
+	}
+	c.pmap = pmap
 
 	for _, dbID := range c.dbIDs {
 		if err := c.startDB(dbID, stablestore.New(cfg.ForceLatency), false); err != nil {
@@ -192,7 +223,7 @@ func (c *Cluster) startDB(dbID id.NodeID, store *stablestore.Store, recovery boo
 		return fmt.Errorf("cluster: open engine %s: %w", dbID, err)
 	}
 	if !recovery && len(c.cfg.Seed) > 0 {
-		engine.Seed(c.cfg.Seed)
+		engine.Seed(c.seedFor(dbID))
 	}
 	srv, err := core.NewDataServer(core.DataServerConfig{
 		Self:       dbID,
@@ -228,6 +259,7 @@ func (c *Cluster) startApp(appID id.NodeID) error {
 		Self:              appID,
 		AppServers:        c.appIDs,
 		DataServers:       c.dbIDs,
+		Placement:         c.pmap,
 		Endpoint:          ep,
 		Logic:             &loggedLogic{c: c, inner: c.cfg.Logic},
 		Detector:          det,
@@ -238,6 +270,7 @@ func (c *Cluster) startApp(appID id.NodeID) error {
 		CleanInterval:     c.cfg.CleanInterval,
 		ComputeTimeout:    c.cfg.ComputeTimeout,
 		Workers:           c.cfg.Workers,
+		Terminators:       c.cfg.Terminators,
 		Hooks:             hooks,
 	})
 	if err != nil {
@@ -301,6 +334,28 @@ func (c *Cluster) AppIDs() []id.NodeID { return append([]id.NodeID(nil), c.appID
 
 // DBIDs returns the database-tier membership.
 func (c *Cluster) DBIDs() []id.NodeID { return append([]id.NodeID(nil), c.dbIDs...) }
+
+// Placement returns the deployment's key-routing map.
+func (c *Cluster) Placement() *placement.Map { return c.pmap }
+
+// Sharded reports whether the database tier is key-sharded (per-shard
+// seeding, keyed routing as the intended data surface).
+func (c *Cluster) Sharded() bool { return c.cfg.Shards > 0 }
+
+// seedFor returns the portion of the configured seed that dbID owns: the
+// full image on an unsharded tier, the home-shard subset on a sharded one.
+func (c *Cluster) seedFor(dbID id.NodeID) []kv.Write {
+	if !c.Sharded() {
+		return c.cfg.Seed
+	}
+	var out []kv.Write
+	for _, w := range c.cfg.Seed {
+		if c.pmap.Home(w.Key) == dbID {
+			out = append(out, w)
+		}
+	}
+	return out
+}
 
 // CrashApp crashes the i-th application server: it is isolated from the
 // network immediately; its goroutines are stopped in the background (they
@@ -427,13 +482,19 @@ func (r OracleReport) String() string {
 // CheckProperties asserts the paper's agreement and validity properties over
 // the current state of the deployment:
 //
-//	A.1  every delivered result is committed by every database server
+//	A.1  every delivered result is committed by its participants: no
+//	     database server that knows the try decided anything but commit,
+//	     and — when the whole tier is up — at least one committed it
 //	A.2  at most one try per logical request is committed anywhere
 //	A.3  no two database servers decided differently on the same try
 //	V.1  every delivered result belongs to a try the business logic computed
 //
-// (T.1/T.2 are liveness: the tests assert them by bounded waiting; V.2 is
-// enforced structurally in the engine and checked by its unit tests.)
+// A.1 is stated over the servers that know the try because commitment is
+// routed to the try's participant set (the paper's dlist), not broadcast:
+// on a sharded tier a single-shard commit legitimately exists on exactly
+// one server. (T.1/T.2 are liveness: the tests assert them by bounded
+// waiting; V.2 is enforced structurally in the engine and checked by its
+// unit tests.)
 func (c *Cluster) CheckProperties() OracleReport {
 	var rep OracleReport
 
@@ -508,13 +569,45 @@ func (c *Cluster) CheckProperties() OracleReport {
 		computed[rid] = true
 	}
 	c.computedMu.Unlock()
+	allUp := len(engines) == len(c.dbIDs)
 	for _, cl := range clients {
 		for _, d := range cl.Delivered() {
+			// No server anywhere may have decided a delivered try as
+			// anything but commit.
+			known := false
 			for dbID, e := range engines {
-				if o, ok := e.Outcomes()[d.RID]; !ok || o != msg.OutcomeCommit {
-					rep.Violations = append(rep.Violations,
-						fmt.Sprintf("A.1 violated: delivered %s not committed at %s", d.RID, dbID))
+				o, ok := e.Outcomes()[d.RID]
+				if !ok {
+					continue
 				}
+				known = true
+				if o != msg.OutcomeCommit {
+					rep.Violations = append(rep.Violations,
+						fmt.Sprintf("A.1 violated: delivered %s decided %s at %s", d.RID, o, dbID))
+				}
+			}
+			if d.Participants != nil {
+				// The delivered decision names its dlist: termination
+				// acknowledged the commit at every one of these servers
+				// before the result went out, so every live one must hold
+				// it (commit records are forced before the ack, so
+				// recovery cannot lose them).
+				for _, p := range d.Participants {
+					e, up := engines[p]
+					if !up {
+						continue
+					}
+					if o, ok := e.Outcomes()[d.RID]; !ok || o != msg.OutcomeCommit {
+						rep.Violations = append(rep.Violations,
+							fmt.Sprintf("A.1 violated: delivered %s not committed at participant %s", d.RID, p))
+					}
+				}
+			} else if !known && allUp {
+				// Decisions without a dlist (pre-dlist deliveries) fall
+				// back to existence: with every database up, a delivered
+				// result must be committed somewhere.
+				rep.Violations = append(rep.Violations,
+					fmt.Sprintf("A.1 violated: delivered %s committed at no database server", d.RID))
 			}
 			if !computed[d.RID] {
 				rep.Violations = append(rep.Violations,

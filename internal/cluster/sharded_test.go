@@ -1,0 +1,273 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"etx/internal/core"
+	"etx/internal/id"
+	"etx/internal/kv"
+	"etx/internal/msg"
+	"etx/internal/placement"
+	"etx/internal/transport"
+)
+
+// findAccount returns an account name whose key is homed on the given shard
+// under the hash placement of a `shards`-wide tier.
+func findAccount(shards, shard int, tag string) string {
+	name, ok := placement.KeyedName(placement.Hash(shards), shard, tag,
+		func(n string) string { return "acct/" + n })
+	if !ok {
+		panic(fmt.Sprintf("no %s* account homed on shard %d/%d", tag, shard, shards))
+	}
+	return name
+}
+
+// transferKeyed moves amount from acct/<src> to acct/<dst> through the keyed
+// Tx API: same-shard pairs commit through the one-shard fast path,
+// cross-shard pairs produce a two-participant dlist.
+func transferKeyed() core.Logic {
+	return core.LogicFunc(func(ctx context.Context, tx *core.Tx, req []byte) ([]byte, error) {
+		parts := strings.SplitN(string(req), ":", 3)
+		if len(parts) != 3 {
+			return nil, fmt.Errorf("bad request %q", req)
+		}
+		amount, err := strconv.ParseInt(parts[2], 10, 64)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := tx.Add(ctx, "acct/"+parts[0], -amount); err != nil {
+			return nil, err
+		}
+		bal, err := tx.Add(ctx, "acct/"+parts[1], amount)
+		if err != nil {
+			return nil, err
+		}
+		if err := tx.CheckAtLeast(ctx, "acct/"+parts[0], 0); err != nil {
+			return nil, err
+		}
+		return []byte(strconv.FormatInt(bal, 10)), nil
+	})
+}
+
+// TestShardedSingleShardCommitContactsOnlyHomeShard is the participant-set
+// certificate at the protocol level: on a 4-shard tier, a transaction that
+// stays on one shard must send Prepare and Decide to its home shard and to
+// nothing else — the pre-sharding broadcast contacted all 4.
+func TestShardedSingleShardCommitContactsOnlyHomeShard(t *testing.T) {
+	cfg := Config{Shards: 4, Logic: transferKeyed()}
+	fastKnobs(&cfg)
+	acct := findAccount(4, 2, "solo")
+	cfg.Seed = []kv.Write{{Key: "acct/" + acct, Val: kv.EncodeInt(100)}}
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Stop()
+
+	var mu sync.Mutex
+	targets := make(map[id.NodeID]map[msg.Kind]int)
+	c.Net.AddSniffer(func(ev transport.SniffEvent) {
+		if ev.Dropped || ev.To.Role != id.RoleDBServer {
+			return
+		}
+		kind := ev.Payload.Kind()
+		if kind != msg.KindPrepare && kind != msg.KindDecide {
+			return
+		}
+		mu.Lock()
+		if targets[ev.To] == nil {
+			targets[ev.To] = make(map[msg.Kind]int)
+		}
+		targets[ev.To][kind]++
+		mu.Unlock()
+	})
+
+	if res := issue(t, c, 1, acct+":"+acct+":0"); string(res) != "100" {
+		t.Errorf("result = %q, want 100", res)
+	}
+	home := c.Placement().Home("acct/" + acct)
+
+	mu.Lock()
+	defer mu.Unlock()
+	for db, kinds := range targets {
+		if db != home {
+			t.Errorf("non-participant %s received %v (home is %s)", db, kinds, home)
+		}
+	}
+	if targets[home][msg.KindPrepare] == 0 || targets[home][msg.KindDecide] == 0 {
+		t.Errorf("home shard %s saw prepare/decide %v, want both", home, targets[home])
+	}
+	mustOracle(t, c)
+}
+
+// TestShardedOracleUnderCrashRecovery drives a mixed single-/cross-shard
+// workload over a 4-shard tier while one shard crashes and recovers and the
+// primary application server dies mid-commit, then holds the run against
+// the paper's properties.
+func TestShardedOracleUnderCrashRecovery(t *testing.T) {
+	const shards = 4
+	// One account per shard, each transfer moves 1 between a deterministic
+	// pair (same-shard and cross-shard pairs both occur).
+	accts := make([]string, shards)
+	for s := 0; s < shards; s++ {
+		accts[s] = findAccount(shards, s, fmt.Sprintf("s%d-", s))
+	}
+	var crashed atomic.Bool
+	var cRef atomic.Pointer[Cluster]
+	cfg := Config{
+		Shards: shards,
+		Logic:  transferKeyed(),
+		Hooks: func(self id.NodeID) *core.Hooks {
+			if self != id.AppServer(1) {
+				return nil
+			}
+			return &core.Hooks{
+				Crash: func(p core.CrashPoint, rid id.ResultID) {
+					// Kill the primary mid-commit: the decision is in regD
+					// but termination has not started. The surviving
+					// servers must finish it against the participants the
+					// register records.
+					if p == core.PointAfterRegD && rid.Seq >= 4 && crashed.CompareAndSwap(false, true) {
+						cRef.Load().CrashApp(1)
+					}
+				},
+			}
+		},
+	}
+	fastKnobs(&cfg)
+	cfg.Workers = 4
+	for _, a := range accts {
+		cfg.Seed = append(cfg.Seed, kv.Write{Key: "acct/" + a, Val: kv.EncodeInt(1000)})
+	}
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cRef.Store(c)
+	defer c.Stop()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+
+	const requests = 24
+	var wg sync.WaitGroup
+	errs := make(chan error, requests)
+	for i := 0; i < requests; i++ {
+		src, dst := accts[i%shards], accts[(i+i/shards)%shards]
+		req := src + ":" + dst + ":1"
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := c.Client(1).Issue(ctx, []byte(req)); err != nil {
+				errs <- fmt.Errorf("issue %s: %w", req, err)
+			}
+		}()
+		if i == requests/3 {
+			c.CrashDB(2)
+		}
+		if i == 2*requests/3 {
+			if err := c.RecoverDB(2); err != nil {
+				t.Fatal(err)
+			}
+		}
+		time.Sleep(3 * time.Millisecond)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	if !crashed.Load() {
+		t.Error("the primary was never crashed mid-commit")
+	}
+
+	// Transfers are conservative: the sum over all shards must be exactly
+	// the seeded total (every request committed exactly once).
+	var total int64
+	for s := 0; s < shards; s++ {
+		bal, err := c.Engine(s + 1).Store().GetInt("acct/" + accts[s])
+		if err != nil {
+			t.Fatalf("read %s: %v", accts[s], err)
+		}
+		total += bal
+	}
+	if total != int64(shards)*1000 {
+		t.Errorf("total balance = %d, want %d", total, shards*1000)
+	}
+	mustOracle(t, c)
+}
+
+// TestShardedCrossShardAbortsWhenParticipantRestarts: a cross-shard try
+// loses one of its two participants between Exec and prepare. The recovered
+// incarnation's empty branch must abort the try — on BOTH shards, via the
+// participant dlist — and the retry must commit exactly once.
+func TestShardedCrossShardAbortsWhenParticipantRestarts(t *testing.T) {
+	const shards = 4
+	src := findAccount(shards, 0, "x")
+	dst := findAccount(shards, 1, "y")
+	var fired atomic.Bool
+	var cRef atomic.Pointer[Cluster]
+	cfg := Config{
+		Shards: shards,
+		Logic:  transferKeyed(),
+		Seed: []kv.Write{
+			{Key: "acct/" + src, Val: kv.EncodeInt(100)},
+			{Key: "acct/" + dst, Val: kv.EncodeInt(0)},
+		},
+		Hooks: func(self id.NodeID) *core.Hooks {
+			return &core.Hooks{
+				Crash: func(p core.CrashPoint, rid id.ResultID) {
+					if p == core.PointAfterCompute && rid.Try == 1 && fired.CompareAndSwap(false, true) {
+						// Restart dst's home shard (shard 1 = dbserver-2):
+						// its unprepared branch evaporates.
+						c := cRef.Load()
+						c.CrashDB(2)
+						if err := c.RecoverDB(2); err != nil {
+							t.Errorf("recover: %v", err)
+						}
+					}
+				},
+			}
+		},
+	}
+	fastKnobs(&cfg)
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cRef.Store(c)
+	defer c.Stop()
+
+	res := issue(t, c, 1, src+":"+dst+":10")
+	if string(res) != "10" {
+		t.Errorf("result = %q, want 10", res)
+	}
+	if !fired.Load() {
+		t.Fatal("participant restart hook never fired")
+	}
+	deliveries := c.Client(1).Delivered()
+	if len(deliveries) != 1 || deliveries[0].Tries < 2 {
+		t.Errorf("deliveries = %+v, want one delivery after >= 2 tries", deliveries)
+	}
+	// Exactly-once money movement despite the aborted first try.
+	if bal, _ := c.Engine(1).Store().GetInt("acct/" + src); bal != 90 {
+		t.Errorf("src balance = %d, want 90", bal)
+	}
+	if bal, _ := c.Engine(2).Store().GetInt("acct/" + dst); bal != 10 {
+		t.Errorf("dst balance = %d, want 10", bal)
+	}
+	// The first try must have aborted at the surviving participant too (the
+	// dlist routed the abort to shard 0, not just the restarted shard 1).
+	rid1 := id.ResultID{Client: id.Client(1), Seq: deliveries[0].RID.Seq, Try: 1}
+	if o, ok := c.Engine(1).Outcomes()[rid1]; !ok || o != msg.OutcomeAbort {
+		t.Errorf("try 1 at src shard: outcome %v (known=%v), want abort", o, ok)
+	}
+	mustOracle(t, c)
+}

@@ -13,6 +13,7 @@ import (
 	"etx/internal/fd"
 	"etx/internal/id"
 	"etx/internal/msg"
+	"etx/internal/placement"
 	"etx/internal/queue"
 	"etx/internal/transport"
 	"etx/internal/woregister"
@@ -44,8 +45,15 @@ type AppServerConfig struct {
 	// AppServers is the full middle tier, identically ordered everywhere;
 	// AppServers[0] is the default primary and round-1 consensus coordinator.
 	AppServers []id.NodeID
-	// DataServers is the paper's dlist: every database server.
+	// DataServers is the database tier: every database server. The paper's
+	// per-request dlist is no longer this whole list — it is the set of
+	// shards a try touched, routed through Placement.
 	DataServers []id.NodeID
+	// Placement maps keys to their home database server. When nil, a hash
+	// placement over DataServers is installed, so the keyed Tx API works on
+	// any deployment. Every application server must be configured with the
+	// same placement.
+	Placement *placement.Map
 	// Endpoint is the server's network attachment.
 	Endpoint transport.Endpoint
 	// Logic is the business logic run by the compute thread.
@@ -69,6 +77,16 @@ type AppServerConfig struct {
 	// Workers is the number of compute threads. The paper runs exactly one;
 	// values >1 are a documented generalization. Defaults to 1.
 	Workers int
+	// Terminators is the size of the background termination pool: decided
+	// tries are driven to their participants by these goroutines instead of
+	// the compute workers, so a database that crashed and never recovers
+	// stalls at most this many terminations — never a compute thread.
+	// Every result delivery rides a terminator, so the pool must keep up
+	// with the compute tier: defaults to max(4, Workers).
+	Terminators int
+	// CommitCacheSize caps the committed-decision cache and the cleaning
+	// thread's dedup cache (oldest entries evicted first). Defaults to 4096.
+	CommitCacheSize int
 	// Hooks carries optional instrumentation and crash injection.
 	Hooks *Hooks
 }
@@ -89,6 +107,15 @@ func (c *AppServerConfig) setDefaults() {
 	if c.Workers <= 0 {
 		c.Workers = 1
 	}
+	if c.Terminators <= 0 {
+		c.Terminators = 4
+		if c.Workers > c.Terminators {
+			c.Terminators = c.Workers
+		}
+	}
+	if c.CommitCacheSize <= 0 {
+		c.CommitCacheSize = 4096
+	}
 	if c.HeartbeatInterval <= 0 {
 		c.HeartbeatInterval = 10 * time.Millisecond
 	}
@@ -101,7 +128,8 @@ func (c *AppServerConfig) setDefaults() {
 // stateless in the paper's sense: everything it holds is soft state
 // reconstructible from the wo-registers and the databases; no disk is used.
 type AppServer struct {
-	cfg AppServerConfig
+	cfg   AppServerConfig
+	place *placement.Map
 
 	cons *consensus.Node
 	regs *woregister.Registers
@@ -117,11 +145,31 @@ type AppServer struct {
 	pendingMu sync.Mutex
 	pending   map[id.ResultID]bool
 
-	commitMu  sync.Mutex
-	committed map[id.RequestKey]cachedDecision
+	// committed caches decided requests for client retransmissions. It is
+	// capped (FIFO eviction via commitOrder) and pruned by Retire.
+	commitMu    sync.Mutex
+	committed   map[id.RequestKey]cachedDecision
+	commitOrder []id.RequestKey
+
+	// cleaned is the cleaning thread's dedup set, capped like committed.
+	cleanMu    sync.Mutex
+	cleaned    map[id.ResultID]bool
+	cleanOrder []id.ResultID
+
+	// termQ feeds the background terminator pool; terming dedups in-flight
+	// terminations per try.
+	termQ   *queue.Queue[termJob]
+	termMu  sync.Mutex
+	terming map[id.ResultID]bool
 
 	calls  callRouter
 	execID atomic.Uint64
+}
+
+// termJob is one decided try awaiting termination at its participants.
+type termJob struct {
+	rid id.ResultID
+	dec msg.Decision
 }
 
 type cachedDecision struct {
@@ -142,11 +190,34 @@ func NewAppServer(cfg AppServerConfig) (*AppServer, error) {
 	}
 	cfg.setDefaults()
 
+	place := cfg.Placement
+	if place == nil {
+		var err error
+		place, err = placement.NewMap(placement.Hash(len(cfg.DataServers)), cfg.DataServers)
+		if err != nil {
+			return nil, fmt.Errorf("core: default placement: %w", err)
+		}
+	} else {
+		inTier := make(map[id.NodeID]bool, len(cfg.DataServers))
+		for _, db := range cfg.DataServers {
+			inTier[db] = true
+		}
+		for _, db := range place.Nodes() {
+			if !inTier[db] {
+				return nil, fmt.Errorf("core: placement routes to %s, which is not in DataServers", db)
+			}
+		}
+	}
+
 	s := &AppServer{
 		cfg:       cfg,
+		place:     place,
 		computeQ:  queue.New[msg.Request](),
 		pending:   make(map[id.ResultID]bool),
 		committed: make(map[id.RequestKey]cachedDecision),
+		cleaned:   make(map[id.ResultID]bool),
+		termQ:     queue.New[termJob](),
+		terming:   make(map[id.ResultID]bool),
 	}
 	s.ctx, s.cancel = context.WithCancel(context.Background())
 	s.calls.init()
@@ -186,25 +257,33 @@ func NewAppServer(cfg AppServerConfig) (*AppServer, error) {
 // Registers exposes the server's wo-register view (tests, oracles).
 func (s *AppServer) Registers() *woregister.Registers { return s.regs }
 
+// Placement exposes the key-routing map of the deployment.
+func (s *AppServer) Placement() *placement.Map { return s.place }
+
 // Retire drops all local state of a finished logical request: its cached
-// committed decision and the registers of every try up to maxTry. The paper
-// leaves this garbage collection open (Section 5); it is only safe once the
-// client is known to have delivered the result and will not retransmit —
-// the ablation benchmark quantifies the memory it reclaims.
+// committed decision, the cleaning thread's dedup entries, and the registers
+// of every try up to maxTry. The paper leaves this garbage collection open
+// (Section 5); it is only safe once the client is known to have delivered
+// the result and will not retransmit — the ablation benchmark quantifies the
+// memory it reclaims.
 func (s *AppServer) Retire(req id.RequestKey, maxTry uint64) {
 	s.commitMu.Lock()
 	delete(s.committed, req)
 	s.commitMu.Unlock()
 	for try := uint64(1); try <= maxTry; try++ {
-		s.regs.Retire(id.ResultID{Client: req.Client, Seq: req.Seq, Try: try})
+		rid := id.ResultID{Client: req.Client, Seq: req.Seq, Try: try}
+		s.cleanMu.Lock()
+		delete(s.cleaned, rid)
+		s.cleanMu.Unlock()
+		s.regs.Retire(rid)
 	}
 }
 
 // Detector exposes the failure detector in use.
 func (s *AppServer) Detector() fd.Detector { return s.det }
 
-// Start launches the demultiplexer, the compute thread(s) and the cleaning
-// thread — the cobegin of Figure 4.
+// Start launches the demultiplexer, the compute thread(s), the terminator
+// pool and the cleaning thread — the cobegin of Figure 4.
 func (s *AppServer) Start() {
 	if s.hb != nil {
 		s.hb.Start(s.ctx)
@@ -215,6 +294,10 @@ func (s *AppServer) Start() {
 		s.wg.Add(1)
 		go s.computeThread()
 	}
+	for i := 0; i < s.cfg.Terminators; i++ {
+		s.wg.Add(1)
+		go s.terminatorThread()
+	}
 	s.wg.Add(1)
 	go s.cleanThread()
 }
@@ -223,6 +306,7 @@ func (s *AppServer) Start() {
 func (s *AppServer) Stop() {
 	s.cancel()
 	s.computeQ.Close()
+	s.termQ.Close()
 	s.cons.Stop()
 	s.wg.Wait()
 	if s.hb != nil {
@@ -325,7 +409,7 @@ func (s *AppServer) handleRequest(req msg.Request) {
 	// finished it) is re-terminated: decides are idempotent at the
 	// databases and the client deduplicates results.
 	if dec, ok := s.regs.ReadD(rid); ok {
-		s.terminate(rid, dec)
+		s.enqueueTerminate(rid, dec)
 		return
 	}
 
@@ -346,12 +430,17 @@ func (s *AppServer) handleRequest(req msg.Request) {
 	// Figure 5, lines 8-9: compute, then run the voting phase.
 	decision := msg.Decision{Outcome: msg.OutcomeAbort} // (nil, abort)
 	cctx, cancel := context.WithTimeout(s.ctx, s.cfg.ComputeTimeout)
-	tx := &Tx{s: s, rid: rid, incs: make(map[id.NodeID]uint64)}
+	tx := &Tx{s: s, rid: rid, incs: make(map[id.NodeID]uint64), touched: make(map[id.NodeID]bool)}
 	t0 = time.Now()
 	result, err := s.cfg.Logic.Compute(cctx, tx, req.Body)
 	cancel()
 	s.cfg.Hooks.span(rid, SpanSQL, time.Since(t0))
 	s.cfg.Hooks.crash(PointAfterCompute, rid)
+	// The decision carries the try's dlist — the shards the logic touched —
+	// whether it commits or aborts: termination (here, at a cleaner, or at a
+	// retransmission handler on another server) must reach exactly those
+	// branches, and nothing else.
+	decision.Participants = tx.participants()
 	if err == nil {
 		decision.Result = result
 		t0 = time.Now()
@@ -369,16 +458,28 @@ func (s *AppServer) handleRequest(req msg.Request) {
 	s.cfg.Hooks.span(rid, SpanLogOutcome, time.Since(t0))
 	s.cfg.Hooks.crash(PointAfterRegD, rid)
 
-	// Figure 5, line 11.
-	s.terminate(rid, final)
+	// Figure 5, line 11 — handed to the terminator pool so this worker is
+	// free to serve the next request while the decision is driven to the
+	// participants in the background.
+	s.enqueueTerminate(rid, final)
 }
 
-// prepare implements Figure 4's prepare(): a voting round over every
-// database server. Commit requires a yes vote from every server, each from
-// the same incarnation the business logic executed against; a Ready
+// prepare implements Figure 4's prepare(): a voting round over the try's
+// participants — the shards the business logic touched — not the whole
+// database tier. Commit requires a yes vote from every participant, each
+// from the same incarnation the business logic executed against; a Ready
 // (recovery notification) in place of a vote means the server lost its
-// branch, so the try aborts.
+// branch, so the try aborts. A try that touched nothing has nothing to vote
+// on; a try confined to one shard takes the single-exchange fast path.
 func (s *AppServer) prepare(rid id.ResultID, tx *Tx) msg.Outcome {
+	parts := tx.participants()
+	switch len(parts) {
+	case 0:
+		return msg.OutcomeCommit
+	case 1:
+		return s.prepareOne(rid, tx, parts[0])
+	}
+
 	col := s.calls.addCollector(rid)
 	defer s.calls.removeCollector(col)
 
@@ -387,9 +488,13 @@ func (s *AppServer) prepare(rid id.ResultID, tx *Tx) msg.Outcome {
 		inc   uint64
 		ready bool
 	}
-	answers := make(map[id.NodeID]answer, len(s.cfg.DataServers))
+	member := make(map[id.NodeID]bool, len(parts))
+	for _, db := range parts {
+		member[db] = true
+	}
+	answers := make(map[id.NodeID]answer, len(parts))
 	sendTo := func(only map[id.NodeID]answer) {
-		for _, db := range s.cfg.DataServers {
+		for _, db := range parts {
 			if _, done := only[db]; done {
 				continue
 			}
@@ -400,9 +505,14 @@ func (s *AppServer) prepare(rid id.ResultID, tx *Tx) msg.Outcome {
 
 	ticker := time.NewTicker(s.cfg.ResendInterval)
 	defer ticker.Stop()
-	for len(answers) < len(s.cfg.DataServers) {
+	for len(answers) < len(parts) {
 		select {
 		case ev := <-col.ch:
+			// Ready notifications fan out from every database server;
+			// only participants answer this round.
+			if !member[ev.from] {
+				break
+			}
 			if _, done := answers[ev.from]; done {
 				break
 			}
@@ -422,66 +532,198 @@ func (s *AppServer) prepare(rid id.ResultID, tx *Tx) msg.Outcome {
 		if a.ready || a.vote != msg.VoteYes {
 			return msg.OutcomeAbort
 		}
-		if want, touched := tx.incarnation(db); touched && a.inc != want {
-			// The server crashed between compute() and prepare(): its
-			// branch (and unprepared work) is gone. The vote we got is from
-			// a later incarnation's empty branch; committing would lose the
-			// writes, so the try aborts and will be recomputed.
+		want, ok := tx.incarnation(db)
+		if !ok || a.inc != want {
+			// Either no Exec against this participant ever completed (the
+			// branch cannot be validated), or the server crashed between
+			// compute() and prepare(): its branch (and unprepared work) is
+			// gone and the vote is from a later incarnation's empty branch.
+			// Committing would lose the writes, so the try aborts and will
+			// be recomputed.
 			return msg.OutcomeAbort
 		}
 	}
 	return msg.OutcomeCommit
 }
 
-// terminate implements Figure 4's terminate(): drive the outcome to every
-// database server until all acknowledge (re-sending to servers that announce
-// recovery with Ready), then report the decision to the client.
-func (s *AppServer) terminate(rid id.ResultID, dec msg.Decision) {
-	t0 := time.Now()
+// prepareOne is the one-shard fast path of prepare(): a single-shard try
+// skips the cross-shard vote collection entirely and runs one Prepare/Vote
+// exchange with its home shard — two messages, independent of how many
+// database servers the deployment has.
+func (s *AppServer) prepareOne(rid id.ResultID, tx *Tx, db id.NodeID) msg.Outcome {
+	want, ok := tx.incarnation(db)
+	if !ok {
+		// The branch was touched but no Exec completed; it cannot be
+		// validated, so the try aborts (termination still reaches db).
+		return msg.OutcomeAbort
+	}
 	col := s.calls.addCollector(rid)
+	defer s.calls.removeCollector(col)
 
-	acked := make(map[id.NodeID]bool, len(s.cfg.DataServers))
-	send := func(db id.NodeID) {
-		_ = s.cfg.Endpoint.Send(msg.Envelope{To: db, Payload: msg.Decide{RID: rid, O: dec.Outcome}})
+	send := func() {
+		_ = s.cfg.Endpoint.Send(msg.Envelope{To: db, Payload: msg.Prepare{RID: rid}})
 	}
-	for _, db := range s.cfg.DataServers {
-		send(db)
-	}
+	send()
 	ticker := time.NewTicker(s.cfg.ResendInterval)
-	for len(acked) < len(s.cfg.DataServers) {
+	defer ticker.Stop()
+	for {
 		select {
 		case ev := <-col.ch:
+			if ev.from != db {
+				break
+			}
 			switch ev.kind {
-			case evAck:
-				acked[ev.from] = true
-			case evReady:
-				if !acked[ev.from] {
-					send(ev.from)
+			case evVote:
+				if ev.vote == msg.VoteYes && ev.inc == want {
+					return msg.OutcomeCommit
 				}
+				return msg.OutcomeAbort
+			case evReady:
+				return msg.OutcomeAbort
 			}
 		case <-ticker.C:
-			for _, db := range s.cfg.DataServers {
-				if !acked[db] {
-					send(db)
-				}
-			}
+			send()
 		case <-s.ctx.Done():
-			ticker.Stop()
-			s.calls.removeCollector(col)
+			return msg.OutcomeAbort
+		}
+	}
+}
+
+// enqueueTerminate hands a decided try to the terminator pool, deduplicating
+// tries whose termination is already queued or running.
+func (s *AppServer) enqueueTerminate(rid id.ResultID, dec msg.Decision) {
+	s.termMu.Lock()
+	if s.terming[rid] {
+		s.termMu.Unlock()
+		return
+	}
+	s.terming[rid] = true
+	s.termMu.Unlock()
+	if !s.termQ.Push(termJob{rid: rid, dec: dec}) {
+		s.termMu.Lock()
+		delete(s.terming, rid)
+		s.termMu.Unlock()
+	}
+}
+
+// terminatorThread drains the termination queue. The pool is the bounded
+// stand-in for the unbounded blocking the paper's Figure 4 tolerates: a
+// database that crashed and never recovers stalls a terminator goroutine,
+// not a compute worker.
+func (s *AppServer) terminatorThread() {
+	defer s.wg.Done()
+	for {
+		for {
+			job, ok := s.termQ.Pop()
+			if !ok {
+				break
+			}
+			s.terminate(job.rid, job.dec)
+			s.termMu.Lock()
+			delete(s.terming, job.rid)
+			s.termMu.Unlock()
+		}
+		if s.termQ.Closed() {
+			return
+		}
+		select {
+		case <-s.termQ.Out():
+		case <-s.ctx.Done():
 			return
 		}
 	}
-	ticker.Stop()
-	s.calls.removeCollector(col)
+}
+
+// terminate implements Figure 4's terminate(): drive the outcome to the
+// try's participants until all acknowledge (re-sending to servers that
+// announce recovery with Ready), then report the decision to the client. A
+// decision whose dlist is unknown — a cleaner's abort of a try whose
+// executor crashed before recording what it touched — falls back to every
+// database server, which is the pre-sharding behaviour and always safe.
+func (s *AppServer) terminate(rid id.ResultID, dec msg.Decision) {
+	t0 := time.Now()
+	targets := dec.Participants
+	if targets == nil {
+		targets = s.cfg.DataServers
+	}
+	if len(targets) > 0 {
+		col := s.calls.addCollector(rid)
+		member := make(map[id.NodeID]bool, len(targets))
+		for _, db := range targets {
+			member[db] = true
+		}
+		acked := make(map[id.NodeID]bool, len(targets))
+		send := func(db id.NodeID) {
+			_ = s.cfg.Endpoint.Send(msg.Envelope{To: db, Payload: msg.Decide{RID: rid, O: dec.Outcome}})
+		}
+		for _, db := range targets {
+			send(db)
+		}
+		ticker := time.NewTicker(s.cfg.ResendInterval)
+		for len(acked) < len(targets) {
+			select {
+			case ev := <-col.ch:
+				if !member[ev.from] {
+					break
+				}
+				switch ev.kind {
+				case evAck:
+					acked[ev.from] = true
+				case evReady:
+					if !acked[ev.from] {
+						send(ev.from)
+					}
+				}
+			case <-ticker.C:
+				for _, db := range targets {
+					if !acked[db] {
+						send(db)
+					}
+				}
+			case <-s.ctx.Done():
+				ticker.Stop()
+				s.calls.removeCollector(col)
+				return
+			}
+		}
+		ticker.Stop()
+		s.calls.removeCollector(col)
+	}
 	s.cfg.Hooks.span(rid, SpanCommit, time.Since(t0))
 
 	if dec.Outcome == msg.OutcomeCommit {
-		s.commitMu.Lock()
-		s.committed[rid.Request()] = cachedDecision{try: rid.Try, dec: dec}
-		s.commitMu.Unlock()
+		s.cacheCommit(rid, dec)
 	}
 	s.cfg.Hooks.crash(PointBeforeResult, rid)
 	s.sendResult(rid, dec)
+}
+
+// fifoAdmit records a newly inserted key's position in a capped cache's
+// insertion order and evicts through the callback until the order fits the
+// cap again. It is the one implementation of the FIFO discipline both the
+// committed-decision cache and the cleaning dedup set follow; eviction of a
+// key Retire already pruned is a harmless no-op delete. The caller holds
+// the cache's lock.
+func fifoAdmit[K comparable](order []K, cap int, key K, evict func(K)) []K {
+	order = append(order, key)
+	for len(order) > cap {
+		evict(order[0])
+		order = order[1:]
+	}
+	return order
+}
+
+// cacheCommit records a committed decision for client retransmissions,
+// evicting the oldest entries beyond the configured cap.
+func (s *AppServer) cacheCommit(rid id.ResultID, dec msg.Decision) {
+	key := rid.Request()
+	s.commitMu.Lock()
+	if _, ok := s.committed[key]; !ok {
+		s.commitOrder = fifoAdmit(s.commitOrder, s.cfg.CommitCacheSize, key,
+			func(old id.RequestKey) { delete(s.committed, old) })
+	}
+	s.committed[key] = cachedDecision{try: rid.Try, dec: dec}
+	s.commitMu.Unlock()
 }
 
 func (s *AppServer) sendResult(rid id.ResultID, dec msg.Decision) {
@@ -492,13 +734,12 @@ func (s *AppServer) sendResult(rid id.ResultID, dec msg.Decision) {
 // peer, abort-or-finish every try that peer owns in regA.
 func (s *AppServer) cleanThread() {
 	defer s.wg.Done()
-	cleaned := make(map[id.ResultID]bool)
 	ticker := time.NewTicker(s.cfg.CleanInterval)
 	defer ticker.Stop()
 	for {
 		select {
 		case <-ticker.C:
-			s.cleanSweep(cleaned)
+			s.cleanSweep()
 		case <-s.ctx.Done():
 			return
 		}
@@ -506,7 +747,7 @@ func (s *AppServer) cleanThread() {
 }
 
 // cleanSweep performs one pass of Figure 6's outer loop.
-func (s *AppServer) cleanSweep(cleaned map[id.ResultID]bool) {
+func (s *AppServer) cleanSweep() {
 	for _, ai := range s.cfg.AppServers {
 		if ai == s.cfg.Self || !s.det.Suspects(ai) {
 			continue
@@ -514,7 +755,7 @@ func (s *AppServer) cleanSweep(cleaned map[id.ResultID]bool) {
 		tries := s.regs.KnownTries()
 		sort.Slice(tries, func(i, j int) bool { return tries[i].Less(tries[j]) })
 		for _, rid := range tries {
-			if cleaned[rid] {
+			if s.wasCleaned(rid) {
 				continue
 			}
 			owner, ok := s.regs.ReadA(rid)
@@ -523,15 +764,38 @@ func (s *AppServer) cleanSweep(cleaned map[id.ResultID]bool) {
 			}
 			// Figure 6, lines 7-8: try to abort; the write-once register
 			// returns the executor's decision if it got there first, in
-			// which case we finish its commit instead.
+			// which case we finish its commit instead. The cleaner's own
+			// abort carries no dlist (the crashed executor never recorded
+			// one), so termination of a cleaner-won abort falls back to
+			// every database server; an executor decision read back from
+			// regD carries the participants it recorded.
 			dec, err := s.regs.WriteD(s.ctx, rid, msg.Decision{Outcome: msg.OutcomeAbort})
 			if err != nil {
 				return // shutting down
 			}
-			s.terminate(rid, dec)
-			cleaned[rid] = true
+			s.enqueueTerminate(rid, dec)
+			s.markCleaned(rid)
 		}
 	}
+}
+
+// wasCleaned reports whether the cleaning thread already handled rid.
+func (s *AppServer) wasCleaned(rid id.ResultID) bool {
+	s.cleanMu.Lock()
+	defer s.cleanMu.Unlock()
+	return s.cleaned[rid]
+}
+
+// markCleaned records rid in the cleaning dedup set, evicting the oldest
+// entries beyond the configured cap.
+func (s *AppServer) markCleaned(rid id.ResultID) {
+	s.cleanMu.Lock()
+	if !s.cleaned[rid] {
+		s.cleanOrder = fifoAdmit(s.cleanOrder, s.cfg.CommitCacheSize, rid,
+			func(old id.ResultID) { delete(s.cleaned, old) })
+		s.cleaned[rid] = true
+	}
+	s.cleanMu.Unlock()
 }
 
 // --- business-data access for Logic -----------------------------------------
@@ -540,10 +804,19 @@ func (s *AppServer) cleanSweep(cleaned map[id.ResultID]bool) {
 // one try's transaction branch. It is not safe for concurrent use by
 // multiple goroutines (compute() is a single logical thread, as in the
 // paper).
+//
+// The keyed methods (Get, Put, Add, CheckAtLeast, Do) route each operation
+// to the key's home shard through the deployment's placement map and are the
+// preferred surface: a transaction that stays on one shard commits through
+// the one-shard fast path regardless of how many database servers exist.
+// Exec addresses a database server directly for logics that manage their own
+// placement. Either way the touched servers are recorded as the try's
+// participant set — the paper's dlist — and commitment involves only them.
 type Tx struct {
-	s    *AppServer
-	rid  id.ResultID
-	incs map[id.NodeID]uint64
+	s       *AppServer
+	rid     id.ResultID
+	incs    map[id.NodeID]uint64
+	touched map[id.NodeID]bool
 }
 
 // RID returns the try this transaction belongs to.
@@ -552,10 +825,86 @@ func (t *Tx) RID() id.ResultID { return t.rid }
 // DBs returns the database servers of the deployment.
 func (t *Tx) DBs() []id.NodeID { return t.s.cfg.DataServers }
 
+// Home returns the database server owning key's home shard.
+func (t *Tx) Home(key string) id.NodeID { return t.s.place.Home(key) }
+
+// Placement returns the deployment's key-routing map.
+func (t *Tx) Placement() *placement.Map { return t.s.place }
+
+// participants returns the try's dlist: every database server this
+// transaction sent an operation to, in deterministic order. Servers are
+// recorded at send time, so a branch opened by an Exec whose reply was lost
+// is still aborted at termination.
+func (t *Tx) participants() []id.NodeID {
+	out := make([]id.NodeID, 0, len(t.touched))
+	for db := range t.touched {
+		out = append(out, db)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Less(out[j]) })
+	return out
+}
+
 // incarnation returns the incarnation recorded at the first Exec against db.
 func (t *Tx) incarnation(db id.NodeID) (uint64, bool) {
 	inc, ok := t.incs[db]
 	return inc, ok
+}
+
+// Do routes one operation on key to its home shard.
+func (t *Tx) Do(ctx context.Context, key string, op msg.Op) (msg.OpResult, error) {
+	op.Key = key
+	return t.Exec(ctx, t.Home(key), op)
+}
+
+// Get reads key on its home shard, returning the raw value and its integer
+// interpretation.
+func (t *Tx) Get(ctx context.Context, key string) ([]byte, int64, error) {
+	rep, err := t.Do(ctx, key, msg.Op{Code: msg.OpGet})
+	if err != nil {
+		return nil, 0, err
+	}
+	if !rep.OK {
+		return nil, 0, fmt.Errorf("core: get %q: %s", key, rep.Err)
+	}
+	return rep.Val, rep.Num, nil
+}
+
+// Put writes val to key on its home shard.
+func (t *Tx) Put(ctx context.Context, key string, val []byte) error {
+	rep, err := t.Do(ctx, key, msg.Op{Code: msg.OpPut, Val: val})
+	if err != nil {
+		return err
+	}
+	if !rep.OK {
+		return fmt.Errorf("core: put %q: %s", key, rep.Err)
+	}
+	return nil
+}
+
+// Add atomically adds delta to the integer at key on its home shard and
+// returns the new value.
+func (t *Tx) Add(ctx context.Context, key string, delta int64) (int64, error) {
+	rep, err := t.Do(ctx, key, msg.Op{Code: msg.OpAdd, Delta: delta})
+	if err != nil {
+		return 0, err
+	}
+	if !rep.OK {
+		return 0, fmt.Errorf("core: add %q: %s", key, rep.Err)
+	}
+	return rep.Num, nil
+}
+
+// CheckAtLeast installs a commitment-time guard on key's home shard: if the
+// integer at key is below min, the shard refuses to commit the try.
+func (t *Tx) CheckAtLeast(ctx context.Context, key string, min int64) error {
+	rep, err := t.Do(ctx, key, msg.Op{Code: msg.OpCheckGE, Delta: min})
+	if err != nil {
+		return err
+	}
+	if !rep.OK {
+		return fmt.Errorf("core: check %q: %s", key, rep.Err)
+	}
+	return nil
 }
 
 // Exec runs one data operation on db inside this try's branch. A failed
@@ -566,6 +915,7 @@ func (t *Tx) Exec(ctx context.Context, db id.NodeID, op msg.Op) (msg.OpResult, e
 	callID := t.s.execID.Add(1)
 	ch := t.s.calls.addExec(callID)
 	defer t.s.calls.removeExec(callID)
+	t.touched[db] = true
 	err := t.s.cfg.Endpoint.Send(msg.Envelope{To: db, Payload: msg.Exec{RID: t.rid, CallID: callID, Op: op}})
 	if err != nil {
 		return msg.OpResult{}, fmt.Errorf("core: exec on %s: %w", db, err)

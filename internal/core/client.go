@@ -89,6 +89,9 @@ type Delivery struct {
 	RID    id.ResultID
 	Result []byte
 	Tries  uint64
+	// Participants is the committed try's dlist as reported by the decision:
+	// the database servers the oracle must find the commit at.
+	Participants []id.NodeID
 }
 
 // ErrStopped reports an Issue attempted on (or interrupted by) a stopped
@@ -342,7 +345,9 @@ func (c *Client) run(ctx context.Context, seq uint64, cl *call, request []byte) 
 			c.cfg.Hooks.span(rid, SpanTotal, time.Since(start))
 			if !c.cfg.DiscardDeliveries {
 				c.deliveredMu.Lock()
-				c.delivered = append(c.delivered, Delivery{RID: rid, Result: dec.Result, Tries: try})
+				c.delivered = append(c.delivered, Delivery{
+					RID: rid, Result: dec.Result, Tries: try, Participants: dec.Participants,
+				})
 				c.deliveredMu.Unlock()
 			}
 			return dec.Result, nil

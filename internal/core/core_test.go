@@ -358,3 +358,62 @@ func TestAppServerRetireDropsState(t *testing.T) {
 		t.Fatal("Retire left register state behind")
 	}
 }
+
+// TestDecisionCachesAreBounded: the committed-decision cache and the
+// cleaning thread's dedup set must not grow without bound — the oldest
+// entries are evicted past the cap, and Retire prunes both eagerly.
+func TestDecisionCachesAreBounded(t *testing.T) {
+	const cap = 8
+	net := testNet(t)
+	ep := attach(t, net, id.AppServer(1))
+	srv, err := NewAppServer(AppServerConfig{
+		Self:            id.AppServer(1),
+		AppServers:      []id.NodeID{id.AppServer(1)},
+		DataServers:     []id.NodeID{id.DBServer(1)},
+		Endpoint:        ep,
+		Logic:           noopLogic(),
+		CommitCacheSize: cap,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for seq := uint64(1); seq <= 5*cap; seq++ {
+		rid := id.ResultID{Client: id.Client(1), Seq: seq, Try: 1}
+		srv.cacheCommit(rid, msg.Decision{Outcome: msg.OutcomeCommit})
+		srv.markCleaned(rid)
+	}
+	srv.commitMu.Lock()
+	nCommitted := len(srv.committed)
+	srv.commitMu.Unlock()
+	if nCommitted > cap {
+		t.Errorf("committed cache holds %d entries, cap is %d", nCommitted, cap)
+	}
+	srv.cleanMu.Lock()
+	nCleaned := len(srv.cleaned)
+	srv.cleanMu.Unlock()
+	if nCleaned > cap {
+		t.Errorf("cleaned set holds %d entries, cap is %d", nCleaned, cap)
+	}
+
+	// The newest entry survived FIFO eviction and Retire prunes it.
+	last := id.ResultID{Client: id.Client(1), Seq: 5 * cap, Try: 1}
+	srv.commitMu.Lock()
+	_, cached := srv.committed[last.Request()]
+	srv.commitMu.Unlock()
+	if !cached {
+		t.Fatal("newest decision evicted before older ones")
+	}
+	if !srv.wasCleaned(last) {
+		t.Fatal("newest cleaned entry evicted before older ones")
+	}
+	srv.Retire(last.Request(), last.Try)
+	srv.commitMu.Lock()
+	_, cached = srv.committed[last.Request()]
+	srv.commitMu.Unlock()
+	if cached {
+		t.Error("Retire left the committed decision behind")
+	}
+	if srv.wasCleaned(last) {
+		t.Error("Retire left the cleaned entry behind")
+	}
+}

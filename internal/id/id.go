@@ -66,6 +66,16 @@ func DBServer(i int) NodeID { return NodeID{Role: RoleDBServer, Index: i} }
 // IsZero reports whether n is the zero (invalid) NodeID.
 func (n NodeID) IsZero() bool { return n.Role == 0 && n.Index == 0 }
 
+// Less orders NodeIDs by (role, index): the canonical node ordering every
+// deterministic enumeration uses — sorted peer books, participant dlists,
+// cleaning-thread scans.
+func (n NodeID) Less(o NodeID) bool {
+	if n.Role != o.Role {
+		return n.Role < o.Role
+	}
+	return n.Index < o.Index
+}
+
 // String renders the node id as, e.g., "appserver-2".
 func (n NodeID) String() string {
 	if n.IsZero() {
@@ -132,10 +142,7 @@ func (r ResultID) String() string {
 // deterministic iteration order for cleaning and reporting.
 func (r ResultID) Less(o ResultID) bool {
 	if r.Client != o.Client {
-		if r.Client.Role != o.Client.Role {
-			return r.Client.Role < o.Client.Role
-		}
-		return r.Client.Index < o.Client.Index
+		return r.Client.Less(o.Client)
 	}
 	if r.Seq != o.Seq {
 		return r.Seq < o.Seq

@@ -107,6 +107,17 @@ func (w *writer) regKey(k RegKey) {
 func (w *writer) decision(d Decision) {
 	w.byte(byte(d.Outcome))
 	w.bytes(d.Result)
+	// The participant dlist distinguishes nil (unknown — terminate must fall
+	// back to every database server) from empty (touched nothing): the
+	// marker is 0 for nil, count+1 otherwise.
+	if d.Participants == nil {
+		w.uvarint(0)
+		return
+	}
+	w.uvarint(uint64(len(d.Participants)) + 1)
+	for _, n := range d.Participants {
+		w.node(n)
+	}
 }
 
 func (w *writer) op(o Op) {
@@ -312,7 +323,22 @@ func (r *reader) regKey() RegKey {
 func (r *reader) decision() Decision {
 	o := Outcome(r.byte())
 	res := r.bytes()
-	return Decision{Result: res, Outcome: o}
+	marker := r.uvarint()
+	if r.err != nil || marker == 0 {
+		return Decision{Result: res, Outcome: o}
+	}
+	n := marker - 1
+	// Each node occupies at least two bytes, so a count beyond the remaining
+	// buffer is a corrupt length prefix — fail before allocating for it.
+	if n > uint64(len(r.buf)-r.off) {
+		r.fail(ErrOversize)
+		return Decision{}
+	}
+	parts := make([]id.NodeID, 0, n)
+	for i := uint64(0); i < n; i++ {
+		parts = append(parts, r.node())
+	}
+	return Decision{Result: res, Outcome: o, Participants: parts}
 }
 
 func (r *reader) op() Op {

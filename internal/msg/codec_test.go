@@ -22,6 +22,11 @@ func allPayloads() []Payload {
 		Request{RID: r, Body: []byte("book flight LHR->GVA")},
 		Result{RID: r, Dec: Decision{Result: []byte("seat 12A"), Outcome: OutcomeCommit}},
 		Result{RID: r, Dec: Decision{Result: nil, Outcome: OutcomeAbort}},
+		// The participant dlist round-trips, distinguishing nil (unknown;
+		// the cases above) from empty (touched nothing) from populated.
+		Result{RID: r, Dec: Decision{Result: []byte("ok"), Outcome: OutcomeCommit,
+			Participants: []id.NodeID{id.DBServer(2), id.DBServer(5)}}},
+		Result{RID: r, Dec: Decision{Outcome: OutcomeCommit, Participants: []id.NodeID{}}},
 		Prepare{RID: r},
 		VoteMsg{RID: r, V: VoteYes, Inc: 4},
 		VoteMsg{RID: r, V: VoteNo, Inc: 0},

@@ -154,11 +154,18 @@ func (o Outcome) String() string {
 }
 
 // Decision is the pair (result, outcome) the paper stores in regD and returns
-// to the client. The paper's (nil, abort) is Decision{Result: nil,
-// Outcome: OutcomeAbort}.
+// to the client, extended with the try's dlist. The paper's (nil, abort) is
+// Decision{Result: nil, Outcome: OutcomeAbort}.
 type Decision struct {
 	Result  []byte
 	Outcome Outcome
+	// Participants is the paper's dlist for this try: the database servers
+	// the transaction branch touched, which are exactly the servers
+	// termination must drive the outcome to. A nil slice means the dlist is
+	// unknown (a cleaning thread aborting a try whose executor crashed before
+	// recording it) and termination falls back to every database server; an
+	// empty non-nil slice means the try touched no data at all.
+	Participants []id.NodeID
 }
 
 // Committed reports whether the decision carries a committed result.

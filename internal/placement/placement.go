@@ -1,0 +1,207 @@
+// Package placement is the key-routing layer of the sharded database tier:
+// it maps business-data keys to shards and shards to the database servers
+// that own them.
+//
+// The paper presents its protocol against a per-request dlist of database
+// servers but measures a deployment where that list is every server. With
+// placement, the dlist becomes the set of shards a transaction actually
+// touched: the application server routes each data operation to the key's
+// home shard, records the touched set, and runs prepare/terminate against
+// only those servers. Adding database servers then adds commit capacity
+// instead of commit latency.
+//
+// Two partitioners are provided: Hash (FNV-1a modulo the shard count — the
+// default, load-spreading choice) and Range (ordered split points — the
+// choice when key locality matters, e.g. range scans per shard). Both are
+// pure functions of the key, so every application server computes the same
+// home shard with no coordination and no routing state to recover after a
+// crash.
+package placement
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"strconv"
+	"strings"
+
+	"etx/internal/id"
+)
+
+// Policy maps keys to shard ordinals in [0, Shards()).
+type Policy interface {
+	// Shards returns the number of shards the policy splits keys over.
+	Shards() int
+	// ShardFor returns the home shard of key.
+	ShardFor(key string) int
+	// String renders the policy in the spec form Parse accepts.
+	String() string
+}
+
+// --- hash partitioner --------------------------------------------------------
+
+type hashPolicy struct {
+	n int
+}
+
+// Hash returns the FNV-1a hash partitioner over n shards (n >= 1).
+func Hash(n int) Policy {
+	if n < 1 {
+		n = 1
+	}
+	return hashPolicy{n: n}
+}
+
+// Shards implements Policy.
+func (p hashPolicy) Shards() int { return p.n }
+
+// ShardFor implements Policy.
+func (p hashPolicy) ShardFor(key string) int {
+	h := fnv.New32a()
+	_, _ = h.Write([]byte(key))
+	return int(h.Sum32() % uint32(p.n))
+}
+
+// String implements Policy.
+func (p hashPolicy) String() string { return "hash" }
+
+// --- range partitioner -------------------------------------------------------
+
+type rangePolicy struct {
+	bounds []string // sorted lower bounds of shards 1..n-1
+}
+
+// Range returns the ordered partitioner with the given split points: keys
+// below bounds[0] live on shard 0, keys in [bounds[i], bounds[i+1]) on shard
+// i+1, keys at or above the last bound on the last shard. It splits over
+// len(bounds)+1 shards.
+func Range(bounds ...string) Policy {
+	bs := append([]string(nil), bounds...)
+	sort.Strings(bs)
+	return rangePolicy{bounds: bs}
+}
+
+// Shards implements Policy.
+func (p rangePolicy) Shards() int { return len(p.bounds) + 1 }
+
+// ShardFor implements Policy.
+func (p rangePolicy) ShardFor(key string) int {
+	// The home shard is the number of split points at or below the key.
+	return sort.Search(len(p.bounds), func(i int) bool { return p.bounds[i] > key })
+}
+
+// String implements Policy.
+func (p rangePolicy) String() string { return "range:" + strings.Join(p.bounds, ",") }
+
+// --- spec parsing ------------------------------------------------------------
+
+// Parse builds a policy from its flag form: "hash" (the default when spec is
+// empty) or "range:b1,b2,...". shards is the deployment's shard count; a
+// range spec must carry exactly shards-1 split points.
+func Parse(spec string, shards int) (Policy, error) {
+	if shards < 1 {
+		return nil, fmt.Errorf("placement: need at least 1 shard, got %d", shards)
+	}
+	switch {
+	case spec == "" || spec == "hash":
+		return Hash(shards), nil
+	case strings.HasPrefix(spec, "range:"):
+		bounds := strings.Split(strings.TrimPrefix(spec, "range:"), ",")
+		if len(bounds) != shards-1 {
+			return nil, fmt.Errorf("placement: range spec has %d split points, want %d for %d shards",
+				len(bounds), shards-1, shards)
+		}
+		return Range(bounds...), nil
+	default:
+		return nil, fmt.Errorf("placement: unknown policy spec %q (want \"hash\" or \"range:b1,b2,...\")", spec)
+	}
+}
+
+// --- shard-homed name derivation ---------------------------------------------
+
+// probeLimit bounds the name search: under a pathological policy (e.g. a
+// range split that no key with the given prefix can cross) the wanted shard
+// may be unreachable, and the caller needs a failure, not a spin.
+const probeLimit = 1 << 20
+
+// KeyedNames returns the first n names of the form prefix+k (k = 0, 1, ...)
+// whose derived key — keyFor applied to the name — is homed on shard. It is
+// the one shared implementation of "find me accounts that live on shard s"
+// used by workload generators, benches and tests; ok is false when the probe
+// limit is exhausted first (the shard is unreachable with this prefix under
+// this policy).
+func KeyedNames(p Policy, shard int, prefix string, keyFor func(string) string, n int) (names []string, ok bool) {
+	for k := 0; len(names) < n; k++ {
+		if k >= probeLimit {
+			return names, false
+		}
+		name := prefix + strconv.Itoa(k)
+		if p.ShardFor(keyFor(name)) == shard {
+			names = append(names, name)
+		}
+	}
+	return names, true
+}
+
+// KeyedName is KeyedNames for a single name.
+func KeyedName(p Policy, shard int, prefix string, keyFor func(string) string) (string, bool) {
+	names, ok := KeyedNames(p, shard, prefix, keyFor, 1)
+	if !ok {
+		return "", false
+	}
+	return names[0], true
+}
+
+// --- shard-to-node binding ---------------------------------------------------
+
+// Map binds a Policy to the database servers owning each shard: nodes[s]
+// serves shard s. It is immutable and safe for concurrent use.
+type Map struct {
+	policy Policy
+	nodes  []id.NodeID
+}
+
+// NewMap binds policy to nodes; len(nodes) must equal policy.Shards().
+func NewMap(policy Policy, nodes []id.NodeID) (*Map, error) {
+	if policy == nil {
+		return nil, fmt.Errorf("placement: nil policy")
+	}
+	if len(nodes) != policy.Shards() {
+		return nil, fmt.Errorf("placement: policy splits %d shards over %d nodes",
+			policy.Shards(), len(nodes))
+	}
+	seen := make(map[id.NodeID]bool, len(nodes))
+	for _, n := range nodes {
+		if n.IsZero() {
+			return nil, fmt.Errorf("placement: zero node id")
+		}
+		if seen[n] {
+			return nil, fmt.Errorf("placement: node %s owns two shards", n)
+		}
+		seen[n] = true
+	}
+	return &Map{policy: policy, nodes: append([]id.NodeID(nil), nodes...)}, nil
+}
+
+// Policy returns the partitioner.
+func (m *Map) Policy() Policy { return m.policy }
+
+// Shards returns the number of shards.
+func (m *Map) Shards() int { return len(m.nodes) }
+
+// ShardFor returns the home shard of key.
+func (m *Map) ShardFor(key string) int { return m.policy.ShardFor(key) }
+
+// NodeFor returns the database server owning shard s.
+func (m *Map) NodeFor(s int) id.NodeID { return m.nodes[s] }
+
+// Home returns the database server owning key's home shard.
+func (m *Map) Home(key string) id.NodeID { return m.nodes[m.policy.ShardFor(key)] }
+
+// Nodes returns the shard-ordered database servers.
+func (m *Map) Nodes() []id.NodeID { return append([]id.NodeID(nil), m.nodes...) }
+
+// String renders the map for logs, e.g. "hash over 4 shards".
+func (m *Map) String() string {
+	return fmt.Sprintf("%s over %d shards", m.policy, len(m.nodes))
+}

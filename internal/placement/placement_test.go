@@ -1,0 +1,115 @@
+package placement
+
+import (
+	"fmt"
+	"testing"
+
+	"etx/internal/id"
+)
+
+func TestHashCoversAllShardsDeterministically(t *testing.T) {
+	p := Hash(8)
+	if p.Shards() != 8 {
+		t.Fatalf("Shards() = %d, want 8", p.Shards())
+	}
+	hit := make(map[int]int)
+	for i := 0; i < 1024; i++ {
+		key := fmt.Sprintf("acct/u%04d", i)
+		s := p.ShardFor(key)
+		if s < 0 || s >= 8 {
+			t.Fatalf("shard %d out of range for %q", s, key)
+		}
+		if s != p.ShardFor(key) {
+			t.Fatalf("ShardFor(%q) not deterministic", key)
+		}
+		hit[s]++
+	}
+	for s := 0; s < 8; s++ {
+		if hit[s] == 0 {
+			t.Errorf("shard %d never hit over 1024 keys", s)
+		}
+	}
+}
+
+func TestRangeBoundaries(t *testing.T) {
+	p := Range("g", "n", "t")
+	if p.Shards() != 4 {
+		t.Fatalf("Shards() = %d, want 4", p.Shards())
+	}
+	cases := []struct {
+		key  string
+		want int
+	}{
+		{"", 0}, {"a", 0}, {"fzz", 0},
+		{"g", 1}, {"golf", 1}, {"mzz", 1},
+		{"n", 2}, {"s", 2},
+		{"t", 3}, {"zebra", 3},
+	}
+	for _, c := range cases {
+		if got := p.ShardFor(c.key); got != c.want {
+			t.Errorf("ShardFor(%q) = %d, want %d", c.key, got, c.want)
+		}
+	}
+}
+
+func TestParse(t *testing.T) {
+	if _, err := Parse("", 4); err != nil {
+		t.Errorf("empty spec: %v", err)
+	}
+	if p, err := Parse("hash", 4); err != nil || p.Shards() != 4 {
+		t.Errorf("hash spec: %v (%v)", p, err)
+	}
+	if p, err := Parse("range:g,n,t", 4); err != nil || p.Shards() != 4 {
+		t.Errorf("range spec: %v (%v)", p, err)
+	}
+	if _, err := Parse("range:g", 4); err == nil {
+		t.Error("range with wrong split-point count must fail")
+	}
+	if _, err := Parse("zoned", 4); err == nil {
+		t.Error("unknown policy must fail")
+	}
+	if _, err := Parse("hash", 0); err == nil {
+		t.Error("zero shards must fail")
+	}
+}
+
+func TestKeyedNames(t *testing.T) {
+	keyFor := func(name string) string { return "acct/" + name }
+	p := Hash(4)
+	for s := 0; s < 4; s++ {
+		names, ok := KeyedNames(p, s, "u", keyFor, 3)
+		if !ok || len(names) != 3 {
+			t.Fatalf("shard %d: names=%v ok=%v", s, names, ok)
+		}
+		for _, n := range names {
+			if p.ShardFor(keyFor(n)) != s {
+				t.Errorf("name %q homed on %d, want %d", n, p.ShardFor(keyFor(n)), s)
+			}
+		}
+	}
+	// An unreachable shard must fail instead of probing forever: every
+	// "acct/..." key sorts below "zzz", so shard 1 has no such keys.
+	if name, ok := KeyedName(Range("zzz"), 1, "u", keyFor); ok {
+		t.Errorf("unreachable shard produced %q", name)
+	}
+}
+
+func TestMapBindsShardsToNodes(t *testing.T) {
+	nodes := []id.NodeID{id.DBServer(1), id.DBServer(2), id.DBServer(3), id.DBServer(4)}
+	m, err := NewMap(Hash(4), nodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 256; i++ {
+		key := fmt.Sprintf("k%d", i)
+		if got, want := m.Home(key), nodes[m.ShardFor(key)]; got != want {
+			t.Fatalf("Home(%q) = %s, want %s", key, got, want)
+		}
+	}
+	if _, err := NewMap(Hash(3), nodes); err == nil {
+		t.Error("shard/node count mismatch must fail")
+	}
+	if _, err := NewMap(Hash(2), []id.NodeID{id.DBServer(1), id.DBServer(1)}); err == nil {
+		t.Error("duplicate node must fail")
+	}
+}

@@ -29,6 +29,12 @@ type Store struct {
 	logs map[string][][]byte
 	kv   map[string][]byte
 
+	// forceMu serializes forced writes: a server has one log device, so
+	// concurrent fsyncs queue behind each other. This is the per-database
+	// commit bottleneck that makes sharding a throughput lever — it is paid
+	// only when a force latency is configured.
+	forceMu sync.Mutex
+
 	// persist, when non-nil, journals every mutation to disk (OpenFile).
 	persist *filePersist
 }
@@ -68,9 +74,20 @@ func (s *Store) Append(log string, rec []byte, force bool) {
 	}
 	s.totalWrites.Add(1)
 	if force {
-		spin.Sleep(time.Duration(s.forceLatency.Load()))
+		s.force()
 		s.forcedWrites.Add(1)
 	}
+}
+
+// force pays one serialized synchronous-write latency.
+func (s *Store) force() {
+	d := time.Duration(s.forceLatency.Load())
+	if d <= 0 {
+		return
+	}
+	s.forceMu.Lock()
+	spin.Sleep(d)
+	s.forceMu.Unlock()
 }
 
 // ReadLog returns a copy of all records appended to the named log, in order.
@@ -116,7 +133,7 @@ func (s *Store) Put(key string, val []byte) {
 		s.persist.journal(tagPut, key, cp, true)
 	}
 	s.totalWrites.Add(1)
-	spin.Sleep(time.Duration(s.forceLatency.Load()))
+	s.force()
 	s.forcedWrites.Add(1)
 }
 

@@ -304,12 +304,7 @@ func SortedPeers(book map[id.NodeID]string) []id.NodeID {
 	for k := range book {
 		out = append(out, k)
 	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Role != out[j].Role {
-			return out[i].Role < out[j].Role
-		}
-		return out[i].Index < out[j].Index
-	})
+	sort.Slice(out, func(i, j int) bool { return out[i].Less(out[j]) })
 	return out
 }
 

@@ -142,10 +142,21 @@ func DecodeNode(b []byte) (id.NodeID, error) {
 	return id.NodeID{Role: role, Index: int(idx)}, nil
 }
 
-// EncodeDecision serializes a Decision register value.
+// EncodeDecision serializes a Decision register value: the outcome byte, the
+// participant dlist (marker 0 = unknown, count+1 otherwise — regD must carry
+// it so a cleaning thread or recovering owner that reads the decision knows
+// which shards to terminate), then the raw result bytes.
 func EncodeDecision(d msg.Decision) []byte {
-	buf := make([]byte, 0, 1+len(d.Result))
+	buf := make([]byte, 0, 2+3*len(d.Participants)+len(d.Result))
 	buf = append(buf, byte(d.Outcome))
+	if d.Participants == nil {
+		buf = binary.AppendUvarint(buf, 0)
+	} else {
+		buf = binary.AppendUvarint(buf, uint64(len(d.Participants))+1)
+		for _, n := range d.Participants {
+			buf = append(buf, EncodeNode(n)...)
+		}
+	}
 	buf = append(buf, d.Result...)
 	return buf
 }
@@ -159,10 +170,38 @@ func DecodeDecision(b []byte) (msg.Decision, error) {
 	if o != msg.OutcomeCommit && o != msg.OutcomeAbort {
 		return msg.Decision{}, fmt.Errorf("woregister: bad outcome byte %d", b[0])
 	}
-	var res []byte
-	if len(b) > 1 {
-		res = make([]byte, len(b)-1)
-		copy(res, b[1:])
+	rest := b[1:]
+	marker, n := binary.Uvarint(rest)
+	if n <= 0 {
+		return msg.Decision{}, fmt.Errorf("woregister: truncated participant count")
 	}
-	return msg.Decision{Result: res, Outcome: o}, nil
+	rest = rest[n:]
+	var parts []id.NodeID
+	if marker > 0 {
+		count := marker - 1
+		if count > uint64(len(rest)) {
+			return msg.Decision{}, fmt.Errorf("woregister: corrupt participant count %d", count)
+		}
+		parts = make([]id.NodeID, 0, count)
+		// Streaming parse of EncodeNode's format (DecodeNode itself wants
+		// an exact-length buffer, which a mid-value field is not).
+		for i := uint64(0); i < count; i++ {
+			if len(rest) < 2 {
+				return msg.Decision{}, fmt.Errorf("woregister: truncated participant list")
+			}
+			role := id.Role(rest[0])
+			idx, rn := binary.Varint(rest[1:])
+			if rn <= 0 {
+				return msg.Decision{}, fmt.Errorf("woregister: malformed participant index")
+			}
+			parts = append(parts, id.NodeID{Role: role, Index: int(idx)})
+			rest = rest[1+rn:]
+		}
+	}
+	var res []byte
+	if len(rest) > 0 {
+		res = make([]byte, len(rest))
+		copy(res, rest)
+	}
+	return msg.Decision{Result: res, Outcome: o, Participants: parts}, nil
 }

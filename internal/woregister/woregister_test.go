@@ -138,17 +138,37 @@ func TestNodeEncodingRoundTrip(t *testing.T) {
 }
 
 func TestDecisionEncodingRoundTrip(t *testing.T) {
-	f := func(commit bool, res []byte) bool {
+	f := func(commit bool, res []byte, partIdx []uint8, known bool) bool {
 		o := msg.OutcomeAbort
 		if commit {
 			o = msg.OutcomeCommit
 		}
-		d := msg.Decision{Result: res, Outcome: o}
+		// The participant dlist must survive the register: nil (unknown)
+		// and populated lists are both legal values.
+		var parts []id.NodeID
+		if known {
+			parts = make([]id.NodeID, 0, len(partIdx))
+			for _, i := range partIdx {
+				parts = append(parts, id.DBServer(int(i)+1))
+			}
+		}
+		d := msg.Decision{Result: res, Outcome: o, Participants: parts}
 		back, err := DecodeDecision(EncodeDecision(d))
 		if err != nil {
 			return false
 		}
-		return back.Outcome == o && bytes.Equal(back.Result, res)
+		if back.Outcome != o || !bytes.Equal(back.Result, res) {
+			return false
+		}
+		if (back.Participants == nil) != (parts == nil) || len(back.Participants) != len(parts) {
+			return false
+		}
+		for i := range parts {
+			if back.Participants[i] != parts[i] {
+				return false
+			}
+		}
+		return true
 	}
 	if err := quick.Check(f, nil); err != nil {
 		t.Error(err)

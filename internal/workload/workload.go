@@ -27,6 +27,23 @@ type Execer interface {
 	DBs() []id.NodeID
 }
 
+// Router is the optional key-routing surface: core.Tx implements it over the
+// deployment's placement map. Logics written against HomeOf work unchanged
+// on the baseline protocols, whose Tx routes everything to the first
+// database.
+type Router interface {
+	Home(key string) id.NodeID
+}
+
+// HomeOf returns the database server owning key: the placement-routed home
+// when x routes (core.Tx), the first database otherwise (baseline.Tx).
+func HomeOf(x Execer, key string) id.NodeID {
+	if r, ok := x.(Router); ok {
+		return r.Home(key)
+	}
+	return x.DBs()[0]
+}
+
 // --- bank workload (the paper's Figure-8 measurement) -----------------------
 
 // BankRequest encodes a deposit/withdrawal of amount against account.
@@ -67,14 +84,17 @@ func BankSeed(accounts map[string]int64) []kv.Write {
 
 // Bank runs the paper's measured transaction: "the application server
 // executes some SQL statements to update a bank account on a single
-// database". sqlWork is the simulated data-manipulation time (the Figure-8
-// "SQL" row); zero skips the simulated work.
+// database". The account's key routes the whole transaction to its home
+// shard (the first database on unsharded/baseline deployments), so a bank
+// request is always a single-shard commit. sqlWork is the simulated
+// data-manipulation time (the Figure-8 "SQL" row); zero skips the simulated
+// work.
 func Bank(ctx context.Context, x Execer, req []byte, sqlWork time.Duration) ([]byte, error) {
 	var r BankRequest
 	if err := json.Unmarshal(req, &r); err != nil {
 		return nil, fmt.Errorf("workload: bad bank request: %w", err)
 	}
-	db := x.DBs()[0]
+	db := HomeOf(x, "acct/"+r.Account)
 	if sqlWork > 0 {
 		if _, err := x.Exec(ctx, db, msg.Op{Code: msg.OpSleep, Delta: int64(sqlWork)}); err != nil {
 			return nil, err
