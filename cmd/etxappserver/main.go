@@ -75,6 +75,9 @@ func run() error {
 	clSpec := flag.String("clients", "", "client address book, e.g. 1=:7301,2=:7302")
 	suspect := flag.Duration("suspect", 500*time.Millisecond, "failure-suspicion timeout")
 	workers := flag.Int("workers", 1, "compute threads (raise for pipelined clients)")
+	fsync := flag.Duration("fsync", 0, "simulated forced-write latency of the deployment; accepted on every tier so one flag list drives all binaries — the cost itself is paid by etxdbserver -fsync (this server is stateless)")
+	batchWindow := flag.Duration("batch-window", 0, "outbound aggregation window: >0 coalesces Prepare/Decide fan-out to the same shard into batch envelopes; 0 sends each message directly")
+	maxBatch := flag.Int("max-batch", 0, "cap on one outbound batch envelope (0 = default 64)")
 	shards := flag.Int("shards", 0, "key-shard the database tier over the first N -dbservers (0 = all of them)")
 	placeSpec := flag.String("placement", "hash", "partitioner: hash | range:b1,b2,... (every app server must agree)")
 	flag.Parse()
@@ -137,6 +140,12 @@ func run() error {
 	}
 	defer ep.Close()
 
+	if *fsync > 0 {
+		// This tier is stateless (the paper's model): the simulated fsync is
+		// paid at the databases. Accepting the flag keeps one flag list
+		// usable across all binaries; remind the operator where it acts.
+		log.Printf("note: -fsync %v is a database-tier cost; pass it to etxdbserver (stateless app servers pay none)", *fsync)
+	}
 	srv, err := core.NewAppServer(core.AppServerConfig{
 		Self:           self,
 		AppServers:     tcptransport.SortedPeers(apps),
@@ -146,6 +155,8 @@ func run() error {
 		Logic:          bankLogic(),
 		SuspectTimeout: *suspect,
 		Workers:        *workers,
+		BatchWindow:    *batchWindow,
+		MaxBatch:       *maxBatch,
 	})
 	if err != nil {
 		return err

@@ -16,6 +16,7 @@
 //	etxbench -exp gc                 # register garbage-collection ablation
 //	etxbench -exp pipeline           # pipelined-client throughput (1xK vs Kx1)
 //	etxbench -exp shards             # throughput vs 1/2/4/8 key-sharded databases
+//	etxbench -exp batch              # group commit: fsyncs/commit and throughput on vs off
 //
 // -scale multiplies the paper's calibrated component costs: 1.0 reproduces
 // the paper's real-time latencies (a slow run), 0.05 keeps the ratios and
@@ -42,7 +43,7 @@ func main() {
 }
 
 func run() error {
-	exp := flag.String("exp", "all", "experiment: all|f8|f7|f1|failover|scaling|suspicion|woregister|patience|gc|pipeline|shards")
+	exp := flag.String("exp", "all", "experiment: all|f8|f7|f1|failover|scaling|suspicion|woregister|patience|gc|pipeline|shards|batch")
 	scale := flag.Float64("scale", 0.05, "cost-model scale (1.0 = the paper's real-time costs)")
 	requests := flag.Int("requests", 30, "requests per measured column")
 	runs := flag.Int("runs", 5, "runs per failure scenario")
@@ -97,6 +98,26 @@ func run() error {
 				}
 			})
 			return bench.RunShards(cfg)
+		}},
+		{"batch", func() (fmt.Stringer, error) {
+			cfg := bench.BatchConfig{Quick: *quick}
+			if !*quick {
+				cfg.Scale = *scale
+			}
+			flag.Visit(func(f *flag.Flag) {
+				switch f.Name {
+				case "scale":
+					cfg.Scale = *scale
+				case "requests":
+					cfg.Requests = *requests
+				case "inflight":
+					cfg.InFlights = []int{1}
+					if *inflight != 1 {
+						cfg.InFlights = append(cfg.InFlights, *inflight)
+					}
+				}
+			})
+			return bench.RunBatch(cfg)
 		}},
 	}
 

@@ -35,7 +35,9 @@ func run() error {
 	listen := flag.String("listen", ":7201", "listen address")
 	appSpec := flag.String("appservers", "", "address book, e.g. 1=:7101,2=:7102,3=:7103")
 	dataPath := flag.String("data", "etxdb.journal", "stable-storage journal file")
-	fsync := flag.Duration("fsync", 0, "simulated forced-write latency on top of the real fsync")
+	fsync := flag.Duration("fsync", 0, "simulated forced-write latency on top of the real fsync (reproduces the bench commit bottleneck)")
+	batchWindow := flag.Duration("batch-window", 0, "group-commit window: >0 lets one fsync cover a cohort of concurrent forced writes and serves Prepare/Decide rounds in batches; 0 keeps serialized per-write forces")
+	maxBatch := flag.Int("max-batch", 0, "cap on group-commit cohorts and mailbox batches (0 = default 64)")
 	seedAcct := flag.String("seed", "alice=100,bob=100", "initial accounts (name=balance,...)")
 	shards := flag.Int("shards", 0, "shard count of the deployment: seed only the accounts this server owns (server -id K owns shard K-1, so ids must run 1..shards); 0 seeds everything")
 	placeSpec := flag.String("placement", "hash", "partitioner: hash | range:b1,b2,... (must match the app servers' -placement)")
@@ -55,11 +57,24 @@ func run() error {
 	if st, err := os.Stat(*dataPath); err == nil && st.Size() > 0 {
 		recovery = true
 	}
-	store, err := stablestore.OpenFile(*dataPath, *fsync)
+	store, err := stablestore.OpenFile(*dataPath, 0)
 	if err != nil {
 		return err
 	}
 	defer store.CloseFile()
+	// The simulated fsync cost and the group-commit knobs are plain store
+	// settings, so a TCP deployment can reproduce the bench bottleneck (and
+	// its group-commit fix) on real sockets.
+	serveBatch := 0
+	if *batchWindow > 0 {
+		serveBatch = *maxBatch
+		if serveBatch <= 0 {
+			serveBatch = 64
+		}
+	}
+	store.SetForceLatency(*fsync)
+	store.SetBatchWindow(*batchWindow)
+	store.SetMaxBatch(serveBatch)
 
 	engine, err := xadb.Open(store, xadb.Config{Self: id.DBServer(*idx)})
 	if err != nil {
@@ -106,6 +121,7 @@ func run() error {
 		Engine:     engine,
 		Endpoint:   rchan.Wrap(ep, 100*time.Millisecond),
 		Recovery:   recovery,
+		MaxBatch:   serveBatch,
 	})
 	if err != nil {
 		return err

@@ -106,6 +106,18 @@ type Config struct {
 	DupProbability  float64
 	// FsyncLatency is the simulated cost of a forced database log write.
 	FsyncLatency time.Duration
+	// BatchWindow enables group commit and message batching across the
+	// commit path: database stable stores combine concurrent forced log
+	// writes into shared fsyncs, database servers serve Prepare/Decide
+	// rounds in batches, and application servers aggregate commit fan-out to
+	// the same shard into batch envelopes. The window is the extra time a
+	// group-commit leader waits for followers (under load batching emerges
+	// regardless); 0 — the default — keeps the paper's one-fsync-per-forced-
+	// write behaviour.
+	BatchWindow time.Duration
+	// MaxBatch caps group-commit cohorts and batch envelopes (default 64;
+	// only meaningful with BatchWindow set).
+	MaxBatch int
 	// SuspicionTimeout tunes the failure detector among application servers
 	// (default 60ms): smaller means faster failover, more false suspicions
 	// (which are safe but cost retries).
@@ -163,6 +175,8 @@ func New(cfg Config) (*Cluster, error) {
 		},
 		Reliable:          cfg.LossProbability > 0 || cfg.DupProbability > 0,
 		ForceLatency:      cfg.FsyncLatency,
+		BatchWindow:       cfg.BatchWindow,
+		MaxBatch:          cfg.MaxBatch,
 		Seed:              seed,
 		SuspectTimeout:    cfg.SuspicionTimeout,
 		ClientBackoff:     cfg.ClientBackoff,

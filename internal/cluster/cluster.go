@@ -12,6 +12,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log"
 	"sort"
 	"sync"
 	"time"
@@ -58,6 +59,17 @@ type Config struct {
 	Logic core.Logic
 	// ForceLatency is the simulated fsync cost of database stable storage.
 	ForceLatency time.Duration
+	// BatchWindow switches the whole commit path to group commit and message
+	// batching: the databases' stable stores combine concurrent forced
+	// writes into shared fsyncs (window = leader accumulation time), the
+	// database servers drain their mailboxes and serve Prepare/Decide as
+	// batches, and the application servers aggregate commit fan-out to the
+	// same participant into Batch envelopes. 0 (the default) keeps the
+	// serialized one-fsync-per-forced-write behaviour.
+	BatchWindow time.Duration
+	// MaxBatch caps group-commit cohorts, mailbox drains and outbound Batch
+	// envelopes (default 64; only meaningful with BatchWindow set).
+	MaxBatch int
 	// LockTimeout is the databases' lock-wait bound.
 	LockTimeout time.Duration
 	// Seed is the initial content of every database.
@@ -213,11 +225,25 @@ func (c *Cluster) attach(node id.NodeID) (transport.Endpoint, error) {
 	return ep, nil
 }
 
+// maxBatch resolves the effective batch cap: 0 (batching off) unless a
+// batch window is configured.
+func (c *Cluster) maxBatch() int {
+	if c.cfg.BatchWindow <= 0 {
+		return 0
+	}
+	if c.cfg.MaxBatch > 0 {
+		return c.cfg.MaxBatch
+	}
+	return 64
+}
+
 func (c *Cluster) startDB(dbID id.NodeID, store *stablestore.Store, recovery bool) error {
 	ep, err := c.attach(dbID)
 	if err != nil {
 		return err
 	}
+	store.SetBatchWindow(c.cfg.BatchWindow)
+	store.SetMaxBatch(c.maxBatch())
 	engine, err := xadb.Open(store, xadb.Config{Self: dbID, LockTimeout: c.cfg.LockTimeout})
 	if err != nil {
 		return fmt.Errorf("cluster: open engine %s: %w", dbID, err)
@@ -231,6 +257,7 @@ func (c *Cluster) startDB(dbID id.NodeID, store *stablestore.Store, recovery boo
 		Engine:     engine,
 		Endpoint:   ep,
 		Recovery:   recovery,
+		MaxBatch:   c.maxBatch(),
 	})
 	if err != nil {
 		return err
@@ -271,6 +298,8 @@ func (c *Cluster) startApp(appID id.NodeID) error {
 		ComputeTimeout:    c.cfg.ComputeTimeout,
 		Workers:           c.cfg.Workers,
 		Terminators:       c.cfg.Terminators,
+		BatchWindow:       c.cfg.BatchWindow,
+		MaxBatch:          c.maxBatch(),
 		Hooks:             hooks,
 	})
 	if err != nil {
@@ -295,6 +324,20 @@ func (c *Cluster) startClient(clID id.NodeID) error {
 		Backoff:     c.cfg.ClientBackoff,
 		Rebroadcast: c.cfg.ClientRebroadcast,
 		MaxInFlight: c.cfg.ClientMaxInFlight,
+		// Liveness evidence: a try that burns half its deadline dumps every
+		// live application server's view of it next to the client's own
+		// in-flight table (the client logs that itself).
+		SlowTry: func(rid id.ResultID, waited time.Duration) {
+			c.mu.Lock()
+			apps := make([]*core.AppServer, 0, len(c.apps))
+			for _, a := range c.apps {
+				apps = append(apps, a)
+			}
+			c.mu.Unlock()
+			for _, a := range apps {
+				log.Printf("cluster: liveness: %s", a.DebugTry(rid))
+			}
+		},
 	})
 	if err != nil {
 		return err

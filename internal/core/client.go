@@ -4,6 +4,8 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log"
+	"sort"
 	"sync"
 	"time"
 
@@ -45,6 +47,14 @@ type ClientConfig struct {
 	// that backs the Delivered oracle. Production clients set it to avoid
 	// unbounded growth; the simulation keeps the log for CheckProperties.
 	DiscardDeliveries bool
+	// SlowTry, when set, is called (at most once per request) when an Issue
+	// carrying a context deadline has burned more than half of its time
+	// budget without delivering — whether one try stalled or many quick
+	// aborted tries ate the budget; the reported rid is the try awaited at
+	// that moment. The client logs its own in-flight table alongside; the
+	// hook lets a harness add the servers' view, so a stall leaves evidence
+	// instead of a bare "context deadline exceeded".
+	SlowTry func(rid id.ResultID, waited time.Duration)
 	// Hooks carries optional instrumentation.
 	Hooks *Hooks
 }
@@ -319,11 +329,32 @@ func (c *Client) release() {
 	}
 }
 
+// reportSlowTry logs the liveness evidence for a try that has burned half of
+// its deadline with no decision — the stalled try plus this client's whole
+// in-flight table — then hands off to the SlowTry hook so a harness can add
+// the application servers' register and cleaner state.
+func (c *Client) reportSlowTry(rid id.ResultID, waited time.Duration) {
+	c.mu.Lock()
+	table := make([]id.ResultID, 0, len(c.inflight))
+	for _, cl := range c.inflight {
+		table = append(table, cl.rid)
+	}
+	c.mu.Unlock()
+	sort.Slice(table, func(i, j int) bool { return table[i].Less(table[j]) })
+	log.Printf("core: liveness: %s waited %v (half its deadline) with no decision; in-flight tries: %v",
+		rid, waited.Round(time.Millisecond), table)
+	if c.cfg.SlowTry != nil {
+		c.cfg.SlowTry(rid, waited)
+	}
+}
+
 // run drives one logical request through the paper's per-request state
 // machine: try after try until a committed decision is delivered.
 func (c *Client) run(ctx context.Context, seq uint64, cl *call, request []byte) ([]byte, error) {
 	start := time.Now()
 	primary := c.cfg.AppServers[0]
+	slow := newSlowWatch(ctx)
+	defer slow.stop()
 	for try := uint64(1); ; try++ {
 		rid := id.ResultID{Client: c.cfg.Self, Seq: seq, Try: try}
 		ch := make(chan msg.Decision, 1)
@@ -337,7 +368,7 @@ func (c *Client) run(ctx context.Context, seq uint64, cl *call, request []byte) 
 			return nil, fmt.Errorf("core: issue: %w", err)
 		}
 
-		dec, err := c.awaitDecision(ctx, rid, req, ch)
+		dec, err := c.awaitDecision(ctx, rid, req, ch, slow)
 		if err != nil {
 			return nil, err
 		}
@@ -356,16 +387,47 @@ func (c *Client) run(ctx context.Context, seq uint64, cl *call, request []byte) 
 	}
 }
 
+// slowWatch arms the liveness diagnostics of one logical request: a single
+// timer at half of the context's time budget, shared across the request's
+// tries — so a hang that burns the deadline through many quick aborted
+// tries fires just like a single stalled try does.
+type slowWatch struct {
+	timer *time.Timer
+	ch    <-chan time.Time
+	start time.Time
+}
+
+func newSlowWatch(ctx context.Context) *slowWatch {
+	w := &slowWatch{start: time.Now()}
+	if dl, ok := ctx.Deadline(); ok {
+		if budget := time.Until(dl); budget > 0 {
+			w.timer = time.NewTimer(budget / 2)
+			w.ch = w.timer.C
+		}
+	}
+	return w
+}
+
+func (w *slowWatch) stop() {
+	if w.timer != nil {
+		w.timer.Stop()
+	}
+}
+
 // awaitDecision waits for the decision of rid: first a back-off period
 // listening for the primary, then a broadcast to all application servers,
-// repeated every Rebroadcast interval.
-func (c *Client) awaitDecision(ctx context.Context, rid id.ResultID, req msg.Request, ch chan msg.Decision) (msg.Decision, error) {
+// repeated every Rebroadcast interval. A request that consumes half of its
+// context deadline without delivering triggers the liveness diagnostics.
+func (c *Client) awaitDecision(ctx context.Context, rid id.ResultID, req msg.Request, ch chan msg.Decision, slow *slowWatch) (msg.Decision, error) {
 	timer := time.NewTimer(c.cfg.Backoff)
 	defer timer.Stop()
 	for {
 		select {
 		case dec := <-ch:
 			return dec, nil
+		case <-slow.ch:
+			slow.ch = nil // once per request
+			c.reportSlowTry(rid, time.Since(slow.start))
 		case <-timer.C:
 			// Back-off expired: send to every application server (Figure 2,
 			// line 6), and keep re-sending — the practical form of the

@@ -26,6 +26,13 @@ type DataServerConfig struct {
 	// the recovery parameter of Figure 3: when true the server announces
 	// [Ready] to all application servers.
 	Recovery bool
+	// MaxBatch caps how many queued messages one drain of the mailbox serves
+	// as a group: the Prepares and Decides of a drained batch share one
+	// forced log write through the engine's batched entry points, and their
+	// votes/acks travel back in one Batch envelope per application server.
+	// Values <= 1 (the default) serve every message individually — the
+	// pre-group-commit behaviour.
+	MaxBatch int
 }
 
 // DataServer is the paper's database-server process (Figure 3): a pure
@@ -46,6 +53,9 @@ func NewDataServer(cfg DataServerConfig) (*DataServer, error) {
 	}
 	if cfg.Endpoint == nil {
 		return nil, errors.New("core: DataServer needs an Endpoint")
+	}
+	if cfg.MaxBatch <= 0 {
+		cfg.MaxBatch = 1
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	return &DataServer{cfg: cfg, ctx: ctx, cancel: cancel}, nil
@@ -79,12 +89,14 @@ func (d *DataServer) loop() {
 			if !ok {
 				return
 			}
-			// Each message is served on its own goroutine: an Exec blocked on
-			// a lock must not delay the Decide(abort) that would release it.
+			batch := d.drain(env)
+			// Each drained batch is served on its own goroutine, and Execs
+			// get further goroutines of their own: an Exec blocked on a lock
+			// must not delay the Decide(abort) that would release it.
 			d.wg.Add(1)
 			go func() {
 				defer d.wg.Done()
-				d.serve(env)
+				d.serveBatch(batch)
 			}()
 		case <-d.ctx.Done():
 			return
@@ -92,25 +104,104 @@ func (d *DataServer) loop() {
 	}
 }
 
-func (d *DataServer) serve(env msg.Envelope) {
-	reply := func(p msg.Payload) {
-		_ = d.cfg.Endpoint.Send(msg.Envelope{To: env.From, Payload: p})
+// drain opportunistically empties the mailbox behind first, up to the batch
+// cap, without blocking: whatever queued up while the previous batch was
+// being served is exactly the group-commit cohort. The cap counts messages,
+// not envelopes — a Batch envelope counts as its member count, so an
+// aggregating middle tier cannot inflate one engine batch to cap² messages
+// (the last envelope may overshoot the cap by its own size).
+func (d *DataServer) drain(first msg.Envelope) []msg.Envelope {
+	batch := []msg.Envelope{first}
+	n := msgCount(first)
+	for n < d.cfg.MaxBatch {
+		select {
+		case env, ok := <-d.cfg.Endpoint.Recv():
+			if !ok {
+				return batch
+			}
+			batch = append(batch, env)
+			n += msgCount(env)
+		default:
+			return batch
+		}
 	}
-	switch m := env.Payload.(type) {
-	case msg.Exec:
-		rep := d.cfg.Engine.Exec(d.ctx, m.RID, m.Op)
-		reply(msg.ExecReply{RID: m.RID, CallID: m.CallID, Rep: rep, Inc: d.cfg.Engine.Incarnation()})
-	case msg.Prepare:
-		v := d.cfg.Engine.Vote(m.RID)
-		reply(msg.VoteMsg{RID: m.RID, V: v, Inc: d.cfg.Engine.Incarnation()})
-	case msg.Decide:
-		o := d.cfg.Engine.Decide(m.RID, m.O)
-		reply(msg.AckDecide{RID: m.RID, O: o})
-	case msg.Commit1P:
-		// Single-phase commit for the unreliable baseline (Figure 7a).
-		o := d.cfg.Engine.CommitDirect(m.RID)
-		reply(msg.AckDecide{RID: m.RID, O: o})
-	default:
-		// Database servers are pure servers: everything else is ignored.
+	return batch
+}
+
+// msgCount is an envelope's weight against the drain cap.
+func msgCount(env msg.Envelope) int {
+	if b, ok := env.Payload.(msg.Batch); ok {
+		return len(b.Msgs)
 	}
+	return 1
+}
+
+// serveBatch serves one drained batch: Batch envelopes are flattened, the
+// Prepares and Decides are run through the engine's batched entry points so
+// their records share one forced write, and replies to the same application
+// server coalesce into one Batch envelope. Decides run before Prepares so an
+// abort releases locks a vote in the same batch may be queued behind.
+func (d *DataServer) serveBatch(envs []msg.Envelope) {
+	var prepFrom, decFrom []id.NodeID
+	var prepRIDs []id.ResultID
+	var decReqs []xadb.DecideReq
+
+	handle := func(from id.NodeID, p msg.Payload) {
+		switch m := p.(type) {
+		case msg.Exec:
+			d.wg.Add(1)
+			go func() {
+				defer d.wg.Done()
+				rep := d.cfg.Engine.Exec(d.ctx, m.RID, m.Op)
+				d.reply(from, msg.ExecReply{RID: m.RID, CallID: m.CallID, Rep: rep, Inc: d.cfg.Engine.Incarnation()})
+			}()
+		case msg.Prepare:
+			prepFrom = append(prepFrom, from)
+			prepRIDs = append(prepRIDs, m.RID)
+		case msg.Decide:
+			decFrom = append(decFrom, from)
+			decReqs = append(decReqs, xadb.DecideReq{RID: m.RID, O: m.O})
+		case msg.Commit1P:
+			// Single-phase commit for the unreliable baseline (Figure 7a).
+			d.wg.Add(1)
+			go func() {
+				defer d.wg.Done()
+				o := d.cfg.Engine.CommitDirect(m.RID)
+				d.reply(from, msg.AckDecide{RID: m.RID, O: o})
+			}()
+		default:
+			// Database servers are pure servers: everything else is ignored.
+		}
+	}
+	for _, env := range envs {
+		if b, ok := env.Payload.(msg.Batch); ok {
+			for _, p := range b.Msgs {
+				handle(env.From, p)
+			}
+			continue
+		}
+		handle(env.From, env.Payload)
+	}
+
+	replies := make(map[id.NodeID][]msg.Payload)
+	if len(decReqs) > 0 || len(prepRIDs) > 0 {
+		outs, votes := d.cfg.Engine.DecideAndVoteBatch(decReqs, prepRIDs)
+		for i, o := range outs {
+			replies[decFrom[i]] = append(replies[decFrom[i]], msg.AckDecide{RID: decReqs[i].RID, O: o})
+		}
+		for i, v := range votes {
+			replies[prepFrom[i]] = append(replies[prepFrom[i]], msg.VoteMsg{RID: prepRIDs[i], V: v, Inc: d.cfg.Engine.Incarnation()})
+		}
+	}
+	for to, msgs := range replies {
+		if len(msgs) == 1 {
+			d.reply(to, msgs[0])
+			continue
+		}
+		d.reply(to, msg.Batch{Msgs: msgs})
+	}
+}
+
+func (d *DataServer) reply(to id.NodeID, p msg.Payload) {
+	_ = d.cfg.Endpoint.Send(msg.Envelope{To: to, Payload: p})
 }

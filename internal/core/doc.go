@@ -11,6 +11,16 @@
 // rebroadcasts periodically instead of waiting forever after its first
 // broadcast, and the cleaning thread scans the set of register keys the
 // replica has seen instead of an unbounded array.
+//
+// With a batch window configured the commit path additionally runs group
+// commit end to end: application servers aggregate Prepare/Decide fan-out to
+// the same participant into msg.Batch envelopes, database servers drain
+// their mailbox and serve those rounds through the engine's batched entry
+// points, and the stable store combines the resulting forced writes into
+// shared fsyncs. Batching changes no span semantics — SpanPrepare and
+// SpanCommit still bound the same exchanges; the shared fsync simply makes
+// them cheaper per request — so the Figure 8 rows remain comparable with
+// batching on or off.
 package core
 
 import (

@@ -1,0 +1,191 @@
+package core
+
+import (
+	"context"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"etx/internal/id"
+	"etx/internal/msg"
+	"etx/internal/stablestore"
+	"etx/internal/xadb"
+)
+
+// TestClientSlowTryDiagnostics: a try that burns half its deadline with no
+// decision fires the SlowTry hook exactly once per try, roughly at the
+// halfway point, with the stalled try's identity.
+func TestClientSlowTryDiagnostics(t *testing.T) {
+	net := testNet(t)
+	ep := attach(t, net, id.Client(1))
+	// No server is attached: the request stalls forever.
+	var fired atomic.Int32
+	var gotRID atomic.Value
+	cl, err := NewClient(ClientConfig{
+		Self:       id.Client(1),
+		AppServers: []id.NodeID{id.AppServer(1)},
+		Endpoint:   ep,
+		Backoff:    10 * time.Millisecond,
+		SlowTry: func(rid id.ResultID, waited time.Duration) {
+			fired.Add(1)
+			gotRID.Store(rid)
+			if waited < 100*time.Millisecond {
+				t.Errorf("SlowTry fired after only %v", waited)
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Stop()
+
+	start := time.Now()
+	ctx, cancel := context.WithTimeout(context.Background(), 400*time.Millisecond)
+	defer cancel()
+	if _, err := cl.Issue(ctx, []byte("stall")); err == nil {
+		t.Fatal("Issue succeeded with no server attached")
+	}
+	if got := fired.Load(); got != 1 {
+		t.Fatalf("SlowTry fired %d times in %v, want 1", got, time.Since(start))
+	}
+	rid, _ := gotRID.Load().(id.ResultID)
+	if rid.Client != id.Client(1) || rid.Seq != 1 || rid.Try != 1 {
+		t.Errorf("SlowTry rid = %v", rid)
+	}
+}
+
+// TestClientSlowTryFiresOnRetryLivelock: a hang made of many quick aborted
+// tries (no single try ever waits long) must still fire the diagnostics at
+// half the request's budget — the soak-test stall can take either shape.
+func TestClientSlowTryFiresOnRetryLivelock(t *testing.T) {
+	net := testNet(t)
+	ep := attach(t, net, id.Client(1))
+	// A server that aborts every try immediately.
+	srvEP := attach(t, net, id.AppServer(1))
+	go func() {
+		for env := range srvEP.Recv() {
+			req, ok := env.Payload.(msg.Request)
+			if !ok {
+				continue
+			}
+			srvEP.Send(msg.Envelope{To: env.From, Payload: msg.Result{
+				RID: req.RID, Dec: msg.Decision{Outcome: msg.OutcomeAbort}}})
+		}
+	}()
+	var fired atomic.Int32
+	cl, err := NewClient(ClientConfig{
+		Self:       id.Client(1),
+		AppServers: []id.NodeID{id.AppServer(1)},
+		Endpoint:   ep,
+		Backoff:    5 * time.Millisecond,
+		SlowTry:    func(id.ResultID, time.Duration) { fired.Add(1) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Stop()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 400*time.Millisecond)
+	defer cancel()
+	if _, err := cl.Issue(ctx, []byte("livelock")); err == nil {
+		t.Fatal("Issue succeeded against an always-abort server")
+	}
+	if got := fired.Load(); got != 1 {
+		t.Fatalf("SlowTry fired %d times across the aborted tries, want 1", got)
+	}
+}
+
+// TestClientSlowTrySilentOnFastPath: a request that commits promptly never
+// triggers the diagnostics.
+func TestClientSlowTrySilentOnFastPath(t *testing.T) {
+	net := testNet(t)
+	ep := attach(t, net, id.Client(1))
+	echoServer(t, net, id.AppServer(1))
+	var fired atomic.Int32
+	cl, err := NewClient(ClientConfig{
+		Self:       id.Client(1),
+		AppServers: []id.NodeID{id.AppServer(1)},
+		Endpoint:   ep,
+		SlowTry:    func(id.ResultID, time.Duration) { fired.Add(1) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Stop()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if _, err := cl.Issue(ctx, []byte("quick")); err != nil {
+		t.Fatal(err)
+	}
+	if got := fired.Load(); got != 0 {
+		t.Errorf("SlowTry fired %d times on the fast path", got)
+	}
+}
+
+// TestAppServerDebugTry: the liveness dump names the register, queue and
+// suspicion state a stalled try's investigation needs.
+func TestAppServerDebugTry(t *testing.T) {
+	net := testNet(t)
+	engine, err := xadb.Open(stablestore.New(0), xadb.Config{Self: id.DBServer(1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := NewDataServer(DataServerConfig{
+		Self:       id.DBServer(1),
+		AppServers: []id.NodeID{id.AppServer(1)},
+		Engine:     engine,
+		Endpoint:   attach(t, net, id.DBServer(1)),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	db.Start()
+	defer db.Stop()
+	srv, err := NewAppServer(AppServerConfig{
+		Self:        id.AppServer(1),
+		AppServers:  []id.NodeID{id.AppServer(1)},
+		DataServers: []id.NodeID{id.DBServer(1)},
+		Endpoint:    attach(t, net, id.AppServer(1)),
+		Logic:       noopLogic(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.Start()
+	defer srv.Stop()
+
+	rid := id.ResultID{Client: id.Client(1), Seq: 1, Try: 1}
+	if s := srv.DebugTry(rid); s == "" {
+		t.Fatal("empty DebugTry for an unknown try")
+	}
+	// Drive one request through, then the dump must show the decided regD.
+	cl, err := NewClient(ClientConfig{
+		Self:       id.Client(1),
+		AppServers: []id.NodeID{id.AppServer(1)},
+		Endpoint:   attach(t, net, id.Client(1)),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Stop()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if _, err := cl.Issue(ctx, []byte("go")); err != nil {
+		t.Fatal(err)
+	}
+	dump := srv.DebugTry(rid)
+	for _, want := range []string{"regA=" + id.AppServer(1).String(), "regD=" + msg.OutcomeCommit.String()} {
+		if !containsStr(dump, want) {
+			t.Errorf("DebugTry = %q, missing %q", dump, want)
+		}
+	}
+}
+
+func containsStr(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}

@@ -192,6 +192,16 @@ func (w *writer) payload(p Payload) error {
 	case RData:
 		w.uvarint(m.Seq)
 		return w.payload(m.Inner)
+	case Batch:
+		w.uvarint(uint64(len(m.Msgs)))
+		for _, inner := range m.Msgs {
+			if _, nested := inner.(Batch); nested {
+				return errors.New("msg: nested Batch")
+			}
+			if err := w.payload(inner); err != nil {
+				return err
+			}
+		}
 	case RAck:
 		w.uvarint(m.Seq)
 	case Commit1P:
@@ -412,6 +422,28 @@ func (r *reader) payloadOrErr() (Payload, error) {
 		p = RData{Seq: seq, Inner: inner}
 	case KindRAck:
 		p = RAck{Seq: r.uvarint()}
+	case KindBatch:
+		n := r.uvarint()
+		if r.err != nil {
+			return nil, r.err
+		}
+		// Each member payload occupies at least one byte, so a count beyond
+		// the remaining buffer is a corrupt length prefix.
+		if n > uint64(len(r.buf)-r.off) {
+			return nil, ErrOversize
+		}
+		msgs := make([]Payload, 0, n)
+		for i := uint64(0); i < n; i++ {
+			inner, err := r.payloadOrErr()
+			if err != nil {
+				return nil, err
+			}
+			if _, nested := inner.(Batch); nested {
+				return nil, errors.New("msg: nested Batch")
+			}
+			msgs = append(msgs, inner)
+		}
+		p = Batch{Msgs: msgs}
 	case KindCommit1P:
 		p = Commit1P{RID: r.rid()}
 	case KindPBStart:

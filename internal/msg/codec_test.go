@@ -52,6 +52,13 @@ func allPayloads() []Payload {
 		PBStartAck{RID: r},
 		PBOutcome{RID: r, Dec: Decision{Result: []byte("res"), Outcome: OutcomeCommit}},
 		PBOutcomeAck{RID: r},
+		Batch{Msgs: []Payload{Prepare{RID: r}, Decide{RID: r, O: OutcomeAbort}}},
+		Batch{Msgs: []Payload{
+			VoteMsg{RID: r, V: VoteYes, Inc: 2},
+			AckDecide{RID: r, O: OutcomeCommit},
+			AckDecide{RID: rid(2, 8, 1), O: OutcomeAbort},
+		}},
+		RData{Seq: 12, Inner: Batch{Msgs: []Payload{Prepare{RID: r}, Prepare{RID: rid(2, 8, 1)}}}},
 	}
 }
 

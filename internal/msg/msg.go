@@ -56,6 +56,10 @@ const (
 	KindPBStartAck
 	KindPBOutcome
 	KindPBOutcomeAck
+
+	// Batch framing: several protocol payloads to one destination in one
+	// envelope (outbound aggregation and group-commit replies).
+	KindBatch
 )
 
 // String returns the mnemonic name of the kind.
@@ -105,6 +109,8 @@ func (k Kind) String() string {
 		return "PBOutcome"
 	case KindPBOutcomeAck:
 		return "PBOutcomeAck"
+	case KindBatch:
+		return "Batch"
 	default:
 		return fmt.Sprintf("Kind(%d)", uint8(k))
 	}
@@ -500,6 +506,21 @@ type PBOutcomeAck struct {
 // Kind implements Payload.
 func (PBOutcomeAck) Kind() Kind { return KindPBOutcomeAck }
 
+// --- Batch framing -----------------------------------------------------------
+
+// Batch packs several payloads bound for the same destination into one
+// envelope. Application servers aggregate concurrent Prepare/Decide fan-out
+// to the same participant into a Batch; database servers answer a batched
+// round with a Batch of votes/acks whose forced log writes shared one device
+// force. Receivers treat a Batch exactly as if its members had arrived back
+// to back; Batches do not nest.
+type Batch struct {
+	Msgs []Payload
+}
+
+// Kind implements Payload.
+func (Batch) Kind() Kind { return KindBatch }
+
 // Compile-time interface compliance checks.
 var (
 	_ Payload = Request{}
@@ -524,4 +545,5 @@ var (
 	_ Payload = PBStartAck{}
 	_ Payload = PBOutcome{}
 	_ Payload = PBOutcomeAck{}
+	_ Payload = Batch{}
 )

@@ -62,7 +62,22 @@ func (s *Store) CloseFile() error {
 	return s.persist.f.Close()
 }
 
-// journal writes one record; sync selects fdatasync-like durability.
+// sync flushes the journal buffer and fsyncs the backing file: one device
+// force covering every record journaled so far. The group-commit combiner
+// calls it once per cohort.
+func (p *filePersist) sync() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	// Errors here would mean the simulated stable storage lost its backing
+	// device; surfacing them to the protocol is out of scope, but flush
+	// failures would repeat and be caught on close.
+	_ = p.w.Flush()
+	_ = p.f.Sync()
+}
+
+// journal writes one record; sync selects fdatasync-like durability (forced
+// appends instead journal unsynced and let Store.force pay one combined
+// device force afterwards).
 func (p *filePersist) journal(tag byte, name string, rec []byte, sync bool) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
@@ -75,9 +90,6 @@ func (p *filePersist) journal(tag byte, name string, rec []byte, sync bool) {
 	p.w.WriteString(name)
 	p.w.Write(rec)
 	if sync {
-		// Errors here would mean the simulated stable storage lost its
-		// backing device; surfacing them to the protocol is out of scope,
-		// but flush failures would repeat and be caught on close.
 		_ = p.w.Flush()
 		_ = p.f.Sync()
 	}

@@ -8,6 +8,17 @@
 // benchmark harness reproduces the eager-log-IO cost that separates 2PC
 // (forced disk writes, Figure 8: log-start 12.5 ms) from the paper's
 // replicated scheme (in-memory consensus round, 4.5 ms).
+//
+// A server has one log device, so forces queue behind each other. With the
+// default batch window of 0 every forced write pays its own serialized
+// device force — the per-database commit bottleneck that makes sharding a
+// throughput lever. A positive batch window enables the group-commit
+// combiner: concurrent forced writes form a cohort, one leader pays a single
+// device force (one fsync) that covers every record the cohort appended, and
+// the whole cohort is released together. Because a cohort stays open until
+// its leader actually reaches the device, everything that arrives while the
+// previous force is in flight piggybacks on the next one — batching emerges
+// under load without tuning.
 package stablestore
 
 import (
@@ -21,22 +32,34 @@ import (
 // Store is one process's stable storage: named append-only logs plus a small
 // key-value area for registers like the incarnation counter.
 type Store struct {
-	forceLatency atomic.Int64 // nanoseconds per forced write
-	forcedWrites atomic.Int64
+	forceLatency atomic.Int64 // nanoseconds per device force
+	batchWindow  atomic.Int64 // group-commit accumulation window; 0 disables
+	maxBatch     atomic.Int64 // cohort size cap; 0 = unlimited
+	forcedWrites atomic.Int64 // forced writes requested (Append force, Put, Sync)
 	totalWrites  atomic.Int64
+	syncs        atomic.Int64 // device forces actually paid
 
 	mu   sync.Mutex
 	logs map[string][][]byte
 	kv   map[string][]byte
 
-	// forceMu serializes forced writes: a server has one log device, so
-	// concurrent fsyncs queue behind each other. This is the per-database
-	// commit bottleneck that makes sharding a throughput lever — it is paid
-	// only when a force latency is configured.
+	// forceMu serializes access to the (simulated) log device: a server has
+	// one, so device forces queue behind each other.
 	forceMu sync.Mutex
+
+	// cohortMu guards the group-commit cohort currently open for enrollment.
+	cohortMu sync.Mutex
+	cohort   *cohort
 
 	// persist, when non-nil, journals every mutation to disk (OpenFile).
 	persist *filePersist
+}
+
+// cohort is one group-commit batch: n writers released together by the one
+// leader's device force.
+type cohort struct {
+	n    int
+	done chan struct{}
 }
 
 // New creates an empty store whose forced writes take forceLatency.
@@ -52,17 +75,34 @@ func New(forceLatency time.Duration) *Store {
 // SetForceLatency changes the simulated fsync cost.
 func (s *Store) SetForceLatency(d time.Duration) { s.forceLatency.Store(int64(d)) }
 
-// ForcedWrites returns how many forced appends have completed (metrics).
+// SetBatchWindow sets the group-commit window: 0 (the default) keeps every
+// forced write paying its own serialized device force; any positive value
+// enables the combiner, with the window being the extra time a cohort leader
+// waits for followers before forcing (useful when the device is idle —
+// under load, arrivals piggyback on the in-flight force regardless).
+func (s *Store) SetBatchWindow(d time.Duration) { s.batchWindow.Store(int64(d)) }
+
+// SetMaxBatch caps the group-commit cohort size; 0 means unlimited.
+func (s *Store) SetMaxBatch(n int) { s.maxBatch.Store(int64(n)) }
+
+// ForcedWrites returns how many forced writes were requested and completed:
+// forced appends, puts and Syncs (metrics).
 func (s *Store) ForcedWrites() int64 { return s.forcedWrites.Load() }
 
 // TotalWrites returns how many appends (forced or not) have completed.
 func (s *Store) TotalWrites() int64 { return s.totalWrites.Load() }
 
-// Append adds rec to the named log. If force is true the call blocks for the
-// configured fsync latency, modelling a synchronous disk write; unforced
-// appends return immediately (the data still survives crashes — we simulate
-// a well-behaved write cache, which is sufficient because the protocols only
-// rely on durability of records they forced).
+// Syncs returns how many device forces (fsyncs) were actually paid. Without
+// batching it equals ForcedWrites; with the combiner on it is lower, and
+// ForcedWrites/Syncs is the mean group-commit batch size.
+func (s *Store) Syncs() int64 { return s.syncs.Load() }
+
+// Append adds rec to the named log. If force is true the call blocks until
+// the record is durable — through its own device force, or as a member of a
+// group-commit cohort sharing one — modelling a synchronous disk write;
+// unforced appends return immediately (the data still survives crashes — we
+// simulate a well-behaved write cache, which is sufficient because the
+// protocols only rely on durability of records they forced).
 func (s *Store) Append(log string, rec []byte, force bool) {
 	cp := make([]byte, len(rec))
 	copy(cp, rec)
@@ -70,7 +110,7 @@ func (s *Store) Append(log string, rec []byte, force bool) {
 	s.logs[log] = append(s.logs[log], cp)
 	s.mu.Unlock()
 	if s.persist != nil {
-		s.persist.journal(tagAppend, log, cp, force)
+		s.persist.journal(tagAppend, log, cp, false)
 	}
 	s.totalWrites.Add(1)
 	if force {
@@ -79,15 +119,78 @@ func (s *Store) Append(log string, rec []byte, force bool) {
 	}
 }
 
-// force pays one serialized synchronous-write latency.
+// Sync forces the log device once: every record appended (forced or not)
+// before the call is durable when it returns. It is the group-commit entry
+// point for batched callers — append a batch of records unforced, then pay
+// one Sync to cover them all. A Sync counts as one forced write and goes
+// through the same combiner as forced appends.
+func (s *Store) Sync() {
+	s.force()
+	s.forcedWrites.Add(1)
+}
+
+// force makes everything journaled so far durable and pays the simulated
+// device latency, combining with concurrent forces when a batch window is
+// configured.
 func (s *Store) force() {
-	d := time.Duration(s.forceLatency.Load())
-	if d <= 0 {
+	if time.Duration(s.forceLatency.Load()) <= 0 && s.persist == nil {
+		// No device to speak of: nothing to combine, nothing to pay — and
+		// nothing counted, Syncs() reports device forces actually paid.
 		return
 	}
+	window := time.Duration(s.batchWindow.Load())
+	if window <= 0 {
+		// Pre-group-commit behaviour: one serialized device force each.
+		s.forceMu.Lock()
+		s.syncDevice()
+		s.forceMu.Unlock()
+		s.syncs.Add(1)
+		return
+	}
+
+	// Group commit. Join the open cohort if there is one with room...
+	s.cohortMu.Lock()
+	if c := s.cohort; c != nil {
+		if max := int(s.maxBatch.Load()); max <= 0 || c.n < max {
+			c.n++
+			s.cohortMu.Unlock()
+			<-c.done
+			return
+		}
+	}
+	// ...else lead a new one.
+	c := &cohort{n: 1, done: make(chan struct{})}
+	s.cohort = c
+	s.cohortMu.Unlock()
+
+	// Accumulate followers for the window, then head for the device. The
+	// cohort stays open until the device is actually ours: everything that
+	// arrives while the previous force is still in flight joins this cohort
+	// and is covered by our single force.
+	spin.Sleep(window)
 	s.forceMu.Lock()
-	spin.Sleep(d)
+	s.cohortMu.Lock()
+	if s.cohort == c {
+		s.cohort = nil
+	}
+	s.cohortMu.Unlock()
+	// Every member's record was journaled before it enrolled, and enrollment
+	// closed before this force: one force covers the whole cohort.
+	s.syncDevice()
 	s.forceMu.Unlock()
+	s.syncs.Add(1)
+	close(c.done)
+}
+
+// syncDevice performs one device force: flush+fsync of the journal when
+// file-backed, plus the simulated latency. Caller holds forceMu.
+func (s *Store) syncDevice() {
+	if s.persist != nil {
+		s.persist.sync()
+	}
+	if d := time.Duration(s.forceLatency.Load()); d > 0 {
+		spin.Sleep(d)
+	}
 }
 
 // ReadLog returns a copy of all records appended to the named log, in order.
@@ -130,7 +233,7 @@ func (s *Store) Put(key string, val []byte) {
 	s.kv[key] = cp
 	s.mu.Unlock()
 	if s.persist != nil {
-		s.persist.journal(tagPut, key, cp, true)
+		s.persist.journal(tagPut, key, cp, false)
 	}
 	s.totalWrites.Add(1)
 	s.force()

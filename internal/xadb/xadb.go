@@ -27,6 +27,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"etx/internal/id"
@@ -85,6 +86,15 @@ type Engine struct {
 	store *kv.Store
 	locks *lockmgr.Manager
 	inc   uint64
+
+	// appendSeq numbers deferred (unforced) prepared/commit appends and
+	// syncedSeq is the highest such append known durable: every vote/decide
+	// entry point runs syncIfBehind before returning, so no vote or ack ever
+	// leaves the server resting on an unsynced record — even when a
+	// concurrent batch's status change is observed through a fast path, and
+	// even when that batch's own sync is still in flight.
+	appendSeq atomic.Int64
+	syncedSeq atomic.Int64
 
 	mu       sync.Mutex
 	branches map[id.ResultID]*branch
@@ -341,28 +351,80 @@ func (b *branch) write(key string, val []byte) {
 // branch prepares an empty branch and votes yes (this server was simply not
 // touched by the try). Poisoned branches vote no and abort immediately.
 func (e *Engine) Vote(rid id.ResultID) msg.Vote {
+	v, _ := e.vote(rid, false, false)
+	e.syncIfBehind()
+	return v
+}
+
+// VoteBatch runs Vote for every rid, sharing one forced log write across
+// every yes vote of the batch (group commit at the engine level): the
+// prepared records are appended unforced and a single Sync makes them all
+// durable before any vote is returned — the callers' votes may only leave
+// the server after VoteBatch returns.
+func (e *Engine) VoteBatch(rids []id.ResultID) []msg.Vote {
+	_, vs := e.DecideAndVoteBatch(nil, rids)
+	return vs
+}
+
+// syncIfBehind pays one (combined) device force iff some deferred record may
+// still be unsynced. The target is read before the force: every append
+// numbered up to it completed before the force started and is therefore
+// covered; appends racing in later carry higher numbers and their own entry
+// points sync them. syncedSeq only advances after a *completed* force, so an
+// observer never skips on the strength of a sync still in flight.
+func (e *Engine) syncIfBehind() {
+	target := e.appendSeq.Load()
+	if e.syncedSeq.Load() >= target {
+		return
+	}
+	e.st.Sync()
+	for {
+		old := e.syncedSeq.Load()
+		if old >= target || e.syncedSeq.CompareAndSwap(old, target) {
+			return
+		}
+	}
+}
+
+// vote is the shared Vote implementation. With deferSync a newly prepared
+// record is appended unforced and numbered; the caller must run
+// syncIfBehind before releasing any vote. With tryLock a branch whose mutex
+// is busy (typically an Exec waiting out a data-lock acquisition) is not
+// waited for: the call returns ok=false and the caller retries later.
+func (e *Engine) vote(rid id.ResultID, deferSync, tryLock bool) (msg.Vote, bool) {
 	b, outcome, done := e.getBranch(rid, true)
 	if done {
 		if outcome == msg.OutcomeCommit {
-			return msg.VoteYes
+			return msg.VoteYes, true
 		}
-		return msg.VoteNo
+		return msg.VoteNo, true
 	}
-	b.mu.Lock()
+	if tryLock {
+		if !b.mu.TryLock() {
+			return 0, false
+		}
+	} else {
+		b.mu.Lock()
+	}
 	defer b.mu.Unlock()
 	switch b.status {
 	case StatusPrepared, StatusCommitted:
-		return msg.VoteYes
+		return msg.VoteYes, true
 	case StatusAborted:
-		return msg.VoteNo
+		return msg.VoteNo, true
 	}
 	if b.poisoned {
 		e.abortLocked(b)
-		return msg.VoteNo
+		return msg.VoteNo, true
 	}
-	e.log.Append(wal.Record{Type: wal.RecPrepared, RID: rid, Writes: b.writes}, true)
+	e.log.Append(wal.Record{Type: wal.RecPrepared, RID: rid, Writes: b.writes}, !deferSync)
+	if deferSync {
+		// Numbered inside b.mu, before the status flips: anyone who can
+		// observe the prepared status observes the pending append too.
+		e.appendSeq.Add(1)
+	}
 	b.status = StatusPrepared
-	return msg.VoteYes
+	return msg.VoteYes, true
 }
 
 // Decide implements the paper's decide() primitive. It is idempotent: a
@@ -370,50 +432,138 @@ func (e *Engine) Vote(rid id.ResultID) msg.Vote {
 // branch that never voted yes returns abort, which the decide() contract
 // permits and safety requires.
 func (e *Engine) Decide(rid id.ResultID, outcome msg.Outcome) msg.Outcome {
+	o, _ := e.decide(rid, outcome, false, false)
+	e.syncIfBehind()
+	return o
+}
+
+// DecideReq is one element of a DecideBatch: the requested outcome for one
+// branch.
+type DecideReq struct {
+	RID id.ResultID
+	O   msg.Outcome
+}
+
+// DecideBatch runs Decide for every request, sharing one forced log write
+// across every commit record of the batch. Outcomes become visible to
+// concurrent readers before the shared force completes, which is safe
+// because the log is totally ordered — any later force covers these records,
+// every entry point syncs-if-behind before returning — and because the
+// acknowledgements that make an outcome externally meaningful may only be
+// sent after DecideBatch returns.
+func (e *Engine) DecideBatch(reqs []DecideReq) []msg.Outcome {
+	outs, _ := e.DecideAndVoteBatch(reqs, nil)
+	return outs
+}
+
+// DecideAndVoteBatch serves one mailbox drain in a single durability unit:
+// the decides first (so an abort releases locks a vote in the same drain may
+// be queued behind), then the votes, with one shared device force covering
+// every deferred record of both groups — a mixed drain pays one fsync, not
+// two. No outcome or vote may leave the server before the call returns.
+//
+// Each group runs a try-lock pass first: a branch whose mutex is busy —
+// typically an Exec holding it while it waits out a data-lock acquisition —
+// is deferred to a blocking second pass instead of stalling the whole batch
+// behind it. The per-message-goroutine property this preserves: a
+// Decide(abort) later in the drain that would release the contended lock is
+// served before anything waits on the Exec-held branch.
+func (e *Engine) DecideAndVoteBatch(decides []DecideReq, votes []id.ResultID) ([]msg.Outcome, []msg.Vote) {
+	outs := make([]msg.Outcome, len(decides))
+	vs := make([]msg.Vote, len(votes))
+	var retryD, retryV []int
+	for i, req := range decides {
+		if o, ok := e.decide(req.RID, req.O, true, true); ok {
+			outs[i] = o
+		} else {
+			retryD = append(retryD, i)
+		}
+	}
+	for i, rid := range votes {
+		if v, ok := e.vote(rid, true, true); ok {
+			vs[i] = v
+		} else {
+			retryV = append(retryV, i)
+		}
+	}
+	for _, i := range retryD {
+		outs[i], _ = e.decide(decides[i].RID, decides[i].O, true, false)
+	}
+	for _, i := range retryV {
+		vs[i], _ = e.vote(votes[i], true, false)
+	}
+	e.syncIfBehind()
+	return outs, vs
+}
+
+// decide is the shared Decide implementation. With deferSync commit records
+// are appended unforced and numbered; the caller must run syncIfBehind
+// before acknowledging any outcome. With tryLock a busy branch mutex makes
+// the call return ok=false for the caller to retry (see DecideAndVoteBatch).
+func (e *Engine) decide(rid id.ResultID, outcome msg.Outcome, deferSync, tryLock bool) (msg.Outcome, bool) {
 	b, prev, done := e.getBranch(rid, false)
 	if done {
-		return prev
+		return prev, true
 	}
 	if b == nil {
 		// Unknown branch. Abort is trivially recordable; commit of a branch
 		// this server never prepared applies nothing (the protocol's
-		// incarnation checks ensure no data was lost).
-		e.recordOutcome(rid, outcome)
+		// incarnation checks ensure no data was lost). The record is
+		// appended and numbered before the outcome becomes readable, so a
+		// concurrent decide observing it syncs first.
 		if outcome == msg.OutcomeAbort {
 			e.log.Append(wal.Record{Type: wal.RecAborted, RID: rid}, false)
-		} else {
-			e.log.Append(wal.Record{Type: wal.RecCommitted, RID: rid}, true)
+			e.recordOutcome(rid, outcome)
+			return outcome, true
 		}
-		return outcome
+		e.log.Append(wal.Record{Type: wal.RecCommitted, RID: rid}, !deferSync)
+		if deferSync {
+			e.appendSeq.Add(1)
+		}
+		e.recordOutcome(rid, outcome)
+		return outcome, true
 	}
-	b.mu.Lock()
+	if tryLock {
+		if !b.mu.TryLock() {
+			return 0, false
+		}
+	} else {
+		b.mu.Lock()
+	}
 	defer b.mu.Unlock()
 	switch b.status {
 	case StatusCommitted:
-		return msg.OutcomeCommit
+		return msg.OutcomeCommit, true
 	case StatusAborted:
-		return msg.OutcomeAbort
+		return msg.OutcomeAbort, true
 	}
 	if outcome == msg.OutcomeAbort || b.status != StatusPrepared {
 		// (a) abort in -> abort out; also commit of an unprepared branch
 		// degrades to abort (no yes vote was ever given).
 		e.abortLocked(b)
-		return msg.OutcomeAbort
+		return msg.OutcomeAbort, true
 	}
-	// Prepared + commit: apply the write-set, force the commit record.
-	e.log.Append(wal.Record{Type: wal.RecCommitted, RID: rid}, true)
+	// Prepared + commit: record the commit, apply the write-set. The append
+	// is numbered inside b.mu before the status flips and the branch
+	// finishes, so any observer of the committed state syncs before acking.
+	e.log.Append(wal.Record{Type: wal.RecCommitted, RID: rid}, !deferSync)
+	if deferSync {
+		e.appendSeq.Add(1)
+	}
 	e.store.Apply(b.writes)
 	b.status = StatusCommitted
 	e.locks.ReleaseAll(rid)
 	e.finishBranch(b, msg.OutcomeCommit)
-	return msg.OutcomeCommit
+	return msg.OutcomeCommit, true
 }
 
 // CommitDirect is single-phase commit for the unreliable baseline protocol
 // (Figure 7a): no vote, no prepared record — just apply and force the commit
 // record, like auto-commit against a single database. Poisoned branches
-// abort.
+// abort. Like every other entry point it syncs-if-behind, so a fast-path hit
+// on a concurrently batched outcome never acks an unsynced record.
 func (e *Engine) CommitDirect(rid id.ResultID) msg.Outcome {
+	defer e.syncIfBehind()
 	b, prev, done := e.getBranch(rid, false)
 	if done {
 		return prev
