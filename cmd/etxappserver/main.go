@@ -78,6 +78,8 @@ func run() error {
 	fsync := flag.Duration("fsync", 0, "simulated forced-write latency of the deployment; accepted on every tier so one flag list drives all binaries — the cost itself is paid by etxdbserver -fsync (this server is stateless)")
 	batchWindow := flag.Duration("batch-window", 0, "outbound aggregation window: >0 coalesces Prepare/Decide fan-out to the same shard into batch envelopes; 0 sends each message directly")
 	maxBatch := flag.Int("max-batch", 0, "cap on one outbound batch envelope (0 = default 64)")
+	cohortWindow := flag.Duration("cohort-window", 0, "cohort-consensus window: >0 lets concurrent wo-register writes share one consensus instance per cohort; 0 runs one instance per write (every app server must agree)")
+	maxCohort := flag.Int("max-cohort", 0, "cap on register ops per consensus slot (0 = default 64)")
 	shards := flag.Int("shards", 0, "key-shard the database tier over the first N -dbservers (0 = all of them)")
 	placeSpec := flag.String("placement", "hash", "partitioner: hash | range:b1,b2,... (every app server must agree)")
 	flag.Parse()
@@ -157,6 +159,8 @@ func run() error {
 		Workers:        *workers,
 		BatchWindow:    *batchWindow,
 		MaxBatch:       *maxBatch,
+		CohortWindow:   *cohortWindow,
+		MaxCohort:      *maxCohort,
 	})
 	if err != nil {
 		return err

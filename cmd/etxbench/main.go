@@ -17,6 +17,7 @@
 //	etxbench -exp pipeline           # pipelined-client throughput (1xK vs Kx1)
 //	etxbench -exp shards             # throughput vs 1/2/4/8 key-sharded databases
 //	etxbench -exp batch              # group commit: fsyncs/commit and throughput on vs off
+//	etxbench -exp consensus          # cohort consensus: msgs and instances/commit on vs off
 //
 // -scale multiplies the paper's calibrated component costs: 1.0 reproduces
 // the paper's real-time latencies (a slow run), 0.05 keeps the ratios and
@@ -43,7 +44,7 @@ func main() {
 }
 
 func run() error {
-	exp := flag.String("exp", "all", "experiment: all|f8|f7|f1|failover|scaling|suspicion|woregister|patience|gc|pipeline|shards|batch")
+	exp := flag.String("exp", "all", "experiment: all|f8|f7|f1|failover|scaling|suspicion|woregister|patience|gc|pipeline|shards|batch|consensus")
 	scale := flag.Float64("scale", 0.05, "cost-model scale (1.0 = the paper's real-time costs)")
 	requests := flag.Int("requests", 30, "requests per measured column")
 	runs := flag.Int("runs", 5, "runs per failure scenario")
@@ -118,6 +119,23 @@ func run() error {
 				}
 			})
 			return bench.RunBatch(cfg)
+		}},
+		{"consensus", func() (fmt.Stringer, error) {
+			// The consensus sweep is CPU-bound by design (zero-cost network
+			// and log device), so -scale does not apply to it.
+			cfg := bench.ConsensusConfig{Quick: *quick}
+			flag.Visit(func(f *flag.Flag) {
+				switch f.Name {
+				case "requests":
+					cfg.Requests = *requests
+				case "inflight":
+					cfg.InFlights = []int{1}
+					if *inflight != 1 {
+						cfg.InFlights = append(cfg.InFlights, *inflight)
+					}
+				}
+			})
+			return bench.RunConsensus(cfg)
 		}},
 	}
 

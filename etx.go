@@ -118,6 +118,19 @@ type Config struct {
 	// MaxBatch caps group-commit cohorts and batch envelopes (default 64;
 	// only meaningful with BatchWindow set).
 	MaxBatch int
+	// CohortWindow enables cohort consensus on the application servers:
+	// concurrent wo-register writes (the per-request regA claim and regD
+	// decision) share batch-consensus slots — one Chandra–Toueg instance per
+	// cohort — instead of running one instance per write, cutting consensus
+	// messages and instances per commit by the cohort size while preserving
+	// register semantics exactly (decided slots apply in agreed order, so
+	// every write race has the same winner on every replica). The window is
+	// the extra time a fresh cohort stays open for followers; 0 — the
+	// default — keeps the paper's one-instance-per-write behaviour.
+	CohortWindow time.Duration
+	// MaxCohort caps register ops per consensus slot (default 64; only
+	// meaningful with CohortWindow set).
+	MaxCohort int
 	// SuspicionTimeout tunes the failure detector among application servers
 	// (default 60ms): smaller means faster failover, more false suspicions
 	// (which are safe but cost retries).
@@ -177,6 +190,8 @@ func New(cfg Config) (*Cluster, error) {
 		ForceLatency:      cfg.FsyncLatency,
 		BatchWindow:       cfg.BatchWindow,
 		MaxBatch:          cfg.MaxBatch,
+		CohortWindow:      cfg.CohortWindow,
+		MaxCohort:         cfg.MaxCohort,
 		Seed:              seed,
 		SuspectTimeout:    cfg.SuspicionTimeout,
 		ClientBackoff:     cfg.ClientBackoff,

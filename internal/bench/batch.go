@@ -152,7 +152,6 @@ func oneBatchRun(model latcost.Model, window time.Duration, inflight, requests i
 		ClientBackoff:     20 * total,
 		ClientRebroadcast: 20 * total,
 		ComputeTimeout:    200 * total,
-		ConsensusPoll:     500 * time.Microsecond,
 	})
 	if err != nil {
 		return BatchRow{}, err

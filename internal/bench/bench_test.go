@@ -255,6 +255,42 @@ func TestShardScalingRoutesToParticipants(t *testing.T) {
 	}
 }
 
+// TestConsensusBenchShape asserts the cohort-consensus certificates on a
+// small run: window 0 reproduces today's per-write instance counts (two
+// local consensus proposals per commit, exactly), and cohort batching pays
+// strictly fewer consensus messages and instances per commit.
+func TestConsensusBenchShape(t *testing.T) {
+	rep, err := RunConsensus(ConsensusConfig{Quick: true, Requests: 200, InFlights: []int{16}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s", rep)
+	off, on := rep.Row(16, false), rep.Row(16, true)
+	if off == nil || on == nil {
+		t.Fatal("missing rows")
+	}
+	// Window 0 parity: one consensus instance per register write — the regA
+	// claim and the regD decision — and nothing else in a failure-free run.
+	if off.InstancesPerCommit < 1.99 || off.InstancesPerCommit > 2.1 {
+		t.Errorf("window 0 ran %.2f instances/commit, want 2.00 (one per register write)", off.InstancesPerCommit)
+	}
+	if on.MsgsPerCommit >= off.MsgsPerCommit {
+		t.Errorf("cohort batching did not cut consensus messages: %.2f vs %.2f", on.MsgsPerCommit, off.MsgsPerCommit)
+	}
+	if on.InstancesPerCommit >= off.InstancesPerCommit/2 {
+		t.Errorf("cohort batching barely shared instances: %.2f vs %.2f", on.InstancesPerCommit, off.InstancesPerCommit)
+	}
+	if off.FastPathRate < 0.99 || on.FastPathRate < 0.99 {
+		t.Errorf("failure-free runs must ride the round-1 fast path: off=%.2f on=%.2f", off.FastPathRate, on.FastPathRate)
+	}
+	if raceEnabled {
+		return // timing-shape assertions are meaningless under the race detector
+	}
+	if on.Throughput < off.Throughput {
+		t.Errorf("cohort batching lost throughput at depth 16: %.1f vs %.1f", on.Throughput, off.Throughput)
+	}
+}
+
 func TestScalingRuns(t *testing.T) {
 	s, err := RunScaling(0.01, 3)
 	if err != nil {

@@ -230,7 +230,6 @@ func arDeploymentWithDetectors(model latcost.Model, dets map[id.NodeID]*fd.Scrip
 		ClientBackoff:     4 * total,
 		ClientRebroadcast: 4 * total,
 		ComputeTimeout:    200 * total,
-		ConsensusPoll:     500 * time.Microsecond,
 		Detector: func(self id.NodeID) fd.Detector {
 			d := fd.NewScripted()
 			dets[self] = d

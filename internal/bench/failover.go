@@ -126,7 +126,6 @@ func oneFailoverRun(model latcost.Model, suspect time.Duration, point core.Crash
 		ClientBackoff:     4 * total,
 		ClientRebroadcast: 4 * total,
 		ComputeTimeout:    200 * total,
-		ConsensusPoll:     500 * time.Microsecond,
 	}
 	if point != "" {
 		cfg.Hooks = func(self id.NodeID) *core.Hooks {

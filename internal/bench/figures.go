@@ -119,7 +119,6 @@ func traceARScenario(model latcost.Model, hooks func(self id.NodeID, c *atomic.P
 		ClientBackoff:     20 * total,
 		ClientRebroadcast: 20 * total,
 		ComputeTimeout:    200 * total,
-		ConsensusPoll:     500 * time.Microsecond,
 	}
 	if hooks != nil {
 		cfg.Hooks = func(self id.NodeID) *core.Hooks { return hooks(self, &cRef) }

@@ -96,7 +96,6 @@ func onePatienceRun(model latcost.Model, frac float64, requests int) (*PatienceR
 		// (the long rebroadcast is only the liveness net).
 		ClientRebroadcast: 20 * total,
 		ComputeTimeout:    200 * total,
-		ConsensusPoll:     500 * time.Microsecond,
 	}
 	c, err := cluster.New(cfg)
 	if err != nil {

@@ -107,7 +107,6 @@ func onePipelineRun(model latcost.Model, clients, inflight, requests int) (time.
 		ClientBackoff:     20 * total,
 		ClientRebroadcast: 20 * total,
 		ComputeTimeout:    200 * total,
-		ConsensusPoll:     500 * time.Microsecond,
 	})
 	if err != nil {
 		return 0, err

@@ -72,7 +72,6 @@ func arDeployment(model latcost.Model, appServers, dbServers int, rec *latcost.R
 		ClientBackoff:     20 * total,
 		ClientRebroadcast: 20 * total,
 		ComputeTimeout:    200 * total,
-		ConsensusPoll:     500 * time.Microsecond,
 	}
 	if rec != nil {
 		cfg.Hooks = func(self id.NodeID) *core.Hooks { return rec.Hooks() }

@@ -165,7 +165,6 @@ func oneShardRun(model latcost.Model, shards int, dist string, requests, infligh
 		ClientBackoff:     20 * total,
 		ClientRebroadcast: 20 * total,
 		ComputeTimeout:    200 * total,
-		ConsensusPoll:     500 * time.Microsecond,
 	})
 	if err != nil {
 		return ShardRow{}, err

@@ -70,6 +70,22 @@ type Config struct {
 	// MaxBatch caps group-commit cohorts, mailbox drains and outbound Batch
 	// envelopes (default 64; only meaningful with BatchWindow set).
 	MaxBatch int
+	// DrainBatch independently enables the database servers' windowless
+	// mailbox-drain batching (serve a whole drained batch of Prepares and
+	// Decides through the engine's batched entry points, one reply envelope
+	// per app server) without the rest of the BatchWindow stack. The drain
+	// never waits, so it has no latency cost. 0 follows BatchWindow.
+	DrainBatch int
+	// CohortWindow switches the application servers' wo-register layer to
+	// cohort consensus: concurrent register writes share batch-consensus
+	// slots (one instance per cohort) instead of running one consensus
+	// instance each. 0 (the default) keeps the paper's one-instance-per-
+	// write discipline. The knob is deployment-wide: every application
+	// server gets the same setting.
+	CohortWindow time.Duration
+	// MaxCohort caps the register ops in one consensus slot (default 64;
+	// only meaningful with CohortWindow set).
+	MaxCohort int
 	// LockTimeout is the databases' lock-wait bound.
 	LockTimeout time.Duration
 	// Seed is the initial content of every database.
@@ -251,13 +267,17 @@ func (c *Cluster) startDB(dbID id.NodeID, store *stablestore.Store, recovery boo
 	if !recovery && len(c.cfg.Seed) > 0 {
 		engine.Seed(c.seedFor(dbID))
 	}
+	drain := c.cfg.DrainBatch
+	if drain <= 0 {
+		drain = c.maxBatch()
+	}
 	srv, err := core.NewDataServer(core.DataServerConfig{
 		Self:       dbID,
 		AppServers: c.appIDs,
 		Engine:     engine,
 		Endpoint:   ep,
 		Recovery:   recovery,
-		MaxBatch:   c.maxBatch(),
+		MaxBatch:   drain,
 	})
 	if err != nil {
 		return err
@@ -300,6 +320,8 @@ func (c *Cluster) startApp(appID id.NodeID) error {
 		Terminators:       c.cfg.Terminators,
 		BatchWindow:       c.cfg.BatchWindow,
 		MaxBatch:          c.maxBatch(),
+		CohortWindow:      c.cfg.CohortWindow,
+		MaxCohort:         c.cfg.MaxCohort,
 		Hooks:             hooks,
 	})
 	if err != nil {
@@ -613,13 +635,20 @@ func (c *Cluster) CheckProperties() OracleReport {
 	}
 	c.computedMu.Unlock()
 	allUp := len(engines) == len(c.dbIDs)
+	// Snapshot every engine's outcomes once: Outcomes() clones its map, and
+	// cloning per delivered result would make the oracle quadratic in the
+	// run length.
+	outcomes := make(map[id.NodeID]map[id.ResultID]msg.Outcome, len(engines))
+	for dbID, e := range engines {
+		outcomes[dbID] = e.Outcomes()
+	}
 	for _, cl := range clients {
 		for _, d := range cl.Delivered() {
 			// No server anywhere may have decided a delivered try as
 			// anything but commit.
 			known := false
-			for dbID, e := range engines {
-				o, ok := e.Outcomes()[d.RID]
+			for dbID, outs := range outcomes {
+				o, ok := outs[d.RID]
 				if !ok {
 					continue
 				}
@@ -636,11 +665,11 @@ func (c *Cluster) CheckProperties() OracleReport {
 				// it (commit records are forced before the ack, so
 				// recovery cannot lose them).
 				for _, p := range d.Participants {
-					e, up := engines[p]
+					outs, up := outcomes[p]
 					if !up {
 						continue
 					}
-					if o, ok := e.Outcomes()[d.RID]; !ok || o != msg.OutcomeCommit {
+					if o, ok := outs[d.RID]; !ok || o != msg.OutcomeCommit {
 						rep.Violations = append(rep.Violations,
 							fmt.Sprintf("A.1 violated: delivered %s not committed at participant %s", d.RID, p))
 					}

@@ -1,0 +1,226 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"etx/internal/consensus"
+	"etx/internal/kv"
+)
+
+// cohortKnobs switches the wo-register layer to cohort consensus on top of
+// the usual fast test timings.
+func cohortKnobs(cfg *Config) {
+	fastKnobs(cfg)
+	cfg.ConsensusPoll = 0 // event-driven waits with the safety-net default
+	cfg.CohortWindow = 500 * time.Microsecond
+}
+
+// consensusTotals sums the consensus counters over every live app server.
+func consensusTotals(c *Cluster, apps int) consensus.Stats {
+	var total consensus.Stats
+	for i := 1; i <= apps; i++ {
+		if a := c.App(i); a != nil {
+			st := a.ConsensusStats()
+			total.Instances += st.Instances
+			total.Proposes += st.Proposes
+			total.Rounds += st.Rounds
+			total.Messages += st.Messages
+			total.FastPath += st.FastPath
+			total.BatchOps += st.BatchOps
+			total.Resends += st.Resends
+		}
+	}
+	return total
+}
+
+// runCohortWorkload drives `requests` pipelined disjoint transfers (every
+// account pays 1 to the next, round-robin) and returns the per-account
+// balances. Identical inputs must produce identical final balances whether
+// or not cohort batching is on: every request commits exactly once and the
+// adds commute.
+func runCohortWorkload(t *testing.T, c *Cluster, accts []string, requests, inflight int) map[string]int64 {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	sem := make(chan struct{}, inflight)
+	var wg sync.WaitGroup
+	errs := make(chan error, requests)
+	for i := 0; i < requests; i++ {
+		src := accts[i%len(accts)]
+		dst := accts[(i+1)%len(accts)]
+		req := src + ":" + dst + ":1"
+		sem <- struct{}{}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer func() { <-sem }()
+			if _, err := c.Client(1).Issue(ctx, []byte(req)); err != nil {
+				errs <- fmt.Errorf("issue %s: %w", req, err)
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	balances := make(map[string]int64, len(accts))
+	for _, a := range accts {
+		bal, err := c.Engine(1).Store().GetInt("acct/" + a)
+		if err != nil {
+			t.Fatalf("read %s: %v", a, err)
+		}
+		balances[a] = bal
+	}
+	return balances
+}
+
+// TestCohortParityWithUnbatched runs the same pipelined workload with cohort
+// consensus off (window 0 — today's one-instance-per-write discipline) and
+// on, and asserts the decided outcomes match: both runs satisfy the
+// A.1/A.2/A.3/V.1 oracle and produce identical balances. The batched run
+// must also pay strictly fewer consensus instances and messages, and the
+// window-0 run must show the per-write instance counts (two local proposals
+// per commit) that define today's behaviour.
+func TestCohortParityWithUnbatched(t *testing.T) {
+	const (
+		requests = 48
+		inflight = 16
+		accounts = 8
+	)
+	accts := make([]string, accounts)
+	var seed []kv.Write
+	for i := range accts {
+		accts[i] = fmt.Sprintf("co%02d", i)
+		seed = append(seed, kv.Write{Key: "acct/" + accts[i], Val: kv.EncodeInt(100)})
+	}
+
+	run := func(cohort bool) (map[string]int64, consensus.Stats) {
+		cfg := Config{
+			Shards:      1,
+			Logic:       transferKeyed(),
+			Seed:        seed,
+			Workers:     inflight,
+			Terminators: inflight,
+		}
+		if cohort {
+			cohortKnobs(&cfg)
+		} else {
+			fastKnobs(&cfg)
+		}
+		c, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer c.Stop()
+		balances := runCohortWorkload(t, c, accts, requests, inflight)
+		mustOracle(t, c)
+		return balances, consensusTotals(c, 3)
+	}
+
+	plainBal, plainStats := run(false)
+	cohortBal, cohortStats := run(true)
+
+	for a, want := range plainBal {
+		if got := cohortBal[a]; got != want {
+			t.Errorf("balance of %s diverged: window 0 = %d, cohort = %d", a, want, got)
+		}
+	}
+	// Window 0 parity: the executor runs one instance per register write —
+	// two local proposals per commit (retries under false suspicion can only
+	// add more).
+	if plainStats.Proposes < 2*requests {
+		t.Errorf("window 0 ran %d proposals for %d requests, want >= %d (2 per commit)",
+			plainStats.Proposes, requests, 2*requests)
+	}
+	if cohortStats.Proposes >= plainStats.Proposes {
+		t.Errorf("cohort batching did not share instances: %d proposals vs %d unbatched",
+			cohortStats.Proposes, plainStats.Proposes)
+	}
+	if cohortStats.Messages >= plainStats.Messages {
+		t.Errorf("cohort batching did not cut consensus messages: %d vs %d unbatched",
+			cohortStats.Messages, plainStats.Messages)
+	}
+	if cohortStats.BatchOps == 0 {
+		t.Error("no register ops were decided through batch slots; cohort path never engaged")
+	}
+	t.Logf("window 0: %s", plainStats)
+	t.Logf("cohort:   %s", cohortStats)
+}
+
+// TestCohortPrimaryCrashMidBatch crashes the primary application server —
+// the preferred sequencer and round-1 slot coordinator — while a pipelined
+// run is in flight. Every request must still commit exactly once (clients
+// fail over, surviving servers re-execute or finish the orphaned tries, and
+// cohorts re-route to the next sequencer), money must be conserved, and the
+// A.1 oracle must hold over the batched decisions.
+func TestCohortPrimaryCrashMidBatch(t *testing.T) {
+	const (
+		requests = 24
+		inflight = 8
+		accounts = 6
+	)
+	accts := make([]string, accounts)
+	var seed []kv.Write
+	for i := range accts {
+		accts[i] = fmt.Sprintf("cx%02d", i)
+		seed = append(seed, kv.Write{Key: "acct/" + accts[i], Val: kv.EncodeInt(1000)})
+	}
+	cfg := Config{
+		Shards:      1,
+		Logic:       transferKeyed(),
+		Seed:        seed,
+		Workers:     inflight,
+		Terminators: inflight,
+	}
+	cohortKnobs(&cfg)
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Stop()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	var wg sync.WaitGroup
+	errs := make(chan error, requests)
+	for i := 0; i < requests; i++ {
+		src := accts[i%accounts]
+		dst := accts[(i+1)%accounts]
+		req := src + ":" + dst + ":1"
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := c.Client(1).Issue(ctx, []byte(req)); err != nil {
+				errs <- fmt.Errorf("issue %s: %w", req, err)
+			}
+		}()
+		if i == requests/3 {
+			// Mid-batch: cohorts are in flight on the primary right now.
+			c.CrashApp(1)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	var total int64
+	for _, a := range accts {
+		bal, err := c.Engine(1).Store().GetInt("acct/" + a)
+		if err != nil {
+			t.Fatalf("read %s: %v", a, err)
+		}
+		total += bal
+	}
+	if total != int64(accounts)*1000 {
+		t.Errorf("total balance = %d, want %d (money not conserved across the crash)", total, accounts*1000)
+	}
+	mustOracle(t, c)
+}

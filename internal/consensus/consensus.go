@@ -5,10 +5,22 @@
 // consensus protocol, e.g. [4]").
 //
 // One Node runs on each application server and multiplexes any number of
-// independent consensus instances, keyed by msg.RegKey (one instance per
-// wo-register). The algorithm per instance is the classic one from
-// Chandra & Toueg, "Unreliable failure detectors for reliable distributed
-// systems" (JACM 1996):
+// independent consensus instances, keyed by msg.RegKey. Two keyspaces exist:
+//
+//   - Register instances (regA[j]/regD[j]): one instance per wo-register,
+//     the paper's original one-instance-per-write discipline.
+//   - Batch-log slots (msg.SlotKey(n)): cohort consensus. The decided value
+//     of slot n is an ordered batch of register operations (msg.RegOp); every
+//     node applies decided slots strictly in slot order, deciding each named
+//     register with the first value written to it across the whole slot
+//     sequence. Because application order is the agreed slot order, the
+//     first-write-wins outcome of every register is identical on every node
+//     — batch consensus preserves wo-register semantics exactly, while one
+//     instance commits a whole cohort of writes.
+//
+// The algorithm per instance is the classic one from Chandra & Toueg,
+// "Unreliable failure detectors for reliable distributed systems"
+// (JACM 1996):
 //
 //	round r (r = 1, 2, ...), coordinator c = peers[(r-1) mod n]:
 //	 phase 1: every process sends its estimate (value, ts) to c
@@ -18,6 +30,22 @@
 //	          suspects c (nack), then moves to round r+1
 //	 phase 4: if c gathers a majority of acks it decides and reliably
 //	          broadcasts the decision
+//
+// Two refinements shape the failure-free cost:
+//
+//   - Round-1 coordinator fast path: no value can carry a timestamp above 0
+//     before round 1, so the round-1 coordinator skips phase 1 and proposes
+//     its own estimate immediately — the failure-free write is a true single
+//     round trip, as the paper's analysis assumes. For batch-log slots the
+//     fast-path proposal additionally merges any round-1 estimates already
+//     in hand (all timestamps 0, so the union of proposed batches is as
+//     valid a proposal as any single one), which folds a concurrent
+//     proposer's cohort into the slot instead of forcing it to retry.
+//   - Event-driven waits: a blocked phase sleeps until a message arrives
+//     (the instance mailbox signals), a local proposal lands, or the failure
+//     detector announces a suspicion transition (fd.Notifier). Poll survives
+//     only as a safety-net timer for detectors that cannot announce
+//     transitions.
 //
 // Safety (agreement, validity) holds with any failure-detector behaviour;
 // termination needs a majority of correct processes and the eventual accuracy
@@ -33,10 +61,12 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"etx/internal/fd"
 	"etx/internal/id"
+	"etx/internal/metrics"
 	"etx/internal/msg"
 	"etx/internal/queue"
 )
@@ -56,10 +86,14 @@ type Config struct {
 	// Send transmits consensus messages. Messages to Self short-circuit and
 	// never touch Send.
 	Send SendFunc
-	// Detector provides the suspect() predicate (◊P suffices for ◊S).
+	// Detector provides the suspect() predicate (◊P suffices for ◊S). When
+	// it also implements fd.Notifier, blocked phases sleep until a suspicion
+	// transition instead of re-polling.
 	Detector fd.Detector
-	// Poll is how often a blocked phase re-checks the failure detector.
-	// Defaults to 1ms.
+	// Poll is the safety-net interval at which a blocked phase re-checks the
+	// failure detector. With a notifying detector it defaults to 25ms (a
+	// backstop; wakeups are event-driven); otherwise to 1ms (the polling is
+	// the only way to observe the detector).
 	Poll time.Duration
 }
 
@@ -88,6 +122,53 @@ func (c Config) validate() error {
 // ErrStopped is returned by Propose when the node shuts down mid-wait.
 var ErrStopped = errors.New("consensus: node stopped")
 
+// minResendInterval floors the blocked-phase retransmission cadence: a
+// sub-millisecond safety-net poll (legacy non-notifying detectors, tests)
+// must re-check the detector that often, but re-broadcasting estimates at
+// that rate would amplify one lost message into a flood.
+const minResendInterval = 20 * time.Millisecond
+
+// Counters aggregates a node's protocol activity (see Stats).
+type Counters struct {
+	Instances metrics.Counter // instances started (proposer or passive)
+	Proposes  metrics.Counter // local Propose calls that ran an instance
+	Rounds    metrics.Counter // rounds entered across all instances
+	Messages  metrics.Counter // remote consensus messages sent
+	FastPath  metrics.Counter // round-1 coordinator fast-path proposals
+	BatchOps  metrics.Counter // register ops decided through applied slots
+	Resends   metrics.Counter // safety-net retransmissions from blocked phases
+}
+
+// Stats is a point-in-time snapshot of a node's counters.
+type Stats struct {
+	Instances uint64
+	Proposes  uint64
+	Rounds    uint64
+	Messages  uint64
+	FastPath  uint64
+	BatchOps  uint64
+	Resends   uint64
+}
+
+// Sub returns the component-wise difference s - base (benchmark deltas).
+func (s Stats) Sub(base Stats) Stats {
+	return Stats{
+		Instances: s.Instances - base.Instances,
+		Proposes:  s.Proposes - base.Proposes,
+		Rounds:    s.Rounds - base.Rounds,
+		Messages:  s.Messages - base.Messages,
+		FastPath:  s.FastPath - base.FastPath,
+		BatchOps:  s.BatchOps - base.BatchOps,
+		Resends:   s.Resends - base.Resends,
+	}
+}
+
+// String renders the snapshot for diagnostics.
+func (s Stats) String() string {
+	return fmt.Sprintf("instances=%d proposes=%d rounds=%d msgs=%d fastpath=%d batchops=%d resends=%d",
+		s.Instances, s.Proposes, s.Rounds, s.Messages, s.FastPath, s.BatchOps, s.Resends)
+}
+
 // Node multiplexes consensus instances for one process.
 type Node struct {
 	cfg  Config
@@ -98,12 +179,29 @@ type Node struct {
 	cancel context.CancelFunc
 	wg     sync.WaitGroup
 
+	counters Counters
+
+	// fdCh is the node's single subscription to the detector's transition
+	// notifications (nil without fd.Notifier); a long-lived fan-out
+	// goroutine broadcasts each signal to every live instance's wake
+	// channel. One subscription per node, not per instance: instances come
+	// and go thousands of times a second on the batched hot path.
+	fdCh chan struct{}
+
 	mu        sync.Mutex
 	stopped   bool
 	instances map[msg.RegKey]*instance
 	decided   map[msg.RegKey][]byte
-	relayed   map[msg.RegKey]bool
 	subs      map[msg.RegKey][]chan []byte
+
+	// Batch-log application state: decided slots are applied strictly in
+	// slot order; nextApply is the first unapplied slot. Decided slots are
+	// retained indefinitely: agreement depends on a laggard's gap proposal
+	// being answered with the original decision, and evicting a slot would
+	// let a fresh quorum re-decide it differently. Bounding this memory is
+	// the same garbage-collection problem the paper defers for the
+	// registers themselves (Section 5) and is left with it.
+	nextApply uint64
 }
 
 // New creates a consensus node. Call Stop when done to release its
@@ -113,10 +211,14 @@ func New(cfg Config) (*Node, error) {
 		return nil, err
 	}
 	if cfg.Poll <= 0 {
-		cfg.Poll = time.Millisecond
+		if _, ok := cfg.Detector.(fd.Notifier); ok {
+			cfg.Poll = 25 * time.Millisecond
+		} else {
+			cfg.Poll = time.Millisecond
+		}
 	}
 	ctx, cancel := context.WithCancel(context.Background())
-	return &Node{
+	n := &Node{
 		cfg:       cfg,
 		maj:       len(cfg.Peers)/2 + 1,
 		poll:      cfg.Poll,
@@ -124,9 +226,38 @@ func New(cfg Config) (*Node, error) {
 		cancel:    cancel,
 		instances: make(map[msg.RegKey]*instance),
 		decided:   make(map[msg.RegKey][]byte),
-		relayed:   make(map[msg.RegKey]bool),
 		subs:      make(map[msg.RegKey][]chan []byte),
-	}, nil
+		nextApply: 1,
+	}
+	if notif, ok := cfg.Detector.(fd.Notifier); ok {
+		n.fdCh = make(chan struct{}, 1)
+		notif.Subscribe(n.fdCh)
+		n.wg.Add(1)
+		go n.fanoutDetector(notif)
+	}
+	return n, nil
+}
+
+// fanoutDetector relays the detector's transition signals to every live
+// instance's wake channel.
+func (n *Node) fanoutDetector(notif fd.Notifier) {
+	defer n.wg.Done()
+	defer notif.Unsubscribe(n.fdCh)
+	for {
+		select {
+		case <-n.fdCh:
+			n.mu.Lock()
+			for _, inst := range n.instances {
+				select {
+				case inst.fdWake <- struct{}{}:
+				default:
+				}
+			}
+			n.mu.Unlock()
+		case <-n.ctx.Done():
+			return
+		}
+	}
 }
 
 // Stop shuts down all instance goroutines and fails pending Proposes with
@@ -137,6 +268,23 @@ func (n *Node) Stop() {
 	n.mu.Unlock()
 	n.cancel()
 	n.wg.Wait()
+}
+
+// Done is closed when the node stops; callers waiting on Watch channels
+// select on it to observe shutdown.
+func (n *Node) Done() <-chan struct{} { return n.ctx.Done() }
+
+// Stats returns a snapshot of the node's protocol counters.
+func (n *Node) Stats() Stats {
+	return Stats{
+		Instances: n.counters.Instances.Load(),
+		Proposes:  n.counters.Proposes.Load(),
+		Rounds:    n.counters.Rounds.Load(),
+		Messages:  n.counters.Messages.Load(),
+		FastPath:  n.counters.FastPath.Load(),
+		BatchOps:  n.counters.BatchOps.Load(),
+		Resends:   n.counters.Resends.Load(),
+	}
 }
 
 // Propose submits val for the instance key and blocks until that instance
@@ -154,6 +302,7 @@ func (n *Node) Propose(ctx context.Context, key msg.RegKey, val []byte) ([]byte,
 		}
 		return nil, ErrStopped
 	}
+	n.counters.Proposes.Inc()
 	inst.propose(val)
 	select {
 	case <-inst.done:
@@ -199,31 +348,65 @@ func (n *Node) Watch(key msg.RegKey) <-chan []byte {
 func (n *Node) Forget(key msg.RegKey) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	if _, ok := n.decided[key]; !ok {
-		return
-	}
 	delete(n.decided, key)
-	delete(n.relayed, key)
+}
+
+// LowestUndecidedSlot returns the lowest batch-log slot this node has no
+// decision for — the slot a cohort sequencer should propose its next batch
+// at. An application gap (a decided slot blocked behind a missing one) is
+// returned first, so a proposal there doubles as the gap-fill probe: peers
+// that already decided the slot answer with its decision.
+func (n *Node) LowestUndecidedSlot() uint64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	s := n.nextApply
+	for {
+		if _, ok := n.decided[msg.SlotKey(s)]; !ok {
+			return s
+		}
+		s++
+	}
 }
 
 // Keys returns every register key this node has ever seen (decided or in
-// flight). The cleaning thread scans this in place of the paper's unbounded
-// register-array walk.
+// flight), excluding batch-log slots. The cleaning thread scans this in
+// place of the paper's unbounded register-array walk.
 func (n *Node) Keys() []msg.RegKey {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	out := make([]msg.RegKey, 0, len(n.decided)+len(n.instances))
 	seen := make(map[msg.RegKey]bool, len(n.decided))
 	for k := range n.decided {
+		if k.Array == msg.RegBatch {
+			continue
+		}
 		out = append(out, k)
 		seen[k] = true
 	}
 	for k := range n.instances {
-		if !seen[k] {
-			out = append(out, k)
+		if k.Array == msg.RegBatch || seen[k] {
+			continue
 		}
+		out = append(out, k)
 	}
 	return out
+}
+
+// InstanceState reports the live round and coordinator of an undecided
+// instance (liveness diagnostics: DebugTry uses it to show where a stuck
+// register write is blocked). ok is false when no instance is running.
+func (n *Node) InstanceState(key msg.RegKey) (round uint32, coord id.NodeID, ok bool) {
+	n.mu.Lock()
+	inst := n.instances[key]
+	n.mu.Unlock()
+	if inst == nil {
+		return 0, id.NodeID{}, false
+	}
+	r := inst.roundNow.Load()
+	if r == 0 {
+		r = 1 // still acquiring an estimate; round 1 is next
+	}
+	return r, inst.coord(r), true
 }
 
 // Handle ingests one consensus message (Estimate, Propose, CAck, CNack,
@@ -249,7 +432,7 @@ func (n *Node) dispatch(from id.NodeID, key msg.RegKey, p msg.Payload) {
 		n.mu.Unlock()
 		// Help laggards: answer any chatter about a decided instance with
 		// the decision itself.
-		_ = n.cfg.Send(from, msg.CDecision{Reg: key, Val: v})
+		n.send(from, msg.CDecision{Reg: key, Val: v})
 		return
 	}
 	n.mu.Unlock()
@@ -260,35 +443,93 @@ func (n *Node) dispatch(from id.NodeID, key msg.RegKey, p msg.Payload) {
 	inst.inbox.Push(inMsg{from: from, p: p})
 }
 
+// decideEffect is one deferred side effect of recording a decision: waiters
+// to resolve and, when relay is set, the reliable-broadcast echo to emit.
+type decideEffect struct {
+	key   msg.RegKey
+	val   []byte
+	inst  *instance
+	subs  []chan []byte
+	relay bool
+}
+
 // learn records a decision (local or remote) and relays it once to all peers
-// (the reliable-broadcast echo).
+// (the reliable-broadcast echo). A batch-log slot decision additionally
+// triggers in-order application of every ready slot: the registers named by
+// the batches decide first-write-wins, resolving their waiters — without a
+// per-register relay, since the slot's own echo carries the information.
 func (n *Node) learn(key msg.RegKey, val []byte) {
 	n.mu.Lock()
-	if _, ok := n.decided[key]; ok {
-		n.mu.Unlock()
-		return
-	}
-	n.decided[key] = val
-	inst := n.instances[key]
-	subs := n.subs[key]
-	delete(n.subs, key)
-	relay := !n.relayed[key]
-	n.relayed[key] = true
+	effects := n.recordLocked(key, val)
 	n.mu.Unlock()
 
-	if inst != nil {
-		inst.finish(val)
-	}
-	for _, ch := range subs {
-		ch <- val
-	}
-	if relay {
-		for _, p := range n.cfg.Peers {
-			if p == n.cfg.Self {
-				continue
-			}
-			_ = n.cfg.Send(p, msg.CDecision{Reg: key, Val: val})
+	for _, e := range effects {
+		if e.inst != nil {
+			e.inst.finish(e.val)
 		}
+		for _, ch := range e.subs {
+			ch <- e.val
+		}
+		if e.relay {
+			for _, p := range n.cfg.Peers {
+				if p == n.cfg.Self {
+					continue
+				}
+				n.send(p, msg.CDecision{Reg: e.key, Val: e.val})
+			}
+		}
+	}
+}
+
+// recordLocked stores a decision and collects its deferred side effects.
+// The decided guard also dedups the reliable-broadcast echo: a key relays
+// exactly once, when it is first recorded. Caller holds n.mu.
+func (n *Node) recordLocked(key msg.RegKey, val []byte) []decideEffect {
+	if _, ok := n.decided[key]; ok {
+		return nil
+	}
+	n.decided[key] = val
+	e := decideEffect{key: key, val: val, inst: n.instances[key], subs: n.subs[key], relay: true}
+	delete(n.subs, key)
+	out := []decideEffect{e}
+	if key.Array == msg.RegBatch {
+		out = n.applyLocked(out)
+	}
+	return out
+}
+
+// applyLocked applies every decided-and-ready batch-log slot in slot order,
+// appending side effects to out. Each register op decides its register
+// unless an earlier slot (or a direct per-register decision learned from a
+// peer) got there first — the first-write-wins race is resolved by the
+// agreed slot order, so every node computes the same winner. Registers
+// decided here do not relay (the slot's own echo carries them), so an effect
+// is only recorded when a local instance or watcher is waiting. Caller holds
+// n.mu.
+func (n *Node) applyLocked(out []decideEffect) []decideEffect {
+	for {
+		key := msg.SlotKey(n.nextApply)
+		raw, ok := n.decided[key]
+		if !ok {
+			return out
+		}
+		if ops, err := msg.DecodeRegOps(raw); err == nil {
+			for _, op := range ops {
+				if _, dup := n.decided[op.Reg]; dup {
+					continue
+				}
+				n.decided[op.Reg] = op.Val
+				n.counters.BatchOps.Inc()
+				inst := n.instances[op.Reg]
+				subs := n.subs[op.Reg]
+				if inst == nil && len(subs) == 0 {
+					continue
+				}
+				delete(n.subs, op.Reg)
+				out = append(out, decideEffect{key: op.Reg, val: op.Val, inst: inst, subs: subs})
+			}
+		}
+		n.nextApply++
 	}
 }
 
@@ -312,6 +553,7 @@ func (n *Node) getInstance(key msg.RegKey, create bool) *instance {
 	}
 	inst := newInstance(n, key)
 	n.instances[key] = inst
+	n.counters.Instances.Inc()
 	n.wg.Add(1)
 	go inst.run(n.ctx)
 	return inst
@@ -333,6 +575,7 @@ func (n *Node) send(to id.NodeID, p msg.Payload) {
 		n.Handle(n.cfg.Self, p)
 		return
 	}
+	n.counters.Messages.Inc()
 	_ = n.cfg.Send(to, p)
 }
 
@@ -362,11 +605,20 @@ type instance struct {
 	hasProp   bool
 	propWake  chan struct{}
 
+	fdWake chan struct{} // suspicion-transition wakeups (nil without Notifier)
+
 	done   chan struct{} // closed once result is set
 	result []byte
 	dOnce  sync.Once
 
-	// goroutine-local protocol state
+	roundNow atomic.Uint32 // mirror of round for InstanceState
+
+	lastResend time.Time // throttles blocked-phase retransmissions
+
+	// goroutine-local protocol state. The per-round tally maps are lazily
+	// allocated on first use: a fast-path instance that never tallies
+	// estimates should not pay for the maps (instances are created
+	// thousands of times a second on the hot path).
 	est       []byte
 	hasEst    bool
 	ts        uint32
@@ -378,16 +630,17 @@ type instance struct {
 }
 
 func newInstance(n *Node, key msg.RegKey) *instance {
-	return &instance{
-		node:      n,
-		key:       key,
-		inbox:     queue.New[inMsg](),
-		propWake:  make(chan struct{}, 1),
-		done:      make(chan struct{}),
-		estimates: make(map[uint32]map[id.NodeID]estVal),
-		proposals: make(map[uint32][]byte),
-		replies:   make(map[uint32]map[id.NodeID]bool),
+	inst := &instance{
+		node:     n,
+		key:      key,
+		inbox:    queue.New[inMsg](),
+		propWake: make(chan struct{}, 1),
+		done:     make(chan struct{}),
 	}
+	if n.fdCh != nil {
+		inst.fdWake = make(chan struct{}, 1)
+	}
+	return inst
 }
 
 // propose records the local proposal (first one wins locally) and wakes the
@@ -437,6 +690,9 @@ func (inst *instance) drain() bool {
 			byNode, ok := inst.estimates[p.Round]
 			if !ok {
 				byNode = make(map[id.NodeID]estVal)
+				if inst.estimates == nil {
+					inst.estimates = make(map[uint32]map[id.NodeID]estVal)
+				}
 				inst.estimates[p.Round] = byNode
 			}
 			if _, dup := byNode[m.from]; !dup {
@@ -444,6 +700,9 @@ func (inst *instance) drain() bool {
 			}
 		case msg.Propose:
 			if _, dup := inst.proposals[p.Round]; !dup {
+				if inst.proposals == nil {
+					inst.proposals = make(map[uint32][]byte)
+				}
 				inst.proposals[p.Round] = p.Val
 			}
 		case msg.CAck:
@@ -458,6 +717,9 @@ func (inst *instance) reply(round uint32, from id.NodeID, ack bool) {
 	byNode, ok := inst.replies[round]
 	if !ok {
 		byNode = make(map[id.NodeID]bool)
+		if inst.replies == nil {
+			inst.replies = make(map[uint32]map[id.NodeID]bool)
+		}
 		inst.replies[round] = byNode
 	}
 	if _, dup := byNode[from]; !dup {
@@ -465,10 +727,24 @@ func (inst *instance) reply(round uint32, from id.NodeID, ack bool) {
 	}
 }
 
-// block waits for new input: a message, a local proposal, a poll tick (to
-// re-check the failure detector) or shutdown. Returns false on shutdown or
-// external decision.
-func (inst *instance) block(ctx context.Context, timer *time.Timer) bool {
+// blockEvent is what ended one blocked wait.
+type blockEvent uint8
+
+const (
+	blockExit    blockEvent = iota // shutdown or external decision
+	blockWake                      // message, proposal or detector transition
+	blockTimeout                   // safety-net timer: re-check and RETRANSMIT
+)
+
+// block waits for new input: a message, a local proposal, a failure-detector
+// transition, the safety-net poll tick, or shutdown. With a notifying
+// detector the poll timer is a pure backstop; every productive wakeup is
+// event-driven. A timeout is reported distinctly so the blocked phase can
+// retransmit its outbound message: consensus assumes reliable channels, but
+// the links underneath are fair-loss (a transient partition silently drops
+// messages), and a dropped estimate, proposal or ack would otherwise stall
+// the instance forever despite a live majority.
+func (inst *instance) block(ctx context.Context, timer *time.Timer) blockEvent {
 	if !timer.Stop() {
 		select {
 		case <-timer.C:
@@ -476,17 +752,33 @@ func (inst *instance) block(ctx context.Context, timer *time.Timer) bool {
 		}
 	}
 	timer.Reset(inst.node.poll)
+	if inst.fdWake == nil {
+		select {
+		case <-inst.inbox.Out():
+			return blockWake
+		case <-inst.propWake:
+			return blockWake
+		case <-timer.C:
+			return blockTimeout
+		case <-inst.done:
+			return blockExit
+		case <-ctx.Done():
+			return blockExit
+		}
+	}
 	select {
 	case <-inst.inbox.Out():
-		return true
+		return blockWake
 	case <-inst.propWake:
-		return true
+		return blockWake
+	case <-inst.fdWake:
+		return blockWake
 	case <-timer.C:
-		return true
+		return blockTimeout
 	case <-inst.done:
-		return false
+		return blockExit
 	case <-ctx.Done():
-		return false
+		return blockExit
 	}
 }
 
@@ -518,13 +810,15 @@ func (inst *instance) run(ctx context.Context) {
 		if inst.hasEst {
 			break
 		}
-		if !inst.block(ctx, timer) {
+		if inst.block(ctx, timer) == blockExit {
 			return
 		}
 	}
 
 	for {
 		inst.round++
+		inst.roundNow.Store(inst.round)
+		inst.node.counters.Rounds.Inc()
 		r := inst.round
 		c := inst.coord(r)
 
@@ -532,15 +826,22 @@ func (inst *instance) run(ctx context.Context) {
 		// gathering estimates: no value can be locked before round 1, so its
 		// own estimate is safe to propose directly. This is the optimization
 		// the paper's analysis assumes ("in a nice run, it takes only a round
-		// trip for the first primary to write into the register"). In every
-		// other case the estimate is broadcast to all peers — the coordinator
-		// tallies it, and it simultaneously announces the instance to passive
-		// replicas so that they join and keep every round live.
+		// trip for the first primary to write into the register"); for a
+		// batch-log slot the fast-path proposal folds in any round-1
+		// estimates already received (all timestamps are 0, so a merged
+		// batch is as proposable as any single one). In every other case the
+		// estimate is broadcast to all peers — the coordinator tallies it,
+		// and it simultaneously announces the instance to passive replicas
+		// so that they join and keep every round live.
 		var proposedVal []byte
 		_, haveProposal := inst.proposals[r]
 		switch {
 		case c == self && r == 1:
 			proposedVal = inst.est
+			if inst.key.Array == msg.RegBatch {
+				proposedVal = mergeBatches(proposedVal, inst.estimates[r])
+			}
+			inst.node.counters.FastPath.Inc()
 			for _, p := range inst.node.cfg.Peers {
 				inst.node.send(p, msg.Propose{Reg: inst.key, Round: r, Val: proposedVal})
 			}
@@ -561,8 +862,14 @@ func (inst *instance) run(ctx context.Context) {
 					if len(inst.estimates[r]) >= maj {
 						break
 					}
-					if !inst.block(ctx, timer) {
+					switch inst.block(ctx, timer) {
+					case blockExit:
 						return
+					case blockTimeout:
+						// Re-announce the round: a participant whose
+						// estimate (or whose copy of ours) fell to a
+						// fair-loss link re-joins and re-answers.
+						inst.resendEstimates(r)
 					}
 				}
 				best := estVal{}
@@ -574,6 +881,14 @@ func (inst *instance) run(ctx context.Context) {
 					}
 				}
 				proposedVal = best.val
+				if inst.key.Array == msg.RegBatch && best.ts == 0 {
+					// No gathered estimate carries a lock (a decided value
+					// would have locked a majority, and any majority
+					// intersects ours), so the union of the proposed batches
+					// is safe to propose — concurrent cohorts merge instead
+					// of fighting over the slot.
+					proposedVal = mergeBatches(proposedVal, inst.estimates[r])
+				}
 				for _, p := range inst.node.cfg.Peers {
 					inst.node.send(p, msg.Propose{Reg: inst.key, Round: r, Val: proposedVal})
 				}
@@ -597,8 +912,15 @@ func (inst *instance) run(ctx context.Context) {
 				inst.node.send(c, msg.CNack{Reg: inst.key, Round: r})
 				break
 			}
-			if !inst.block(ctx, timer) {
+			switch inst.block(ctx, timer) {
+			case blockExit:
 				return
+			case blockTimeout:
+				// Our estimate may never have reached the coordinator (its
+				// phase-2 gather would stall on a live majority), or the
+				// proposal may have been dropped on its way to us (a decided
+				// coordinator answers chatter with the decision).
+				inst.resendEstimates(r)
 			}
 		}
 
@@ -617,8 +939,17 @@ func (inst *instance) run(ctx context.Context) {
 				if inst.node.cfg.Detector.Suspects(c) || inst.sawRoundAbove(r) {
 					break
 				}
-				if !inst.block(ctx, timer) {
+				switch inst.block(ctx, timer) {
+				case blockExit:
 					return
+				case blockTimeout:
+					// Our ack (or the decision itself) may have been lost:
+					// re-ack. A coordinator still tallying deduplicates; one
+					// that already decided answers with the decision.
+					if inst.shouldResend() {
+						inst.node.counters.Resends.Inc()
+						inst.node.send(c, msg.CAck{Reg: inst.key, Round: r})
+					}
 				}
 			}
 		}
@@ -647,8 +978,18 @@ func (inst *instance) run(ctx context.Context) {
 				if acks+nacks >= maj {
 					break // round failed; move on
 				}
-				if !inst.block(ctx, timer) {
+				switch inst.block(ctx, timer) {
+				case blockExit:
 					return
+				case blockTimeout:
+					// A dropped proposal leaves participants blocked in
+					// phase 3 with nothing to answer: re-propose.
+					if inst.shouldResend() {
+						inst.node.counters.Resends.Inc()
+						for _, p := range inst.node.cfg.Peers {
+							inst.node.send(p, msg.Propose{Reg: inst.key, Round: r, Val: proposedVal})
+						}
+					}
 				}
 			}
 		}
@@ -657,6 +998,35 @@ func (inst *instance) run(ctx context.Context) {
 		delete(inst.estimates, r)
 		delete(inst.replies, r)
 		delete(inst.proposals, r)
+	}
+}
+
+// shouldResend throttles blocked-phase retransmissions to at most one per
+// max(Poll, minResendInterval): the safety-net timer may tick far faster
+// than that (legacy 1ms polling), and re-broadcasting on every tick would
+// amplify one lost message into a flood.
+func (inst *instance) shouldResend() bool {
+	interval := inst.node.poll
+	if interval < minResendInterval {
+		interval = minResendInterval
+	}
+	now := time.Now()
+	if !inst.lastResend.IsZero() && now.Sub(inst.lastResend) < interval {
+		return false
+	}
+	inst.lastResend = now
+	return true
+}
+
+// resendEstimates re-broadcasts this round's phase-1 estimate (the
+// safety-net retransmission of blocked phases 2 and 3).
+func (inst *instance) resendEstimates(r uint32) {
+	if !inst.shouldResend() {
+		return
+	}
+	inst.node.counters.Resends.Inc()
+	for _, p := range inst.node.cfg.Peers {
+		inst.node.send(p, msg.Estimate{Reg: inst.key, Round: r, TS: inst.ts, Est: inst.est})
 	}
 }
 
@@ -694,4 +1064,42 @@ func (inst *instance) adoptFromMessages() {
 		inst.est, inst.hasEst, inst.ts = v, true, 0
 		return
 	}
+}
+
+// mergeBatches folds every timestamp-0 batch estimate into base, keeping the
+// first op seen per register (base's ops win ties, so the coordinator's own
+// cohort keeps its internal order). A value that fails to parse contributes
+// nothing; if base itself is corrupt it is returned unchanged — merging is an
+// inclusion optimization, never a correctness requirement.
+func mergeBatches(base []byte, ests map[id.NodeID]estVal) []byte {
+	ops, err := msg.DecodeRegOps(base)
+	if err != nil {
+		return base
+	}
+	seen := make(map[msg.RegKey]bool, len(ops))
+	for _, op := range ops {
+		seen[op.Reg] = true
+	}
+	merged := false
+	for _, ev := range ests {
+		if ev.ts != 0 {
+			continue
+		}
+		more, err := msg.DecodeRegOps(ev.val)
+		if err != nil {
+			continue
+		}
+		for _, op := range more {
+			if seen[op.Reg] {
+				continue
+			}
+			seen[op.Reg] = true
+			ops = append(ops, op)
+			merged = true
+		}
+	}
+	if !merged {
+		return base
+	}
+	return msg.EncodeRegOps(ops)
 }

@@ -29,6 +29,11 @@ type rig struct {
 
 func newRig(t *testing.T, n int, opts transport.Options) *rig {
 	t.Helper()
+	return newRigWith(t, n, opts, 200*time.Microsecond)
+}
+
+func newRigWith(t *testing.T, n int, opts transport.Options, poll time.Duration) *rig {
+	t.Helper()
 	r := &rig{
 		t:     t,
 		net:   transport.NewMemNetwork(opts),
@@ -50,7 +55,7 @@ func newRig(t *testing.T, n int, opts transport.Options) *rig {
 			Self:     p,
 			Peers:    r.peers,
 			Detector: det,
-			Poll:     200 * time.Microsecond,
+			Poll:     poll,
 			Send: func(to id.NodeID, pl msg.Payload) error {
 				return ep.Send(msg.Envelope{To: to, Payload: pl})
 			},

@@ -65,8 +65,11 @@ type AppServerConfig struct {
 	// HeartbeatInterval and SuspectTimeout tune the built-in detector.
 	HeartbeatInterval time.Duration
 	SuspectTimeout    time.Duration
-	// ConsensusPoll is the failure-detector polling interval inside
-	// consensus waits. Defaults to 1ms.
+	// ConsensusPoll is the safety-net interval at which blocked consensus
+	// phases re-check the failure detector. 0 lets the consensus layer pick:
+	// with a notifying detector (the built-in heartbeat) blocked phases wake
+	// on message arrival and suspicion transitions, and the poll is a 25ms
+	// backstop rather than a busy loop.
 	ConsensusPoll time.Duration
 	// ResendInterval is the protocol-level retransmission period of
 	// Prepare/Decide rounds. Defaults to 100ms.
@@ -98,14 +101,23 @@ type AppServerConfig struct {
 	// MaxBatch caps one outbound Batch envelope. Defaults to 64 when
 	// BatchWindow is set.
 	MaxBatch int
+	// CohortWindow switches the wo-register layer to cohort consensus: the
+	// server's concurrent register writes (regA claims, regD decisions)
+	// share batch-consensus slots instead of running one consensus instance
+	// each, cutting consensus messages and instances per commit by the
+	// cohort size. The window is the extra time a fresh cohort stays open
+	// for followers (under load cohorts fill while the previous slot is in
+	// flight). 0 — the default — keeps the paper's one-instance-per-write
+	// discipline. Every application server must use the same setting.
+	CohortWindow time.Duration
+	// MaxCohort caps the register ops proposed in one consensus slot.
+	// Defaults to 64 when CohortWindow is set.
+	MaxCohort int
 	// Hooks carries optional instrumentation and crash injection.
 	Hooks *Hooks
 }
 
 func (c *AppServerConfig) setDefaults() {
-	if c.ConsensusPoll <= 0 {
-		c.ConsensusPoll = time.Millisecond
-	}
 	if c.ResendInterval <= 0 {
 		c.ResendInterval = 100 * time.Millisecond
 	}
@@ -129,6 +141,9 @@ func (c *AppServerConfig) setDefaults() {
 	}
 	if c.BatchWindow > 0 && c.MaxBatch <= 0 {
 		c.MaxBatch = 64
+	}
+	if c.CohortWindow > 0 && c.MaxCohort <= 0 {
+		c.MaxCohort = 64
 	}
 	if c.HeartbeatInterval <= 0 {
 		c.HeartbeatInterval = 10 * time.Millisecond
@@ -271,7 +286,24 @@ func NewAppServer(cfg AppServerConfig) (*AppServer, error) {
 		return nil, fmt.Errorf("core: appserver consensus: %w", err)
 	}
 	s.cons = cons
-	s.regs = woregister.New(cons)
+	if cfg.CohortWindow > 0 {
+		s.regs, err = woregister.NewBatched(cons, woregister.Options{
+			CohortWindow: cfg.CohortWindow,
+			MaxCohort:    cfg.MaxCohort,
+			Self:         cfg.Self,
+			Peers:        cfg.AppServers,
+			Detector:     s.det,
+			Send: func(to id.NodeID, p msg.Payload) error {
+				return cfg.Endpoint.Send(msg.Envelope{To: to, Payload: p})
+			},
+		})
+		if err != nil {
+			cons.Stop()
+			return nil, fmt.Errorf("core: appserver registers: %w", err)
+		}
+	} else {
+		s.regs = woregister.New(cons)
+	}
 	return s, nil
 }
 
@@ -303,6 +335,10 @@ func (s *AppServer) Retire(req id.RequestKey, maxTry uint64) {
 // Detector exposes the failure detector in use.
 func (s *AppServer) Detector() fd.Detector { return s.det }
 
+// ConsensusStats exposes the consensus node's protocol counters (instances,
+// rounds, messages, fast-path hits) for benchmarks and diagnostics.
+func (s *AppServer) ConsensusStats() consensus.Stats { return s.cons.Stats() }
+
 // Start launches the demultiplexer, the compute thread(s), the terminator
 // pool and the cleaning thread — the cobegin of Figure 4.
 func (s *AppServer) Start() {
@@ -331,6 +367,7 @@ func (s *AppServer) Stop() {
 	}
 	s.computeQ.Close()
 	s.termQ.Close()
+	s.regs.Stop()
 	s.cons.Stop()
 	s.wg.Wait()
 	if s.hb != nil {
@@ -381,6 +418,9 @@ func (s *AppServer) handlePayload(from id.NodeID, payload msg.Payload) {
 		s.calls.routeReady(from, m.Inc)
 	case msg.ExecReply:
 		s.calls.routeExecReply(m)
+	case msg.RegOps:
+		// A peer's forwarded write cohort: ride this server's sequencer.
+		s.regs.EnqueueRemote(from, m.Ops)
 	}
 }
 
@@ -460,12 +500,12 @@ func (s *AppServer) handleRequest(req msg.Request) {
 	}
 
 	// Figure 5, line 6: claim the try in regA.
-	t0 := time.Now()
+	t0 := s.cfg.Hooks.now()
 	winner, err := s.regs.WriteA(s.ctx, rid, s.cfg.Self)
 	if err != nil {
 		return // shutting down
 	}
-	s.cfg.Hooks.span(rid, SpanLogStart, time.Since(t0))
+	s.cfg.Hooks.since(rid, SpanLogStart, t0)
 	s.cfg.Hooks.crash(PointAfterRegA, rid)
 	if winner != s.cfg.Self {
 		// Figure 5, line 7: another server owns this try; it (or its
@@ -476,11 +516,11 @@ func (s *AppServer) handleRequest(req msg.Request) {
 	// Figure 5, lines 8-9: compute, then run the voting phase.
 	decision := msg.Decision{Outcome: msg.OutcomeAbort} // (nil, abort)
 	cctx, cancel := context.WithTimeout(s.ctx, s.cfg.ComputeTimeout)
-	tx := &Tx{s: s, rid: rid, incs: make(map[id.NodeID]uint64), touched: make(map[id.NodeID]bool)}
-	t0 = time.Now()
+	tx := &Tx{s: s, rid: rid}
+	t0 = s.cfg.Hooks.now()
 	result, err := s.cfg.Logic.Compute(cctx, tx, req.Body)
 	cancel()
-	s.cfg.Hooks.span(rid, SpanSQL, time.Since(t0))
+	s.cfg.Hooks.since(rid, SpanSQL, t0)
 	s.cfg.Hooks.crash(PointAfterCompute, rid)
 	// The decision carries the try's dlist — the shards the logic touched —
 	// whether it commits or aborts: termination (here, at a cleaner, or at a
@@ -489,19 +529,19 @@ func (s *AppServer) handleRequest(req msg.Request) {
 	decision.Participants = tx.participants()
 	if err == nil {
 		decision.Result = result
-		t0 = time.Now()
+		t0 = s.cfg.Hooks.now()
 		decision.Outcome = s.prepare(rid, tx)
-		s.cfg.Hooks.span(rid, SpanPrepare, time.Since(t0))
+		s.cfg.Hooks.since(rid, SpanPrepare, t0)
 	}
 	s.cfg.Hooks.crash(PointAfterPrepare, rid)
 
 	// Figure 5, line 10: the wo-register arbitrates with any cleaner.
-	t0 = time.Now()
+	t0 = s.cfg.Hooks.now()
 	final, err := s.regs.WriteD(s.ctx, rid, decision)
 	if err != nil {
 		return
 	}
-	s.cfg.Hooks.span(rid, SpanLogOutcome, time.Since(t0))
+	s.cfg.Hooks.since(rid, SpanLogOutcome, t0)
 	s.cfg.Hooks.crash(PointAfterRegD, rid)
 
 	// Figure 5, line 11 — handed to the terminator pool so this worker is
@@ -687,7 +727,7 @@ func (s *AppServer) terminatorThread() {
 // executor crashed before recording what it touched — falls back to every
 // database server, which is the pre-sharding behaviour and always safe.
 func (s *AppServer) terminate(rid id.ResultID, dec msg.Decision) {
-	t0 := time.Now()
+	t0 := s.cfg.Hooks.now()
 	targets := dec.Participants
 	if targets == nil {
 		targets = s.cfg.DataServers
@@ -735,7 +775,7 @@ func (s *AppServer) terminate(rid id.ResultID, dec msg.Decision) {
 		ticker.Stop()
 		s.calls.removeCollector(col)
 	}
-	s.cfg.Hooks.span(rid, SpanCommit, time.Since(t0))
+	s.cfg.Hooks.since(rid, SpanCommit, t0)
 
 	if dec.Outcome == msg.OutcomeCommit {
 		s.cacheCommit(rid, dec)
@@ -850,15 +890,24 @@ func (s *AppServer) markCleaned(rid id.ResultID) {
 func (s *AppServer) DebugTry(rid id.ResultID) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "%s view of %s:", s.cfg.Self, rid)
+	// Register contents, annotated with live consensus-instance state (round
+	// and coordinator) when a write is still in flight — the evidence the
+	// soak-hang diagnostics need to see where a stuck try is blocked.
+	inflight := func(key msg.RegKey) string {
+		if round, coord, ok := s.cons.InstanceState(key); ok {
+			return fmt.Sprintf("(inflight round=%d coord=%s)", round, coord)
+		}
+		return ""
+	}
 	if owner, ok := s.regs.ReadA(rid); ok {
 		fmt.Fprintf(&b, " regA=%s", owner)
 	} else {
-		b.WriteString(" regA=unset")
+		fmt.Fprintf(&b, " regA=unset%s", inflight(msg.RegKey{Array: msg.RegA, RID: rid}))
 	}
 	if dec, ok := s.regs.ReadD(rid); ok {
 		fmt.Fprintf(&b, " regD=%s(participants=%v)", dec.Outcome, dec.Participants)
 	} else {
-		b.WriteString(" regD=unset")
+		fmt.Fprintf(&b, " regD=unset%s", inflight(msg.RegKey{Array: msg.RegD, RID: rid}))
 	}
 	s.pendingMu.Lock()
 	pending := s.pending[rid]
@@ -878,6 +927,7 @@ func (s *AppServer) DebugTry(rid id.ResultID) string {
 		}
 	}
 	fmt.Fprintf(&b, " suspects=%v", suspected)
+	fmt.Fprintf(&b, " consensus{%s}", s.cons.Stats())
 	return b.String()
 }
 
@@ -1004,10 +1054,20 @@ func (a *outAgg) stop() {
 // placement. Either way the touched servers are recorded as the try's
 // participant set — the paper's dlist — and commitment involves only them.
 type Tx struct {
-	s       *AppServer
-	rid     id.ResultID
-	incs    map[id.NodeID]uint64
-	touched map[id.NodeID]bool
+	s   *AppServer
+	rid id.ResultID
+	// touched and incs are small linear-scan sets rather than maps: a try
+	// touches a handful of shards at most, and two map allocations per try
+	// were measurable on the batched hot path.
+	touched []id.NodeID
+	incs    []dbInc
+}
+
+// dbInc records the incarnation observed at the first completed Exec
+// against one database server.
+type dbInc struct {
+	db  id.NodeID
+	inc uint64
 }
 
 // RID returns the try this transaction belongs to.
@@ -1027,18 +1087,30 @@ func (t *Tx) Placement() *placement.Map { return t.s.place }
 // recorded at send time, so a branch opened by an Exec whose reply was lost
 // is still aborted at termination.
 func (t *Tx) participants() []id.NodeID {
-	out := make([]id.NodeID, 0, len(t.touched))
-	for db := range t.touched {
-		out = append(out, db)
-	}
+	out := make([]id.NodeID, len(t.touched))
+	copy(out, t.touched)
 	sort.Slice(out, func(i, j int) bool { return out[i].Less(out[j]) })
 	return out
 }
 
+// touch records db in the participant set.
+func (t *Tx) touch(db id.NodeID) {
+	for _, d := range t.touched {
+		if d == db {
+			return
+		}
+	}
+	t.touched = append(t.touched, db)
+}
+
 // incarnation returns the incarnation recorded at the first Exec against db.
 func (t *Tx) incarnation(db id.NodeID) (uint64, bool) {
-	inc, ok := t.incs[db]
-	return inc, ok
+	for _, e := range t.incs {
+		if e.db == db {
+			return e.inc, true
+		}
+	}
+	return 0, false
 }
 
 // Do routes one operation on key to its home shard.
@@ -1106,15 +1178,15 @@ func (t *Tx) Exec(ctx context.Context, db id.NodeID, op msg.Op) (msg.OpResult, e
 	callID := t.s.execID.Add(1)
 	ch := t.s.calls.addExec(callID)
 	defer t.s.calls.removeExec(callID)
-	t.touched[db] = true
+	t.touch(db)
 	err := t.s.cfg.Endpoint.Send(msg.Envelope{To: db, Payload: msg.Exec{RID: t.rid, CallID: callID, Op: op}})
 	if err != nil {
 		return msg.OpResult{}, fmt.Errorf("core: exec on %s: %w", db, err)
 	}
 	select {
 	case rep := <-ch:
-		if prev, ok := t.incs[db]; !ok {
-			t.incs[db] = rep.Inc
+		if prev, ok := t.incarnation(db); !ok {
+			t.incs = append(t.incs, dbInc{db: db, inc: rep.Inc})
 		} else if prev != rep.Inc {
 			return rep.Rep, fmt.Errorf("core: database %s restarted mid-transaction (incarnation %d -> %d)", db, prev, rep.Inc)
 		}
@@ -1152,18 +1224,27 @@ type collector struct {
 // prepare/terminate rounds and Exec calls. Ready notifications fan out to
 // every active collector, like the paper's "(receive ... or [Ready])" waits.
 type callRouter struct {
-	mu    sync.Mutex
-	execs map[uint64]chan msg.ExecReply
-	cols  map[id.ResultID]map[*collector]bool
+	mu       sync.Mutex
+	execs    map[uint64]chan msg.ExecReply
+	cols     map[id.ResultID]map[*collector]bool
+	pool     sync.Pool // recycled collectors; every request makes two
+	execPool sync.Pool // recycled exec-reply channels; every data op makes one
 }
 
 func (r *callRouter) init() {
 	r.execs = make(map[uint64]chan msg.ExecReply)
 	r.cols = make(map[id.ResultID]map[*collector]bool)
+	r.pool.New = func() any {
+		// The buffer only needs to absorb one round's answers from every
+		// participant plus stray Ready fan-out; a protocol-level resend
+		// recovers anything dropped beyond that.
+		return &collector{ch: make(chan colEvent, 32)}
+	}
 }
 
 func (r *callRouter) addCollector(rid id.ResultID) *collector {
-	col := &collector{rid: rid, ch: make(chan colEvent, 256)}
+	col := r.pool.Get().(*collector)
+	col.rid = rid
 	r.mu.Lock()
 	set, ok := r.cols[rid]
 	if !ok {
@@ -1184,6 +1265,17 @@ func (r *callRouter) removeCollector(col *collector) {
 		}
 	}
 	r.mu.Unlock()
+	// Safe to recycle: route() only sends while holding r.mu with the
+	// collector registered, so after removal the channel is quiescent; drain
+	// whatever was queued before handing it to the next request.
+	for {
+		select {
+		case <-col.ch:
+		default:
+			r.pool.Put(col)
+			return
+		}
+	}
 }
 
 func (r *callRouter) routeVote(from id.NodeID, m msg.VoteMsg) {
@@ -1219,7 +1311,12 @@ func (r *callRouter) routeReady(from id.NodeID, inc uint64) {
 }
 
 func (r *callRouter) addExec(callID uint64) chan msg.ExecReply {
-	ch := make(chan msg.ExecReply, 2)
+	var ch chan msg.ExecReply
+	if v := r.execPool.Get(); v != nil {
+		ch = v.(chan msg.ExecReply)
+	} else {
+		ch = make(chan msg.ExecReply, 2)
+	}
 	r.mu.Lock()
 	r.execs[callID] = ch
 	r.mu.Unlock()
@@ -1228,18 +1325,34 @@ func (r *callRouter) addExec(callID uint64) chan msg.ExecReply {
 
 func (r *callRouter) removeExec(callID uint64) {
 	r.mu.Lock()
+	ch := r.execs[callID]
 	delete(r.execs, callID)
 	r.mu.Unlock()
+	if ch == nil {
+		return
+	}
+	// Safe to recycle: routeExecReply sends while holding r.mu with the call
+	// registered, so after removal the channel is quiescent; drain stray
+	// duplicate replies before handing it to the next call.
+	for {
+		select {
+		case <-ch:
+		default:
+			r.execPool.Put(ch)
+			return
+		}
+	}
 }
 
 func (r *callRouter) routeExecReply(m msg.ExecReply) {
 	r.mu.Lock()
-	ch, ok := r.execs[m.CallID]
-	r.mu.Unlock()
-	if ok {
+	// The non-blocking send stays under the lock: once removeExec has run,
+	// nothing may touch the channel again (it is recycled).
+	if ch, ok := r.execs[m.CallID]; ok {
 		select {
 		case ch <- m:
 		default: // duplicate reply
 		}
 	}
+	r.mu.Unlock()
 }

@@ -7,6 +7,7 @@ import (
 
 	"etx/internal/id"
 	"etx/internal/msg"
+	"etx/internal/queue"
 	"etx/internal/transport"
 	"etx/internal/xadb"
 )
@@ -33,6 +34,13 @@ type DataServerConfig struct {
 	// Values <= 1 (the default) serve every message individually — the
 	// pre-group-commit behaviour.
 	MaxBatch int
+	// ExecWorkers sizes the pool serving business-data operations. Execs run
+	// off the serve loop because one blocked on a lock must not delay the
+	// Decide(abort) that would release it; a fixed pool keeps that isolation
+	// without spawning a goroutine per operation on the hot path. Defaults
+	// to 64 (worst case a pool's worth of lock-waiters delays further Execs,
+	// never votes or decides).
+	ExecWorkers int
 }
 
 // DataServer is the paper's database-server process (Figure 3): a pure
@@ -41,9 +49,17 @@ type DataServerConfig struct {
 type DataServer struct {
 	cfg DataServerConfig
 
+	execQ *queue.Queue[execJob]
+
 	ctx    context.Context
 	cancel context.CancelFunc
 	wg     sync.WaitGroup
+}
+
+// execJob is one queued business-data operation.
+type execJob struct {
+	from id.NodeID
+	m    msg.Exec
 }
 
 // NewDataServer creates a database-server process. Call Start to run it.
@@ -57,8 +73,11 @@ func NewDataServer(cfg DataServerConfig) (*DataServer, error) {
 	if cfg.MaxBatch <= 0 {
 		cfg.MaxBatch = 1
 	}
+	if cfg.ExecWorkers <= 0 {
+		cfg.ExecWorkers = 64
+	}
 	ctx, cancel := context.WithCancel(context.Background())
-	return &DataServer{cfg: cfg, ctx: ctx, cancel: cancel}, nil
+	return &DataServer{cfg: cfg, execQ: queue.New[execJob](), ctx: ctx, cancel: cancel}, nil
 }
 
 // Start launches the server loop. If this is a recovery start it first
@@ -70,12 +89,40 @@ func (d *DataServer) Start() {
 	}
 	d.wg.Add(1)
 	go d.loop()
+	for i := 0; i < d.cfg.ExecWorkers; i++ {
+		d.wg.Add(1)
+		go d.execWorker()
+	}
 }
 
 // Stop terminates the server loop and waits for in-flight handlers.
 func (d *DataServer) Stop() {
 	d.cancel()
+	d.execQ.Close()
 	d.wg.Wait()
+}
+
+// execWorker serves queued business-data operations.
+func (d *DataServer) execWorker() {
+	defer d.wg.Done()
+	for {
+		for {
+			job, ok := d.execQ.Pop()
+			if !ok {
+				break
+			}
+			rep := d.cfg.Engine.Exec(d.ctx, job.m.RID, job.m.Op)
+			d.reply(job.from, msg.ExecReply{RID: job.m.RID, CallID: job.m.CallID, Rep: rep, Inc: d.cfg.Engine.Incarnation()})
+		}
+		if d.execQ.Closed() {
+			return
+		}
+		select {
+		case <-d.execQ.Out():
+		case <-d.ctx.Done():
+			return
+		}
+	}
 }
 
 // Engine exposes the underlying engine (tests, oracles).
@@ -149,12 +196,7 @@ func (d *DataServer) serveBatch(envs []msg.Envelope) {
 	handle := func(from id.NodeID, p msg.Payload) {
 		switch m := p.(type) {
 		case msg.Exec:
-			d.wg.Add(1)
-			go func() {
-				defer d.wg.Done()
-				rep := d.cfg.Engine.Exec(d.ctx, m.RID, m.Op)
-				d.reply(from, msg.ExecReply{RID: m.RID, CallID: m.CallID, Rep: rep, Inc: d.cfg.Engine.Incarnation()})
-			}()
+			d.execQ.Push(execJob{from: from, m: m})
 		case msg.Prepare:
 			prepFrom = append(prepFrom, from)
 			prepRIDs = append(prepRIDs, m.RID)

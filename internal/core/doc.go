@@ -87,6 +87,27 @@ func (h *Hooks) span(rid id.ResultID, s Span, d time.Duration) {
 	}
 }
 
+// timing reports whether span measurements are consumed at all: the executor
+// path skips its time.Now pairs otherwise (they are measurable overhead on
+// the batched hot path).
+func (h *Hooks) timing() bool { return h != nil && h.Span != nil }
+
+// now returns the current time when spans are consumed, and the zero time
+// otherwise.
+func (h *Hooks) now() time.Time {
+	if h.timing() {
+		return time.Now()
+	}
+	return time.Time{}
+}
+
+// since mirrors time.Since for timestamps produced by now.
+func (h *Hooks) since(rid id.ResultID, s Span, t0 time.Time) {
+	if h.timing() {
+		h.Span(rid, s, time.Since(t0))
+	}
+}
+
 func (h *Hooks) crash(p CrashPoint, rid id.ResultID) {
 	if h != nil && h.Crash != nil {
 		h.Crash(p, rid)

@@ -35,6 +35,51 @@ type Detector interface {
 	Suspected() []id.NodeID
 }
 
+// Notifier is implemented by detectors that can announce suspicion-state
+// transitions. Subscribe registers a wake channel: whenever the suspected
+// set may have changed, the detector performs a non-blocking send on every
+// subscribed channel (subscribers use capacity-1 channels as level-triggered
+// wakeups). Consensus uses this to sleep in blocked phases instead of
+// re-polling Suspects on a timer.
+type Notifier interface {
+	Subscribe(ch chan<- struct{})
+	Unsubscribe(ch chan<- struct{})
+}
+
+// notifySet is the shared subscription registry of the Notifier
+// implementations.
+type notifySet struct {
+	mu   sync.Mutex
+	subs map[chan<- struct{}]struct{}
+}
+
+func (s *notifySet) Subscribe(ch chan<- struct{}) {
+	s.mu.Lock()
+	if s.subs == nil {
+		s.subs = make(map[chan<- struct{}]struct{})
+	}
+	s.subs[ch] = struct{}{}
+	s.mu.Unlock()
+}
+
+func (s *notifySet) Unsubscribe(ch chan<- struct{}) {
+	s.mu.Lock()
+	delete(s.subs, ch)
+	s.mu.Unlock()
+}
+
+// notify performs the non-blocking wakeup fan-out.
+func (s *notifySet) notify() {
+	s.mu.Lock()
+	for ch := range s.subs {
+		select {
+		case ch <- struct{}{}:
+		default:
+		}
+	}
+	s.mu.Unlock()
+}
+
 // SendFunc transmits a payload to a peer; Heartbeat uses it so it can share
 // the owning node's endpoint instead of owning one.
 type SendFunc func(to id.NodeID, p msg.Payload) error
@@ -81,11 +126,14 @@ func (c Config) withDefaults() Config {
 type Heartbeat struct {
 	cfg Config
 
-	mu       sync.Mutex
-	lastSeen map[id.NodeID]time.Time
-	timeout  map[id.NodeID]time.Duration
-	wasSusp  map[id.NodeID]bool // last published state, for adaptive growth
-	seq      uint64
+	mu        sync.Mutex
+	lastSeen  map[id.NodeID]time.Time
+	timeout   map[id.NodeID]time.Duration
+	wasSusp   map[id.NodeID]bool // last published state, for adaptive growth
+	announced map[id.NodeID]bool // last notified state, for transition wakeups
+	seq       uint64
+
+	ns notifySet
 
 	wg sync.WaitGroup
 }
@@ -95,10 +143,11 @@ type Heartbeat struct {
 func NewHeartbeat(cfg Config) *Heartbeat {
 	cfg = cfg.withDefaults()
 	h := &Heartbeat{
-		cfg:      cfg,
-		lastSeen: make(map[id.NodeID]time.Time, len(cfg.Peers)),
-		timeout:  make(map[id.NodeID]time.Duration, len(cfg.Peers)),
-		wasSusp:  make(map[id.NodeID]bool, len(cfg.Peers)),
+		cfg:       cfg,
+		lastSeen:  make(map[id.NodeID]time.Time, len(cfg.Peers)),
+		timeout:   make(map[id.NodeID]time.Duration, len(cfg.Peers)),
+		wasSusp:   make(map[id.NodeID]bool, len(cfg.Peers)),
+		announced: make(map[id.NodeID]bool, len(cfg.Peers)),
 	}
 	now := time.Now()
 	for _, p := range cfg.Peers {
@@ -121,6 +170,7 @@ func (h *Heartbeat) Start(ctx context.Context) {
 		defer ticker.Stop()
 		for {
 			h.beat()
+			h.announce()
 			select {
 			case <-ctx.Done():
 				return
@@ -149,11 +199,12 @@ func (h *Heartbeat) beat() {
 }
 
 // Observe records an incoming heartbeat from a peer. If the peer was
-// suspected, the suspicion was false: its timeout grows (◊P accuracy).
+// suspected, the suspicion was false: its timeout grows (◊P accuracy) and
+// subscribers are woken (the suspected set shrank).
 func (h *Heartbeat) Observe(from id.NodeID) {
 	h.mu.Lock()
-	defer h.mu.Unlock()
 	if _, monitored := h.lastSeen[from]; !monitored {
+		h.mu.Unlock()
 		return
 	}
 	if h.wasSusp[from] {
@@ -163,7 +214,41 @@ func (h *Heartbeat) Observe(from id.NodeID) {
 		}
 	}
 	h.lastSeen[from] = time.Now()
+	changed := h.announced[from]
+	if changed {
+		h.announced[from] = false
+	}
+	h.mu.Unlock()
+	if changed {
+		h.ns.notify()
+	}
 }
+
+// announce re-evaluates every peer's suspicion and wakes subscribers on any
+// transition; the broadcaster ticker drives it, so a crash is announced
+// within one heartbeat interval of the timeout expiring.
+func (h *Heartbeat) announce() {
+	h.mu.Lock()
+	now := time.Now()
+	changed := false
+	for p := range h.lastSeen {
+		s := h.suspectsLocked(p, now)
+		if h.announced[p] != s {
+			h.announced[p] = s
+			changed = true
+		}
+	}
+	h.mu.Unlock()
+	if changed {
+		h.ns.notify()
+	}
+}
+
+// Subscribe implements Notifier.
+func (h *Heartbeat) Subscribe(ch chan<- struct{}) { h.ns.Subscribe(ch) }
+
+// Unsubscribe implements Notifier.
+func (h *Heartbeat) Unsubscribe(ch chan<- struct{}) { h.ns.Unsubscribe(ch) }
 
 // Suspects implements Detector.
 func (h *Heartbeat) Suspects(node id.NodeID) bool {
@@ -246,6 +331,8 @@ type Scripted struct {
 	suspected map[id.NodeID]bool
 	// Base, if non-nil, is consulted for nodes without an explicit override.
 	Base Detector
+
+	ns notifySet
 }
 
 // NewScripted creates an empty scripted detector.
@@ -253,18 +340,38 @@ func NewScripted() *Scripted {
 	return &Scripted{suspected: make(map[id.NodeID]bool)}
 }
 
-// Set forces the suspicion state of node.
+// Set forces the suspicion state of node and wakes subscribers.
 func (s *Scripted) Set(node id.NodeID, suspected bool) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	s.suspected[node] = suspected
+	s.mu.Unlock()
+	s.ns.notify()
 }
 
 // Clear removes the override for node, falling back to Base.
 func (s *Scripted) Clear(node id.NodeID) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	delete(s.suspected, node)
+	s.mu.Unlock()
+	s.ns.notify()
+}
+
+// Subscribe implements Notifier. When Base is itself a Notifier the channel
+// is registered there too, so base-detector transitions wake the subscriber
+// as well as scripted overrides.
+func (s *Scripted) Subscribe(ch chan<- struct{}) {
+	s.ns.Subscribe(ch)
+	if n, ok := s.Base.(Notifier); ok {
+		n.Subscribe(ch)
+	}
+}
+
+// Unsubscribe implements Notifier.
+func (s *Scripted) Unsubscribe(ch chan<- struct{}) {
+	s.ns.Unsubscribe(ch)
+	if n, ok := s.Base.(Notifier); ok {
+		n.Unsubscribe(ch)
+	}
 }
 
 // Suspects implements Detector.
@@ -318,4 +425,6 @@ var (
 	_ Detector = (*Heartbeat)(nil)
 	_ Detector = (*Perfect)(nil)
 	_ Detector = (*Scripted)(nil)
+	_ Notifier = (*Heartbeat)(nil)
+	_ Notifier = (*Scripted)(nil)
 )

@@ -11,8 +11,26 @@ import (
 	"math"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 )
+
+// Counter is a monotonically increasing event counter, safe for concurrent
+// use. The consensus layer exports its protocol activity (instances started,
+// rounds run, messages sent, fast-path hits) through Counters so benchmarks
+// and liveness diagnostics can compute per-commit rates.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Load returns the current count.
+func (c *Counter) Load() uint64 { return c.v.Load() }
 
 // Sample accumulates observations. Safe for concurrent use.
 type Sample struct {

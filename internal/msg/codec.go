@@ -30,7 +30,14 @@ const maxFieldLen = 16 << 20
 // where nodes are (role byte, varint index) and all integers are
 // binary varints. Byte slices and strings are length-prefixed.
 func Encode(env Envelope) ([]byte, error) {
-	var w writer
+	return AppendEncode(nil, env)
+}
+
+// AppendEncode serializes an envelope into buf (which may carry reserved
+// prefix bytes, e.g. a frame-length slot) and returns the extended slice.
+// It lets transports reuse a pooled buffer instead of allocating per send.
+func AppendEncode(buf []byte, env Envelope) ([]byte, error) {
+	w := writer{buf: buf}
 	w.node(env.From)
 	w.node(env.To)
 	if err := w.payload(env.Payload); err != nil {
@@ -101,7 +108,19 @@ func (w *writer) rid(r id.ResultID) {
 
 func (w *writer) regKey(k RegKey) {
 	w.byte(byte(k.Array))
+	if k.Array == RegBatch {
+		w.uvarint(k.Slot)
+		return
+	}
 	w.rid(k.RID)
+}
+
+func (w *writer) regOps(ops []RegOp) {
+	w.uvarint(uint64(len(ops)))
+	for _, op := range ops {
+		w.regKey(op.Reg)
+		w.bytes(op.Val)
+	}
 }
 
 func (w *writer) decision(d Decision) {
@@ -204,6 +223,8 @@ func (w *writer) payload(p Payload) error {
 		}
 	case RAck:
 		w.uvarint(m.Seq)
+	case RegOps:
+		w.regOps(m.Ops)
 	case Commit1P:
 		w.rid(m.RID)
 	case PBStart:
@@ -326,8 +347,41 @@ func (r *reader) rid() id.ResultID {
 
 func (r *reader) regKey() RegKey {
 	a := RegArray(r.byte())
+	if a == RegBatch {
+		return RegKey{Array: a, Slot: r.uvarint()}
+	}
 	rid := r.rid()
 	return RegKey{Array: a, RID: rid}
+}
+
+func (r *reader) regOps() []RegOp {
+	n := r.uvarint()
+	if r.err != nil {
+		return nil
+	}
+	// Each op occupies at least two bytes (array byte plus a varint), so a
+	// count beyond the remaining buffer is a corrupt length prefix — fail
+	// before allocating for it, mirroring the Batch member guard.
+	if n > uint64(len(r.buf)-r.off) {
+		r.fail(ErrOversize)
+		return nil
+	}
+	ops := make([]RegOp, 0, n)
+	for i := uint64(0); i < n; i++ {
+		k := r.regKey()
+		v := r.bytes()
+		if r.err != nil {
+			return nil
+		}
+		if k.Array == RegBatch {
+			// A batch slot is not a register; a batch of writes to batch
+			// slots is the RegOps analogue of a nested Batch.
+			r.fail(errors.New("msg: RegOp targets a batch slot"))
+			return nil
+		}
+		ops = append(ops, RegOp{Reg: k, Val: v})
+	}
+	return ops
 }
 
 func (r *reader) decision() Decision {
@@ -365,6 +419,29 @@ func (r *reader) opResult() OpResult {
 	ok := r.bool()
 	e := r.string()
 	return OpResult{Val: v, Num: n, OK: ok, Err: e}
+}
+
+// EncodeRegOps serializes an ordered register-op batch as a standalone value
+// — the proposed (and decided) value of a cohort-consensus slot instance.
+func EncodeRegOps(ops []RegOp) []byte {
+	var w writer
+	w.regOps(ops)
+	return w.buf
+}
+
+// DecodeRegOps parses EncodeRegOps's output. Like Decode it rejects trailing
+// bytes, oversized counts and truncated fields, so a corrupt batch value can
+// never be half-applied.
+func DecodeRegOps(b []byte) ([]RegOp, error) {
+	r := reader{buf: b}
+	ops := r.regOps()
+	if r.err != nil {
+		return nil, r.err
+	}
+	if len(r.buf) != r.off {
+		return nil, fmt.Errorf("msg: %d trailing bytes after register ops", len(r.buf)-r.off)
+	}
+	return ops, nil
 }
 
 func (r *reader) round() uint32 {
@@ -422,6 +499,8 @@ func (r *reader) payloadOrErr() (Payload, error) {
 		p = RData{Seq: seq, Inner: inner}
 	case KindRAck:
 		p = RAck{Seq: r.uvarint()}
+	case KindRegOps:
+		p = RegOps{Ops: r.regOps()}
 	case KindBatch:
 		n := r.uvarint()
 		if r.err != nil {

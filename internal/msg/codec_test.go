@@ -59,6 +59,12 @@ func allPayloads() []Payload {
 			AckDecide{RID: rid(2, 8, 1), O: OutcomeAbort},
 		}},
 		RData{Seq: 12, Inner: Batch{Msgs: []Payload{Prepare{RID: r}, Prepare{RID: rid(2, 8, 1)}}}},
+		Estimate{Reg: SlotKey(17), Round: 1, TS: 0, Est: []byte("batch-value")},
+		CDecision{Reg: SlotKey(18), Val: []byte("batch-value")},
+		RegOps{Ops: []RegOp{
+			{Reg: RegKey{Array: RegA, RID: r}, Val: []byte("who")},
+			{Reg: RegKey{Array: RegD, RID: rid(2, 8, 1)}, Val: []byte("dec")},
+		}},
 	}
 }
 

@@ -60,6 +60,10 @@ const (
 	// Batch framing: several protocol payloads to one destination in one
 	// envelope (outbound aggregation and group-commit replies).
 	KindBatch
+
+	// Cohort-consensus framing: a forwarded batch of wo-register operations
+	// bound for a peer's cohort sequencer.
+	KindRegOps
 )
 
 // String returns the mnemonic name of the kind.
@@ -111,6 +115,8 @@ func (k Kind) String() string {
 		return "PBOutcomeAck"
 	case KindBatch:
 		return "Batch"
+	case KindRegOps:
+		return "RegOps"
 	default:
 		return fmt.Sprintf("Kind(%d)", uint8(k))
 	}
@@ -186,33 +192,50 @@ func (d Decision) String() string {
 type RegArray uint8
 
 // Register arrays: regA holds the executing application server of a try,
-// regD holds the decision of a try.
+// regD holds the decision of a try. RegBatch is not a register array at all
+// but the keyspace of cohort consensus: one instance per slot of the shared
+// batch log, whose decided value is an ordered RegOp batch applied to the
+// real registers in slot order.
 const (
 	RegA RegArray = iota + 1
 	RegD
+	RegBatch
 )
 
-// String returns "regA" or "regD".
+// String returns "regA", "regD" or "slot".
 func (a RegArray) String() string {
 	switch a {
 	case RegA:
 		return "regA"
 	case RegD:
 		return "regD"
+	case RegBatch:
+		return "slot"
 	default:
 		return fmt.Sprintf("reg(%d)", uint8(a))
 	}
 }
 
 // RegKey identifies one wo-register: one slot of regA or regD for one try.
-// It doubles as the consensus instance identifier.
+// It doubles as the consensus instance identifier. A RegBatch key identifies
+// one slot of the cohort-consensus batch log instead: Slot is set and RID is
+// zero.
 type RegKey struct {
 	Array RegArray
 	RID   id.ResultID
+	Slot  uint64
 }
 
-// String renders the register key, e.g. "regD[client-1/7#3]".
-func (k RegKey) String() string { return k.Array.String() + "[" + k.RID.String() + "]" }
+// SlotKey returns the instance key of batch-log slot n.
+func SlotKey(n uint64) RegKey { return RegKey{Array: RegBatch, Slot: n} }
+
+// String renders the register key, e.g. "regD[client-1/7#3]" or "slot[12]".
+func (k RegKey) String() string {
+	if k.Array == RegBatch {
+		return fmt.Sprintf("slot[%d]", k.Slot)
+	}
+	return k.Array.String() + "[" + k.RID.String() + "]"
+}
 
 // OpCode enumerates the business-data operations a database server executes
 // inside a transaction branch. They abstract the SQL statements the paper's
@@ -521,6 +544,27 @@ type Batch struct {
 // Kind implements Payload.
 func (Batch) Kind() Kind { return KindBatch }
 
+// --- Cohort-consensus framing -------------------------------------------------
+
+// RegOp is one wo-register operation inside a cohort: write Val into the
+// register Reg (first write wins). Reg must name a real register (regA or
+// regD), never a batch slot.
+type RegOp struct {
+	Reg RegKey
+	Val []byte
+}
+
+// RegOps forwards a batch of register operations to a peer's cohort
+// sequencer: the sender's writes ride the receiver's next batch-consensus
+// slot instead of contending for slots of their own. The receiver
+// deduplicates by register, so re-forwarding after a timeout is harmless.
+type RegOps struct {
+	Ops []RegOp
+}
+
+// Kind implements Payload.
+func (RegOps) Kind() Kind { return KindRegOps }
+
 // Compile-time interface compliance checks.
 var (
 	_ Payload = Request{}
@@ -546,4 +590,5 @@ var (
 	_ Payload = PBOutcome{}
 	_ Payload = PBOutcomeAck{}
 	_ Payload = Batch{}
+	_ Payload = RegOps{}
 )

@@ -1,0 +1,198 @@
+package msg
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"etx/internal/id"
+)
+
+func sampleOps() []RegOp {
+	rid1 := id.ResultID{Client: id.Client(1), Seq: 7, Try: 1}
+	rid2 := id.ResultID{Client: id.Client(2), Seq: 9, Try: 3}
+	return []RegOp{
+		{Reg: RegKey{Array: RegA, RID: rid1}, Val: []byte("who")},
+		{Reg: RegKey{Array: RegD, RID: rid2}, Val: []byte("decision-bytes")},
+		{Reg: RegKey{Array: RegA, RID: rid2}, Val: nil},
+	}
+}
+
+func opsEqual(a, b []RegOp) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].Reg != b[i].Reg || !bytes.Equal(a[i].Val, b[i].Val) {
+			return false
+		}
+	}
+	return true
+}
+
+func TestRegOpsEnvelopeRoundTrip(t *testing.T) {
+	env := Envelope{
+		From:    id.AppServer(2),
+		To:      id.AppServer(1),
+		Payload: RegOps{Ops: sampleOps()},
+	}
+	buf, err := Encode(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Decode(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := back.Payload.(RegOps)
+	if !ok {
+		t.Fatalf("decoded %T, want RegOps", back.Payload)
+	}
+	if !opsEqual(got.Ops, sampleOps()) {
+		t.Fatalf("ops diverged: %v vs %v", got.Ops, sampleOps())
+	}
+}
+
+func TestSlotKeyRoundTripsInConsensusPayloads(t *testing.T) {
+	slot := SlotKey(12345)
+	payloads := []Payload{
+		Estimate{Reg: slot, Round: 3, TS: 1, Est: []byte("batch")},
+		Propose{Reg: slot, Round: 3, Val: []byte("batch")},
+		CAck{Reg: slot, Round: 3},
+		CNack{Reg: slot, Round: 4},
+		CDecision{Reg: slot, Val: []byte("batch")},
+	}
+	for _, p := range payloads {
+		buf, err := Encode(Envelope{From: id.AppServer(1), To: id.AppServer(2), Payload: p})
+		if err != nil {
+			t.Fatalf("%T: %v", p, err)
+		}
+		back, err := Decode(buf)
+		if err != nil {
+			t.Fatalf("%T: %v", p, err)
+		}
+		if !payloadEqual(back.Payload, p) {
+			t.Fatalf("%T did not round-trip: %#v vs %#v", p, back.Payload, p)
+		}
+	}
+}
+
+func TestRegOpsInsideBatch(t *testing.T) {
+	env := Envelope{
+		From: id.AppServer(3),
+		To:   id.AppServer(1),
+		Payload: Batch{Msgs: []Payload{
+			RegOps{Ops: sampleOps()},
+			Heartbeat{Seq: 9},
+		}},
+	}
+	buf, err := Encode(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Decode(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, ok := back.Payload.(Batch)
+	if !ok || len(b.Msgs) != 2 {
+		t.Fatalf("batch did not round-trip: %#v", back.Payload)
+	}
+	if got, ok := b.Msgs[0].(RegOps); !ok || !opsEqual(got.Ops, sampleOps()) {
+		t.Fatalf("member 0 diverged: %#v", b.Msgs[0])
+	}
+}
+
+func TestEncodeRegOpsRoundTrip(t *testing.T) {
+	for _, ops := range [][]RegOp{nil, {}, sampleOps()} {
+		buf := EncodeRegOps(ops)
+		back, err := DecodeRegOps(buf)
+		if err != nil {
+			t.Fatalf("ops %v: %v", ops, err)
+		}
+		if len(back) != len(ops) || (len(ops) > 0 && !opsEqual(back, ops)) {
+			t.Fatalf("ops diverged: %v vs %v", back, ops)
+		}
+	}
+}
+
+// TestDecodeRegOpsRejectsMalformed is the fuzz-style table over corrupted
+// batch values: the decode path must reject truncation, oversized counts,
+// trailing bytes and slot-targeting ops — mirroring the Batch member guards
+// — so a corrupt batch can never be half-applied.
+func TestDecodeRegOpsRejectsMalformed(t *testing.T) {
+	good := EncodeRegOps(sampleOps())
+	cases := []struct {
+		name string
+		buf  []byte
+	}{
+		{"empty-with-count", []byte{3}},                     // count 3, no ops
+		{"truncated-mid-op", good[:len(good)-3]},            // op value cut short
+		{"oversized-count", []byte{0xff, 0xff, 0xff, 0x7f}}, // count beyond buffer
+		{"trailing-bytes", append(append([]byte{}, good...), 0xAA)},
+		{"slot-target", EncodeRegOps([]RegOp{{Reg: SlotKey(4), Val: []byte("x")}})},
+		{"bare-truncated-varint", []byte{0x80}},
+	}
+	for _, c := range cases {
+		if _, err := DecodeRegOps(c.buf); err == nil {
+			t.Errorf("%s: malformed batch value accepted", c.name)
+		}
+	}
+}
+
+// TestDecodeRejectsMalformedRegOpsFrames runs the same table through the
+// envelope codec (the path an untrusted TCP peer reaches).
+func TestDecodeRejectsMalformedRegOpsFrames(t *testing.T) {
+	good, err := Encode(Envelope{From: id.AppServer(1), To: id.AppServer(2), Payload: RegOps{Ops: sampleOps()}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Decode(good); err != nil {
+		t.Fatalf("control: %v", err)
+	}
+
+	// Trailing bytes after a well-formed RegOps payload.
+	if _, err := Decode(append(append([]byte{}, good...), 0x01)); err == nil {
+		t.Error("trailing bytes accepted")
+	}
+	// Truncations at every boundary must fail cleanly, never panic.
+	for i := 1; i < len(good); i++ {
+		if _, err := Decode(good[:i]); err == nil {
+			// Very short prefixes can accidentally parse as another valid
+			// message; a prefix that still claims to be RegOps must not.
+			if env, derr := Decode(good[:i]); derr == nil {
+				if _, isOps := env.Payload.(RegOps); isOps {
+					t.Errorf("truncation at %d accepted as RegOps", i)
+				}
+			}
+		}
+	}
+	// An oversized op count must be rejected with ErrOversize before any
+	// allocation is attempted.
+	var w writer
+	w.node(id.AppServer(1))
+	w.node(id.AppServer(2))
+	w.byte(byte(KindRegOps))
+	w.uvarint(1 << 40)
+	if _, err := Decode(w.buf); !errors.Is(err, ErrOversize) {
+		t.Errorf("oversized count: got %v, want ErrOversize", err)
+	}
+}
+
+func TestAppendEncodeMatchesEncode(t *testing.T) {
+	env := Envelope{From: id.AppServer(1), To: id.DBServer(2), Payload: Prepare{RID: id.ResultID{Client: id.Client(1), Seq: 1, Try: 1}}}
+	plain, err := Encode(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A reused buffer with a reserved prefix must yield the same bytes after
+	// the prefix.
+	buf := make([]byte, 4, 64)
+	out, err := AppendEncode(buf, env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out[4:], plain) {
+		t.Fatal("AppendEncode diverged from Encode")
+	}
+}

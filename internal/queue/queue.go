@@ -16,6 +16,7 @@ import "sync"
 type Queue[T any] struct {
 	mu     sync.Mutex
 	items  []T
+	head   int           // consumed prefix of items
 	wake   chan struct{} // capacity 1: level-triggered wakeup
 	closed bool
 }
@@ -44,16 +45,31 @@ func (q *Queue[T]) Push(item T) bool {
 func (q *Queue[T]) Pop() (item T, ok bool) {
 	q.mu.Lock()
 	defer q.mu.Unlock()
-	if len(q.items) == 0 {
+	if q.head >= len(q.items) {
 		var zero T
 		return zero, false
 	}
-	item = q.items[0]
-	// Shift rather than re-slice so the backing array does not pin all
-	// previously queued items.
-	copy(q.items, q.items[1:])
-	q.items = q.items[:len(q.items)-1]
-	if len(q.items) > 0 {
+	item = q.items[q.head]
+	var zero T
+	q.items[q.head] = zero // release the reference; GC must not see it pinned
+	q.head++
+	if q.head >= len(q.items) {
+		// Drained: reuse the backing array from the start.
+		q.items = q.items[:0]
+		q.head = 0
+	} else if q.head > 64 && q.head > len(q.items)/2 {
+		// Compact the consumed prefix once it dominates the array, so the
+		// cost of moving items is amortized O(1) per element instead of the
+		// O(n) shift a per-Pop copy would pay on a deep queue.
+		n := copy(q.items, q.items[q.head:])
+		stale := q.items[n:]
+		for i := range stale {
+			stale[i] = zero // drop the shifted-out duplicates for the GC
+		}
+		q.items = q.items[:n]
+		q.head = 0
+	}
+	if q.head < len(q.items) {
 		q.signal()
 	}
 	return item, true
@@ -67,7 +83,7 @@ func (q *Queue[T]) Out() <-chan struct{} { return q.wake }
 func (q *Queue[T]) Len() int {
 	q.mu.Lock()
 	defer q.mu.Unlock()
-	return len(q.items)
+	return len(q.items) - q.head
 }
 
 // Close marks the queue closed and wakes the consumer. Items already queued

@@ -42,7 +42,7 @@ type Endpoint struct {
 	ln  net.Listener
 
 	mu       sync.Mutex
-	conns    map[id.NodeID]net.Conn
+	conns    map[id.NodeID]*peerConn
 	accepted map[net.Conn]bool
 
 	inbox  *queue.Queue[msg.Envelope]
@@ -50,6 +50,24 @@ type Endpoint struct {
 	done   chan struct{}
 	wg     sync.WaitGroup
 	closed sync.Once
+}
+
+// peerConn is an outgoing connection with a write lock: concurrent Sends to
+// the same peer serialize per frame, so frames from different goroutines
+// never interleave on the stream (a partial interleaved write would corrupt
+// the framing and tear the connection down).
+type peerConn struct {
+	mu sync.Mutex
+	c  net.Conn
+}
+
+// framePool recycles frame buffers across Sends; the batched hot path sends
+// thousands of envelopes per second and must not allocate one slice each.
+var framePool = sync.Pool{
+	New: func() any {
+		b := make([]byte, 0, 4096)
+		return &b
+	},
 }
 
 // Listen starts a TCP endpoint for cfg.Self on cfg.Listen.
@@ -64,7 +82,7 @@ func Listen(cfg Config) (*Endpoint, error) {
 	ep := &Endpoint{
 		cfg:      cfg,
 		ln:       ln,
-		conns:    make(map[id.NodeID]net.Conn),
+		conns:    make(map[id.NodeID]*peerConn),
 		accepted: make(map[net.Conn]bool),
 		inbox:    queue.New[msg.Envelope](),
 		recv:     make(chan msg.Envelope, 64),
@@ -105,10 +123,10 @@ func (ep *Endpoint) Close() error {
 		close(ep.done)
 		err = ep.ln.Close()
 		ep.mu.Lock()
-		for _, c := range ep.conns {
-			c.Close()
+		for _, pc := range ep.conns {
+			pc.c.Close()
 		}
-		ep.conns = make(map[id.NodeID]net.Conn)
+		ep.conns = make(map[id.NodeID]*peerConn)
 		// Incoming connections must be closed too or their read loops would
 		// block in Read forever and Wait would never return.
 		for c := range ep.accepted {
@@ -124,7 +142,8 @@ func (ep *Endpoint) Close() error {
 
 // Send implements transport.Endpoint. Failures to reach the peer silently
 // drop the message (fair-loss link); the connection is discarded so the next
-// send redials.
+// send redials. The frame buffer is pooled and the envelope encoded in
+// place, so the steady state allocates nothing per send.
 func (ep *Endpoint) Send(env msg.Envelope) error {
 	select {
 	case <-ep.done:
@@ -132,30 +151,35 @@ func (ep *Endpoint) Send(env msg.Envelope) error {
 	default:
 	}
 	env.From = ep.cfg.Self
-	buf, err := msg.Encode(env)
+	bufp := framePool.Get().(*[]byte)
+	// Reserve the 4-byte length prefix, then encode directly behind it.
+	frame := append((*bufp)[:0], 0, 0, 0, 0)
+	frame, err := msg.AppendEncode(frame, env)
 	if err != nil {
+		framePool.Put(bufp)
 		return fmt.Errorf("tcptransport: encode: %w", err)
 	}
-	conn, err := ep.conn(env.To)
-	if err != nil {
-		return nil // unreachable peer: fair loss
+	binary.BigEndian.PutUint32(frame, uint32(len(frame)-4))
+	pc, err := ep.conn(env.To)
+	if err == nil {
+		pc.mu.Lock()
+		_, werr := pc.c.Write(frame)
+		pc.mu.Unlock()
+		if werr != nil {
+			ep.dropConn(env.To, pc) // broken link: fair loss
+		}
 	}
-	frame := make([]byte, 4+len(buf))
-	binary.BigEndian.PutUint32(frame, uint32(len(buf)))
-	copy(frame[4:], buf)
-	if _, err := conn.Write(frame); err != nil {
-		ep.dropConn(env.To, conn)
-		return nil // broken link: fair loss
-	}
-	return nil
+	*bufp = frame[:0]
+	framePool.Put(bufp)
+	return nil // unreachable peer: fair loss
 }
 
 // conn returns (dialing if needed) the outgoing connection to peer.
-func (ep *Endpoint) conn(peer id.NodeID) (net.Conn, error) {
+func (ep *Endpoint) conn(peer id.NodeID) (*peerConn, error) {
 	ep.mu.Lock()
-	if c, ok := ep.conns[peer]; ok {
+	if pc, ok := ep.conns[peer]; ok {
 		ep.mu.Unlock()
-		return c, nil
+		return pc, nil
 	}
 	addr, ok := ep.cfg.Peers[peer]
 	ep.mu.Unlock()
@@ -172,14 +196,15 @@ func (ep *Endpoint) conn(peer id.NodeID) (net.Conn, error) {
 		c.Close()
 		return existing, nil
 	}
-	ep.conns[peer] = c
-	return c, nil
+	pc := &peerConn{c: c}
+	ep.conns[peer] = pc
+	return pc, nil
 }
 
-func (ep *Endpoint) dropConn(peer id.NodeID, conn net.Conn) {
-	conn.Close()
+func (ep *Endpoint) dropConn(peer id.NodeID, pc *peerConn) {
+	pc.c.Close()
 	ep.mu.Lock()
-	if ep.conns[peer] == conn {
+	if ep.conns[peer] == pc {
 		delete(ep.conns, peer)
 	}
 	ep.mu.Unlock()

@@ -13,14 +13,34 @@
 // Two register arrays exist, keyed by try (ResultID): regA[j] holds the
 // identity of the application server executing try j, and regD[j] holds the
 // decision (result, outcome) of try j.
+//
+// # Cohort consensus
+//
+// With Options.CohortWindow set, a write no longer runs a consensus instance
+// of its own. Instead a per-server sequencer collects concurrent writes into
+// a cohort (the same BatchWindow/MaxBatch discipline as the data tier's
+// group commit) and proposes the whole cohort as one batch-consensus slot;
+// the consensus layer applies decided slots in slot order, deciding each
+// register first-write-wins, and every caller resolves with its own
+// register's outcome. Per-register semantics are unchanged — first write
+// wins, reads observe decisions — because the slot order is agreed, so the
+// winner of any write race is the same on every replica. A server that is
+// not the preferred sequencer (the first unsuspected application server)
+// forwards its cohort there instead of contending for slots, so a saturated
+// primary folds remote writes into its own batches; consensus still
+// arbitrates safely when two servers sequence concurrently, and forwarding
+// retries re-route around a crashed sequencer.
 package woregister
 
 import (
 	"context"
 	"encoding/binary"
 	"fmt"
+	"sync"
+	"time"
 
 	"etx/internal/consensus"
+	"etx/internal/fd"
 	"etx/internal/id"
 	"etx/internal/msg"
 )
@@ -28,11 +48,97 @@ import (
 // Registers is the pair of wo-register arrays of one application server.
 type Registers struct {
 	node *consensus.Node
+	seq  *sequencer // nil: one consensus instance per write (the paper's mode)
 }
 
-// New layers the register arrays over a consensus node.
+// New layers the register arrays over a consensus node, one consensus
+// instance per register write (the paper's original discipline).
 func New(node *consensus.Node) *Registers {
 	return &Registers{node: node}
+}
+
+// Options parameterizes cohort batching (NewBatched).
+type Options struct {
+	// CohortWindow is how long the sequencer holds a cohort open for more
+	// writes before proposing it (under load the window is immaterial: a
+	// cohort stays open for the whole in-flight slot ahead of it). Must be
+	// > 0; a deployment that wants one instance per write uses New.
+	CohortWindow time.Duration
+	// MaxCohort caps the ops proposed in one slot. Defaults to 64.
+	MaxCohort int
+	// Self and Peers mirror the consensus membership; Peers order selects
+	// the preferred sequencer (first unsuspected peer).
+	Self  id.NodeID
+	Peers []id.NodeID
+	// Detector drives sequencer selection.
+	Detector fd.Detector
+	// Send transmits sequencer traffic (RegOps forwards and laggard-help
+	// CDecision answers) to a peer.
+	Send func(to id.NodeID, p msg.Payload) error
+	// RetryInterval is how long a forwarding server waits before re-sending
+	// still-undecided ops (re-evaluating the target, so a crashed sequencer
+	// is routed around). Defaults to 25ms.
+	RetryInterval time.Duration
+}
+
+// NewBatched layers the register arrays over a consensus node with cohort
+// batching: concurrent writes share batch-consensus slots. Call Stop to
+// release the sequencer.
+func NewBatched(node *consensus.Node, opts Options) (*Registers, error) {
+	if opts.CohortWindow <= 0 {
+		return nil, fmt.Errorf("woregister: CohortWindow must be positive (use New for unbatched registers)")
+	}
+	if opts.MaxCohort <= 0 {
+		opts.MaxCohort = 64
+	}
+	if opts.RetryInterval <= 0 {
+		opts.RetryInterval = 25 * time.Millisecond
+	}
+	if opts.Detector == nil || opts.Send == nil || len(opts.Peers) == 0 {
+		return nil, fmt.Errorf("woregister: batched registers need Peers, Detector and Send")
+	}
+	r := &Registers{node: node, seq: newSequencer(node, opts)}
+	return r, nil
+}
+
+// Stop releases the sequencer (no-op for unbatched registers).
+func (r *Registers) Stop() {
+	if r.seq != nil {
+		r.seq.shutdown()
+	}
+}
+
+// EnqueueRemote admits a peer's forwarded register ops to this server's
+// sequencer. Ops whose registers are already decided are answered with the
+// decision instead (laggard help: the sender may have an application gap).
+func (r *Registers) EnqueueRemote(from id.NodeID, ops []msg.RegOp) {
+	if r.seq == nil {
+		return
+	}
+	r.seq.enqueueRemote(from, ops)
+}
+
+// write drives one register write: directly through a consensus instance in
+// unbatched mode, or through the cohort sequencer — registering a watch
+// first, so the caller resolves with the register's decided value no matter
+// which cohort (or which server's cohort) ends up carrying the write.
+func (r *Registers) write(ctx context.Context, key msg.RegKey, val []byte) ([]byte, error) {
+	if r.seq == nil {
+		return r.node.Propose(ctx, key, val)
+	}
+	if v, ok := r.node.Decided(key); ok {
+		return v, nil
+	}
+	ch := r.node.Watch(key)
+	r.seq.enqueue(msg.RegOp{Reg: key, Val: val})
+	select {
+	case v := <-ch:
+		return v, nil
+	case <-ctx.Done():
+		return nil, fmt.Errorf("woregister: write %s: %w", key, ctx.Err())
+	case <-r.node.Done():
+		return nil, consensus.ErrStopped
+	}
 }
 
 // WriteA writes who into regA[rid]. Per wo-register semantics the returned
@@ -40,7 +146,7 @@ func New(node *consensus.Node) *Registers {
 // race, or the previously written server otherwise.
 func (r *Registers) WriteA(ctx context.Context, rid id.ResultID, who id.NodeID) (id.NodeID, error) {
 	key := msg.RegKey{Array: msg.RegA, RID: rid}
-	raw, err := r.node.Propose(ctx, key, EncodeNode(who))
+	raw, err := r.write(ctx, key, EncodeNode(who))
 	if err != nil {
 		return id.NodeID{}, fmt.Errorf("woregister: write %s: %w", key, err)
 	}
@@ -72,7 +178,7 @@ func (r *Registers) ReadA(rid id.ResultID) (id.NodeID, bool) {
 // arbitrates.
 func (r *Registers) WriteD(ctx context.Context, rid id.ResultID, dec msg.Decision) (msg.Decision, error) {
 	key := msg.RegKey{Array: msg.RegD, RID: rid}
-	raw, err := r.node.Propose(ctx, key, EncodeDecision(dec))
+	raw, err := r.write(ctx, key, EncodeDecision(dec))
 	if err != nil {
 		return msg.Decision{}, fmt.Errorf("woregister: write %s: %w", key, err)
 	}
@@ -117,6 +223,211 @@ func (r *Registers) KnownTries() []id.ResultID {
 func (r *Registers) Retire(rid id.ResultID) {
 	r.node.Forget(msg.RegKey{Array: msg.RegA, RID: rid})
 	r.node.Forget(msg.RegKey{Array: msg.RegD, RID: rid})
+}
+
+// --- cohort sequencer --------------------------------------------------
+
+// minTimedWindow is the smallest cohort window the sequencer honours with a
+// real timer wait; see the flush-immediately note in run.
+const minTimedWindow = 2 * time.Millisecond
+
+// sequencer collects concurrent register writes into cohorts and drives them
+// through batch-consensus slots. One goroutine runs per server; at most one
+// slot proposal is in flight at a time, and writes arriving meanwhile enroll
+// in the next cohort — the group-commit combiner discipline of the data
+// tier, applied to consensus.
+type sequencer struct {
+	node *consensus.Node
+	opts Options
+
+	ctx    context.Context
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+
+	mu      sync.Mutex
+	pending []msg.RegOp
+	member  map[msg.RegKey]bool
+	wake    chan struct{}
+}
+
+func newSequencer(node *consensus.Node, opts Options) *sequencer {
+	s := &sequencer{
+		node:   node,
+		opts:   opts,
+		member: make(map[msg.RegKey]bool),
+		wake:   make(chan struct{}, 1),
+	}
+	s.ctx, s.cancel = context.WithCancel(context.Background())
+	s.wg.Add(1)
+	go s.run()
+	return s
+}
+
+func (s *sequencer) shutdown() {
+	s.cancel()
+	s.wg.Wait()
+}
+
+// enqueue admits one local write to the current cohort, deduplicating by
+// register: a register can only hold one value, so a second concurrent write
+// rides the first one's op and resolves from the register's decision.
+func (s *sequencer) enqueue(op msg.RegOp) {
+	if _, ok := s.node.Decided(op.Reg); ok {
+		return // the caller's watch has already fired
+	}
+	s.mu.Lock()
+	if s.member[op.Reg] {
+		s.mu.Unlock()
+		return
+	}
+	s.member[op.Reg] = true
+	s.pending = append(s.pending, op)
+	s.mu.Unlock()
+	select {
+	case s.wake <- struct{}{}:
+	default:
+	}
+}
+
+// enqueueRemote admits a peer's forwarded ops. Already-decided registers are
+// answered with their decision instead: the sender may be stuck behind an
+// application gap, and the direct CDecision resolves its waiter regardless.
+func (s *sequencer) enqueueRemote(from id.NodeID, ops []msg.RegOp) {
+	for _, op := range ops {
+		if v, ok := s.node.Decided(op.Reg); ok {
+			_ = s.opts.Send(from, msg.CDecision{Reg: op.Reg, Val: v})
+			continue
+		}
+		s.enqueue(op)
+	}
+}
+
+// take claims up to MaxCohort still-undecided pending ops, preserving
+// arrival order. Decided ops are dropped (their waiters resolved through the
+// register's decision).
+func (s *sequencer) take() []msg.RegOp {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var batch []msg.RegOp
+	kept := s.pending[:0]
+	for _, op := range s.pending {
+		if _, ok := s.node.Decided(op.Reg); ok {
+			delete(s.member, op.Reg)
+			continue
+		}
+		if len(batch) < s.opts.MaxCohort {
+			batch = append(batch, op)
+		} else {
+			kept = append(kept, op)
+		}
+	}
+	s.pending = kept
+	return batch
+}
+
+// requeue returns still-undecided ops to the head of the pending pool (they
+// lost their slot to a concurrent proposer, or were forwarded and are not
+// resolved yet).
+func (s *sequencer) requeue(batch []msg.RegOp) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var keep []msg.RegOp
+	for _, op := range batch {
+		if _, ok := s.node.Decided(op.Reg); ok {
+			delete(s.member, op.Reg)
+			continue
+		}
+		keep = append(keep, op)
+	}
+	s.pending = append(keep, s.pending...)
+}
+
+// chooseSequencer returns the preferred sequencer: the first application
+// server the detector does not suspect (membership order — normally the
+// primary, which is also the round-1 slot coordinator, so a forwarded cohort
+// still commits in a single consensus round trip). Falls back to self when
+// everyone else is suspected.
+func (s *sequencer) chooseSequencer() id.NodeID {
+	for _, p := range s.opts.Peers {
+		if p == s.opts.Self {
+			return p
+		}
+		if !s.opts.Detector.Suspects(p) {
+			return p
+		}
+	}
+	return s.opts.Self
+}
+
+// sleep waits d or until shutdown; returns false on shutdown.
+func (s *sequencer) sleep(d time.Duration) bool {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-s.ctx.Done():
+		return false
+	}
+}
+
+// run is the sequencer loop. A fresh cohort holds the window open for
+// followers; a cohort drained right after a slot decision flushes
+// immediately (the in-flight slot was its window). Forwarded cohorts stay
+// pending until their registers decide, re-sent (to a freshly chosen target)
+// every RetryInterval.
+func (s *sequencer) run() {
+	defer s.wg.Done()
+	for {
+		s.mu.Lock()
+		n := len(s.pending)
+		s.mu.Unlock()
+		if n == 0 {
+			select {
+			case <-s.wake:
+			case <-s.ctx.Done():
+				return
+			}
+			// First write of a fresh cohort: hold enrollment open. Sub-tick
+			// windows flush immediately instead — a sleep below the kernel
+			// timer tick overshoots to a millisecond, costing an idle
+			// write that latency for followers that are not coming; under
+			// load the in-flight slot ahead of a cohort is the effective
+			// window regardless of the configured magnitude.
+			if s.opts.CohortWindow >= minTimedWindow && !s.sleep(s.opts.CohortWindow) {
+				return
+			}
+		}
+		batch := s.take()
+		if len(batch) == 0 {
+			continue
+		}
+		target := s.chooseSequencer()
+		if target == s.opts.Self {
+			slot := msg.SlotKey(s.node.LowestUndecidedSlot())
+			if _, err := s.node.Propose(s.ctx, slot, msg.EncodeRegOps(batch)); err != nil {
+				return // shutting down
+			}
+			// Ops that lost the slot to a concurrent proposer re-enter the
+			// pool and ride the next one.
+			s.requeue(batch)
+			continue
+		}
+		// Not the preferred sequencer: forward the cohort and wait for its
+		// registers to decide (via the slot relay), for new local writes, or
+		// for the retry timer — whichever first.
+		_ = s.opts.Send(target, msg.RegOps{Ops: batch})
+		s.requeue(batch)
+		t := time.NewTimer(s.opts.RetryInterval)
+		select {
+		case <-s.wake:
+		case <-t.C:
+		case <-s.ctx.Done():
+			t.Stop()
+			return
+		}
+		t.Stop()
+	}
 }
 
 // --- value encodings ---------------------------------------------------
