@@ -2,6 +2,8 @@ package etx
 
 import (
 	"context"
+	"crypto/rand"
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"sync"
@@ -118,7 +120,7 @@ type DialConfig struct {
 	// ID is this client's 1-based index (default 1). It must match the
 	// entry for this client in the servers' -clients address book. The
 	// deployment's exactly-once state is keyed by (ID, sequence number);
-	// Dial derives each process's sequence base from the wall clock, so
+	// Dial derives each process's sequence base from crypto/rand, so
 	// restarting a client under the same ID is safe for new work as long
 	// as incarnations don't run concurrently.
 	ID int
@@ -174,6 +176,11 @@ func Dial(cfg DialConfig) (*Client, error) {
 		return nil, fmt.Errorf("etx: dial: %w", err)
 	}
 	rep := rchan.Wrap(tep, cfg.Retransmit)
+	base, err := randomSeqBase()
+	if err != nil {
+		rep.Close()
+		return nil, fmt.Errorf("etx: dial: %w", err)
+	}
 	inner, err := core.NewClient(core.ClientConfig{
 		Self:        self,
 		AppServers:  tcptransport.SortedPeers(apps),
@@ -183,7 +190,7 @@ func Dial(cfg DialConfig) (*Client, error) {
 		MaxInFlight: cfg.MaxInFlight,
 		// A fresh sequence space per incarnation: reusing an ID across
 		// restarts must not replay the old incarnation's cached results.
-		SeqBase: uint64(time.Now().UnixNano()),
+		SeqBase: base,
 		// Dialed clients run unbounded workloads; the delivery log exists
 		// for the in-process oracle and would grow forever here.
 		DiscardDeliveries: true,
@@ -193,4 +200,21 @@ func Dial(cfg DialConfig) (*Client, error) {
 		return nil, fmt.Errorf("etx: dial: %w", err)
 	}
 	return &Client{inner: inner, ep: rep, tcp: tep, owned: true, shards: cfg.Shards}, nil
+}
+
+// randomSeqBase derives a fresh incarnation's sequence base from crypto/rand.
+// The deployment's exactly-once state (register keys, commit caches) is keyed
+// by (client ID, sequence number), so two incarnations of the same ID must
+// never share sequence numbers: the second would be handed the first's cached
+// results instead of executing. A wall-clock base cannot guarantee that — a
+// clock stepped backwards, or two dials within the clock's resolution, reuses
+// a live incarnation's numbers and replays its results. 62 random bits make a
+// collision across realistic restart counts negligible while leaving 2^62
+// sequence numbers of headroom before the counter could wrap.
+func randomSeqBase() (uint64, error) {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return 0, fmt.Errorf("derive sequence base: %w", err)
+	}
+	return binary.BigEndian.Uint64(b[:]) >> 2, nil
 }

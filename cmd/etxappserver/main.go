@@ -80,6 +80,7 @@ func run() error {
 	maxBatch := flag.Int("max-batch", 0, "cap on one outbound batch envelope (0 = default 64)")
 	cohortWindow := flag.Duration("cohort-window", 0, "cohort-consensus window: >0 lets concurrent wo-register writes share one consensus instance per cohort; 0 runs one instance per write (every app server must agree)")
 	maxCohort := flag.Int("max-cohort", 0, "cap on register ops per consensus slot (0 = default 64)")
+	retainSlots := flag.Int("retain-slots", 0, "batch-log retention tail: >0 truncates decided consensus slots below the cluster-wide applied watermark minus this many (laggards catch up via checkpoint transfer); 0 retains every slot forever (every app server must agree)")
 	shards := flag.Int("shards", 0, "key-shard the database tier over the first N -dbservers (0 = all of them)")
 	placeSpec := flag.String("placement", "hash", "partitioner: hash | range:b1,b2,... (every app server must agree)")
 	flag.Parse()
@@ -161,6 +162,7 @@ func run() error {
 		MaxBatch:       *maxBatch,
 		CohortWindow:   *cohortWindow,
 		MaxCohort:      *maxCohort,
+		RetainSlots:    *retainSlots,
 	})
 	if err != nil {
 		return err

@@ -18,13 +18,15 @@
 //	etxbench -exp shards             # throughput vs 1/2/4/8 key-sharded databases
 //	etxbench -exp batch              # group commit: fsyncs/commit and throughput on vs off
 //	etxbench -exp consensus          # cohort consensus: msgs and instances/commit on vs off
+//	etxbench -exp memory             # batch-log memory: slot map + heap, GC on vs off
 //
 // -scale multiplies the paper's calibrated component costs: 1.0 reproduces
 // the paper's real-time latencies (a slow run), 0.05 keeps the ratios and
 // finishes in seconds. -quick shrinks the extension experiments for CI
-// smoke runs, and -json writes every produced report as machine-readable
+// smoke runs, -json writes every produced report as machine-readable
 // JSON (keyed by experiment name) so perf trajectories can accumulate as
-// build artifacts.
+// build artifacts, and -memprofile writes a post-run heap profile for
+// leak hunts.
 package main
 
 import (
@@ -32,6 +34,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"etx/internal/bench"
 )
@@ -44,13 +48,14 @@ func main() {
 }
 
 func run() error {
-	exp := flag.String("exp", "all", "experiment: all|f8|f7|f1|failover|scaling|suspicion|woregister|patience|gc|pipeline|shards|batch|consensus")
+	exp := flag.String("exp", "all", "experiment: all|f8|f7|f1|failover|scaling|suspicion|woregister|patience|gc|pipeline|shards|batch|consensus|memory")
 	scale := flag.Float64("scale", 0.05, "cost-model scale (1.0 = the paper's real-time costs)")
 	requests := flag.Int("requests", 30, "requests per measured column")
 	runs := flag.Int("runs", 5, "runs per failure scenario")
 	inflight := flag.Int("inflight", 16, "pipelining depth K for -exp pipeline")
 	quick := flag.Bool("quick", false, "CI smoke mode: smaller scale and request counts for the extension experiments")
 	jsonPath := flag.String("json", "", "write the reports as JSON to this file (keyed by experiment name)")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this file after the experiments finish")
 	flag.Parse()
 
 	type experiment struct {
@@ -120,6 +125,20 @@ func run() error {
 			})
 			return bench.RunBatch(cfg)
 		}},
+		{"memory", func() (fmt.Stringer, error) {
+			// The memory sweep is CPU-bound like the consensus one; -scale
+			// does not apply. -requests overrides the commit volume.
+			cfg := bench.MemoryConfig{Quick: *quick}
+			flag.Visit(func(f *flag.Flag) {
+				switch f.Name {
+				case "requests":
+					cfg.Commits = *requests
+				case "inflight":
+					cfg.InFlight = *inflight
+				}
+			})
+			return bench.RunMemory(cfg)
+		}},
 		{"consensus", func() (fmt.Stringer, error) {
 			// The consensus sweep is CPU-bound by design (zero-cost network
 			// and log device), so -scale does not apply to it.
@@ -167,6 +186,18 @@ func run() error {
 			return fmt.Errorf("write %s: %w", *jsonPath, err)
 		}
 		fmt.Printf("wrote %s\n", *jsonPath)
+	}
+	if *memProfile != "" {
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			return fmt.Errorf("create %s: %w", *memProfile, err)
+		}
+		defer f.Close()
+		runtime.GC() // profile live objects, not garbage
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			return fmt.Errorf("write heap profile: %w", err)
+		}
+		fmt.Printf("wrote %s\n", *memProfile)
 	}
 	return nil
 }

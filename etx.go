@@ -131,6 +131,14 @@ type Config struct {
 	// MaxCohort caps register ops per consensus slot (default 64; only
 	// meaningful with CohortWindow set).
 	MaxCohort int
+	// RetainSlots bounds the memory of cohort consensus: each application
+	// server advertises the batch-log slots it has applied, and decided
+	// slots below the cluster-wide minimum minus this retention tail are
+	// truncated (a replica that falls further behind catches up through
+	// checkpoint state transfer instead of slot replay). 0 — the default —
+	// keeps every decided slot forever, which on a long-running deployment
+	// grows without bound; only meaningful with CohortWindow set.
+	RetainSlots int
 	// SuspicionTimeout tunes the failure detector among application servers
 	// (default 60ms): smaller means faster failover, more false suspicions
 	// (which are safe but cost retries).
@@ -192,6 +200,7 @@ func New(cfg Config) (*Cluster, error) {
 		MaxBatch:          cfg.MaxBatch,
 		CohortWindow:      cfg.CohortWindow,
 		MaxCohort:         cfg.MaxCohort,
+		RetainSlots:       cfg.RetainSlots,
 		Seed:              seed,
 		SuspectTimeout:    cfg.SuspicionTimeout,
 		ClientBackoff:     cfg.ClientBackoff,

@@ -86,6 +86,12 @@ type Config struct {
 	// MaxCohort caps the register ops in one consensus slot (default 64;
 	// only meaningful with CohortWindow set).
 	MaxCohort int
+	// RetainSlots bounds the cohort-consensus batch log by checkpointed
+	// truncation: decided slots below the cluster-wide minimum applied
+	// watermark minus this retention tail are pruned, and laggards past the
+	// tail catch up via checkpoint state transfer. 0 (the default) retains
+	// every decided slot forever. Deployment-wide, like CohortWindow.
+	RetainSlots int
 	// LockTimeout is the databases' lock-wait bound.
 	LockTimeout time.Duration
 	// Seed is the initial content of every database.
@@ -322,6 +328,7 @@ func (c *Cluster) startApp(appID id.NodeID) error {
 		MaxBatch:          c.maxBatch(),
 		CohortWindow:      c.cfg.CohortWindow,
 		MaxCohort:         c.cfg.MaxCohort,
+		RetainSlots:       c.cfg.RetainSlots,
 		Hooks:             hooks,
 	})
 	if err != nil {

@@ -19,7 +19,8 @@ func cohortKnobs(cfg *Config) {
 	cfg.CohortWindow = 500 * time.Microsecond
 }
 
-// consensusTotals sums the consensus counters over every live app server.
+// consensusTotals sums the consensus counters over every live app server
+// (gauges — LiveSlots, Applied, Floor — take the maximum instead).
 func consensusTotals(c *Cluster, apps int) consensus.Stats {
 	var total consensus.Stats
 	for i := 1; i <= apps; i++ {
@@ -32,6 +33,13 @@ func consensusTotals(c *Cluster, apps int) consensus.Stats {
 			total.FastPath += st.FastPath
 			total.BatchOps += st.BatchOps
 			total.Resends += st.Resends
+			total.SlotsPruned += st.SlotsPruned
+			total.CheckpointsServed += st.CheckpointsServed
+			total.CheckpointsInstalled += st.CheckpointsInstalled
+			total.Abandoned += st.Abandoned
+			total.LiveSlots = max(total.LiveSlots, st.LiveSlots)
+			total.Applied = max(total.Applied, st.Applied)
+			total.Floor = max(total.Floor, st.Floor)
 		}
 	}
 	return total
@@ -99,13 +107,14 @@ func TestCohortParityWithUnbatched(t *testing.T) {
 		seed = append(seed, kv.Write{Key: "acct/" + accts[i], Val: kv.EncodeInt(100)})
 	}
 
-	run := func(cohort bool) (map[string]int64, consensus.Stats) {
+	run := func(cohort bool, retain int) (map[string]int64, consensus.Stats) {
 		cfg := Config{
 			Shards:      1,
 			Logic:       transferKeyed(),
 			Seed:        seed,
 			Workers:     inflight,
 			Terminators: inflight,
+			RetainSlots: retain,
 		}
 		if cohort {
 			cohortKnobs(&cfg)
@@ -122,12 +131,20 @@ func TestCohortParityWithUnbatched(t *testing.T) {
 		return balances, consensusTotals(c, 3)
 	}
 
-	plainBal, plainStats := run(false)
-	cohortBal, cohortStats := run(true)
+	plainBal, plainStats := run(false, 0)
+	cohortBal, cohortStats := run(true, 0)
+	// Checkpointed truncation must be invisible to the decided outcomes:
+	// the same workload with a small retention tail lands on the same
+	// balances (the bounded-memory and catch-up properties have their own
+	// suites; parity here is about values, not memory).
+	gcBal, gcStats := run(true, 1)
 
 	for a, want := range plainBal {
 		if got := cohortBal[a]; got != want {
 			t.Errorf("balance of %s diverged: window 0 = %d, cohort = %d", a, want, got)
+		}
+		if got := gcBal[a]; got != want {
+			t.Errorf("balance of %s diverged under truncation: window 0 = %d, cohort+GC = %d", a, want, got)
 		}
 	}
 	// Window 0 parity: the executor runs one instance per register write —
@@ -148,8 +165,17 @@ func TestCohortParityWithUnbatched(t *testing.T) {
 	if cohortStats.BatchOps == 0 {
 		t.Error("no register ops were decided through batch slots; cohort path never engaged")
 	}
-	t.Logf("window 0: %s", plainStats)
-	t.Logf("cohort:   %s", cohortStats)
+	// RetainSlots=0 is the pre-GC behaviour exactly: no floor movement, no
+	// pruning, no checkpoints.
+	if plainStats.SlotsPruned != 0 || plainStats.Floor != 0 || plainStats.CheckpointsServed != 0 {
+		t.Errorf("window 0 ran GC machinery: %s", plainStats)
+	}
+	if cohortStats.SlotsPruned != 0 || cohortStats.Floor != 0 {
+		t.Errorf("cohort without RetainSlots ran GC machinery: %s", cohortStats)
+	}
+	t.Logf("window 0:  %s", plainStats)
+	t.Logf("cohort:    %s", cohortStats)
+	t.Logf("cohort+gc: %s", gcStats)
 }
 
 // TestCohortPrimaryCrashMidBatch crashes the primary application server —

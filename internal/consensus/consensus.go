@@ -47,6 +47,25 @@
 //     only as a safety-net timer for detectors that cannot announce
 //     transitions.
 //
+// # Batch-log truncation
+//
+// With Config.RetainSlots set, the batch log is garbage-collected by a
+// low-watermark protocol (the epoch/checkpoint discipline of STAR-style
+// systems): every node piggybacks its applied watermark (the highest slot it
+// has applied, nextApply-1) on outgoing consensus messages and on the failure
+// detector's heartbeats; each node tracks the minimum watermark across the
+// peers it does not suspect, and prunes decided slots at or below that
+// minimum minus a retention tail of RetainSlots (kept so ordinary laggards
+// are still answered with CDecision replay). A node asked about a slot below
+// its truncation floor answers with a msg.Checkpoint — its floor plus the
+// register effects it holds — and the laggard installs the effects and
+// fast-forwards its application cursor instead of re-deciding the pruned
+// prefix. Safety is unchanged: a node that ever acked (locked) or decided a
+// slot either still holds that state, or has applied-and-pruned the slot and
+// refuses to participate in any fresh instance for it, so no quorum can
+// re-decide a pruned slot differently. RetainSlots 0 (the default) disables
+// truncation and reproduces the unbounded retention exactly.
+//
 // Safety (agreement, validity) holds with any failure-detector behaviour;
 // termination needs a majority of correct processes and the eventual accuracy
 // of the detector — exactly the paper's correctness assumptions.
@@ -95,6 +114,13 @@ type Config struct {
 	// backstop; wakeups are event-driven); otherwise to 1ms (the polling is
 	// the only way to observe the detector).
 	Poll time.Duration
+	// RetainSlots enables checkpointed truncation of the batch log: decided
+	// slots at or below the cluster-wide minimum applied watermark minus this
+	// retention tail are pruned, and questions about pruned slots are
+	// answered with checkpoint state transfer instead of decision replay.
+	// 0 (the default) retains every decided slot forever — the pre-GC
+	// behaviour, and the paper's deferred Section-5 problem.
+	RetainSlots int
 }
 
 func (c Config) validate() error {
@@ -122,6 +148,15 @@ func (c Config) validate() error {
 // ErrStopped is returned by Propose when the node shuts down mid-wait.
 var ErrStopped = errors.New("consensus: node stopped")
 
+// ErrAbandoned is returned by Propose when the instance was discarded by
+// Abandon (request retirement) before it decided.
+var ErrAbandoned = errors.New("consensus: instance abandoned")
+
+// ErrSlotTruncated is returned by Propose for a batch-log slot at or below
+// the local truncation floor: the slot is applied history, and proposing
+// there again could only re-litigate it.
+var ErrSlotTruncated = errors.New("consensus: slot below truncation floor")
+
 // minResendInterval floors the blocked-phase retransmission cadence: a
 // sub-millisecond safety-net poll (legacy non-notifying detectors, tests)
 // must re-check the detector that often, but re-broadcasting estimates at
@@ -137,9 +172,16 @@ type Counters struct {
 	FastPath  metrics.Counter // round-1 coordinator fast-path proposals
 	BatchOps  metrics.Counter // register ops decided through applied slots
 	Resends   metrics.Counter // safety-net retransmissions from blocked phases
+
+	SlotsPruned    metrics.Counter // batch-log slots truncated below the floor
+	CkptServed     metrics.Counter // checkpoint answers sent to laggards
+	CkptInstalled  metrics.Counter // checkpoints installed (fast-forwards taken)
+	LiveSlots      metrics.Gauge   // decided batch-log slots currently held
+	AbandonedInsts metrics.Counter // undecided instances discarded by Abandon
 }
 
-// Stats is a point-in-time snapshot of a node's counters.
+// Stats is a point-in-time snapshot of a node's counters. LiveSlots, Applied
+// and Floor are gauges (current levels, not cumulative counts).
 type Stats struct {
 	Instances uint64
 	Proposes  uint64
@@ -148,25 +190,44 @@ type Stats struct {
 	FastPath  uint64
 	BatchOps  uint64
 	Resends   uint64
+
+	SlotsPruned          uint64
+	CheckpointsServed    uint64
+	CheckpointsInstalled uint64
+	Abandoned            uint64
+	LiveSlots            uint64 // gauge: decided batch-log slots held right now
+	Applied              uint64 // gauge: highest batch-log slot applied (nextApply-1)
+	Floor                uint64 // gauge: highest batch-log slot truncated
 }
 
 // Sub returns the component-wise difference s - base (benchmark deltas).
+// Gauge fields (LiveSlots, Applied, Floor) keep s's absolute value — a
+// "delta occupancy" would be meaningless and could underflow.
 func (s Stats) Sub(base Stats) Stats {
 	return Stats{
-		Instances: s.Instances - base.Instances,
-		Proposes:  s.Proposes - base.Proposes,
-		Rounds:    s.Rounds - base.Rounds,
-		Messages:  s.Messages - base.Messages,
-		FastPath:  s.FastPath - base.FastPath,
-		BatchOps:  s.BatchOps - base.BatchOps,
-		Resends:   s.Resends - base.Resends,
+		Instances:            s.Instances - base.Instances,
+		Proposes:             s.Proposes - base.Proposes,
+		Rounds:               s.Rounds - base.Rounds,
+		Messages:             s.Messages - base.Messages,
+		FastPath:             s.FastPath - base.FastPath,
+		BatchOps:             s.BatchOps - base.BatchOps,
+		Resends:              s.Resends - base.Resends,
+		SlotsPruned:          s.SlotsPruned - base.SlotsPruned,
+		CheckpointsServed:    s.CheckpointsServed - base.CheckpointsServed,
+		CheckpointsInstalled: s.CheckpointsInstalled - base.CheckpointsInstalled,
+		Abandoned:            s.Abandoned - base.Abandoned,
+		LiveSlots:            s.LiveSlots,
+		Applied:              s.Applied,
+		Floor:                s.Floor,
 	}
 }
 
 // String renders the snapshot for diagnostics.
 func (s Stats) String() string {
-	return fmt.Sprintf("instances=%d proposes=%d rounds=%d msgs=%d fastpath=%d batchops=%d resends=%d",
-		s.Instances, s.Proposes, s.Rounds, s.Messages, s.FastPath, s.BatchOps, s.Resends)
+	return fmt.Sprintf("instances=%d proposes=%d rounds=%d msgs=%d fastpath=%d batchops=%d resends=%d "+
+		"pruned=%d ckpt=%d/%d slots=%d applied=%d floor=%d",
+		s.Instances, s.Proposes, s.Rounds, s.Messages, s.FastPath, s.BatchOps, s.Resends,
+		s.SlotsPruned, s.CheckpointsServed, s.CheckpointsInstalled, s.LiveSlots, s.Applied, s.Floor)
 }
 
 // Node multiplexes consensus instances for one process.
@@ -180,6 +241,10 @@ type Node struct {
 	wg     sync.WaitGroup
 
 	counters Counters
+
+	// appliedWM mirrors nextApply-1 so the send path can stamp outgoing
+	// messages with the applied watermark without taking mu.
+	appliedWM atomic.Uint64
 
 	// fdCh is the node's single subscription to the detector's transition
 	// notifications (nil without fd.Notifier); a long-lived fan-out
@@ -195,13 +260,35 @@ type Node struct {
 	subs      map[msg.RegKey][]chan []byte
 
 	// Batch-log application state: decided slots are applied strictly in
-	// slot order; nextApply is the first unapplied slot. Decided slots are
-	// retained indefinitely: agreement depends on a laggard's gap proposal
-	// being answered with the original decision, and evicting a slot would
-	// let a fresh quorum re-decide it differently. Bounding this memory is
-	// the same garbage-collection problem the paper defers for the
-	// registers themselves (Section 5) and is left with it.
+	// slot order; nextApply is the first unapplied slot.
+	//
+	// Retention: without RetainSlots, decided slots are kept forever —
+	// a laggard's gap proposal is answered with the original decision, and
+	// evicting a slot would otherwise let a fresh quorum re-decide it
+	// differently. With RetainSlots > 0 the watermark protocol truncates
+	// the applied prefix instead: slots at or below floor have been applied
+	// by every live peer (minus the retention tail) and are pruned, and any
+	// question about them is answered with checkpoint state transfer — the
+	// laggard fast-forwards past the floor rather than re-deciding, so
+	// agreement is preserved without unbounded memory.
 	nextApply uint64
+	// floor is the truncation floor: every slot <= floor has been pruned
+	// (or was never held) and is served via Checkpoint. Invariant:
+	// floor < nextApply.
+	floor uint64
+	// peerWM is the latest applied watermark heard from each peer, via the
+	// piggyback on consensus messages and heartbeats.
+	peerWM map[id.NodeID]uint64
+	// lastProbe throttles the laggard-side gap probes sent when a peer's
+	// watermark shows this node has fallen behind.
+	lastProbe time.Time
+	// lastCkpt throttles checkpoint serving per asking peer (a blocked
+	// laggard retransmits its gap proposal on a timer); ckptCache reuses
+	// one assembled snapshot for as long as the floor it was cut at stands
+	// (see checkpointLocked).
+	lastCkpt       map[id.NodeID]time.Time
+	ckptCache      *msg.Checkpoint
+	ckptCacheFloor uint64
 }
 
 // New creates a consensus node. Call Stop when done to release its
@@ -217,6 +304,9 @@ func New(cfg Config) (*Node, error) {
 			cfg.Poll = time.Millisecond
 		}
 	}
+	if cfg.RetainSlots < 0 {
+		cfg.RetainSlots = 0
+	}
 	ctx, cancel := context.WithCancel(context.Background())
 	n := &Node{
 		cfg:       cfg,
@@ -228,6 +318,8 @@ func New(cfg Config) (*Node, error) {
 		decided:   make(map[msg.RegKey][]byte),
 		subs:      make(map[msg.RegKey][]chan []byte),
 		nextApply: 1,
+		peerWM:    make(map[id.NodeID]uint64, len(cfg.Peers)),
+		lastCkpt:  make(map[id.NodeID]time.Time, len(cfg.Peers)),
 	}
 	if notif, ok := cfg.Detector.(fd.Notifier); ok {
 		n.fdCh = make(chan struct{}, 1)
@@ -276,15 +368,42 @@ func (n *Node) Done() <-chan struct{} { return n.ctx.Done() }
 
 // Stats returns a snapshot of the node's protocol counters.
 func (n *Node) Stats() Stats {
-	return Stats{
-		Instances: n.counters.Instances.Load(),
-		Proposes:  n.counters.Proposes.Load(),
-		Rounds:    n.counters.Rounds.Load(),
-		Messages:  n.counters.Messages.Load(),
-		FastPath:  n.counters.FastPath.Load(),
-		BatchOps:  n.counters.BatchOps.Load(),
-		Resends:   n.counters.Resends.Load(),
+	live := n.counters.LiveSlots.Load()
+	if live < 0 {
+		live = 0
 	}
+	n.mu.Lock()
+	floor := n.floor
+	n.mu.Unlock()
+	return Stats{
+		Instances:            n.counters.Instances.Load(),
+		Proposes:             n.counters.Proposes.Load(),
+		Rounds:               n.counters.Rounds.Load(),
+		Messages:             n.counters.Messages.Load(),
+		FastPath:             n.counters.FastPath.Load(),
+		BatchOps:             n.counters.BatchOps.Load(),
+		Resends:              n.counters.Resends.Load(),
+		SlotsPruned:          n.counters.SlotsPruned.Load(),
+		CheckpointsServed:    n.counters.CkptServed.Load(),
+		CheckpointsInstalled: n.counters.CkptInstalled.Load(),
+		Abandoned:            n.counters.AbandonedInsts.Load(),
+		LiveSlots:            uint64(live),
+		Applied:              n.appliedWM.Load(),
+		Floor:                floor,
+	}
+}
+
+// Applied returns the node's applied batch-log watermark: the highest slot
+// whose register effects have been applied locally (nextApply-1). This is
+// the value piggybacked on outgoing consensus messages and heartbeats.
+func (n *Node) Applied() uint64 { return n.appliedWM.Load() }
+
+// Floor returns the truncation floor: every batch-log slot at or below it
+// has been pruned and is served by checkpoint state transfer.
+func (n *Node) Floor() uint64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.floor
 }
 
 // Propose submits val for the instance key and blocks until that instance
@@ -293,6 +412,14 @@ func (n *Node) Stats() Stats {
 func (n *Node) Propose(ctx context.Context, key msg.RegKey, val []byte) ([]byte, error) {
 	if v, ok := n.Decided(key); ok {
 		return v, nil
+	}
+	if key.Array == msg.RegBatch {
+		n.mu.Lock()
+		truncated := key.Slot <= n.floor
+		n.mu.Unlock()
+		if truncated {
+			return nil, fmt.Errorf("propose %s: %w", key, ErrSlotTruncated)
+		}
 	}
 	inst := n.getInstance(key, true)
 	if inst == nil {
@@ -306,6 +433,9 @@ func (n *Node) Propose(ctx context.Context, key msg.RegKey, val []byte) ([]byte,
 	inst.propose(val)
 	select {
 	case <-inst.done:
+		if inst.result == nil {
+			return nil, fmt.Errorf("propose %s: %w", key, ErrAbandoned)
+		}
 		return inst.result, nil
 	case <-ctx.Done():
 		return nil, fmt.Errorf("consensus: propose %s: %w", key, ctx.Err())
@@ -344,11 +474,47 @@ func (n *Node) Watch(key msg.RegKey) <-chan []byte {
 // This implements the garbage collection the paper defers in Section 5: it
 // is only safe once the client can no longer retransmit the corresponding
 // request (the at-most-once guarantee is conditioned on exactly that, as the
-// paper notes). Forgetting an undecided instance is a no-op.
+// paper notes). Forgetting an undecided instance is a no-op; use Abandon to
+// also discard in-flight instance state.
 func (n *Node) Forget(key msg.RegKey) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	delete(n.decided, key)
+}
+
+// Abandon discards every trace of a register instance: the decided value (as
+// Forget), any undecided in-flight instance, and any watchers. Retirement
+// must use this rather than Forget: a register whose proposer crashed between
+// propose and decide never decides, so its instance (and its watch
+// subscriptions) would otherwise sit in the node's maps forever. The same
+// safety condition applies — the client must be past retransmitting — and
+// under it nobody is waiting on the abandoned instance; a straggling Propose
+// caller gets ErrAbandoned. Batch-log slots are never abandoned (their
+// lifecycle is the watermark protocol's).
+//
+// Known (inherited) race: a CDecision for the retired register still in
+// flight at Abandon time re-records it on arrival — a forgotten key is
+// indistinguishable from a never-seen one, and treating it as the latter is
+// what laggard help depends on. The leak is one entry per such message, and
+// the window is the transport's in-flight horizon, not the request lifetime;
+// distinguishing the cases would take tombstones, i.e. the memory this call
+// exists to free. Forget had the same window.
+func (n *Node) Abandon(key msg.RegKey) {
+	if key.Array == msg.RegBatch {
+		return
+	}
+	n.mu.Lock()
+	delete(n.decided, key)
+	inst := n.instances[key]
+	delete(n.instances, key)
+	delete(n.subs, key)
+	n.mu.Unlock()
+	if inst != nil {
+		n.counters.AbandonedInsts.Inc()
+		// A nil result marks abandonment: the run goroutine drains out and
+		// exits, and Propose waiters resolve with ErrAbandoned.
+		inst.finish(nil)
+	}
 }
 
 // LowestUndecidedSlot returns the lowest batch-log slot this node has no
@@ -410,29 +576,251 @@ func (n *Node) InstanceState(key msg.RegKey) (round uint32, coord id.NodeID, ok 
 }
 
 // Handle ingests one consensus message (Estimate, Propose, CAck, CNack,
-// CDecision); the owning node's demux loop calls it.
+// CDecision, Checkpoint); the owning node's demux loop calls it. The applied
+// watermark piggybacked on every consensus message feeds the truncation
+// protocol as a side effect.
 func (n *Node) Handle(from id.NodeID, p msg.Payload) {
 	switch m := p.(type) {
 	case msg.CDecision:
+		n.ObserveWatermark(from, m.WM)
 		n.learn(m.Reg, m.Val)
 	case msg.Estimate:
+		n.ObserveWatermark(from, m.WM)
 		n.dispatch(from, m.Reg, p)
 	case msg.Propose:
+		n.ObserveWatermark(from, m.WM)
 		n.dispatch(from, m.Reg, p)
 	case msg.CAck:
+		n.ObserveWatermark(from, m.WM)
 		n.dispatch(from, m.Reg, p)
 	case msg.CNack:
+		n.ObserveWatermark(from, m.WM)
 		n.dispatch(from, m.Reg, p)
+	case msg.Checkpoint:
+		n.installCheckpoint(m)
 	}
+}
+
+// gapBurst caps how many consecutive decided slots a node replays in answer
+// to one batch-log gap probe: a laggard within the retention tail catches up
+// a window of slots per probe instead of one.
+const gapBurst = 32
+
+// probeInterval throttles the laggard-side gap probes (watermark
+// observations arrive with every heartbeat and consensus message).
+const probeInterval = 25 * time.Millisecond
+
+// ckptServeInterval throttles checkpoint serving per asking peer: a blocked
+// laggard retransmits on a timer, and every retransmission would otherwise
+// ship a full register snapshot.
+const ckptServeInterval = 50 * time.Millisecond
+
+// ObserveWatermark records a peer's applied batch-log watermark (piggybacked
+// on consensus messages and forwarded by the demux loop from heartbeats),
+// advances truncation if the cluster-wide minimum moved, and — when the
+// watermark shows this node has fallen behind — probes the peer for the
+// first unapplied slot. The probe is an empty round-1 estimate: a peer that
+// still holds the slot answers with the decision (and a burst of successors),
+// one that has truncated it answers with a checkpoint.
+func (n *Node) ObserveWatermark(from id.NodeID, wm uint64) {
+	if wm == 0 || from == n.cfg.Self {
+		return
+	}
+	n.mu.Lock()
+	if wm > n.peerWM[from] {
+		// Watermarks are monotone; truncation only needs to re-evaluate
+		// when one advances.
+		n.peerWM[from] = wm
+		n.gcLocked()
+	}
+	// The probe re-arms on every observation, advanced or not: in a
+	// quiescent cluster the peers' watermarks sit still while their
+	// heartbeats keep arriving, and a laggard more than one burst behind
+	// (or one whose previous probe fell to a fair-loss link) must keep
+	// asking until it has caught up.
+	var probe msg.Payload
+	if wm >= n.nextApply && time.Since(n.lastProbe) >= probeInterval {
+		// The peer has applied our first unapplied slot: ask about it.
+		n.lastProbe = time.Now()
+		probe = msg.Estimate{Reg: msg.SlotKey(n.nextApply), Round: 1, TS: 0, Est: msg.EncodeRegOps(nil)}
+	}
+	n.mu.Unlock()
+	if probe != nil {
+		n.send(from, probe)
+	}
+}
+
+// gcLocked advances the truncation floor to the minimum applied watermark
+// across live peers minus the retention tail, pruning every decided slot it
+// passes. Suspected peers do not hold the floor back (a crashed application
+// server never recovers in this model; a falsely suspected one catches up
+// through checkpoint transfer). Caller holds n.mu.
+func (n *Node) gcLocked() {
+	if n.cfg.RetainSlots <= 0 {
+		return
+	}
+	min := n.nextApply - 1
+	for _, p := range n.cfg.Peers {
+		if p == n.cfg.Self {
+			continue
+		}
+		if n.cfg.Detector.Suspects(p) {
+			continue
+		}
+		if wm := n.peerWM[p]; wm < min {
+			min = wm
+		}
+	}
+	if min <= uint64(n.cfg.RetainSlots) {
+		return
+	}
+	newFloor := min - uint64(n.cfg.RetainSlots)
+	if newFloor <= n.floor {
+		return
+	}
+	var pruned uint64
+	for s := n.floor + 1; s <= newFloor; s++ {
+		if _, ok := n.decided[msg.SlotKey(s)]; ok {
+			delete(n.decided, msg.SlotKey(s))
+			n.counters.LiveSlots.Dec()
+			pruned++
+		}
+	}
+	n.floor = newFloor
+	if pruned > 0 {
+		n.counters.SlotsPruned.Add(pruned)
+	}
+}
+
+// checkpointLocked assembles the state-transfer answer for a pruned slot:
+// the floor plus every register effect this node holds. The snapshot covers
+// all applied slots (provenance per slot is not tracked); its size is
+// bounded by request retirement (Abandon), the per-register GC layered above.
+//
+// The snapshot is cached per floor value: any snapshot taken while the
+// floor sits at F already contains every effect of slots <= F (they were
+// applied before the floor could advance to F), so re-serving it to the
+// next asker is as safe as rebuilding — and the rebuild is O(live
+// registers) under the node-wide lock, which retrying laggards would
+// otherwise pay dozens of times a second. Caller holds n.mu.
+func (n *Node) checkpointLocked() msg.Checkpoint {
+	if n.ckptCache != nil && n.ckptCacheFloor == n.floor {
+		return *n.ckptCache
+	}
+	ck := msg.Checkpoint{Floor: n.floor}
+	ck.Regs = make([]msg.RegOp, 0, len(n.decided))
+	for k, v := range n.decided {
+		if k.Array == msg.RegBatch {
+			continue
+		}
+		ck.Regs = append(ck.Regs, msg.RegOp{Reg: k, Val: v})
+	}
+	n.ckptCache, n.ckptCacheFloor = &ck, n.floor
+	return ck
+}
+
+// installCheckpoint fast-forwards a laggard past a peer's truncation floor:
+// the shipped register effects are installed (first write wins, so anything
+// already decided locally is untouched), the application cursor jumps to
+// floor+1, stranded slot instances at or below the floor are finished (their
+// proposers re-enqueue at a live slot), and any decided slots waiting above
+// the old gap are applied.
+func (n *Node) installCheckpoint(m msg.Checkpoint) {
+	n.mu.Lock()
+	if m.Floor < n.nextApply {
+		// Nothing to skip: we are at or past this peer's floor already.
+		n.mu.Unlock()
+		return
+	}
+	var effects []decideEffect
+	for _, op := range m.Regs {
+		if op.Reg.Array == msg.RegBatch {
+			continue // structurally excluded by the codec; belt and braces
+		}
+		if _, dup := n.decided[op.Reg]; dup {
+			continue
+		}
+		n.decided[op.Reg] = op.Val
+		inst := n.instances[op.Reg]
+		subs := n.subs[op.Reg]
+		if inst == nil && len(subs) == 0 {
+			continue
+		}
+		delete(n.subs, op.Reg)
+		effects = append(effects, decideEffect{key: op.Reg, val: op.Val, inst: inst, subs: subs})
+	}
+	// Drop slots we hold that are now below the floor (decided but never
+	// applied: the gap in front of them is what stranded us).
+	var pruned uint64
+	for s := n.floor + 1; s <= m.Floor; s++ {
+		if _, ok := n.decided[msg.SlotKey(s)]; ok {
+			delete(n.decided, msg.SlotKey(s))
+			n.counters.LiveSlots.Dec()
+			pruned++
+		}
+	}
+	if pruned > 0 {
+		n.counters.SlotsPruned.Add(pruned)
+	}
+	if m.Floor > n.floor {
+		n.floor = m.Floor
+	}
+	n.nextApply = m.Floor + 1
+	// Slot instances at or below the floor can never decide now (every
+	// up-to-date peer answers them with a checkpoint): finish them so their
+	// proposing sequencers re-enqueue the surviving ops at a live slot.
+	var stranded []*instance
+	for k, inst := range n.instances {
+		if k.Array == msg.RegBatch && k.Slot <= n.floor {
+			stranded = append(stranded, inst)
+			delete(n.instances, k)
+		}
+	}
+	effects = n.applyLocked(effects)
+	n.gcLocked()
+	n.mu.Unlock()
+
+	n.counters.CkptInstalled.Inc()
+	for _, inst := range stranded {
+		inst.finish(msg.EncodeRegOps(nil))
+	}
+	n.deliver(effects)
 }
 
 func (n *Node) dispatch(from id.NodeID, key msg.RegKey, p msg.Payload) {
 	n.mu.Lock()
-	if v, ok := n.decided[key]; ok {
+	if key.Array == msg.RegBatch && key.Slot <= n.floor {
+		// The slot is truncated history: state transfer instead of replay.
+		if time.Since(n.lastCkpt[from]) < ckptServeInterval {
+			n.mu.Unlock()
+			return
+		}
+		n.lastCkpt[from] = time.Now()
+		ck := n.checkpointLocked()
 		n.mu.Unlock()
+		n.counters.CkptServed.Inc()
+		n.send(from, ck)
+		return
+	}
+	if v, ok := n.decided[key]; ok {
 		// Help laggards: answer any chatter about a decided instance with
-		// the decision itself.
-		n.send(from, msg.CDecision{Reg: key, Val: v})
+		// the decision itself. For batch-log slots, replay a burst of
+		// consecutive decided slots: the asker is applying in slot order,
+		// so the successors are its next questions.
+		answers := []msg.CDecision{{Reg: key, Val: v}}
+		if key.Array == msg.RegBatch {
+			for s := key.Slot + 1; len(answers) < gapBurst; s++ {
+				v2, ok := n.decided[msg.SlotKey(s)]
+				if !ok {
+					break
+				}
+				answers = append(answers, msg.CDecision{Reg: msg.SlotKey(s), Val: v2})
+			}
+		}
+		n.mu.Unlock()
+		for _, a := range answers {
+			n.send(from, a)
+		}
 		return
 	}
 	n.mu.Unlock()
@@ -461,8 +849,18 @@ type decideEffect struct {
 func (n *Node) learn(key msg.RegKey, val []byte) {
 	n.mu.Lock()
 	effects := n.recordLocked(key, val)
+	if key.Array == msg.RegBatch {
+		// Applying slots moved our watermark; the floor may follow.
+		n.gcLocked()
+	}
 	n.mu.Unlock()
+	n.deliver(effects)
+}
 
+// deliver resolves the deferred side effects of recorded decisions outside
+// the node lock: finishing instances, waking watchers, and emitting the
+// reliable-broadcast echo where recordLocked asked for one.
+func (n *Node) deliver(effects []decideEffect) {
 	for _, e := range effects {
 		if e.inst != nil {
 			e.inst.finish(e.val)
@@ -485,6 +883,13 @@ func (n *Node) learn(key msg.RegKey, val []byte) {
 // The decided guard also dedups the reliable-broadcast echo: a key relays
 // exactly once, when it is first recorded. Caller holds n.mu.
 func (n *Node) recordLocked(key msg.RegKey, val []byte) []decideEffect {
+	if key.Array == msg.RegBatch && key.Slot <= n.floor {
+		// A straggling replay of a truncated slot (e.g. a tail-retaining
+		// peer's CDecision racing a checkpoint install): its effects are
+		// already part of the applied state; re-recording would leak the
+		// slot below the floor forever.
+		return nil
+	}
 	if _, ok := n.decided[key]; ok {
 		return nil
 	}
@@ -493,6 +898,7 @@ func (n *Node) recordLocked(key msg.RegKey, val []byte) []decideEffect {
 	delete(n.subs, key)
 	out := []decideEffect{e}
 	if key.Array == msg.RegBatch {
+		n.counters.LiveSlots.Inc()
 		out = n.applyLocked(out)
 	}
 	return out
@@ -507,6 +913,9 @@ func (n *Node) recordLocked(key msg.RegKey, val []byte) []decideEffect {
 // is only recorded when a local instance or watcher is waiting. Caller holds
 // n.mu.
 func (n *Node) applyLocked(out []decideEffect) []decideEffect {
+	defer func() {
+		n.appliedWM.Store(n.nextApply - 1)
+	}()
 	for {
 		key := msg.SlotKey(n.nextApply)
 		raw, ok := n.decided[key]
@@ -548,6 +957,12 @@ func (n *Node) getInstance(key msg.RegKey, create bool) *instance {
 	if _, ok := n.decided[key]; ok {
 		return nil
 	}
+	if key.Array == msg.RegBatch && key.Slot <= n.floor {
+		// The slot is truncated history; an instance here could try to
+		// re-litigate it (the callers check too, but the floor may have
+		// advanced since they dropped the lock).
+		return nil
+	}
 	if n.stopped {
 		return nil
 	}
@@ -569,14 +984,41 @@ func (n *Node) forget(key msg.RegKey) {
 
 // send transmits to a peer, short-circuiting self-sends straight back into
 // Handle so a register write by the round-1 coordinator costs exactly one
-// network round trip, as the paper's analysis assumes.
+// network round trip, as the paper's analysis assumes. Remote sends are
+// stamped with the applied watermark (the truncation protocol's piggyback).
 func (n *Node) send(to id.NodeID, p msg.Payload) {
 	if to == n.cfg.Self {
 		n.Handle(n.cfg.Self, p)
 		return
 	}
 	n.counters.Messages.Inc()
-	_ = n.cfg.Send(to, p)
+	_ = n.cfg.Send(to, n.stamp(p))
+}
+
+// stamp copies the applied watermark into an outgoing consensus payload.
+func (n *Node) stamp(p msg.Payload) msg.Payload {
+	wm := n.appliedWM.Load()
+	if wm == 0 {
+		return p
+	}
+	switch m := p.(type) {
+	case msg.Estimate:
+		m.WM = wm
+		return m
+	case msg.Propose:
+		m.WM = wm
+		return m
+	case msg.CAck:
+		m.WM = wm
+		return m
+	case msg.CNack:
+		m.WM = wm
+		return m
+	case msg.CDecision:
+		m.WM = wm
+		return m
+	}
+	return p
 }
 
 // --- instance ---------------------------------------------------------------

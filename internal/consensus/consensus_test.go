@@ -34,6 +34,13 @@ func newRig(t *testing.T, n int, opts transport.Options) *rig {
 
 func newRigWith(t *testing.T, n int, opts transport.Options, poll time.Duration) *rig {
 	t.Helper()
+	return newRigRetain(t, n, opts, poll, 0)
+}
+
+// newRigRetain is newRigWith with batch-log truncation enabled
+// (Config.RetainSlots).
+func newRigRetain(t *testing.T, n int, opts transport.Options, poll time.Duration, retain int) *rig {
+	t.Helper()
 	r := &rig{
 		t:     t,
 		net:   transport.NewMemNetwork(opts),
@@ -52,10 +59,11 @@ func newRigWith(t *testing.T, n int, opts transport.Options, poll time.Duration)
 		}
 		det := fd.NewScripted()
 		node, err := New(Config{
-			Self:     p,
-			Peers:    r.peers,
-			Detector: det,
-			Poll:     poll,
+			Self:        p,
+			Peers:       r.peers,
+			Detector:    det,
+			Poll:        poll,
+			RetainSlots: retain,
 			Send: func(to id.NodeID, pl msg.Payload) error {
 				return ep.Send(msg.Envelope{To: to, Payload: pl})
 			},

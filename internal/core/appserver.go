@@ -113,6 +113,15 @@ type AppServerConfig struct {
 	// MaxCohort caps the register ops proposed in one consensus slot.
 	// Defaults to 64 when CohortWindow is set.
 	MaxCohort int
+	// RetainSlots bounds the cohort-consensus batch log: each server
+	// piggybacks its applied slot watermark on consensus messages and
+	// heartbeats, and decided slots below the cluster-wide minimum minus
+	// this retention tail are truncated (laggards past the tail catch up
+	// via checkpoint state transfer instead of decision replay). 0 — the
+	// default — retains every decided slot forever, the pre-GC behaviour.
+	// Only meaningful with CohortWindow set; every application server must
+	// use the same setting.
+	RetainSlots int
 	// Hooks carries optional instrumentation and crash injection.
 	Hooks *Hooks
 }
@@ -269,15 +278,24 @@ func NewAppServer(cfg AppServerConfig) (*AppServer, error) {
 			Send: func(to id.NodeID, p msg.Payload) error {
 				return cfg.Endpoint.Send(msg.Envelope{To: to, Payload: p})
 			},
+			// The consensus node is created a few lines below; heartbeats
+			// only start flowing once Start runs, well after it exists.
+			Watermark: func() uint64 {
+				if s.cons == nil {
+					return 0
+				}
+				return s.cons.Applied()
+			},
 		})
 		s.det = s.hb
 	}
 
 	cons, err := consensus.New(consensus.Config{
-		Self:     cfg.Self,
-		Peers:    cfg.AppServers,
-		Detector: s.det,
-		Poll:     cfg.ConsensusPoll,
+		Self:        cfg.Self,
+		Peers:       cfg.AppServers,
+		Detector:    s.det,
+		Poll:        cfg.ConsensusPoll,
+		RetainSlots: cfg.RetainSlots,
 		Send: func(to id.NodeID, p msg.Payload) error {
 			return cfg.Endpoint.Send(msg.Envelope{To: to, Payload: p})
 		},
@@ -315,10 +333,12 @@ func (s *AppServer) Placement() *placement.Map { return s.place }
 
 // Retire drops all local state of a finished logical request: its cached
 // committed decision, the cleaning thread's dedup entries, and the registers
-// of every try up to maxTry. The paper leaves this garbage collection open
-// (Section 5); it is only safe once the client is known to have delivered
-// the result and will not retransmit — the ablation benchmark quantifies the
-// memory it reclaims.
+// of every try up to maxTry — including undecided register instances (a try
+// whose proposer crashed between propose and decide never decides, and its
+// instance would otherwise sit in the consensus maps forever). The paper
+// leaves this garbage collection open (Section 5); it is only safe once the
+// client is known to have delivered the result and will not retransmit — the
+// ablation benchmark quantifies the memory it reclaims.
 func (s *AppServer) Retire(req id.RequestKey, maxTry uint64) {
 	s.commitMu.Lock()
 	delete(s.committed, req)
@@ -336,8 +356,16 @@ func (s *AppServer) Retire(req id.RequestKey, maxTry uint64) {
 func (s *AppServer) Detector() fd.Detector { return s.det }
 
 // ConsensusStats exposes the consensus node's protocol counters (instances,
-// rounds, messages, fast-path hits) for benchmarks and diagnostics.
+// rounds, messages, fast-path hits, batch-log watermarks) for benchmarks and
+// diagnostics.
 func (s *AppServer) ConsensusStats() consensus.Stats { return s.cons.Stats() }
+
+// InstanceState exposes the live round and coordinator of an undecided
+// consensus instance (tests assert retirement leaves no instance behind;
+// DebugTry renders it for humans).
+func (s *AppServer) InstanceState(key msg.RegKey) (round uint32, coord id.NodeID, ok bool) {
+	return s.cons.InstanceState(key)
+}
 
 // Start launches the demultiplexer, the compute thread(s), the terminator
 // pool and the cleaning thread — the cobegin of Figure 4.
@@ -406,7 +434,10 @@ func (s *AppServer) handlePayload(from id.NodeID, payload msg.Payload) {
 		if s.hb != nil {
 			s.hb.Observe(from)
 		}
-	case msg.Estimate, msg.Propose, msg.CAck, msg.CNack, msg.CDecision:
+		// The applied batch-log watermark rides the heartbeat; hand it to
+		// the consensus node so truncation advances even between commits.
+		s.cons.ObserveWatermark(from, m.WM)
+	case msg.Estimate, msg.Propose, msg.CAck, msg.CNack, msg.CDecision, msg.Checkpoint:
 		s.cons.Handle(from, m)
 	case msg.Request:
 		s.enqueue(m)

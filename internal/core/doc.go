@@ -21,6 +21,19 @@
 // SpanCommit still bound the same exchanges; the shared fsync simply makes
 // them cheaper per request — so the Figure 8 rows remain comparable with
 // batching on or off.
+//
+// Memory is bounded by two garbage-collection layers, both extensions of
+// the treatment the paper defers in Section 5. Per request, Retire discards
+// the commit cache, cleaning dedup entries and both wo-registers of every
+// try — including undecided register instances, via the consensus layer's
+// Abandon — once the client is known past retransmitting. Per batch-log
+// slot (cohort consensus), AppServerConfig.RetainSlots switches on the
+// watermark protocol: every server piggybacks its applied slot watermark on
+// consensus messages and heartbeats, decided slots below the cluster-wide
+// minimum minus the retention tail are truncated, and a replica that falls
+// below the truncation floor is caught up by checkpoint state transfer
+// (msg.Checkpoint) instead of decision replay. DebugTry prints the applied
+// watermark, floor and live-slot gauge with the consensus counters.
 package core
 
 import (

@@ -102,6 +102,11 @@ type Config struct {
 	Increment time.Duration
 	// MaxTimeout caps the adaptive growth. Defaults to 100*Timeout.
 	MaxTimeout time.Duration
+	// Watermark, when set, is sampled at every beat and piggybacked on the
+	// outgoing heartbeats (msg.Heartbeat.WM): the consensus layer's applied
+	// batch-log watermark rides the liveness beacon, so batch-log truncation
+	// keeps advancing even when no consensus traffic is in flight.
+	Watermark func() uint64
 }
 
 func (c Config) withDefaults() Config {
@@ -188,13 +193,17 @@ func (h *Heartbeat) beat() {
 	h.seq++
 	seq := h.seq
 	h.mu.Unlock()
+	var wm uint64
+	if h.cfg.Watermark != nil {
+		wm = h.cfg.Watermark()
+	}
 	for _, p := range h.cfg.Peers {
 		if p == h.cfg.Self {
 			continue
 		}
 		// Send errors mean we are shutting down or crashed; the detector has
 		// nothing useful to do with them.
-		_ = h.cfg.Send(p, msg.Heartbeat{Seq: seq})
+		_ = h.cfg.Send(p, msg.Heartbeat{Seq: seq, WM: wm})
 	}
 }
 

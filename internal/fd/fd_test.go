@@ -219,6 +219,62 @@ func TestScriptedDetectorOverridesAndFallsBack(t *testing.T) {
 	}
 }
 
+// TestHeartbeatCarriesWatermark: the consensus layer's applied watermark is
+// sampled at each beat and rides the heartbeat, so batch-log truncation
+// advances even with no consensus traffic in flight.
+func TestHeartbeatCarriesWatermark(t *testing.T) {
+	var mu sync.Mutex
+	var got []uint64
+	wm := uint64(7)
+	h := NewHeartbeat(Config{
+		Self:     id.AppServer(1),
+		Peers:    []id.NodeID{id.AppServer(1), id.AppServer(2)},
+		Interval: time.Millisecond,
+		Send: func(to id.NodeID, p msg.Payload) error {
+			hb, ok := p.(msg.Heartbeat)
+			if !ok {
+				t.Errorf("sent %T, want Heartbeat", p)
+				return nil
+			}
+			mu.Lock()
+			got = append(got, hb.WM)
+			mu.Unlock()
+			return nil
+		},
+		Watermark: func() uint64 {
+			mu.Lock()
+			defer mu.Unlock()
+			return wm
+		},
+	})
+	ctx, cancel := context.WithCancel(context.Background())
+	h.Start(ctx)
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		mu.Lock()
+		n := len(got)
+		if n >= 2 {
+			wm = 9 // the next beats must sample the new level
+		}
+		done := n >= 2 && got[n-1] == 9
+		mu.Unlock()
+		if done {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("heartbeats never carried the updated watermark")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	h.Wait()
+	mu.Lock()
+	defer mu.Unlock()
+	if got[0] != 7 {
+		t.Errorf("first heartbeat carried WM %d, want 7", got[0])
+	}
+}
+
 func TestConfigDefaults(t *testing.T) {
 	c := Config{}.withDefaults()
 	if c.Interval <= 0 || c.Timeout <= 0 || c.Increment <= 0 || c.MaxTimeout <= 0 {

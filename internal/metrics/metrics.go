@@ -32,6 +32,27 @@ func (c *Counter) Add(n uint64) { c.v.Add(n) }
 // Load returns the current count.
 func (c *Counter) Load() uint64 { return c.v.Load() }
 
+// Gauge is a level that moves both ways, safe for concurrent use. Unlike a
+// Counter it reports occupancy, not activity: the consensus layer uses one
+// for the live batch-log slot map so the memory experiments can watch it
+// stay flat under the checkpointed truncation instead of growing with every
+// decided cohort.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Inc raises the level by one.
+func (g *Gauge) Inc() { g.v.Add(1) }
+
+// Dec lowers the level by one.
+func (g *Gauge) Dec() { g.v.Add(-1) }
+
+// Add moves the level by n (which may be negative).
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Load returns the current level.
+func (g *Gauge) Load() int64 { return g.v.Load() }
+
 // Sample accumulates observations. Safe for concurrent use.
 type Sample struct {
 	mu   sync.Mutex

@@ -193,21 +193,30 @@ func (w *writer) payload(p Payload) error {
 		w.uvarint(uint64(m.Round))
 		w.uvarint(uint64(m.TS))
 		w.bytes(m.Est)
+		w.uvarint(m.WM)
 	case Propose:
 		w.regKey(m.Reg)
 		w.uvarint(uint64(m.Round))
 		w.bytes(m.Val)
+		w.uvarint(m.WM)
 	case CAck:
 		w.regKey(m.Reg)
 		w.uvarint(uint64(m.Round))
+		w.uvarint(m.WM)
 	case CNack:
 		w.regKey(m.Reg)
 		w.uvarint(uint64(m.Round))
+		w.uvarint(m.WM)
 	case CDecision:
 		w.regKey(m.Reg)
 		w.bytes(m.Val)
+		w.uvarint(m.WM)
 	case Heartbeat:
 		w.uvarint(m.Seq)
+		w.uvarint(m.WM)
+	case Checkpoint:
+		w.uvarint(m.Floor)
+		w.regOps(m.Regs)
 	case RData:
 		w.uvarint(m.Seq)
 		return w.payload(m.Inner)
@@ -479,17 +488,19 @@ func (r *reader) payloadOrErr() (Payload, error) {
 	case KindExecReply:
 		p = ExecReply{RID: r.rid(), CallID: r.uvarint(), Rep: r.opResult(), Inc: r.uvarint()}
 	case KindEstimate:
-		p = Estimate{Reg: r.regKey(), Round: r.round(), TS: r.round(), Est: r.bytes()}
+		p = Estimate{Reg: r.regKey(), Round: r.round(), TS: r.round(), Est: r.bytes(), WM: r.uvarint()}
 	case KindPropose:
-		p = Propose{Reg: r.regKey(), Round: r.round(), Val: r.bytes()}
+		p = Propose{Reg: r.regKey(), Round: r.round(), Val: r.bytes(), WM: r.uvarint()}
 	case KindAck:
-		p = CAck{Reg: r.regKey(), Round: r.round()}
+		p = CAck{Reg: r.regKey(), Round: r.round(), WM: r.uvarint()}
 	case KindNack:
-		p = CNack{Reg: r.regKey(), Round: r.round()}
+		p = CNack{Reg: r.regKey(), Round: r.round(), WM: r.uvarint()}
 	case KindDecision:
-		p = CDecision{Reg: r.regKey(), Val: r.bytes()}
+		p = CDecision{Reg: r.regKey(), Val: r.bytes(), WM: r.uvarint()}
 	case KindHeartbeat:
-		p = Heartbeat{Seq: r.uvarint()}
+		p = Heartbeat{Seq: r.uvarint(), WM: r.uvarint()}
+	case KindCheckpoint:
+		p = Checkpoint{Floor: r.uvarint(), Regs: r.regOps()}
 	case KindRData:
 		seq := r.uvarint()
 		inner, err := r.payloadOrErr()

@@ -65,6 +65,19 @@ func allPayloads() []Payload {
 			{Reg: RegKey{Array: RegA, RID: r}, Val: []byte("who")},
 			{Reg: RegKey{Array: RegD, RID: rid(2, 8, 1)}, Val: []byte("dec")},
 		}},
+		// The watermark piggyback survives on every consensus payload and on
+		// heartbeats.
+		Estimate{Reg: SlotKey(19), Round: 2, TS: 1, Est: []byte("v"), WM: 42},
+		Propose{Reg: SlotKey(19), Round: 2, Val: []byte("v"), WM: 43},
+		CAck{Reg: SlotKey(19), Round: 2, WM: 44},
+		CNack{Reg: SlotKey(19), Round: 2, WM: 45},
+		CDecision{Reg: SlotKey(19), Val: []byte("v"), WM: 46},
+		Heartbeat{Seq: 77, WM: 46},
+		Checkpoint{Floor: 31, Regs: []RegOp{
+			{Reg: RegKey{Array: RegA, RID: r}, Val: []byte("who")},
+			{Reg: RegKey{Array: RegD, RID: rid(2, 8, 1)}, Val: []byte("dec")},
+		}},
+		Checkpoint{Floor: 0, Regs: nil},
 	}
 }
 
@@ -130,6 +143,11 @@ func payloadEqual(a, b Payload) bool {
 			return m
 		case RData:
 			m.Inner = normalizeInner(m.Inner)
+			return m
+		case Checkpoint:
+			if len(m.Regs) == 0 {
+				m.Regs = nil
+			}
 			return m
 		case PBStart:
 			if len(m.Body) == 0 {

@@ -64,6 +64,10 @@ const (
 	// Cohort-consensus framing: a forwarded batch of wo-register operations
 	// bound for a peer's cohort sequencer.
 	KindRegOps
+
+	// Batch-log state transfer: a node asked about a slot it has truncated
+	// answers with its floor and the applied register effects.
+	KindCheckpoint
 )
 
 // String returns the mnemonic name of the kind.
@@ -117,6 +121,8 @@ func (k Kind) String() string {
 		return "Batch"
 	case KindRegOps:
 		return "RegOps"
+	case KindCheckpoint:
+		return "Checkpoint"
 	default:
 		return fmt.Sprintf("Kind(%d)", uint8(k))
 	}
@@ -399,50 +405,59 @@ func (ExecReply) Kind() Kind { return KindExecReply }
 // --- Consensus payloads (wo-register substrate) ----------------------------
 
 // Estimate is a participant's phase-1 message to the coordinator of Round:
-// its current estimate Est, adopted in round TS (0 = initial).
+// its current estimate Est, adopted in round TS (0 = initial). WM piggybacks
+// the sender's applied batch-log watermark (see Checkpoint).
 type Estimate struct {
 	Reg   RegKey
 	Round uint32
 	TS    uint32
 	Est   []byte
+	WM    uint64
 }
 
 // Kind implements Payload.
 func (Estimate) Kind() Kind { return KindEstimate }
 
-// Propose is the coordinator's phase-2 proposal for Round.
+// Propose is the coordinator's phase-2 proposal for Round. WM piggybacks the
+// sender's applied batch-log watermark.
 type Propose struct {
 	Reg   RegKey
 	Round uint32
 	Val   []byte
+	WM    uint64
 }
 
 // Kind implements Payload.
 func (Propose) Kind() Kind { return KindPropose }
 
-// CAck is a participant's positive phase-3 answer for Round.
+// CAck is a participant's positive phase-3 answer for Round. WM piggybacks
+// the sender's applied batch-log watermark.
 type CAck struct {
 	Reg   RegKey
 	Round uint32
+	WM    uint64
 }
 
 // Kind implements Payload.
 func (CAck) Kind() Kind { return KindAck }
 
 // CNack is a participant's negative phase-3 answer for Round (it suspected the
-// coordinator).
+// coordinator). WM piggybacks the sender's applied batch-log watermark.
 type CNack struct {
 	Reg   RegKey
 	Round uint32
+	WM    uint64
 }
 
 // Kind implements Payload.
 func (CNack) Kind() Kind { return KindNack }
 
 // CDecision reliably broadcasts the decided value of a consensus instance.
+// WM piggybacks the sender's applied batch-log watermark.
 type CDecision struct {
 	Reg RegKey
 	Val []byte
+	WM  uint64
 }
 
 // Kind implements Payload.
@@ -450,9 +465,13 @@ func (CDecision) Kind() Kind { return KindDecision }
 
 // --- Failure detector payloads ---------------------------------------------
 
-// Heartbeat is the periodic liveness beacon among application servers.
+// Heartbeat is the periodic liveness beacon among application servers. WM
+// piggybacks the sender's applied batch-log watermark, so watermarks keep
+// flowing (and batch-log truncation keeps making progress) even when no
+// consensus traffic is in flight.
 type Heartbeat struct {
 	Seq uint64
+	WM  uint64
 }
 
 // Kind implements Payload.
@@ -565,6 +584,21 @@ type RegOps struct {
 // Kind implements Payload.
 func (RegOps) Kind() Kind { return KindRegOps }
 
+// Checkpoint is the batch-log state-transfer answer: a node asked about a
+// slot at or below its truncation floor cannot replay the slot's decision
+// (it was pruned), so it ships its Floor — every slot <= Floor is applied and
+// truncated — plus Regs, the register effects it currently holds. The laggard
+// installs the effects, fast-forwards its application cursor past Floor, and
+// never re-decides the pruned prefix. Regs must name real registers (regA or
+// regD), never batch slots.
+type Checkpoint struct {
+	Floor uint64
+	Regs  []RegOp
+}
+
+// Kind implements Payload.
+func (Checkpoint) Kind() Kind { return KindCheckpoint }
+
 // Compile-time interface compliance checks.
 var (
 	_ Payload = Request{}
@@ -591,4 +625,5 @@ var (
 	_ Payload = PBOutcomeAck{}
 	_ Payload = Batch{}
 	_ Payload = RegOps{}
+	_ Payload = Checkpoint{}
 )

@@ -179,6 +179,37 @@ func TestDecodeRejectsMalformedRegOpsFrames(t *testing.T) {
 	}
 }
 
+// TestDecodeRejectsMalformedCheckpoints: the checkpoint's register-effect
+// list goes through the same guarded regOps decode, so a corrupt or
+// slot-targeting checkpoint is rejected whole rather than half-installed.
+func TestDecodeRejectsMalformedCheckpoints(t *testing.T) {
+	good, err := Encode(Envelope{From: id.AppServer(1), To: id.AppServer(2),
+		Payload: Checkpoint{Floor: 9, Regs: sampleOps()}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Decode(good); err != nil {
+		t.Fatalf("control: %v", err)
+	}
+	if _, err := Decode(append(append([]byte{}, good...), 0x01)); err == nil {
+		t.Error("trailing bytes accepted")
+	}
+	if _, err := Decode(good[:len(good)-2]); err == nil {
+		t.Error("truncated checkpoint accepted")
+	}
+	// A checkpoint carrying a batch-slot "effect" is structurally invalid:
+	// slots are what checkpoints replace, never what they carry.
+	var w writer
+	w.node(id.AppServer(1))
+	w.node(id.AppServer(2))
+	w.byte(byte(KindCheckpoint))
+	w.uvarint(9)
+	w.regOps([]RegOp{{Reg: SlotKey(3), Val: []byte("x")}})
+	if _, err := Decode(w.buf); err == nil {
+		t.Error("slot-targeting checkpoint accepted")
+	}
+}
+
 func TestAppendEncodeMatchesEncode(t *testing.T) {
 	env := Envelope{From: id.AppServer(1), To: id.DBServer(2), Payload: Prepare{RID: id.ResultID{Client: id.Client(1), Seq: 1, Try: 1}}}
 	plain, err := Encode(env)

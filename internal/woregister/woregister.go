@@ -35,6 +35,7 @@ package woregister
 import (
 	"context"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"sync"
 	"time"
@@ -218,11 +219,15 @@ func (r *Registers) KnownTries() []id.ResultID {
 }
 
 // Retire discards both registers of a try (regA[rid] and regD[rid]),
-// implementing the paper's deferred garbage-collection concern. Callers must
-// guarantee the client will never retransmit the request again.
+// implementing the paper's deferred garbage-collection concern — including
+// any undecided consensus instance of either register: a try whose proposer
+// crashed between propose and decide never decides, and without the Abandon
+// path its instance (and watch subscriptions) would outlive the request
+// forever. Callers must guarantee the client will never retransmit the
+// request again.
 func (r *Registers) Retire(rid id.ResultID) {
-	r.node.Forget(msg.RegKey{Array: msg.RegA, RID: rid})
-	r.node.Forget(msg.RegKey{Array: msg.RegD, RID: rid})
+	r.node.Abandon(msg.RegKey{Array: msg.RegA, RID: rid})
+	r.node.Abandon(msg.RegKey{Array: msg.RegD, RID: rid})
 }
 
 // --- cohort sequencer --------------------------------------------------
@@ -404,9 +409,19 @@ func (s *sequencer) run() {
 		}
 		target := s.chooseSequencer()
 		if target == s.opts.Self {
+			// LowestUndecidedSlot is always above the local truncation
+			// floor (the floor only covers applied slots), so the
+			// sequencer never proposes into truncated history. If a
+			// checkpoint install moves the floor mid-flight, the proposal
+			// resolves with an empty decision (or ErrSlotTruncated in the
+			// propose race) and the surviving ops simply re-enter the pool
+			// for a live slot.
 			slot := msg.SlotKey(s.node.LowestUndecidedSlot())
 			if _, err := s.node.Propose(s.ctx, slot, msg.EncodeRegOps(batch)); err != nil {
-				return // shutting down
+				if errors.Is(err, consensus.ErrStopped) || s.ctx.Err() != nil {
+					return // shutting down
+				}
+				// Truncation race (or abandonment): re-pick a slot.
 			}
 			// Ops that lost the slot to a concurrent proposer re-enter the
 			// pool and ride the next one.

@@ -1,0 +1,30 @@
+package etx
+
+import "testing"
+
+// TestRandomSeqBaseIsFreshPerIncarnation is the regression test for the
+// client replay bug: the sequence base used to be time.Now().UnixNano(), so
+// two dials within the clock's resolution — or a dial after a backwards
+// clock step — reused a live incarnation's sequence numbers and were handed
+// its cached results instead of executing. The crypto/rand derivation must
+// produce distinct, bounded bases on every call, with no dependence on the
+// wall clock at all.
+func TestRandomSeqBaseIsFreshPerIncarnation(t *testing.T) {
+	const draws = 256
+	seen := make(map[uint64]bool, draws)
+	for i := 0; i < draws; i++ {
+		base, err := randomSeqBase()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if base>>62 != 0 {
+			t.Fatalf("base %d uses more than 62 bits; sequence headroom eroded", base)
+		}
+		if seen[base] {
+			// 256 draws from 2^62 values collide with probability ~2^-48:
+			// a duplicate here means the derivation is broken, not unlucky.
+			t.Fatalf("draw %d repeated base %d", i, base)
+		}
+		seen[base] = true
+	}
+}
