@@ -1,0 +1,94 @@
+// Command etxlint runs the repo's custom static-analysis suite over a set of
+// package patterns and exits nonzero if any diagnostic survives the
+// suppression annotations. It is the mechanical enforcement arm of the
+// protocol's concurrency and wire invariants:
+//
+//	go run ./cmd/etxlint ./...
+//	go run ./cmd/etxlint -list
+//	go run ./cmd/etxlint -run lockheld,wallclock ./internal/consensus
+//
+// The driver loads packages with `go list -deps -json` and type-checks them
+// from source (see internal/lint/load.go), so it needs the go toolchain on
+// PATH but no third-party modules and no pre-built export data. It cannot be
+// used as a `go vet -vettool` (that protocol needs x/tools' unitchecker);
+// run it standalone, as CI's lint job does.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"etx/internal/lint"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list available analyzers and exit")
+	run := flag.String("run", "", "comma-separated analyzer names to run (default: all)")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: etxlint [-list] [-run a,b] [packages]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	all := lint.All()
+	if *list {
+		for _, a := range all {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	analyzers := all
+	if *run != "" {
+		byName := make(map[string]*lint.Analyzer, len(all))
+		for _, a := range all {
+			byName[a.Name] = a
+		}
+		analyzers = nil
+		for _, name := range strings.Split(*run, ",") {
+			name = strings.TrimSpace(name)
+			a, ok := byName[name]
+			if !ok {
+				fmt.Fprintf(os.Stderr, "etxlint: unknown analyzer %q (try -list)\n", name)
+				os.Exit(2)
+			}
+			analyzers = append(analyzers, a)
+		}
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	wd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "etxlint: %v\n", err)
+		os.Exit(2)
+	}
+	pkgs, err := lint.Load(wd, patterns)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "etxlint: %v\n", err)
+		os.Exit(2)
+	}
+
+	found := 0
+	for _, pkg := range pkgs {
+		diags, err := lint.RunAnalyzers(pkg, analyzers)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "etxlint: %v\n", err)
+			os.Exit(2)
+		}
+		for _, d := range diags {
+			pos := pkg.Fset.Position(d.Pos)
+			fmt.Printf("%s: %s: %s\n", pos, d.Analyzer, d.Message)
+			found++
+		}
+	}
+	if found > 0 {
+		fmt.Fprintf(os.Stderr, "etxlint: %d finding(s)\n", found)
+		os.Exit(1)
+	}
+}

@@ -105,6 +105,7 @@ func (s *PBServer) loop() {
 			if s.base.route(env) {
 				continue
 			}
+			//etxlint:allow kindswitch — the PB baseline only speaks Request and its PB* kinds; the paper's weaker protocol ignores the rest by design
 			switch m := env.Payload.(type) {
 			case msg.Request:
 				if s.IsPrimary() {
@@ -145,6 +146,7 @@ type pbAckKey struct {
 
 func (s *PBServer) routePBAck(env msg.Envelope) {
 	var key pbAckKey
+	//etxlint:allow kindswitch — ack correlator for the two PB ack kinds only; the caller demux routes everything else
 	switch m := env.Payload.(type) {
 	case msg.PBStartAck:
 		key = pbAckKey{rid: m.RID}

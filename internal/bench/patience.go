@@ -139,6 +139,7 @@ func regAWriters(col *trace.Collector, seq uint64) int {
 	writers := make(map[id.NodeID]bool)
 	for _, ev := range col.Events() {
 		var reg msg.RegKey
+		//etxlint:allow kindswitch — trace filter: only the two estimate-bearing kinds carry the regA key this metric counts
 		switch p := ev.Payload.(type) {
 		case msg.Propose:
 			reg = p.Reg

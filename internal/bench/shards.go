@@ -177,6 +177,7 @@ func oneShardRun(model latcost.Model, shards int, dist string, requests, infligh
 		if ev.Dropped || ev.To.Role != id.RoleDBServer {
 			return
 		}
+		//etxlint:allow kindswitch — wire-tap counter for the two commit fan-out kinds this benchmark measures
 		switch ev.Payload.Kind() {
 		case msg.KindPrepare:
 			prepares.Add(1)

@@ -121,6 +121,11 @@ type Config struct {
 	// 0 (the default) retains every decided slot forever — the pre-GC
 	// behaviour, and the paper's deferred Section-5 problem.
 	RetainSlots int
+	// Now is the clock behind every throttle (probe pacing, checkpoint
+	// serving, retransmission). Defaults to time.Now; deterministic
+	// harnesses inject their own. Protocol *decisions* never read it —
+	// rounds and timestamps are logical — it only paces traffic.
+	Now func() time.Time
 }
 
 func (c Config) validate() error {
@@ -254,10 +259,10 @@ type Node struct {
 	fdCh chan struct{}
 
 	mu        sync.Mutex
-	stopped   bool
-	instances map[msg.RegKey]*instance
-	decided   map[msg.RegKey][]byte
-	subs      map[msg.RegKey][]chan []byte
+	stopped   bool                         // guarded by mu
+	instances map[msg.RegKey]*instance     // guarded by mu
+	decided   map[msg.RegKey][]byte        // guarded by mu
+	subs      map[msg.RegKey][]chan []byte // guarded by mu
 
 	// Batch-log application state: decided slots are applied strictly in
 	// slot order; nextApply is the first unapplied slot.
@@ -271,21 +276,21 @@ type Node struct {
 	// question about them is answered with checkpoint state transfer — the
 	// laggard fast-forwards past the floor rather than re-deciding, so
 	// agreement is preserved without unbounded memory.
-	nextApply uint64
+	nextApply uint64 // guarded by mu
 	// floor is the truncation floor: every slot <= floor has been pruned
 	// (or was never held) and is served via Checkpoint. Invariant:
-	// floor < nextApply.
+	// floor < nextApply. Guarded by mu.
 	floor uint64
 	// peerWM is the latest applied watermark heard from each peer, via the
-	// piggyback on consensus messages and heartbeats.
+	// piggyback on consensus messages and heartbeats. Guarded by mu.
 	peerWM map[id.NodeID]uint64
 	// lastProbe throttles the laggard-side gap probes sent when a peer's
-	// watermark shows this node has fallen behind.
+	// watermark shows this node has fallen behind. Guarded by mu.
 	lastProbe time.Time
 	// lastCkpt throttles checkpoint serving per asking peer (a blocked
 	// laggard retransmits its gap proposal on a timer); ckptCache reuses
 	// one assembled snapshot for as long as the floor it was cut at stands
-	// (see checkpointLocked).
+	// (see checkpointLocked). All three guarded by mu.
 	lastCkpt       map[id.NodeID]time.Time
 	ckptCache      *msg.Checkpoint
 	ckptCacheFloor uint64
@@ -306,6 +311,9 @@ func New(cfg Config) (*Node, error) {
 	}
 	if cfg.RetainSlots < 0 {
 		cfg.RetainSlots = 0
+	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now //etxlint:allow wallclock — the injected clock's default; every other read goes through n.now
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	n := &Node{
@@ -329,6 +337,9 @@ func New(cfg Config) (*Node, error) {
 	}
 	return n, nil
 }
+
+// now reads the injected clock.
+func (n *Node) now() time.Time { return n.cfg.Now() }
 
 // fanoutDetector relays the detector's transition signals to every live
 // instance's wake channel.
@@ -580,6 +591,7 @@ func (n *Node) InstanceState(key msg.RegKey) (round uint32, coord id.NodeID, ok 
 // watermark piggybacked on every consensus message feeds the truncation
 // protocol as a side effect.
 func (n *Node) Handle(from id.NodeID, p msg.Payload) {
+	//etxlint:allow kindswitch — Handle's contract is the five consensus kinds; the owning demux routes everything else
 	switch m := p.(type) {
 	case msg.CDecision:
 		n.ObserveWatermark(from, m.WM)
@@ -639,9 +651,9 @@ func (n *Node) ObserveWatermark(from id.NodeID, wm uint64) {
 	// (or one whose previous probe fell to a fair-loss link) must keep
 	// asking until it has caught up.
 	var probe msg.Payload
-	if wm >= n.nextApply && time.Since(n.lastProbe) >= probeInterval {
+	if wm >= n.nextApply && n.now().Sub(n.lastProbe) >= probeInterval {
 		// The peer has applied our first unapplied slot: ask about it.
-		n.lastProbe = time.Now()
+		n.lastProbe = n.now()
 		probe = msg.Estimate{Reg: msg.SlotKey(n.nextApply), Round: 1, TS: 0, Est: msg.EncodeRegOps(nil)}
 	}
 	n.mu.Unlock()
@@ -791,11 +803,11 @@ func (n *Node) dispatch(from id.NodeID, key msg.RegKey, p msg.Payload) {
 	n.mu.Lock()
 	if key.Array == msg.RegBatch && key.Slot <= n.floor {
 		// The slot is truncated history: state transfer instead of replay.
-		if time.Since(n.lastCkpt[from]) < ckptServeInterval {
+		if n.now().Sub(n.lastCkpt[from]) < ckptServeInterval {
 			n.mu.Unlock()
 			return
 		}
-		n.lastCkpt[from] = time.Now()
+		n.lastCkpt[from] = n.now()
 		ck := n.checkpointLocked()
 		n.mu.Unlock()
 		n.counters.CkptServed.Inc()
@@ -1001,6 +1013,7 @@ func (n *Node) stamp(p msg.Payload) msg.Payload {
 	if wm == 0 {
 		return p
 	}
+	//etxlint:allow kindswitch — stamping only rewrites the WM-bearing consensus kinds; others pass through below
 	switch m := p.(type) {
 	case msg.Estimate:
 		m.WM = wm
@@ -1127,6 +1140,7 @@ func (inst *instance) drain() bool {
 		if !ok {
 			return true
 		}
+		//etxlint:allow kindswitch — the inbox only ever carries the phase messages Handle enqueues
 		switch p := m.p.(type) {
 		case msg.Estimate:
 			byNode, ok := inst.estimates[p.Round]
@@ -1452,7 +1466,7 @@ func (inst *instance) shouldResend() bool {
 	if interval < minResendInterval {
 		interval = minResendInterval
 	}
-	now := time.Now()
+	now := inst.node.now()
 	if !inst.lastResend.IsZero() && now.Sub(inst.lastResend) < interval {
 		return false
 	}

@@ -452,6 +452,13 @@ func (s *AppServer) handlePayload(from id.NodeID, payload msg.Payload) {
 	case msg.RegOps:
 		// A peer's forwarded write cohort: ride this server's sequencer.
 		s.regs.EnqueueRemote(from, m.Ops)
+	case msg.Result, msg.Exec, msg.Prepare, msg.Decide, msg.Commit1P, msg.RData,
+		msg.RAck, msg.Batch, msg.PBStart, msg.PBStartAck, msg.PBOutcome, msg.PBOutcomeAck:
+		// Explicitly not ours: Result targets clients, the exec/commit-path
+		// and transport-batch kinds target database servers or the reliable
+		// channel below this demux, and the PB* kinds belong to the
+		// primary-backup baseline. Listing them keeps this switch exhaustive,
+		// so routing a future kind is a conscious decision here.
 	}
 }
 

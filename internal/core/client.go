@@ -78,12 +78,12 @@ type Client struct {
 	sem chan struct{} // nil when MaxInFlight == 0
 
 	mu       sync.Mutex
-	stopped  bool
-	seq      uint64
-	inflight map[uint64]*call
+	stopped  bool             // guarded by mu
+	seq      uint64           // guarded by mu
+	inflight map[uint64]*call // guarded by mu
 
 	deliveredMu sync.Mutex
-	delivered   []Delivery
+	delivered   []Delivery // guarded by deliveredMu
 }
 
 // call is the routing slot of one in-flight request: the try currently

@@ -211,8 +211,16 @@ func (d *DataServer) serveBatch(envs []msg.Envelope) {
 				o := d.cfg.Engine.CommitDirect(m.RID)
 				d.reply(from, msg.AckDecide{RID: m.RID, O: o})
 			}()
-		default:
-			// Database servers are pure servers: everything else is ignored.
+		case msg.Request, msg.Result, msg.Heartbeat, msg.Estimate, msg.Propose,
+			msg.CAck, msg.CNack, msg.CDecision, msg.Checkpoint, msg.VoteMsg,
+			msg.AckDecide, msg.Ready, msg.ExecReply, msg.RegOps,
+			msg.RData, msg.RAck, msg.Batch, msg.PBStart, msg.PBStartAck,
+			msg.PBOutcome, msg.PBOutcomeAck:
+			// Database servers are pure servers: requests/results belong to
+			// the client edge, consensus and register traffic to the
+			// application tier, RData/RAck/Batch to the transport layers
+			// below this demux, and PB* to the primary-backup baseline.
+			// Nested Batch payloads are flattened by the caller, never here.
 		}
 	}
 	for _, env := range envs {

@@ -34,6 +34,15 @@
 // below the truncation floor is caught up by checkpoint state transfer
 // (msg.Checkpoint) instead of decision replay. DebugTry prints the applied
 // watermark, floor and live-slot gauge with the consensus counters.
+//
+// The package's concurrency and wire conventions are machine-checked by the
+// etxlint suite (internal/lint, run via cmd/etxlint and CI's lint job):
+// fields annotated `// guarded by mu` must be touched only under that
+// mutex and no blocking call may run while one is held (lockheld), the
+// demux switches over msg.Payload must stay exhaustive — ignored kinds are
+// listed explicitly, never left to default (kindswitch) — and wall-clock
+// reads are confined to injected clocks outside the protocol-identity
+// packages (wallclock).
 package core
 
 import (

@@ -107,6 +107,10 @@ type Config struct {
 	// batch-log watermark rides the liveness beacon, so batch-log truncation
 	// keeps advancing even when no consensus traffic is in flight.
 	Watermark func() uint64
+	// Now is the clock the detector reads. Defaults to time.Now; tests and
+	// deterministic harnesses inject their own. All suspicion arithmetic
+	// goes through it, so a simulated clock fully controls the detector.
+	Now func() time.Time
 }
 
 func (c Config) withDefaults() Config {
@@ -122,6 +126,9 @@ func (c Config) withDefaults() Config {
 	if c.MaxTimeout <= 0 {
 		c.MaxTimeout = 100 * c.Timeout
 	}
+	if c.Now == nil {
+		c.Now = time.Now //etxlint:allow wallclock — the injected clock's default; every other read goes through cfg.Now
+	}
 	return c
 }
 
@@ -132,11 +139,11 @@ type Heartbeat struct {
 	cfg Config
 
 	mu        sync.Mutex
-	lastSeen  map[id.NodeID]time.Time
-	timeout   map[id.NodeID]time.Duration
-	wasSusp   map[id.NodeID]bool // last published state, for adaptive growth
-	announced map[id.NodeID]bool // last notified state, for transition wakeups
-	seq       uint64
+	lastSeen  map[id.NodeID]time.Time     // guarded by mu
+	timeout   map[id.NodeID]time.Duration // guarded by mu
+	wasSusp   map[id.NodeID]bool          // guarded by mu; last published state, for adaptive growth
+	announced map[id.NodeID]bool          // guarded by mu; last notified state, for transition wakeups
+	seq       uint64                      // guarded by mu
 
 	ns notifySet
 
@@ -154,7 +161,7 @@ func NewHeartbeat(cfg Config) *Heartbeat {
 		wasSusp:   make(map[id.NodeID]bool, len(cfg.Peers)),
 		announced: make(map[id.NodeID]bool, len(cfg.Peers)),
 	}
-	now := time.Now()
+	now := cfg.Now()
 	for _, p := range cfg.Peers {
 		if p == cfg.Self {
 			continue
@@ -222,7 +229,7 @@ func (h *Heartbeat) Observe(from id.NodeID) {
 			h.timeout[from] = t
 		}
 	}
-	h.lastSeen[from] = time.Now()
+	h.lastSeen[from] = h.cfg.Now()
 	changed := h.announced[from]
 	if changed {
 		h.announced[from] = false
@@ -238,7 +245,7 @@ func (h *Heartbeat) Observe(from id.NodeID) {
 // within one heartbeat interval of the timeout expiring.
 func (h *Heartbeat) announce() {
 	h.mu.Lock()
-	now := time.Now()
+	now := h.cfg.Now()
 	changed := false
 	for p := range h.lastSeen {
 		s := h.suspectsLocked(p, now)
@@ -263,7 +270,7 @@ func (h *Heartbeat) Unsubscribe(ch chan<- struct{}) { h.ns.Unsubscribe(ch) }
 func (h *Heartbeat) Suspects(node id.NodeID) bool {
 	h.mu.Lock()
 	defer h.mu.Unlock()
-	return h.suspectsLocked(node, time.Now())
+	return h.suspectsLocked(node, h.cfg.Now())
 }
 
 func (h *Heartbeat) suspectsLocked(node id.NodeID, now time.Time) bool {
@@ -282,7 +289,7 @@ func (h *Heartbeat) suspectsLocked(node id.NodeID, now time.Time) bool {
 func (h *Heartbeat) Suspected() []id.NodeID {
 	h.mu.Lock()
 	defer h.mu.Unlock()
-	now := time.Now()
+	now := h.cfg.Now()
 	var out []id.NodeID
 	for p := range h.lastSeen {
 		if h.suspectsLocked(p, now) {

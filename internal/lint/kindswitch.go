@@ -1,0 +1,179 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// KindSwitch enforces exhaustiveness over the wire protocol's message space:
+// every value switch on msg.Kind and every type switch on msg.Payload must
+// mention every declared Kind constant / every Payload implementation in a
+// case arm. A default clause does NOT satisfy the analyzer — the codec and
+// the demux loops keep defaults as corruption backstops, and relying on them
+// is exactly how a freshly added Kind ships without encode/decode/route arms.
+// Switches that are partial by design (a stamp helper that only touches the
+// five consensus kinds, a trace filter) carry an
+// `//etxlint:allow kindswitch — <why>` annotation; a routing switch that
+// deliberately ignores kinds lists them in an explicit ignore arm instead, so
+// the next Kind forces a conscious routing decision.
+var KindSwitch = &Analyzer{
+	Name: "kindswitch",
+	Doc: "switches over msg.Kind and type switches over msg.Payload must cover every declared " +
+		"kind/payload type in case arms (a default clause does not count)",
+	Run: runKindSwitch,
+}
+
+// kindUniverse is the message-space universe resolved from the msg package
+// visible to the pass.
+type kindUniverse struct {
+	kindType    *types.Named             // msg.Kind
+	payloadType *types.Named             // msg.Payload
+	consts      map[*types.Const]bool    // declared Kind constants
+	impls       map[*types.TypeName]bool // Payload implementations
+}
+
+// resolveKindUniverse finds the package named "msg" that declares a Kind
+// value type and a Payload interface, in the pass package's import graph
+// (or the pass package itself), and enumerates the universe.
+func resolveKindUniverse(pass *Pass) *kindUniverse {
+	msgPkg := findImported(pass.Pkg, "msg", func(p *types.Package) bool {
+		k, _ := p.Scope().Lookup("Kind").(*types.TypeName)
+		pl, _ := p.Scope().Lookup("Payload").(*types.TypeName)
+		return k != nil && pl != nil && types.IsInterface(pl.Type()) && !types.IsInterface(k.Type())
+	})
+	if msgPkg == nil {
+		return nil
+	}
+	u := &kindUniverse{
+		kindType:    msgPkg.Scope().Lookup("Kind").(*types.TypeName).Type().(*types.Named),
+		payloadType: msgPkg.Scope().Lookup("Payload").(*types.TypeName).Type().(*types.Named),
+		consts:      make(map[*types.Const]bool),
+		impls:       make(map[*types.TypeName]bool),
+	}
+	iface := u.payloadType.Underlying().(*types.Interface)
+	scope := msgPkg.Scope()
+	for _, name := range scope.Names() {
+		switch obj := scope.Lookup(name).(type) {
+		case *types.Const:
+			if types.Identical(obj.Type(), u.kindType) {
+				u.consts[obj] = true
+			}
+		case *types.TypeName:
+			if obj == u.payloadType.Obj() || types.IsInterface(obj.Type()) {
+				continue
+			}
+			if types.Implements(obj.Type(), iface) || types.Implements(types.NewPointer(obj.Type()), iface) {
+				u.impls[obj] = true
+			}
+		}
+	}
+	return u
+}
+
+func runKindSwitch(pass *Pass) error {
+	u := resolveKindUniverse(pass)
+	if u == nil {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch s := n.(type) {
+			case *ast.SwitchStmt:
+				checkKindValueSwitch(pass, u, s)
+			case *ast.TypeSwitchStmt:
+				checkPayloadTypeSwitch(pass, u, s)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func checkKindValueSwitch(pass *Pass, u *kindUniverse, s *ast.SwitchStmt) {
+	if s.Tag == nil {
+		return
+	}
+	tagType := pass.Info.Types[s.Tag].Type
+	if tagType == nil || !types.Identical(tagType, u.kindType) {
+		return
+	}
+	mentioned := make(map[constant.Value]bool)
+	for _, stmt := range s.Body.List {
+		cc := stmt.(*ast.CaseClause)
+		for _, e := range cc.List {
+			if tv, ok := pass.Info.Types[e]; ok && tv.Value != nil {
+				mentioned[tv.Value] = true
+			}
+		}
+	}
+	var missing []string
+	for c := range u.consts {
+		covered := false
+		for v := range mentioned {
+			if constant.Compare(c.Val(), token.EQL, v) {
+				covered = true
+				break
+			}
+		}
+		if !covered {
+			missing = append(missing, c.Name())
+		}
+	}
+	reportMissing(pass, s.Pos(), "msg.Kind switch", missing)
+}
+
+func checkPayloadTypeSwitch(pass *Pass, u *kindUniverse, s *ast.TypeSwitchStmt) {
+	// The switched expression: `switch v := x.(type)` or `switch x.(type)`.
+	var assert *ast.TypeAssertExpr
+	switch a := s.Assign.(type) {
+	case *ast.ExprStmt:
+		assert, _ = a.X.(*ast.TypeAssertExpr)
+	case *ast.AssignStmt:
+		if len(a.Rhs) == 1 {
+			assert, _ = a.Rhs[0].(*ast.TypeAssertExpr)
+		}
+	}
+	if assert == nil {
+		return
+	}
+	xType := pass.Info.Types[assert.X].Type
+	if xType == nil || !types.Identical(xType, u.payloadType) {
+		return
+	}
+	mentioned := make(map[*types.TypeName]bool)
+	for _, stmt := range s.Body.List {
+		cc := stmt.(*ast.CaseClause)
+		for _, e := range cc.List {
+			t := pass.Info.Types[e].Type
+			if t == nil {
+				continue
+			}
+			if ptr, ok := t.(*types.Pointer); ok {
+				t = ptr.Elem()
+			}
+			if named, ok := t.(*types.Named); ok {
+				mentioned[named.Obj()] = true
+			}
+		}
+	}
+	var missing []string
+	for impl := range u.impls {
+		if !mentioned[impl] {
+			missing = append(missing, impl.Name())
+		}
+	}
+	reportMissing(pass, s.Pos(), "msg.Payload type switch", missing)
+}
+
+func reportMissing(pass *Pass, pos token.Pos, what string, missing []string) {
+	if len(missing) == 0 {
+		return
+	}
+	sort.Strings(missing)
+	pass.Reportf(pos, "%s is not exhaustive: missing %s (handle them, list them in an explicit ignore arm, or annotate //etxlint:allow kindswitch with a reason)",
+		what, strings.Join(missing, ", "))
+}

@@ -1,0 +1,217 @@
+// Package lint is the repo's custom static-analysis suite (etxlint): a small
+// go/analysis-shaped framework plus analyzers that mechanically enforce the
+// protocol's concurrency and wire invariants — the invariant classes behind
+// the reproduction's worst historical bugs (a blocked consensus phase holding
+// a lock, a message kind added without codec arms, a wall-clock-derived
+// incarnation identity, a counter that silently fell out of the stats path).
+//
+// The framework mirrors golang.org/x/tools/go/analysis (Analyzer, Pass,
+// Diagnostic) but is built purely on the standard library's go/ast and
+// go/types, because this tree builds with no third-party modules. Packages
+// are loaded by the go-list driver in load.go and type-checked from source.
+//
+// # Suppression policy
+//
+// A diagnostic is suppressed by an annotation on the flagged line or the line
+// directly above it:
+//
+//	//etxlint:allow <analyzer>[,<analyzer>...] — <one-line justification>
+//
+// The justification is mandatory by convention (reviewed, not parsed): every
+// suppression must say why the invariant does not apply, e.g. "the injected
+// clock's default" or "device serialization is the point of this lock".
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one named invariant check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and allow annotations.
+	Name string
+	// Doc is a one-paragraph description (shown by etxlint -list).
+	Doc string
+	// Run reports the analyzer's diagnostics for one package via
+	// Pass.Reportf.
+	Run func(*Pass) error
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Pos      token.Pos
+	Message  string
+	Analyzer string
+}
+
+// Pass carries one type-checked package through one analyzer.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	PkgPath  string
+	Info     *types.Info
+
+	diags []Diagnostic
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.diags = append(p.diags, Diagnostic{
+		Pos:      pos,
+		Message:  fmt.Sprintf(format, args...),
+		Analyzer: p.Analyzer.Name,
+	})
+}
+
+// allowRe matches suppression annotations. The analyzer list is a comma-
+// separated run of names; everything after it is the justification.
+var allowRe = regexp.MustCompile(`//\s*etxlint:allow\s+([\w,-]+)`)
+
+// allowedLines returns, per file-and-line, the set of analyzer names allowed
+// there. A suppression covers its own line and the line below it, so both
+// end-of-line and line-above annotations work.
+func allowedLines(fset *token.FileSet, files []*ast.File) map[string]map[int]map[string]bool {
+	out := make(map[string]map[int]map[string]bool)
+	add := func(file string, line int, name string) {
+		byLine := out[file]
+		if byLine == nil {
+			byLine = make(map[int]map[string]bool)
+			out[file] = byLine
+		}
+		set := byLine[line]
+		if set == nil {
+			set = make(map[string]bool)
+			byLine[line] = set
+		}
+		set[name] = true
+	}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := allowRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				for _, name := range strings.Split(m[1], ",") {
+					name = strings.TrimSpace(name)
+					if name == "" {
+						continue
+					}
+					add(pos.Filename, pos.Line, name)
+					add(pos.Filename, pos.Line+1, name)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// RunAnalyzers applies every analyzer to pkg and returns the surviving
+// diagnostics (suppressions applied), sorted by position.
+func RunAnalyzers(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	allow := allowedLines(pkg.Fset, pkg.Files)
+	var out []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer: a,
+			Fset:     pkg.Fset,
+			Files:    pkg.Files,
+			Pkg:      pkg.Types,
+			PkgPath:  pkg.PkgPath,
+			Info:     pkg.Info,
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.PkgPath, err)
+		}
+		for _, d := range pass.diags {
+			pos := pkg.Fset.Position(d.Pos)
+			if set := allow[pos.Filename][pos.Line]; set[a.Name] || set["all"] {
+				continue
+			}
+			out = append(out, d)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		pi, pj := pkg.Fset.Position(out[i].Pos), pkg.Fset.Position(out[j].Pos)
+		if pi.Filename != pj.Filename {
+			return pi.Filename < pj.Filename
+		}
+		if pi.Line != pj.Line {
+			return pi.Line < pj.Line
+		}
+		return out[i].Analyzer < out[j].Analyzer
+	})
+	return out, nil
+}
+
+// All returns the full analyzer suite in stable order.
+func All() []*Analyzer {
+	return []*Analyzer{
+		LockHeld,
+		KindSwitch,
+		WallClock,
+		StatsWired,
+	}
+}
+
+// --- shared type-query helpers ------------------------------------------
+
+// namedIn reports whether t (after pointer stripping) is the named type
+// pkgName.typeName, matching the declaring package by name. Matching by
+// package name rather than full import path lets the analyzers run unchanged
+// against the analysistest fixture modules, whose import paths differ from
+// the real tree; the names involved (sync.Mutex, msg.Kind, metrics.Counter)
+// are unambiguous within this repository.
+func namedIn(t types.Type, pkgName, typeName string) bool {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj == nil || obj.Name() != typeName {
+		return false
+	}
+	return obj.Pkg() != nil && obj.Pkg().Name() == pkgName
+}
+
+// isMutex reports whether t is sync.Mutex or sync.RWMutex (possibly behind a
+// pointer).
+func isMutex(t types.Type) bool {
+	return namedIn(t, "sync", "Mutex") || namedIn(t, "sync", "RWMutex")
+}
+
+// findImported walks the package import graph (including pkg itself) for a
+// package with the given name that satisfies ok, e.g. the msg package that
+// actually declares Kind and Payload.
+func findImported(pkg *types.Package, name string, ok func(*types.Package) bool) *types.Package {
+	seen := make(map[*types.Package]bool)
+	var walk func(p *types.Package) *types.Package
+	walk = func(p *types.Package) *types.Package {
+		if seen[p] {
+			return nil
+		}
+		seen[p] = true
+		if p.Name() == name && ok(p) {
+			return p
+		}
+		for _, imp := range p.Imports() {
+			if found := walk(imp); found != nil {
+				return found
+			}
+		}
+		return nil
+	}
+	return walk(pkg)
+}

@@ -1,0 +1,149 @@
+package lint
+
+import (
+	"bufio"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// wantRe extracts the backquoted expectation regexes from a
+// `// want `re1` `re2“ comment.
+var wantRe = regexp.MustCompile("`([^`]+)`")
+
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	hit  bool
+}
+
+// parseWants scans a fixture source file for `// want` expectations.
+func parseWants(t *testing.T, path string) []*expectation {
+	t.Helper()
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatalf("open fixture: %v", err)
+	}
+	defer f.Close()
+	var out []*expectation
+	sc := bufio.NewScanner(f)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := sc.Text()
+		i := strings.Index(text, "// want ")
+		if i < 0 {
+			continue
+		}
+		for _, m := range wantRe.FindAllStringSubmatch(text[i:], -1) {
+			re, err := regexp.Compile(m[1])
+			if err != nil {
+				t.Fatalf("%s:%d: bad want regex %q: %v", path, line, m[1], err)
+			}
+			out = append(out, &expectation{file: path, line: line, re: re})
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatalf("scan fixture: %v", err)
+	}
+	return out
+}
+
+// runFixture loads one fixture package through the production go-list driver,
+// runs the given analyzers, and checks the diagnostics against the fixture's
+// `// want` comments exactly: every want must be hit, every diagnostic must
+// be wanted.
+func runFixture(t *testing.T, pattern string, analyzers []*Analyzer) {
+	t.Helper()
+	dir, err := filepath.Abs(filepath.Join("testdata", "src"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := Load(dir, []string{pattern})
+	if err != nil {
+		t.Fatalf("Load(%s): %v", pattern, err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatalf("Load(%s): no packages", pattern)
+	}
+	for _, pkg := range pkgs {
+		var wants []*expectation
+		seen := make(map[string]bool)
+		for _, f := range pkg.Files {
+			path := pkg.Fset.Position(f.Pos()).Filename
+			if seen[path] {
+				continue
+			}
+			seen[path] = true
+			wants = append(wants, parseWants(t, path)...)
+		}
+		diags, err := RunAnalyzers(pkg, analyzers)
+		if err != nil {
+			t.Fatalf("RunAnalyzers(%s): %v", pkg.PkgPath, err)
+		}
+		for _, d := range diags {
+			pos := pkg.Fset.Position(d.Pos)
+			matched := false
+			for _, w := range wants {
+				if w.hit || w.file != pos.Filename || w.line != pos.Line {
+					continue
+				}
+				if w.re.MatchString(d.Message) {
+					w.hit = true
+					matched = true
+					break
+				}
+			}
+			if !matched {
+				t.Errorf("unexpected diagnostic %s: %s: %s", pos, d.Analyzer, d.Message)
+			}
+		}
+		for _, w := range wants {
+			if !w.hit {
+				t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.re)
+			}
+		}
+	}
+}
+
+func TestKindSwitchFixture(t *testing.T) { runFixture(t, "./msg", []*Analyzer{KindSwitch}) }
+
+func TestWallClockFixture(t *testing.T) { runFixture(t, "./etx", []*Analyzer{WallClock}) }
+
+func TestLockHeldFixture(t *testing.T) { runFixture(t, "./locks", []*Analyzer{LockHeld}) }
+
+func TestStatsWiredFixture(t *testing.T) { runFixture(t, "./stats", []*Analyzer{StatsWired}) }
+
+// TestSuiteOnFixtures runs the whole suite over every fixture package at
+// once, the way cmd/etxlint does: the wants of every analyzer must be
+// produced together, and nothing extra.
+func TestSuiteOnFixtures(t *testing.T) { runFixture(t, "./...", All()) }
+
+// TestRealTreeClean is the enforcement test: the production tree must be
+// free of findings. A regression here means either a genuine invariant
+// violation or a missing justified annotation — both want a human look.
+func TestRealTreeClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and type-checks the whole tree")
+	}
+	root, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := Load(root, []string{"./..."})
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	for _, pkg := range pkgs {
+		diags, err := RunAnalyzers(pkg, All())
+		if err != nil {
+			t.Fatalf("RunAnalyzers(%s): %v", pkg.PkgPath, err)
+		}
+		for _, d := range diags {
+			t.Errorf("%s: %s: %s", pkg.Fset.Position(d.Pos), d.Analyzer, d.Message)
+		}
+	}
+}

@@ -1,0 +1,161 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+)
+
+// Package is one loaded, type-checked package ready for analysis.
+type Package struct {
+	PkgPath string
+	Name    string
+	Fset    *token.FileSet
+	Files   []*ast.File
+	Types   *types.Package
+	Info    *types.Info
+	// Errors holds this package's type-check errors. Target packages with
+	// errors fail the lint run (the analyzers' type queries would be
+	// unreliable on a broken tree).
+	Errors []error
+}
+
+// listPkg is the subset of `go list -json` output the driver needs.
+type listPkg struct {
+	Dir        string
+	ImportPath string
+	Name       string
+	GoFiles    []string
+	Imports    []string
+	ImportMap  map[string]string
+	Standard   bool
+	DepOnly    bool
+	Error      *struct{ Err string }
+}
+
+// Load type-checks the packages matched by patterns (relative to dir) and
+// every dependency, returning only the matched packages. It shells out to
+// `go list -deps -json`, which emits packages in dependency order, then
+// parses and checks each from source with go/types — no compiled export data
+// and no third-party loader, so it works in this module's no-dependency
+// build. Dependencies are checked with IgnoreFuncBodies (the analyzers only
+// look inside the target packages' bodies), which keeps a whole-tree load
+// under a couple of seconds. CGO is disabled for the load so every stdlib
+// package resolves to its pure-Go variant.
+func Load(dir string, patterns []string) ([]*Package, error) {
+	args := append([]string{"list", "-e", "-deps", "-json"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	cmd.Env = append(os.Environ(), "CGO_ENABLED=0")
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("lint: go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+
+	var order []*listPkg
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		lp := new(listPkg)
+		if err := dec.Decode(lp); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("lint: parsing go list output: %v", err)
+		}
+		order = append(order, lp)
+	}
+
+	fset := token.NewFileSet()
+	byPath := make(map[string]*types.Package, len(order))
+	var targets []*Package
+
+	for _, lp := range order {
+		if lp.ImportPath == "unsafe" {
+			byPath["unsafe"] = types.Unsafe
+			continue
+		}
+		if lp.Error != nil {
+			if !lp.DepOnly {
+				return nil, fmt.Errorf("lint: %s: %s", lp.ImportPath, lp.Error.Err)
+			}
+			continue
+		}
+		var files []*ast.File
+		for _, name := range lp.GoFiles {
+			f, err := parser.ParseFile(fset, filepath.Join(lp.Dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+			if err != nil {
+				return nil, fmt.Errorf("lint: parse %s: %v", name, err)
+			}
+			files = append(files, f)
+		}
+		info := &types.Info{
+			Types:      make(map[ast.Expr]types.TypeAndValue),
+			Defs:       make(map[*ast.Ident]types.Object),
+			Uses:       make(map[*ast.Ident]types.Object),
+			Selections: make(map[*ast.SelectorExpr]*types.Selection),
+			Scopes:     make(map[ast.Node]*types.Scope),
+		}
+		var errs []error
+		conf := types.Config{
+			Importer:         &mapImporter{byPath: byPath, importMap: lp.ImportMap},
+			IgnoreFuncBodies: lp.DepOnly,
+			FakeImportC:      true,
+			Error:            func(err error) { errs = append(errs, err) },
+		}
+		tpkg, _ := conf.Check(lp.ImportPath, fset, files, info)
+		if tpkg == nil {
+			// Even a broken check normally yields a (partial) package; a nil
+			// one would poison every importer below it.
+			tpkg = types.NewPackage(lp.ImportPath, lp.Name)
+		}
+		byPath[lp.ImportPath] = tpkg
+		if lp.DepOnly {
+			continue
+		}
+		if len(errs) > 0 {
+			return nil, fmt.Errorf("lint: type errors in %s: %v", lp.ImportPath, errs[0])
+		}
+		targets = append(targets, &Package{
+			PkgPath: lp.ImportPath,
+			Name:    lp.Name,
+			Fset:    fset,
+			Files:   files,
+			Types:   tpkg,
+			Info:    info,
+			Errors:  errs,
+		})
+	}
+	return targets, nil
+}
+
+// mapImporter resolves imports against the already-checked package map,
+// applying the importing package's vendor ImportMap first (go list reports
+// e.g. golang.org/x/net/... -> vendor/golang.org/x/net/... for std vendored
+// deps).
+type mapImporter struct {
+	byPath    map[string]*types.Package
+	importMap map[string]string
+}
+
+func (m *mapImporter) Import(path string) (*types.Package, error) {
+	if mapped, ok := m.importMap[path]; ok {
+		path = mapped
+	}
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if p, ok := m.byPath[path]; ok {
+		return p, nil
+	}
+	return nil, fmt.Errorf("lint: import %q not loaded (go list dependency order violated?)", path)
+}

@@ -1,0 +1,468 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// LockHeld flags potentially-blocking operations reached while a sync.Mutex
+// or sync.RWMutex is held: channel sends and receives, selects without a
+// default clause, time.Sleep / spin.Sleep, and calls to the protocol's known
+// blocking surfaces (Propose, Sync, Send, Wait and their unexported
+// spellings). In this codebase every such pairing has been a liveness bug
+// waiting to happen — a consensus round that sleeps under Node.mu stalls
+// Handle for every peer, and a transport send under a demux lock deadlocks
+// against the in-memory network's backpressure.
+//
+// Tracking is intra-procedural and intentionally conservative-but-quiet:
+//
+//   - `mu.Lock()` / `mu.RLock()` adds the receiver expression to the held
+//     set; `mu.Unlock()` / `mu.RUnlock()` removes it.
+//   - `defer mu.Unlock()` marks mu held for the remainder of the function
+//     (this also covers the TryLock-then-defer idiom).
+//   - A function whose doc comment says "caller holds <mu>" / "caller must
+//     hold", or whose name ends in "Locked", starts with a synthetic held
+//     lock, so the convention for lock-requiring helpers is machine-checked.
+//   - Branches are joined by intersection over paths that fall through;
+//     loop and switch bodies are analyzed with a copy of the entry set.
+//   - `go func(){...}()` bodies and function literals run on other
+//     goroutines or later, so they are skipped.
+//   - A select *with* a default clause is a non-blocking poll: neither the
+//     select nor its communication clauses are flagged.
+//
+// The analyzer also audits the `// guarded by <mu>` field-annotation
+// convention: every such comment must name a mutex field of the same struct.
+var LockHeld = &Analyzer{
+	Name: "lockheld",
+	Doc: "flag blocking operations (channel ops, defaultless selects, sleeps, Propose/Sync/Send/Wait) " +
+		"reached while a sync.Mutex/RWMutex is held, and audit `// guarded by mu` field annotations",
+	Run: runLockHeld,
+}
+
+// blockingMethods are method names that block (or may block arbitrarily
+// long) in this codebase: consensus proposals, stable-storage syncs,
+// transport sends and waitgroup/cond waits. Matched by name on any receiver
+// — within this repository these names are reserved for blocking surfaces.
+var blockingMethods = map[string]bool{
+	"Propose": true,
+	"Sync":    true,
+	"sync":    true,
+	"Send":    true,
+	"send":    true,
+	"Wait":    true,
+}
+
+// callerHoldsRe matches the doc-comment convention for helpers that require
+// a lock: "caller holds mu", "Caller must hold s.mu", etc.
+var callerHoldsRe = regexp.MustCompile(`(?i)caller (?:must )?holds? (\w+(?:\.\w+)*)`)
+
+// guardedByRe matches the field-annotation convention audited below.
+var guardedByRe = regexp.MustCompile(`(?i)guarded by (\w+(?:\.\w+)*)`)
+
+func runLockHeld(pass *Pass) error {
+	auditGuardedBy(pass)
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			held := make(heldSet)
+			if name, ok := entryHeldLock(fn); ok {
+				held[name] = true
+			}
+			w := &lockWalker{pass: pass}
+			w.block(fn.Body, held)
+		}
+	}
+	return nil
+}
+
+// entryHeldLock reports whether fn's contract says it runs with a lock
+// already held, and under which name to track it.
+func entryHeldLock(fn *ast.FuncDecl) (string, bool) {
+	if fn.Doc != nil {
+		if m := callerHoldsRe.FindStringSubmatch(fn.Doc.Text()); m != nil {
+			return m[1], true
+		}
+	}
+	if strings.HasSuffix(fn.Name.Name, "Locked") {
+		return "<receiver lock>", true
+	}
+	return "", false
+}
+
+// heldSet is the set of currently-held lock expressions, keyed by their
+// printed form ("n.mu", "s.cohortMu", ...).
+type heldSet map[string]bool
+
+func (h heldSet) clone() heldSet {
+	c := make(heldSet, len(h))
+	for k := range h {
+		c[k] = true
+	}
+	return c
+}
+
+func (h heldSet) names() string {
+	var ns []string
+	for k := range h {
+		ns = append(ns, k)
+	}
+	sort.Strings(ns)
+	return strings.Join(ns, ", ")
+}
+
+// replaceWith mutates h in place to equal src.
+func (h heldSet) replaceWith(src heldSet) {
+	for k := range h {
+		if !src[k] {
+			delete(h, k)
+		}
+	}
+	for k := range src {
+		h[k] = true
+	}
+}
+
+// intersectInto removes from h every lock not also in other.
+func (h heldSet) intersectInto(other heldSet) {
+	for k := range h {
+		if !other[k] {
+			delete(h, k)
+		}
+	}
+}
+
+type lockWalker struct {
+	pass *Pass
+}
+
+// block runs the statement list, mutating held, and reports whether control
+// always leaves the enclosing function/loop (return, branch, panic-like).
+func (w *lockWalker) block(b *ast.BlockStmt, held heldSet) bool {
+	for _, s := range b.List {
+		if w.stmt(s, held) {
+			return true
+		}
+	}
+	return false
+}
+
+// stmt processes one statement. The return value means "control does not
+// fall through to the next statement".
+func (w *lockWalker) stmt(s ast.Stmt, held heldSet) bool {
+	switch s := s.(type) {
+	case *ast.ExprStmt:
+		if name, op, ok := w.lockOp(s.X); ok {
+			if op == opLock {
+				held[name] = true
+			} else {
+				delete(held, name)
+			}
+			return false
+		}
+		w.expr(s.X, held)
+
+	case *ast.DeferStmt:
+		// defer mu.Unlock() => mu is held from here to function end. The
+		// deferred call itself runs at return, outside this analysis.
+		if name, op, ok := w.lockOp(s.Call); ok && op == opUnlock {
+			held[name] = true
+		}
+
+	case *ast.GoStmt:
+		// Runs on another goroutine; holding a lock here is not blocking.
+		// Argument expressions are evaluated now but cannot block.
+
+	case *ast.SendStmt:
+		w.expr(s.Chan, held)
+		w.expr(s.Value, held)
+		if len(held) > 0 {
+			w.pass.Reportf(s.Arrow, "channel send while %s is held: a full channel stalls every contender on the lock", held.names())
+		}
+
+	case *ast.AssignStmt:
+		for _, e := range s.Rhs {
+			w.expr(e, held)
+		}
+		for _, e := range s.Lhs {
+			w.expr(e, held)
+		}
+
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, e := range vs.Values {
+						w.expr(e, held)
+					}
+				}
+			}
+		}
+
+	case *ast.IncDecStmt:
+		w.expr(s.X, held)
+
+	case *ast.ReturnStmt:
+		for _, e := range s.Results {
+			w.expr(e, held)
+		}
+		return true
+
+	case *ast.BranchStmt:
+		// break/continue/goto: control leaves this statement list.
+		return true
+
+	case *ast.LabeledStmt:
+		return w.stmt(s.Stmt, held)
+
+	case *ast.BlockStmt:
+		return w.block(s, held)
+
+	case *ast.IfStmt:
+		if s.Init != nil {
+			w.stmt(s.Init, held)
+		}
+		w.expr(s.Cond, held)
+		thenHeld := held.clone()
+		thenTerm := w.block(s.Body, thenHeld)
+		if s.Else != nil {
+			elseHeld := held.clone()
+			elseTerm := w.stmt(s.Else, elseHeld)
+			switch {
+			case thenTerm && elseTerm:
+				return true
+			case thenTerm:
+				held.replaceWith(elseHeld)
+			case elseTerm:
+				held.replaceWith(thenHeld)
+			default:
+				thenHeld.intersectInto(elseHeld)
+				held.replaceWith(thenHeld)
+			}
+		} else if !thenTerm {
+			// Fall-through join: held after = held on entry ∩ held after then.
+			held.intersectInto(thenHeld)
+		}
+
+	case *ast.ForStmt:
+		if s.Init != nil {
+			w.stmt(s.Init, held)
+		}
+		if s.Cond != nil {
+			w.expr(s.Cond, held)
+		}
+		body := held.clone()
+		w.block(s.Body, body)
+		if s.Post != nil {
+			w.stmt(s.Post, body)
+		}
+		// After the loop, conservatively keep the entry set: a zero-iteration
+		// loop leaves it unchanged, and lock state is expected to be
+		// loop-invariant in this codebase.
+
+	case *ast.RangeStmt:
+		w.expr(s.X, held)
+		body := held.clone()
+		w.block(s.Body, body)
+
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			w.stmt(s.Init, held)
+		}
+		if s.Tag != nil {
+			w.expr(s.Tag, held)
+		}
+		w.caseClauses(s.Body, held)
+
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			w.stmt(s.Init, held)
+		}
+		w.caseClauses(s.Body, held)
+
+	case *ast.SelectStmt:
+		hasDefault := false
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok && cc.Comm == nil {
+				hasDefault = true
+			}
+		}
+		if !hasDefault && len(held) > 0 {
+			w.pass.Reportf(s.Select, "select without a default clause blocks while %s is held", held.names())
+		}
+		for _, c := range s.Body.List {
+			cc, ok := c.(*ast.CommClause)
+			if !ok {
+				continue
+			}
+			// The comm op itself is the select's blocking point, already
+			// covered above (or non-blocking when a default exists) — only
+			// the clause bodies are analyzed.
+			body := held.clone()
+			for _, bs := range cc.Body {
+				if w.stmt(bs, body) {
+					break
+				}
+			}
+		}
+	}
+	return false
+}
+
+// caseClauses analyzes each case body with a copy of the entry held set.
+func (w *lockWalker) caseClauses(body *ast.BlockStmt, held heldSet) {
+	for _, c := range body.List {
+		cc, ok := c.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		for _, e := range cc.List {
+			w.expr(e, held)
+		}
+		caseHeld := held.clone()
+		for _, bs := range cc.Body {
+			if w.stmt(bs, caseHeld) {
+				break
+			}
+		}
+	}
+}
+
+// expr reports blocking operations inside an expression: channel receives
+// and blocking calls. Function literals are skipped (they run later).
+func (w *lockWalker) expr(e ast.Expr, held heldSet) {
+	if len(held) == 0 {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				w.pass.Reportf(n.OpPos, "channel receive while %s is held", held.names())
+			}
+		case *ast.CallExpr:
+			w.checkCall(n, held)
+		}
+		return true
+	})
+}
+
+// checkCall flags calls to known blocking surfaces while a lock is held.
+func (w *lockWalker) checkCall(call *ast.CallExpr, held heldSet) {
+	var name string
+	var pkgName string
+	switch fun := call.Fun.(type) {
+	case *ast.SelectorExpr:
+		name = fun.Sel.Name
+		if obj := w.pass.Info.Uses[fun.Sel]; obj != nil && obj.Pkg() != nil {
+			if f, ok := obj.(*types.Func); ok && f.Type().(*types.Signature).Recv() == nil {
+				pkgName = obj.Pkg().Name()
+			}
+		}
+	case *ast.Ident:
+		name = fun.Name
+	default:
+		return
+	}
+	switch {
+	case name == "Sleep" && (pkgName == "time" || pkgName == "spin"):
+		w.pass.Reportf(call.Pos(), "%s.Sleep while %s is held stalls every contender on the lock", pkgName, held.names())
+	case blockingMethods[name]:
+		w.pass.Reportf(call.Pos(), "call to blocking %s while %s is held", name, held.names())
+	}
+}
+
+// --- lock-operation detection --------------------------------------------
+
+type lockOpKind int
+
+const (
+	opLock lockOpKind = iota
+	opUnlock
+)
+
+// lockOp recognizes mu.Lock/RLock/Unlock/RUnlock calls on a sync mutex and
+// returns the printed receiver expression as the tracking key.
+func (w *lockWalker) lockOp(e ast.Expr) (string, lockOpKind, bool) {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return "", 0, false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", 0, false
+	}
+	var op lockOpKind
+	switch sel.Sel.Name {
+	case "Lock", "RLock":
+		op = opLock
+	case "Unlock", "RUnlock":
+		op = opUnlock
+	default:
+		return "", 0, false
+	}
+	if tv, ok := w.pass.Info.Types[sel.X]; !ok || !isMutex(tv.Type) {
+		return "", 0, false
+	}
+	return types.ExprString(sel.X), op, true
+}
+
+// --- guarded-by annotation audit -----------------------------------------
+
+// auditGuardedBy checks every `// guarded by <mu>` field comment: the named
+// guard must be a mutex field of the same struct (a dotted name like s.mu is
+// checked against its final element). A stale annotation is worse than none
+// — it documents a guarantee nobody enforces.
+func auditGuardedBy(pass *Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			mutexFields := make(map[string]bool)
+			for _, fld := range st.Fields.List {
+				tv, ok := pass.Info.Types[fld.Type]
+				if !ok || !isMutex(tv.Type) {
+					continue
+				}
+				for _, name := range fld.Names {
+					mutexFields[name.Name] = true
+				}
+				if len(fld.Names) == 0 {
+					// Embedded sync.Mutex is addressable by its type name.
+					if named, ok := tv.Type.(*types.Named); ok {
+						mutexFields[named.Obj().Name()] = true
+					}
+				}
+			}
+			for _, fld := range st.Fields.List {
+				for _, cg := range []*ast.CommentGroup{fld.Doc, fld.Comment} {
+					if cg == nil {
+						continue
+					}
+					m := guardedByRe.FindStringSubmatch(cg.Text())
+					if m == nil {
+						continue
+					}
+					guard := m[1]
+					if i := strings.LastIndex(guard, "."); i >= 0 {
+						guard = guard[i+1:]
+					}
+					if !mutexFields[guard] {
+						pass.Reportf(cg.Pos(), "guarded-by annotation names %q, which is not a mutex field of this struct", m[1])
+					}
+				}
+			}
+			return true
+		})
+	}
+}

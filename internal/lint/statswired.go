@@ -1,0 +1,90 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// StatsWired keeps observability from silently rotting: every
+// metrics.Counter / metrics.Gauge field declared in a package must be read
+// somewhere inside that package's Stats or String functions (the export
+// surface benchmarks and DebugTry dumps consume). A counter that is
+// incremented on the hot path but never snapshotted is indistinguishable
+// from one that was never wired at all — this is how per-commit rates
+// quietly vanish from the liveness diagnostics.
+var StatsWired = &Analyzer{
+	Name: "statswired",
+	Doc: "every metrics.Counter/metrics.Gauge field must be read inside the declaring package's " +
+		"Stats or String function, so counters stay visible to benchmarks and liveness dumps",
+	Run: runStatsWired,
+}
+
+func runStatsWired(pass *Pass) error {
+	// Counter/Gauge fields declared anywhere in this package, by object.
+	type fieldInfo struct {
+		obj  *types.Var
+		name ast.Expr // position anchor
+	}
+	var fields []fieldInfo
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, fld := range st.Fields.List {
+				t := pass.Info.Types[fld.Type].Type
+				if t == nil {
+					continue
+				}
+				if !namedIn(t, "metrics", "Counter") && !namedIn(t, "metrics", "Gauge") {
+					continue
+				}
+				for _, name := range fld.Names {
+					obj, ok := pass.Info.Defs[name].(*types.Var)
+					if !ok {
+						continue
+					}
+					fields = append(fields, fieldInfo{obj: obj, name: name})
+				}
+			}
+			return true
+		})
+	}
+	if len(fields) == 0 {
+		return nil
+	}
+
+	// Field objects selected inside any function named Stats or String.
+	read := make(map[*types.Var]bool)
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			if fn.Name.Name != "Stats" && fn.Name.Name != "String" {
+				continue
+			}
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				sel, ok := n.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				if s := pass.Info.Selections[sel]; s != nil {
+					if v, ok := s.Obj().(*types.Var); ok {
+						read[v] = true
+					}
+				}
+				return true
+			})
+		}
+	}
+
+	for _, fi := range fields {
+		if !read[fi.obj] {
+			pass.Reportf(fi.name.Pos(), "metrics field %s is never read in this package's Stats or String: wire it into the stats surface or it will silently rot", fi.obj.Name())
+		}
+	}
+	return nil
+}

@@ -1,0 +1,37 @@
+// Package etx reproduces the shape of the PR 5 replay bug for the wallclock
+// analyzer: a client incarnation's sequence base seeded from the wall clock,
+// which a backwards clock step (or two dials in one nanosecond) turns into a
+// replayed incarnation.
+package etx
+
+import (
+	"math/rand" // want `import of math/rand in protocol package etx: identities need crypto/rand`
+	"time"
+)
+
+// Client is a stand-in for the real client handle.
+type Client struct {
+	SeqBase uint64
+	Expiry  time.Time
+}
+
+// Dial is the buggy shape: both the time.Now call and the UnixNano
+// derivation must be flagged.
+func Dial() *Client {
+	base := time.Now().UnixNano() // want `time\.Now in protocol package etx` `time\.Time\.UnixNano in protocol package etx`
+	return &Client{SeqBase: uint64(base) + uint64(rand.Uint32())}
+}
+
+// DialInjected is the fixed shape: the clock arrives injected, and the one
+// place that defaults it to time.Now carries the justified suppression.
+func DialInjected(now func() time.Time) *Client {
+	if now == nil {
+		now = time.Now //etxlint:allow wallclock — fixture: the injected clock's default
+	}
+	return &Client{Expiry: now().Add(time.Second)}
+}
+
+// Elapsed must be flagged: time.Since is a hidden time.Now.
+func (c *Client) Elapsed() time.Duration {
+	return time.Since(c.Expiry) // want `time\.Since in protocol package etx`
+}

@@ -1,0 +1,6 @@
+// Fixture module for the etxlint analyzer tests. It lives under testdata so
+// the parent module's ./... never builds it; the tests load it through the
+// same go-list driver that powers cmd/etxlint.
+module fixtures
+
+go 1.24

@@ -1,0 +1,115 @@
+// Package locks exercises the lockheld analyzer: blocking operations under a
+// held mutex, the defer-unlock and caller-holds conventions, non-blocking
+// selects, and the guarded-by annotation audit.
+package locks
+
+import (
+	"sync"
+	"time"
+)
+
+// node mimics the consensus node's shape.
+type node struct {
+	mu    sync.Mutex
+	state int // guarded by mu
+	bad   int // guarded by missing // want `guarded-by annotation names "missing", which is not a mutex field of this struct`
+	ch    chan int
+}
+
+// sleepUnderLock is the canonical violation.
+func (n *node) sleepUnderLock() {
+	n.mu.Lock()
+	time.Sleep(time.Millisecond) // want `time\.Sleep while n\.mu is held`
+	n.mu.Unlock()
+}
+
+// sendUnderDefer: defer keeps the lock held to function end.
+func (n *node) sendUnderDefer() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.ch <- 1 // want `channel send while n\.mu is held`
+}
+
+// recvAfterUnlock is clean: the receive happens after the unlock.
+func (n *node) recvAfterUnlock() int {
+	n.mu.Lock()
+	n.state++
+	n.mu.Unlock()
+	return <-n.ch
+}
+
+// proposeUnderLock: a blocking protocol call by name.
+func (n *node) proposeUnderLock(p interface{ Propose() }) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	p.Propose() // want `call to blocking Propose while n\.mu is held`
+}
+
+// pollUnderLock is clean: a select with a default clause never blocks.
+func (n *node) pollUnderLock() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	select {
+	case n.ch <- 1:
+	default:
+	}
+}
+
+// waitUnderLock: a defaultless select blocks while holding the lock.
+func (n *node) waitUnderLock() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	select { // want `select without a default clause blocks while n\.mu is held`
+	case <-n.ch:
+	}
+}
+
+// branchUnlock is clean: both branches release before the send.
+func (n *node) branchUnlock(fast bool) {
+	n.mu.Lock()
+	if fast {
+		n.mu.Unlock()
+	} else {
+		n.state++
+		n.mu.Unlock()
+	}
+	n.ch <- 1
+}
+
+// earlyReturn is clean: the locked path returns before the send.
+func (n *node) earlyReturn() {
+	n.mu.Lock()
+	if n.state > 0 {
+		n.mu.Unlock()
+		return
+	}
+	n.mu.Unlock()
+	n.ch <- 1
+}
+
+// applyLocked runs under the caller's lock by naming convention.
+func (n *node) applyLocked() {
+	n.ch <- 1 // want `channel send while <receiver lock> is held`
+}
+
+// flush runs under n.mu. Caller holds n.mu.
+func (n *node) flush() {
+	<-n.ch // want `channel receive while n\.mu is held`
+}
+
+// goroutineEscape is clean: the spawned goroutine blocks on its own time.
+func (n *node) goroutineEscape() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	go func() {
+		n.ch <- 1
+	}()
+}
+
+// suppressed shows a justified allow annotation surviving the filter.
+func (n *node) suppressed() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	//etxlint:allow lockheld — fixture: serialization under the lock is the point here
+	n.ch <- 1
+}

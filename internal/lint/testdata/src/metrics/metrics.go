@@ -1,0 +1,22 @@
+// Package metrics mirrors the real counters package just enough for the
+// statswired analyzer, which matches the Counter/Gauge types by package and
+// type name.
+package metrics
+
+// Counter is a monotone event counter.
+type Counter struct{ v uint64 }
+
+// Inc bumps the counter.
+func (c *Counter) Inc() { c.v++ }
+
+// Load reads the counter.
+func (c *Counter) Load() uint64 { return c.v }
+
+// Gauge is a point-in-time level.
+type Gauge struct{ v int64 }
+
+// Set stores the level.
+func (g *Gauge) Set(v int64) { g.v = v }
+
+// Load reads the level.
+func (g *Gauge) Load() int64 { return g.v }

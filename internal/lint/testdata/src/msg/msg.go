@@ -1,0 +1,78 @@
+// Package msg is a shrunken copy of the real wire package: a Kind
+// enumeration and a Payload interface with one implementation per kind. The
+// kindswitch analyzer resolves its universe from this package by name.
+package msg
+
+// Kind tags a wire payload.
+type Kind uint8
+
+const (
+	KindA Kind = iota + 1
+	KindB
+	KindC
+)
+
+// Payload is the wire payload interface.
+type Payload interface {
+	Kind() Kind
+}
+
+// A is the KindA payload.
+type A struct{}
+
+// B is the KindB payload.
+type B struct{}
+
+// C is the KindC payload.
+type C struct{}
+
+func (A) Kind() Kind { return KindA }
+func (B) Kind() Kind { return KindB }
+func (C) Kind() Kind { return KindC }
+
+// String is exhaustive and must not be flagged.
+func (k Kind) String() string {
+	switch k {
+	case KindA:
+		return "A"
+	case KindB:
+		return "B"
+	case KindC:
+		return "C"
+	default:
+		return "?"
+	}
+}
+
+// encode is the codec shape that must be flagged: KindC exists but has no
+// arm, and the default clause does not excuse it.
+func encode(p Payload) byte {
+	switch p.(type) { // want `msg\.Payload type switch is not exhaustive: missing C`
+	case A:
+		return 1
+	case B:
+		return 2
+	default:
+		return 0
+	}
+}
+
+// route is the demux shape that must be flagged: a Kind switch missing two
+// arms.
+func route(k Kind) bool {
+	switch k { // want `msg\.Kind switch is not exhaustive: missing KindB, KindC`
+	case KindA:
+		return true
+	}
+	return false
+}
+
+// filter is partial by design and carries the justified suppression.
+func filter(k Kind) bool {
+	//etxlint:allow kindswitch — fixture: trace filter, only KindA matters here
+	switch k {
+	case KindA:
+		return true
+	}
+	return false
+}

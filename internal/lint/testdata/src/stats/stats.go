@@ -1,0 +1,23 @@
+// Package stats exercises the statswired analyzer: every metrics field must
+// surface through the package's Stats or String function.
+package stats
+
+import (
+	"fmt"
+
+	"fixtures/metrics"
+)
+
+// Counters is the node's counter block. Wired is read by Stats; Dropped was
+// added on the hot path and never exported — the rot statswired exists to
+// catch.
+type Counters struct {
+	Wired   metrics.Counter
+	Dropped metrics.Counter // want `metrics field Dropped is never read in this package's Stats or String`
+	Depth   metrics.Gauge
+}
+
+// Stats snapshots the wired counters.
+func (c *Counters) Stats() string {
+	return fmt.Sprintf("wired=%d depth=%d", c.Wired.Load(), c.Depth.Load())
+}

@@ -1,0 +1,92 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strconv"
+)
+
+// WallClock forbids wall-clock-derived values inside the protocol-identity
+// packages. The PR 5 replay bug was exactly this shape: etx.Dial seeded a
+// client incarnation's SeqBase from time.Now().UnixNano(), so a backwards
+// clock step (or two dials in one nanosecond) could reuse a live
+// incarnation's sequence numbers and replay its cached results. Identities,
+// sequence bases and protocol decisions must come from injected clocks (a
+// `Now func() time.Time` config field) or crypto/rand; the single line that
+// wires the injected clock's time.Now default carries an allow annotation.
+var WallClock = &Analyzer{
+	Name: "wallclock",
+	Doc: "forbid time.Now/Since/Until, time.Time.Unix* and math/rand in the protocol packages " +
+		"(consensus, fd, id, etx): identities and protocol decisions must use injected clocks or crypto/rand",
+	Run: runWallClock,
+}
+
+// wallclockPkgs is the restricted set, matched by package name so the
+// analyzer also applies to the analysistest fixture modules. The root
+// package etx owns client incarnation identities; consensus and fd own
+// every timeout/round decision; id owns the identifier types themselves.
+var wallclockPkgs = map[string]bool{
+	"etx":       true,
+	"consensus": true,
+	"fd":        true,
+	"id":        true,
+}
+
+// wallclockFuncs are the forbidden time package functions.
+var wallclockFuncs = map[string]bool{
+	"Now":   true,
+	"Since": true,
+	"Until": true,
+}
+
+// wallclockMethods are the forbidden time.Time accessors (epoch-derived
+// numbers, the raw material of wall-clock identities).
+var wallclockMethods = map[string]bool{
+	"Unix":      true,
+	"UnixMilli": true,
+	"UnixMicro": true,
+	"UnixNano":  true,
+}
+
+func runWallClock(pass *Pass) error {
+	if !wallclockPkgs[pass.Pkg.Name()] {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, imp := range f.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if path == "math/rand" || path == "math/rand/v2" {
+				pass.Reportf(imp.Pos(), "import of %s in protocol package %s: identities need crypto/rand", path, pass.Pkg.Name())
+			}
+		}
+		// References are flagged, not just calls: `f := time.Now; f()` is
+		// the same wall-clock read, and the injected-clock default wiring
+		// (`cfg.Now = time.Now`) is exactly the one reference per package
+		// that earns an allow annotation.
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			obj := pass.Info.Uses[sel.Sel]
+			if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != "time" {
+				return true
+			}
+			switch o := obj.(type) {
+			case *types.Func:
+				if o.Type().(*types.Signature).Recv() == nil {
+					if wallclockFuncs[o.Name()] {
+						pass.Reportf(sel.Pos(), "time.%s in protocol package %s: use the injected clock", o.Name(), pass.Pkg.Name())
+					}
+				} else if wallclockMethods[o.Name()] && namedIn(o.Type().(*types.Signature).Recv().Type(), "time", "Time") {
+					pass.Reportf(sel.Pos(), "time.Time.%s in protocol package %s: wall-clock-derived numbers must not feed identities or protocol decisions", o.Name(), pass.Pkg.Name())
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}

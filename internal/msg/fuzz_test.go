@@ -1,0 +1,184 @@
+package msg
+
+import (
+	"reflect"
+	"testing"
+
+	"etx/internal/id"
+)
+
+// The fuzz targets check the codec's two load-bearing properties against
+// arbitrary bytes:
+//
+//  1. Decode never panics and never half-accepts: any buffer either fails
+//     whole or yields a payload every invariant of which holds (no
+//     slot-targeting register ops, no nested batches).
+//  2. Decoded values round-trip by VALUE: Decode(Encode(Decode(b))) equals
+//     Decode(b). Byte-identity is deliberately not asserted — binary.Uvarint
+//     accepts non-canonical varint encodings, so two distinct buffers may
+//     legitimately decode to the same envelope.
+//
+// Seed corpora come from the malformed-payload test tables in codec_test.go
+// and regops_test.go, so every historical corruption class is a starting
+// point for mutation.
+
+// fuzzSeedEnvelopes is one well-formed encoding per interesting payload
+// shape (they reuse the round-trip test's representative payloads).
+func fuzzSeedEnvelopes(f *testing.F) {
+	f.Helper()
+	for _, p := range allPayloads() {
+		buf, err := Encode(Envelope{From: id.AppServer(1), To: id.AppServer(2), Payload: p})
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf)
+	}
+}
+
+func FuzzDecode(f *testing.F) {
+	fuzzSeedEnvelopes(f)
+	// The malformed table from TestDecodeErrors/TestDecodeOversizeLength.
+	good, err := Encode(Envelope{From: id.Client(1), To: id.AppServer(1),
+		Payload: Request{RID: rid(1, 1, 1), Body: []byte("hello")}})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add([]byte(nil))
+	f.Add(good[:1])
+	f.Add(good[:len(good)-3])
+	f.Add(append(append([]byte{}, good...), 0xFF))
+	bad := append([]byte{}, good...)
+	bad[4] = 0xEE // kind byte sits right after the two node ids
+	f.Add(bad)
+	var w writer
+	w.node(id.Client(1))
+	w.node(id.AppServer(1))
+	w.byte(byte(KindRequest))
+	w.rid(rid(1, 1, 1))
+	w.uvarint(1 << 30) // oversize length claim
+	f.Add(w.buf)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		env, err := Decode(data)
+		if err != nil {
+			return
+		}
+		checkPayloadInvariants(t, env.Payload)
+		buf, err := Encode(env)
+		if err != nil {
+			t.Fatalf("decoded envelope does not re-encode: %v (%+v)", err, env)
+		}
+		env2, err := Decode(buf)
+		if err != nil {
+			t.Fatalf("re-encoded envelope does not decode: %v", err)
+		}
+		if !reflect.DeepEqual(env, env2) {
+			t.Fatalf("value round-trip diverged:\n first: %+v\nsecond: %+v", env, env2)
+		}
+	})
+}
+
+// checkPayloadInvariants asserts the structural invariants the decoder
+// promises for accepted payloads.
+func checkPayloadInvariants(t *testing.T, p Payload) {
+	t.Helper()
+	switch m := p.(type) {
+	case RegOps:
+		for _, op := range m.Ops {
+			if op.Reg.Array == RegBatch {
+				t.Fatalf("decoder accepted a slot-targeting RegOp: %+v", op)
+			}
+		}
+	case Checkpoint:
+		for _, op := range m.Regs {
+			if op.Reg.Array == RegBatch {
+				t.Fatalf("decoder accepted a slot-targeting checkpoint effect: %+v", op)
+			}
+		}
+	case Batch:
+		for _, inner := range m.Msgs {
+			if _, nested := inner.(Batch); nested {
+				t.Fatal("decoder accepted a nested Batch")
+			}
+		}
+	}
+}
+
+func FuzzDecodeRegOps(f *testing.F) {
+	// The malformed table from TestDecodeRegOpsRejectsMalformed.
+	good := EncodeRegOps(sampleOps())
+	f.Add(good)
+	f.Add([]byte{3})
+	f.Add(good[:len(good)-3])
+	f.Add([]byte{0xff, 0xff, 0xff, 0x7f})
+	f.Add(append(append([]byte{}, good...), 0xAA))
+	f.Add(EncodeRegOps([]RegOp{{Reg: SlotKey(4), Val: []byte("x")}}))
+	f.Add([]byte{0x80})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		ops, err := DecodeRegOps(data)
+		if err != nil {
+			return
+		}
+		for _, op := range ops {
+			if op.Reg.Array == RegBatch {
+				t.Fatalf("DecodeRegOps accepted a slot-targeting op: %+v", op)
+			}
+		}
+		back, err := DecodeRegOps(EncodeRegOps(ops))
+		if err != nil {
+			t.Fatalf("re-encoded ops do not decode: %v", err)
+		}
+		if !opsEqual(back, ops) {
+			t.Fatalf("value round-trip diverged:\n first: %+v\nsecond: %+v", ops, back)
+		}
+	})
+}
+
+func FuzzDecodeCheckpoint(f *testing.F) {
+	// The malformed table from TestDecodeRejectsMalformedCheckpoints, all as
+	// full envelope frames (the path an untrusted peer reaches).
+	good, err := Encode(Envelope{From: id.AppServer(1), To: id.AppServer(2),
+		Payload: Checkpoint{Floor: 9, Regs: sampleOps()}})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(good)
+	f.Add(append(append([]byte{}, good...), 0x01))
+	f.Add(good[:len(good)-2])
+	var w writer
+	w.node(id.AppServer(1))
+	w.node(id.AppServer(2))
+	w.byte(byte(KindCheckpoint))
+	w.uvarint(9)
+	w.regOps([]RegOp{{Reg: SlotKey(3), Val: []byte("x")}})
+	f.Add(w.buf)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		env, err := Decode(data)
+		if err != nil {
+			return
+		}
+		ck, ok := env.Payload.(Checkpoint)
+		if !ok {
+			// Mutation turned it into another kind; FuzzDecode owns those.
+			return
+		}
+		for _, op := range ck.Regs {
+			if op.Reg.Array == RegBatch {
+				t.Fatalf("decoder accepted a slot-targeting checkpoint effect: %+v", op)
+			}
+		}
+		buf, err := Encode(Envelope{From: env.From, To: env.To, Payload: ck})
+		if err != nil {
+			t.Fatalf("decoded checkpoint does not re-encode: %v", err)
+		}
+		env2, err := Decode(buf)
+		if err != nil {
+			t.Fatalf("re-encoded checkpoint does not decode: %v", err)
+		}
+		if !reflect.DeepEqual(env, env2) {
+			t.Fatalf("value round-trip diverged:\n first: %+v\nsecond: %+v", env, env2)
+		}
+	})
+}

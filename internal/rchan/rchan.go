@@ -149,6 +149,7 @@ func (ep *Endpoint) recvLoop() {
 }
 
 func (ep *Endpoint) handle(env msg.Envelope) {
+	//etxlint:allow kindswitch — the reliable channel only interprets its own framing (RData/RAck); every other kind is opaque cargo inside RData.Inner
 	switch p := env.Payload.(type) {
 	case msg.RData:
 		// Always (re-)acknowledge; deliver only the first copy.

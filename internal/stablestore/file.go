@@ -72,6 +72,7 @@ func (p *filePersist) sync() {
 	// device; surfacing them to the protocol is out of scope, but flush
 	// failures would repeat and be caught on close.
 	_ = p.w.Flush()
+	//etxlint:allow lockheld — p.mu serializes journal writers against the device force; holding it across fsync is the invariant
 	_ = p.f.Sync()
 }
 
@@ -91,6 +92,7 @@ func (p *filePersist) journal(tag byte, name string, rec []byte, sync bool) {
 	p.w.Write(rec)
 	if sync {
 		_ = p.w.Flush()
+		//etxlint:allow lockheld — a forced append is durable before the journal lock releases, by definition
 		_ = p.f.Sync()
 	}
 }

@@ -272,6 +272,7 @@ func (n *MemNetwork) Quiesce() {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	for len(n.pending) > 0 && !n.closed {
+		//etxlint:allow lockheld — sync.Cond.Wait releases n.mu while parked; this is the canonical condition-wait shape
 		n.idle.Wait()
 	}
 }

@@ -250,8 +250,8 @@ type sequencer struct {
 	wg     sync.WaitGroup
 
 	mu      sync.Mutex
-	pending []msg.RegOp
-	member  map[msg.RegKey]bool
+	pending []msg.RegOp         // guarded by mu
+	member  map[msg.RegKey]bool // guarded by mu
 	wake    chan struct{}
 }
 

@@ -310,6 +310,7 @@ func (e *Engine) Exec(ctx context.Context, rid id.ResultID, op msg.Op) msg.OpRes
 		// Simulated data-manipulation work (the cost model's "SQL" row).
 		// spin.Sleep keeps scaled-down costs precise; cancellation is not
 		// needed because the duration is bounded by the cost model.
+		//etxlint:allow lockheld — models SQL row work under the branch's row locks; holding them for the work's duration is the cost model
 		spin.Sleep(time.Duration(op.Delta))
 		return msg.OpResult{OK: true}
 
