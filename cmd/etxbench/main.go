@@ -19,6 +19,7 @@
 //	etxbench -exp batch              # group commit: fsyncs/commit and throughput on vs off
 //	etxbench -exp consensus          # cohort consensus: msgs and instances/commit on vs off
 //	etxbench -exp memory             # batch-log memory: slot map + heap, GC on vs off
+//	etxbench -exp queue              # queue-oriented deterministic execution vs strict 2PL
 //
 // -scale multiplies the paper's calibrated component costs: 1.0 reproduces
 // the paper's real-time latencies (a slow run), 0.05 keeps the ratios and
@@ -48,7 +49,7 @@ func main() {
 }
 
 func run() error {
-	exp := flag.String("exp", "all", "experiment: all|f8|f7|f1|failover|scaling|suspicion|woregister|patience|gc|pipeline|shards|batch|consensus|memory")
+	exp := flag.String("exp", "all", "experiment: all|f8|f7|f1|failover|scaling|suspicion|woregister|patience|gc|pipeline|shards|batch|consensus|memory|queue")
 	scale := flag.Float64("scale", 0.05, "cost-model scale (1.0 = the paper's real-time costs)")
 	requests := flag.Int("requests", 30, "requests per measured column")
 	runs := flag.Int("runs", 5, "runs per failure scenario")
@@ -138,6 +139,23 @@ func run() error {
 				}
 			})
 			return bench.RunMemory(cfg)
+		}},
+		{"queue", func() (fmt.Stringer, error) {
+			// The queue sweep runs on its own fixed LAN-like substrate, so
+			// -scale does not apply to it.
+			cfg := bench.QueueConfig{Quick: *quick}
+			flag.Visit(func(f *flag.Flag) {
+				switch f.Name {
+				case "requests":
+					cfg.Requests = *requests
+				case "inflight":
+					cfg.InFlights = []int{1}
+					if *inflight != 1 {
+						cfg.InFlights = append(cfg.InFlights, *inflight)
+					}
+				}
+			})
+			return bench.RunQueue(cfg)
 		}},
 		{"consensus", func() (fmt.Stringer, error) {
 			// The consensus sweep is CPU-bound by design (zero-cost network

@@ -38,6 +38,7 @@ func run() error {
 	fsync := flag.Duration("fsync", 0, "simulated forced-write latency on top of the real fsync (reproduces the bench commit bottleneck)")
 	batchWindow := flag.Duration("batch-window", 0, "group-commit window: >0 lets one fsync cover a cohort of concurrent forced writes and serves Prepare/Decide rounds in batches; 0 keeps serialized per-write forces")
 	maxBatch := flag.Int("max-batch", 0, "cap on group-commit cohorts and mailbox batches (0 = default 64)")
+	queueExec := flag.Bool("queue-exec", false, "queue-oriented deterministic execution: plan mailbox drains into per-key run queues and execute without lock-manager acquisition (commitment gated on chain order instead)")
 	seedAcct := flag.String("seed", "alice=100,bob=100", "initial accounts (name=balance,...)")
 	shards := flag.Int("shards", 0, "shard count of the deployment: seed only the accounts this server owns (server -id K owns shard K-1, so ids must run 1..shards); 0 seeds everything")
 	placeSpec := flag.String("placement", "hash", "partitioner: hash | range:b1,b2,... (must match the app servers' -placement)")
@@ -76,7 +77,7 @@ func run() error {
 	store.SetBatchWindow(*batchWindow)
 	store.SetMaxBatch(serveBatch)
 
-	engine, err := xadb.Open(store, xadb.Config{Self: id.DBServer(*idx)})
+	engine, err := xadb.Open(store, xadb.Config{Self: id.DBServer(*idx), QueueExec: *queueExec})
 	if err != nil {
 		return err
 	}
@@ -122,6 +123,7 @@ func run() error {
 		Endpoint:   rchan.Wrap(ep, 100*time.Millisecond),
 		Recovery:   recovery,
 		MaxBatch:   serveBatch,
+		QueueExec:  *queueExec,
 	})
 	if err != nil {
 		return err

@@ -1,0 +1,322 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"etx/internal/cluster"
+	"etx/internal/core"
+	"etx/internal/metrics"
+	"etx/internal/transport"
+	"etx/internal/workload"
+)
+
+// --- EXP-QU: queue-oriented deterministic execution ---------------------------
+//
+// The experiment that justifies retiring the lock manager from the hot path.
+// In lock mode a hot key serializes conflicting tries across their whole
+// commit path: the exclusive lock taken at Exec is held until Decide, so the
+// per-conflict serial section includes two Exec round trips, the Prepare
+// round trip and the regD consensus — on a LAN, several message delays per
+// conflicting try. Queue mode executes each drained batch's operations
+// through per-key FIFO run queues (disjoint keys in parallel, same key serial
+// by plan order) with zero lockmgr acquisitions; conflicting tries overlap
+// speculatively, their Prepares are already parked at the engine, and only
+// the commit decision itself — the vote gate on chain predecessors — remains
+// ordered, so a conflict costs one vote reply plus the regD consensus. The
+// sweep runs on a LAN-like substrate (queueNetLatency per hop, free log
+// device) and crosses pipelining depth × key skew (uniform vs Zipf hot-key)
+// × execution mode on the same deterministic request stream, so the lock and
+// queue cells of a row are directly comparable. Queue cells are
+// counter-verified to have executed without a single lock acquisition.
+
+// QueueRow is one (depth, skew, mode) cell.
+type QueueRow struct {
+	Mode     string        `json:"mode"` // "lock" | "queue"
+	Skew     string        `json:"skew"` // "uniform" | "zipf"
+	InFlight int           `json:"in_flight"`
+	Requests int           `json:"requests"`
+	Elapsed  time.Duration `json:"elapsed_ns"`
+	// Throughput is committed requests per second.
+	Throughput float64 `json:"throughput_rps"`
+	// LocksPerCommit is lockmgr acquisitions per committed request
+	// (0 in queue mode, counter-verified).
+	LocksPerCommit float64 `json:"lock_acquires_per_commit"`
+	// LockWaitMsPerCommit is cumulative lock-queue wait per committed
+	// request, in ms.
+	LockWaitMsPerCommit float64 `json:"lock_wait_ms_per_commit"`
+	// GatedPerCommit is queue-mode vote gates that had to wait on chain
+	// predecessors, per committed request.
+	GatedPerCommit float64 `json:"gated_votes_per_commit"`
+	// P50 and P99 are client-observed commit latencies in ms.
+	P50 float64 `json:"p50_ms"`
+	P99 float64 `json:"p99_ms"`
+}
+
+// QueueReport is the experiment report.
+type QueueReport struct {
+	Rows []QueueRow `json:"rows"`
+}
+
+// QueueConfig parameterizes RunQueue. Zero values take defaults; Quick
+// shrinks everything for CI smoke runs.
+type QueueConfig struct {
+	Requests  int   // per row
+	InFlights []int // pipelining depths to sweep
+	Quick     bool
+}
+
+func (c *QueueConfig) setDefaults() {
+	if c.Quick {
+		if c.Requests <= 0 {
+			c.Requests = 120
+		}
+		if len(c.InFlights) == 0 {
+			c.InFlights = []int{1, 32}
+		}
+	}
+	if c.Requests <= 0 {
+		c.Requests = 400
+	}
+	if len(c.InFlights) == 0 {
+		c.InFlights = []int{1, 8, 32, 64}
+	}
+}
+
+// queueZipfS is the Zipf exponent of the hot-key skew: most of the stream
+// lands on a handful of accounts, the hottest one dominating (~40% of
+// requests hit the single hottest key).
+const queueZipfS = 1.5
+
+// queueNetLatency is the one-way message latency of the sweep's substrate.
+// The lock manager's cost is a *critical-path* cost — a hot key's conflicting
+// tries serialize across Exec→Decide, several message delays each — so the
+// substrate must charge for message delays or the sweep would only measure
+// middle-tier CPU. Half a millisecond per hop models the paper's LAN.
+const queueNetLatency = 500 * time.Microsecond
+
+// queueStream precomputes the account index of every request so the lock and
+// queue cells of one (depth, skew) row replay the identical stream — the
+// deterministic plan input, and the fair comparison.
+func queueStream(skew string, n, poolSize int, seed int64) []int {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]int, n)
+	if skew == "zipf" {
+		z := rand.NewZipf(rng, queueZipfS, 1, uint64(poolSize-1))
+		for i := range out {
+			out[i] = int(z.Uint64())
+		}
+		return out
+	}
+	for i := range out {
+		out[i] = rng.Intn(poolSize)
+	}
+	return out
+}
+
+// RunQueue measures throughput, lock contention and commit latency on one
+// shard with three application servers, sweeping pipelining depth × key skew
+// × execution mode (strict 2PL vs queue-oriented deterministic).
+func RunQueue(cfg QueueConfig) (*QueueReport, error) {
+	cfg.setDefaults()
+	out := &QueueReport{}
+	// Best of two runs per cell (one in quick mode): a stray GC cycle or
+	// scheduler hiccup otherwise dominates cell-to-cell comparisons.
+	runs := 2
+	if cfg.Quick {
+		runs = 1
+	}
+	for _, inflight := range cfg.InFlights {
+		for _, skew := range []string{"uniform", "zipf"} {
+			poolSize := 8 * inflight
+			// +len(queue warm-up) requests are drawn but only `Requests`
+			// are measured; the stream is a function of (depth, skew) only,
+			// never of the mode.
+			stream := queueStream(skew, cfg.Requests+8, poolSize, int64(inflight)*7919+int64(len(skew)))
+			for _, mode := range []string{"lock", "queue"} {
+				var best QueueRow
+				for r := 0; r < runs; r++ {
+					row, err := oneQueueRun(mode, skew, stream, inflight, cfg.Requests, poolSize)
+					if err != nil {
+						return nil, errf("queue inflight=%d skew=%s mode=%s: %w", inflight, skew, mode, err)
+					}
+					if r == 0 || row.Throughput > best.Throughput {
+						best = row
+					}
+				}
+				out.Rows = append(out.Rows, best)
+			}
+		}
+	}
+	return out, nil
+}
+
+// oneQueueRun drives one cell: `requests` single-account bank withdrawals
+// against a one-shard tier at the given pipelining depth.
+func oneQueueRun(mode, skew string, stream []int, inflight, requests, poolSize int) (QueueRow, error) {
+	const clients = 4
+	pool := make([]string, poolSize)
+	seed := make(map[string]int64, poolSize)
+	for i := range pool {
+		pool[i] = fmt.Sprintf("qx%04d", i)
+		seed[pool[i]] = 1 << 40
+	}
+
+	c, err := cluster.New(cluster.Config{
+		AppServers:  3,
+		DataServers: 1,
+		Clients:     clients,
+		// A LAN-like network and a free log device: the per-conflict cost is
+		// then the message delays on the lock-hold (or vote-gate) critical
+		// path, which is what the sweep isolates.
+		Net: transport.Options{Seed: int64(inflight + 1), DefaultLatency: queueNetLatency},
+		Logic: core.LogicFunc(func(ctx context.Context, tx *core.Tx, req []byte) ([]byte, error) {
+			return workload.Bank(ctx, tx, req, 0)
+		}),
+		QueueExec: mode == "queue",
+		// Windowless mailbox-drain batching for both modes: queue execution
+		// plans the drained batch, lock mode serves it through the batched
+		// engine entry points — the PR 3/4 baseline.
+		DrainBatch:  64,
+		Seed:        workload.BankSeed(seed),
+		Workers:     inflight,
+		Terminators: inflight,
+		// A generous lock/vote-gate bound: at depth 64 a hot key queues a
+		// full pipeline of conflicting tries, and this sweep measures
+		// steady-state throughput, not timeout-abort churn (the deadlock
+		// bound still backstops liveness).
+		LockTimeout: 10 * time.Second,
+
+		// Generous protocol timers: the run is failure-free and nothing may
+		// fire spuriously under CPU load.
+		HeartbeatInterval: 10 * time.Millisecond,
+		SuspectTimeout:    time.Second,
+		ResendInterval:    5 * time.Second,
+		CleanInterval:     50 * time.Millisecond,
+		ClientBackoff:     5 * time.Second,
+		ClientRebroadcast: 5 * time.Second,
+		ComputeTimeout:    30 * time.Second,
+	})
+	if err != nil {
+		return QueueRow{}, err
+	}
+	defer c.Stop()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+
+	reqFor := func(i int) []byte {
+		return workload.EncodeBank(workload.BankRequest{Account: pool[stream[i%len(stream)]], Amount: -1})
+	}
+
+	// Warm-up outside the timer and the counters, on the tail of the stream.
+	for i := 1; i <= clients; i++ {
+		if _, err := c.Client(i).Issue(ctx, reqFor(requests+i)); err != nil {
+			return QueueRow{}, err
+		}
+	}
+	engine := c.Engine(1)
+	lockBase := engine.LockStats()
+	specBase := engine.SpecStats()
+	lat := metrics.NewSample()
+
+	// Exactly `inflight` concurrent issuers, spread round-robin over the
+	// client processes, all draining one shared deterministic stream.
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	errs := make(chan error, inflight)
+	t0 := time.Now()
+	for w := 0; w < inflight; w++ {
+		cl := c.Client(w%clients + 1)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := next.Add(1)
+				if i > int64(requests) {
+					return
+				}
+				s0 := time.Now()
+				if _, err := cl.Issue(ctx, reqFor(int(i))); err != nil {
+					errs <- err
+					return
+				}
+				lat.AddDuration(time.Since(s0))
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(t0)
+	close(errs)
+	if err := <-errs; err != nil {
+		return QueueRow{}, err
+	}
+	if rep := c.CheckProperties(); !rep.Ok() {
+		return QueueRow{}, fmt.Errorf("oracle: %s", rep)
+	}
+	lockDelta := engine.LockStats().Sub(lockBase)
+	specDelta := engine.SpecStats()
+	if mode == "queue" && lockDelta.Acquires != 0 {
+		// The property the experiment exists to demonstrate, verified on
+		// every run: queue mode never touches the lock manager.
+		return QueueRow{}, fmt.Errorf("queue mode acquired %d locks (%s)", lockDelta.Acquires, lockDelta)
+	}
+	row := QueueRow{
+		Mode:                mode,
+		Skew:                skew,
+		InFlight:            inflight,
+		Requests:            requests,
+		Elapsed:             elapsed,
+		LocksPerCommit:      float64(lockDelta.Acquires) / float64(requests),
+		LockWaitMsPerCommit: float64(lockDelta.WaitTime) / 1e6 / float64(requests),
+		GatedPerCommit:      float64(specDelta.Deferred-specBase.Deferred) / float64(requests),
+		P50:                 lat.Percentile(50),
+		P99:                 lat.Percentile(99),
+	}
+	if elapsed > 0 {
+		row.Throughput = float64(requests) / elapsed.Seconds()
+	}
+	return row, nil
+}
+
+// Row returns the cell for (inflight, skew, mode), or nil.
+func (b *QueueReport) Row(inflight int, skew, mode string) *QueueRow {
+	for i := range b.Rows {
+		r := &b.Rows[i]
+		if r.InFlight == inflight && r.Skew == skew && r.Mode == mode {
+			return r
+		}
+	}
+	return nil
+}
+
+// String renders the report.
+func (b *QueueReport) String() string {
+	var s strings.Builder
+	fmt.Fprintf(&s, "Queue-oriented deterministic execution (%d requests per row; 3 app servers, 1 shard, %s/hop LAN, free log)\n",
+		b.Rows[0].Requests, queueNetLatency)
+	fmt.Fprintf(&s, "%-8s %-10s %-6s %12s %10s %10s %12s %10s %10s %10s\n",
+		"skew", "in-flight", "mode", "elapsed (ms)", "req/s", "locks/req", "wait ms/req", "gated/req", "p50 (ms)", "p99 (ms)")
+	for _, r := range b.Rows {
+		speed := ""
+		if r.Mode == "queue" {
+			if lock := b.Row(r.InFlight, r.Skew, "lock"); lock != nil && lock.Throughput > 0 {
+				speed = fmt.Sprintf(" (%.1fx)", r.Throughput/lock.Throughput)
+			}
+		}
+		fmt.Fprintf(&s, "%-8s %-10d %-6s %12.1f %10.1f %10.2f %12.3f %10.2f %10.2f %10.2f%s\n",
+			r.Skew, r.InFlight, r.Mode, float64(r.Elapsed)/1e6, r.Throughput,
+			r.LocksPerCommit, r.LockWaitMsPerCommit, r.GatedPerCommit, r.P50, r.P99, speed)
+	}
+	s.WriteString("(lock mode holds a hot key's exclusive lock from Exec to Decide, so conflicting\n" +
+		" tries serialize across the whole commit path; queue mode executes per-key FIFO\n" +
+		" queues speculatively with zero lock acquisitions — counter-verified every run —\n" +
+		" and only the commit decision itself stays ordered via vote gates on chain\n" +
+		" predecessors, which is why the Zipf hot-key rows gain the most at depth)\n")
+	return s.String()
+}

@@ -94,6 +94,13 @@ type Config struct {
 	RetainSlots int
 	// LockTimeout is the databases' lock-wait bound.
 	LockTimeout time.Duration
+	// QueueExec switches the database tier to queue-oriented deterministic
+	// batch execution: each engine runs speculative per-key chains instead
+	// of the lock manager (internal/xadb/spec.go) and each data server
+	// plans its mailbox drains into per-key run queues
+	// (internal/core/planner.go). Off — the default — keeps the paper-exact
+	// strict-2PL execution.
+	QueueExec bool
 	// Seed is the initial content of every database.
 	Seed []kv.Write
 
@@ -266,7 +273,7 @@ func (c *Cluster) startDB(dbID id.NodeID, store *stablestore.Store, recovery boo
 	}
 	store.SetBatchWindow(c.cfg.BatchWindow)
 	store.SetMaxBatch(c.maxBatch())
-	engine, err := xadb.Open(store, xadb.Config{Self: dbID, LockTimeout: c.cfg.LockTimeout})
+	engine, err := xadb.Open(store, xadb.Config{Self: dbID, LockTimeout: c.cfg.LockTimeout, QueueExec: c.cfg.QueueExec})
 	if err != nil {
 		return fmt.Errorf("cluster: open engine %s: %w", dbID, err)
 	}
@@ -284,6 +291,7 @@ func (c *Cluster) startDB(dbID id.NodeID, store *stablestore.Store, recovery boo
 		Endpoint:   ep,
 		Recovery:   recovery,
 		MaxBatch:   drain,
+		QueueExec:  c.cfg.QueueExec,
 	})
 	if err != nil {
 		return err
@@ -362,9 +370,21 @@ func (c *Cluster) startClient(clID id.NodeID) error {
 			for _, a := range c.apps {
 				apps = append(apps, a)
 			}
+			srvs := make([]*core.DataServer, 0, len(c.dbs))
+			for _, n := range c.dbs {
+				if n.srv != nil {
+					srvs = append(srvs, n.srv)
+				}
+			}
 			c.mu.Unlock()
 			for _, a := range apps {
 				log.Printf("cluster: liveness: %s", a.DebugTry(rid))
+			}
+			// The database tier's view: lock contention and speculation
+			// counters tell a stuck try blocked on data apart from one
+			// blocked in the commit path.
+			for _, srv := range srvs {
+				log.Printf("cluster: liveness: %s", srv.DebugStats())
 			}
 		},
 	})
@@ -397,6 +417,17 @@ func (c *Cluster) Engine(i int) *xadb.Engine {
 	defer c.mu.Unlock()
 	if n, ok := c.dbs[id.DBServer(i)]; ok {
 		return n.engine
+	}
+	return nil
+}
+
+// DataServer returns the i-th database server front end (1-based), or nil —
+// tests assert on its execution-mode counters.
+func (c *Cluster) DataServer(i int) *core.DataServer {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if n, ok := c.dbs[id.DBServer(i)]; ok {
+		return n.srv
 	}
 	return nil
 }

@@ -1208,6 +1208,37 @@ func (t *Tx) CheckAtLeast(ctx context.Context, key string, min int64) error {
 	return nil
 }
 
+// GetFast reads key's last committed value on its home shard through the
+// read-only fast path: the shard answers from its committed snapshot at a
+// batch boundary, without locks, without opening a transaction branch, and
+// without enlisting the shard in the try's participant set — so the read
+// never enters the commit path. The value is a consistent committed
+// snapshot, not a serializable read inside the try: it may trail the try's
+// own uncommitted writes and the in-flight batch. Use it for read-only
+// business logic that tolerates snapshot staleness; use Get for reads the
+// try's serialization must cover.
+func (t *Tx) GetFast(ctx context.Context, key string) ([]byte, int64, error) {
+	db := t.Home(key)
+	callID := t.s.execID.Add(1)
+	ch := t.s.calls.addExec(callID)
+	defer t.s.calls.removeExec(callID)
+	err := t.s.cfg.Endpoint.Send(msg.Envelope{To: db, Payload: msg.Exec{RID: t.rid, CallID: callID, Op: msg.Op{Code: msg.OpSnapRead, Key: key}}})
+	if err != nil {
+		return nil, 0, fmt.Errorf("core: snap read on %s: %w", db, err)
+	}
+	select {
+	case rep := <-ch:
+		if !rep.Rep.OK {
+			return nil, 0, fmt.Errorf("core: snap read %q: %s", key, rep.Rep.Err)
+		}
+		return rep.Rep.Val, rep.Rep.Num, nil
+	case <-ctx.Done():
+		return nil, 0, fmt.Errorf("core: snap read on %s: %w", db, ctx.Err())
+	case <-t.s.ctx.Done():
+		return nil, 0, errors.New("core: server stopping")
+	}
+}
+
 // Exec runs one data operation on db inside this try's branch. A failed
 // operation is reported in the OpResult (business-level failure: lock
 // timeout, check violation); an error return means the call itself could not

@@ -3,9 +3,11 @@ package core
 import (
 	"context"
 	"errors"
+	"fmt"
 	"sync"
 
 	"etx/internal/id"
+	"etx/internal/metrics"
 	"etx/internal/msg"
 	"etx/internal/queue"
 	"etx/internal/transport"
@@ -39,8 +41,18 @@ type DataServerConfig struct {
 	// Decide(abort) that would release it; a fixed pool keeps that isolation
 	// without spawning a goroutine per operation on the hot path. Defaults
 	// to 64 (worst case a pool's worth of lock-waiters delays further Execs,
-	// never votes or decides).
+	// never votes or decides). In queue mode the pool serves only keyless
+	// operations; keyed ones run on per-key runners.
 	ExecWorkers int
+	// QueueExec switches the server to queue-oriented deterministic batch
+	// execution: each mailbox drain's data operations are planned into
+	// per-key FIFO queues executed without lock-manager acquisition (per-key
+	// serial, disjoint keys parallel; see planner.go), and snapshot reads
+	// are answered at the batch boundary. Forced on when the engine itself
+	// runs in queue mode — a speculative engine without the planner's
+	// per-key serialization would be unsound. Off — the default — keeps the
+	// paper-exact lock-managed execution.
+	QueueExec bool
 }
 
 // DataServer is the paper's database-server process (Figure 3): a pure
@@ -51,9 +63,58 @@ type DataServer struct {
 
 	execQ *queue.Queue[execJob]
 
+	// Per-key run queues of the queue-execution mode (planner.go).
+	runMu sync.Mutex
+	runs  map[string]*keyRun
+
+	// Queue-execution counters (snapshot via Stats).
+	plannedBatches metrics.Counter
+	plannedOps     metrics.Counter
+	snapReads      metrics.Counter
+	gatedVotes     metrics.Counter
+
 	ctx    context.Context
 	cancel context.CancelFunc
 	wg     sync.WaitGroup
+}
+
+// DataServerStats is a snapshot of the server's queue-execution counters.
+type DataServerStats struct {
+	// PlannedBatches counts mailbox drains that went through the planner.
+	PlannedBatches uint64
+	// PlannedOps counts keyed operations routed through per-key run queues.
+	PlannedOps uint64
+	// SnapReads counts read-only fast-path answers served at batch
+	// boundaries.
+	SnapReads uint64
+	// GatedVotes counts votes resolved off the drain path because chain
+	// predecessors were still undecided.
+	GatedVotes uint64
+}
+
+// Stats snapshots the queue-execution counters (all zero with QueueExec
+// off).
+func (d *DataServer) Stats() DataServerStats {
+	return DataServerStats{
+		PlannedBatches: d.plannedBatches.Load(),
+		PlannedOps:     d.plannedOps.Load(),
+		SnapReads:      d.snapReads.Load(),
+		GatedVotes:     d.gatedVotes.Load(),
+	}
+}
+
+// String renders the counters for liveness dumps.
+func (s DataServerStats) String() string {
+	return fmt.Sprintf("queue{batches=%d ops=%d snapreads=%d gated=%d}",
+		s.PlannedBatches, s.PlannedOps, s.SnapReads, s.GatedVotes)
+}
+
+// DebugStats renders the server's execution-mode counters next to the
+// engine's lock-contention and speculation stats, for liveness diagnostics
+// and bench reports.
+func (d *DataServer) DebugStats() string {
+	return fmt.Sprintf("%s: %s locks{%s} %s",
+		d.cfg.Self, d.Stats(), d.cfg.Engine.LockStats(), d.cfg.Engine.SpecStats())
 }
 
 // execJob is one queued business-data operation.
@@ -76,8 +137,19 @@ func NewDataServer(cfg DataServerConfig) (*DataServer, error) {
 	if cfg.ExecWorkers <= 0 {
 		cfg.ExecWorkers = 64
 	}
+	if cfg.Engine.QueueExec() {
+		// A speculative engine is only sound under the planner's per-key
+		// serialization; never run one behind the lock-mode exec pool.
+		cfg.QueueExec = true
+	}
 	ctx, cancel := context.WithCancel(context.Background())
-	return &DataServer{cfg: cfg, execQ: queue.New[execJob](), ctx: ctx, cancel: cancel}, nil
+	return &DataServer{
+		cfg:    cfg,
+		execQ:  queue.New[execJob](),
+		runs:   make(map[string]*keyRun),
+		ctx:    ctx,
+		cancel: cancel,
+	}, nil
 }
 
 // Start launches the server loop. If this is a recovery start it first
@@ -192,11 +264,22 @@ func (d *DataServer) serveBatch(envs []msg.Envelope) {
 	var prepFrom, decFrom []id.NodeID
 	var prepRIDs []id.ResultID
 	var decReqs []xadb.DecideReq
+	var execs []execJob // queue mode: planned after the drain is demuxed
+	var snapFrom []id.NodeID
+	var snaps []msg.Exec // queue mode: answered at the batch boundary
 
 	handle := func(from id.NodeID, p msg.Payload) {
 		switch m := p.(type) {
 		case msg.Exec:
-			d.execQ.Push(execJob{from: from, m: m})
+			switch {
+			case d.cfg.QueueExec && m.Op.Code == msg.OpSnapRead:
+				snapFrom = append(snapFrom, from)
+				snaps = append(snaps, m)
+			case d.cfg.QueueExec:
+				execs = append(execs, execJob{from: from, m: m})
+			default:
+				d.execQ.Push(execJob{from: from, m: m})
+			}
 		case msg.Prepare:
 			prepFrom = append(prepFrom, from)
 			prepRIDs = append(prepRIDs, m.RID)
@@ -235,12 +318,33 @@ func (d *DataServer) serveBatch(envs []msg.Envelope) {
 
 	replies := make(map[id.NodeID][]msg.Payload)
 	if len(decReqs) > 0 || len(prepRIDs) > 0 {
-		outs, votes := d.cfg.Engine.DecideAndVoteBatch(decReqs, prepRIDs)
+		outs, votes, gated := d.cfg.Engine.DecideAndVoteBatchSpec(decReqs, prepRIDs)
 		for i, o := range outs {
 			replies[decFrom[i]] = append(replies[decFrom[i]], msg.AckDecide{RID: decReqs[i].RID, O: o})
 		}
+		skip := make(map[int]bool, len(gated))
+		for _, i := range gated {
+			skip[i] = true
+		}
 		for i, v := range votes {
+			if skip[i] {
+				continue
+			}
 			replies[prepFrom[i]] = append(replies[prepFrom[i]], msg.VoteMsg{RID: prepRIDs[i], V: v, Inc: d.cfg.Engine.Incarnation()})
+		}
+		// Gated votes (queue mode: chain predecessors still undecided)
+		// resolve off the drain path, each on its own goroutine, so one
+		// gated try cannot stall the rest of the batch's replies. The wait
+		// inside Vote is bounded by the engine's lock-timeout.
+		for _, i := range gated {
+			d.gatedVotes.Inc()
+			i := i
+			d.wg.Add(1)
+			go func() {
+				defer d.wg.Done()
+				v := d.cfg.Engine.Vote(prepRIDs[i])
+				d.reply(prepFrom[i], msg.VoteMsg{RID: prepRIDs[i], V: v, Inc: d.cfg.Engine.Incarnation()})
+			}()
 		}
 	}
 	for to, msgs := range replies {
@@ -250,6 +354,15 @@ func (d *DataServer) serveBatch(envs []msg.Envelope) {
 		}
 		d.reply(to, msg.Batch{Msgs: msgs})
 	}
+	// Batch boundary: the drain's decides have applied, so the committed
+	// store is a fully-executed-batch snapshot — answer the read-only fast
+	// path from it, then hand the keyed operations to their run queues.
+	for i, m := range snaps {
+		d.snapReads.Inc()
+		d.reply(snapFrom[i], msg.ExecReply{RID: m.RID, CallID: m.CallID,
+			Rep: d.cfg.Engine.SnapRead(m.Op.Key), Inc: d.cfg.Engine.Incarnation()})
+	}
+	d.runPlanned(execs)
 }
 
 func (d *DataServer) reply(to id.NodeID, p msg.Payload) {

@@ -22,6 +22,21 @@
 // them cheaper per request — so the Figure 8 rows remain comparable with
 // batching on or off.
 //
+// The database server runs one of two execution modes. Lock mode (the
+// default) is the paper's discipline: strict two-phase locking in the engine,
+// an exclusive lock held from a key's first Exec until Decide. Queue mode
+// (DataServerConfig.QueueExec, forced on when the engine itself was opened
+// speculative) plans every drained mailbox batch into per-key FIFO run queues
+// ordered deterministically — try order by ResultID, call order within a
+// try — and drains each key's queue with a dedicated runner goroutine,
+// disjoint keys in parallel, with zero lock-manager acquisitions; the
+// engine's commitment-time vote gates (internal/xadb/spec.go) keep the
+// speculation sound. OpSnapRead operations are split out of the drain and
+// answered at the batch boundary, after the drain's decides apply, so
+// Tx.GetFast sees a consistent last-executed-batch snapshot without entering
+// the commit path. The planner lives in planner.go; Stats counts its batches
+// and operations, snapshot reads and gated votes.
+//
 // Memory is bounded by two garbage-collection layers, both extensions of
 // the treatment the paper defers in Section 5. Per request, Retire discards
 // the commit cache, cleaning dedup entries and both wo-registers of every

@@ -15,8 +15,10 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 
 	"etx/internal/id"
+	"etx/internal/metrics"
 )
 
 // Mode is a lock mode.
@@ -48,6 +50,55 @@ type Manager struct {
 	mu    sync.Mutex
 	locks map[string]*lockState
 	held  map[id.ResultID]map[string]Mode // per-transaction held keys
+
+	// Contention counters (snapshot via Stats): every Acquire call, the
+	// subset that had to queue, the waits abandoned on timeout, and the
+	// cumulative time spent queued. The queue-execution experiments compare
+	// these across execution modes — queue mode must show zero acquires.
+	acquires  metrics.Counter
+	waits     metrics.Counter
+	timeouts  metrics.Counter
+	waitNanos metrics.Counter
+}
+
+// Stats is a snapshot of the manager's contention counters.
+type Stats struct {
+	// Acquires counts every Acquire call (including re-acquisitions of an
+	// already-held lock).
+	Acquires uint64
+	// Waits counts acquisitions that found the lock unavailable and queued.
+	Waits uint64
+	// Timeouts counts waits abandoned on context expiry (deadlock
+	// resolution by abort-and-retry).
+	Timeouts uint64
+	// WaitTime is the cumulative time acquirers spent queued.
+	WaitTime time.Duration
+}
+
+// Stats snapshots the contention counters.
+func (m *Manager) Stats() Stats {
+	return Stats{
+		Acquires: m.acquires.Load(),
+		Waits:    m.waits.Load(),
+		Timeouts: m.timeouts.Load(),
+		WaitTime: time.Duration(m.waitNanos.Load()),
+	}
+}
+
+// Sub returns s - base, for measuring a bounded interval.
+func (s Stats) Sub(base Stats) Stats {
+	return Stats{
+		Acquires: s.Acquires - base.Acquires,
+		Waits:    s.Waits - base.Waits,
+		Timeouts: s.Timeouts - base.Timeouts,
+		WaitTime: s.WaitTime - base.WaitTime,
+	}
+}
+
+// String renders the counters for liveness dumps.
+func (s Stats) String() string {
+	return fmt.Sprintf("acquires=%d waits=%d timeouts=%d waited=%s",
+		s.Acquires, s.Waits, s.Timeouts, s.WaitTime)
 }
 
 type lockState struct {
@@ -74,6 +125,7 @@ func New() *Manager {
 // or ctx is done. Re-acquiring an already-held lock is a no-op; holding a
 // shared lock and requesting exclusive attempts an upgrade.
 func (m *Manager) Acquire(ctx context.Context, tx id.ResultID, key string, mode Mode) error {
+	m.acquires.Inc()
 	m.mu.Lock()
 	ls, ok := m.locks[key]
 	if !ok {
@@ -105,11 +157,15 @@ func (m *Manager) Acquire(ctx context.Context, tx id.ResultID, key string, mode 
 	w := &waiter{tx: tx, mode: mode, granted: make(chan struct{})}
 	ls.queue = append(ls.queue, w)
 	m.mu.Unlock()
+	m.waits.Inc()
+	waitStart := time.Now()
 
 	select {
 	case <-w.granted:
+		m.waitNanos.Add(uint64(time.Since(waitStart)))
 		return nil
 	case <-ctx.Done():
+		m.waitNanos.Add(uint64(time.Since(waitStart)))
 		m.mu.Lock()
 		select {
 		case <-w.granted:
@@ -121,6 +177,7 @@ func (m *Manager) Acquire(ctx context.Context, tx id.ResultID, key string, mode 
 		w.gone = true
 		m.promoteLocked(key, ls)
 		m.mu.Unlock()
+		m.timeouts.Inc()
 		if errors.Is(ctx.Err(), context.DeadlineExceeded) {
 			return fmt.Errorf("%w: %s on %q", ErrTimeout, mode, key)
 		}

@@ -255,6 +255,11 @@ const (
 	OpAdd                       // add Delta to the integer value at Key; returns the new value
 	OpCheckGE                   // if integer at Key < Delta, poison the branch (db will vote no)
 	OpSleep                     // simulated data-manipulation work of Delta nanoseconds (cost model)
+	// OpSnapRead reads Key's last committed value outside any transaction
+	// branch: the database server answers it from the committed store at a
+	// batch boundary, without locks, without a branch and without entering
+	// the commit path (the queue-execution read-only fast path).
+	OpSnapRead
 )
 
 // String returns the mnemonic of the op code.
@@ -270,6 +275,8 @@ func (c OpCode) String() string {
 		return "checkge"
 	case OpSleep:
 		return "sleep"
+	case OpSnapRead:
+		return "snapread"
 	default:
 		return fmt.Sprintf("op(%d)", uint8(c))
 	}

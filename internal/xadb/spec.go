@@ -1,0 +1,381 @@
+// Queue-oriented deterministic execution (Config.QueueExec): the engine
+// retires the lock manager from the hot path. The data server plans each
+// drained mailbox batch into per-key FIFO queues and executes every queue
+// serially (disjoint keys in parallel), so two operations on the same key
+// can never race — the per-key chain below replaces the lock table as the
+// serialization artifact.
+//
+// Execution is speculative, in the lineage of queue-oriented deterministic
+// processors (Q-Store/QueCC): an operation never waits for a conflicting
+// branch to decide. It reads the pending value of the last writer in the
+// key's chain (or the committed store when the chain holds no write) and
+// appends itself to the chain. Correctness is enforced at commitment time
+// instead of execution time:
+//
+//   - a branch may vote yes only once every chain predecessor has decided
+//     (the vote gate), so decide order extends chain order and write-sets
+//     apply to the store in serialization order;
+//   - if a predecessor a branch read from aborts, the branch is poisoned and
+//     votes no (the speculative cascade) — the try aborts and the client's
+//     retry machinery re-executes it, so no delivered result ever rests on
+//     an aborted value;
+//   - a branch that writes a key after a later accessor joined the chain is
+//     poisoned (chain order is the serialization order; rewriting history
+//     is refused rather than reordered).
+//
+// Vote-gate waits are bounded by Config.LockTimeout, which resolves
+// cross-shard chain-order inversions (the distributed form of deadlock) by
+// mutual timeout-abort, exactly like lock mode resolves lock cycles.
+package xadb
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"etx/internal/id"
+	"etx/internal/kv"
+	"etx/internal/lockmgr"
+	"etx/internal/metrics"
+	"etx/internal/msg"
+	"etx/internal/spin"
+)
+
+// spec is the engine's speculative-chain state: one FIFO chain of undecided
+// accessors per key. All fields are guarded by mu; the engine always
+// acquires a branch mutex before mu, never the reverse.
+type spec struct {
+	mu     sync.Mutex
+	chains map[string][]*specNode
+	nodes  map[id.ResultID]*specNode
+
+	execs    metrics.Counter // operations executed without a lock acquisition
+	deferred metrics.Counter // vote gates that had to wait on predecessors
+	cascades metrics.Counter // branches poisoned by an aborted read-from pred
+	rewrites metrics.Counter // branches poisoned for writing behind the tail
+}
+
+// specNode is one undecided branch's membership in the chains it touched.
+type specNode struct {
+	rid  id.ResultID
+	keys map[string]bool   // chains this node sits in
+	vals map[string][]byte // pending write per key (absent = read-only entry)
+
+	pending  map[id.ResultID]bool // undecided chain predecessors
+	readFrom map[id.ResultID]bool // predecessors whose pending values we read
+	succs    []*specNode          // nodes that recorded us as a predecessor
+
+	cascade string          // non-empty: a read-from predecessor aborted
+	waiters []chan struct{} // one-shot gate waiters, closed on any progress
+}
+
+// SpecStats is a snapshot of the speculative executor's counters.
+type SpecStats struct {
+	Execs    uint64 // operations executed lock-free
+	Deferred uint64 // votes that waited on chain predecessors
+	Cascades uint64 // poisons cascaded from aborted predecessors
+	Rewrites uint64 // poisons from writes behind the chain tail
+}
+
+// Stats snapshots the counters.
+func (s *spec) Stats() SpecStats {
+	return SpecStats{
+		Execs:    s.execs.Load(),
+		Deferred: s.deferred.Load(),
+		Cascades: s.cascades.Load(),
+		Rewrites: s.rewrites.Load(),
+	}
+}
+
+// String renders the counters for liveness dumps.
+func (s SpecStats) String() string {
+	return fmt.Sprintf("spec{execs=%d deferred=%d cascades=%d rewrites=%d}",
+		s.Execs, s.Deferred, s.Cascades, s.Rewrites)
+}
+
+func newSpec() *spec {
+	return &spec{
+		chains: make(map[string][]*specNode),
+		nodes:  make(map[id.ResultID]*specNode),
+	}
+}
+
+// join returns rid's node and its position in key's chain, appending a fresh
+// tail entry — with dependencies on every current chain member — on first
+// access. Caller holds s.mu.
+func (s *spec) join(rid id.ResultID, key string) (*specNode, int) {
+	n := s.nodes[rid]
+	if n == nil {
+		n = &specNode{
+			rid:      rid,
+			keys:     make(map[string]bool),
+			vals:     make(map[string][]byte),
+			pending:  make(map[id.ResultID]bool),
+			readFrom: make(map[id.ResultID]bool),
+		}
+		s.nodes[rid] = n
+	}
+	chain := s.chains[key]
+	if n.keys[key] {
+		for i, m := range chain {
+			if m == n {
+				return n, i
+			}
+		}
+	}
+	for _, p := range chain {
+		if !n.pending[p.rid] {
+			n.pending[p.rid] = true
+			p.succs = append(p.succs, n)
+		}
+	}
+	n.keys[key] = true
+	s.chains[key] = append(chain, n)
+	return n, len(chain)
+}
+
+// read resolves the speculative value of key as seen from rid's chain
+// position: the nearest preceding pending write. fromPred is false when no
+// predecessor wrote the key, in which case the caller reads the committed
+// store.
+func (s *spec) read(rid id.ResultID, key string) (val []byte, fromPred bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n, pos := s.join(rid, key)
+	chain := s.chains[key]
+	for i := pos - 1; i >= 0; i-- {
+		if v, ok := chain[i].vals[key]; ok {
+			n.readFrom[chain[i].rid] = true
+			return v, true
+		}
+	}
+	return nil, false
+}
+
+// write records rid's pending write of key at its chain position. It fails
+// (non-empty reason) when a later accessor has already joined the chain:
+// their reads resolved against the chain as it was, so rewriting behind them
+// would fork the serialization order.
+func (s *spec) write(rid id.ResultID, key string, val []byte) string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n, pos := s.join(rid, key)
+	if pos != len(s.chains[key])-1 {
+		s.rewrites.Inc()
+		return fmt.Sprintf("spec: write of %q behind the chain tail (position %d of %d)",
+			key, pos, len(s.chains[key]))
+	}
+	cp := make([]byte, len(val))
+	copy(cp, val)
+	n.vals[key] = cp
+	return ""
+}
+
+// seed installs a recovered in-doubt branch's write-set as chain state, so
+// post-recovery accessors order behind it and gate on its eventual decide —
+// the queue-mode replacement for re-acquiring its locks.
+func (s *spec) seed(rid id.ResultID, ws []kv.Write) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, w := range ws {
+		n, _ := s.join(rid, w.Key)
+		cp := make([]byte, len(w.Val))
+		copy(cp, w.Val)
+		n.vals[w.Key] = cp
+	}
+}
+
+// gate reports whether rid may vote: ready when every chain predecessor has
+// decided (or rid never touched a chain). A non-empty cascade reason means a
+// read-from predecessor aborted — the caller must poison the branch and vote
+// no. When not ready, the returned channel is closed on the next predecessor
+// decide (or cascade); the caller re-checks after each wake.
+func (s *spec) gate(rid id.ResultID) (wait <-chan struct{}, ready bool, cascade string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := s.nodes[rid]
+	if n == nil {
+		return nil, true, ""
+	}
+	if n.cascade != "" {
+		return nil, true, n.cascade
+	}
+	if len(n.pending) == 0 {
+		return nil, true, ""
+	}
+	ch := make(chan struct{})
+	n.waiters = append(n.waiters, ch)
+	s.deferred.Inc()
+	return ch, false, ""
+}
+
+// finish removes rid from every chain it joined and releases its
+// successors' gates. An abort poisons (cascades to) every successor that
+// read rid's pending values. Caller holds the branch mutex (never s.mu).
+func (s *spec) finish(rid id.ResultID, aborted bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := s.nodes[rid]
+	if n == nil {
+		return
+	}
+	delete(s.nodes, rid)
+	for key := range n.keys {
+		chain := s.chains[key]
+		for i, m := range chain {
+			if m == n {
+				chain = append(chain[:i], chain[i+1:]...)
+				break
+			}
+		}
+		if len(chain) == 0 {
+			delete(s.chains, key)
+		} else {
+			s.chains[key] = chain
+		}
+	}
+	for _, succ := range n.succs {
+		if !succ.pending[rid] {
+			continue
+		}
+		delete(succ.pending, rid)
+		if aborted && succ.readFrom[rid] && succ.cascade == "" {
+			succ.cascade = fmt.Sprintf("spec: read-from predecessor %s aborted", rid)
+			s.cascades.Inc()
+		}
+		if len(succ.pending) == 0 || succ.cascade != "" {
+			for _, w := range succ.waiters {
+				close(w)
+			}
+			succ.waiters = nil
+		}
+	}
+}
+
+// --- engine integration ------------------------------------------------------
+
+// execSpec is the queue-mode Exec body: no lock manager, speculative chain
+// reads, conflicts impossible by construction because the data server's
+// per-key queues serialize same-key operations. Caller holds b.mu and has
+// verified the branch is active. Same-key operations MUST be serialized by
+// the caller (the data server's planner does); disjoint keys may run
+// concurrently.
+func (e *Engine) execSpec(b *branch, op msg.Op) msg.OpResult {
+	e.spec.execs.Inc()
+	poison := func(reason string) msg.OpResult {
+		b.poisoned = true
+		b.reason = reason
+		return msg.OpResult{OK: false, Err: reason}
+	}
+	switch op.Code {
+	case msg.OpGet:
+		val, num := e.specValue(b, op.Key)
+		return msg.OpResult{Val: val, Num: num, OK: true}
+
+	case msg.OpPut:
+		if reason := e.spec.write(b.rid, op.Key, op.Val); reason != "" {
+			return poison(reason)
+		}
+		b.write(op.Key, op.Val)
+		return msg.OpResult{OK: true}
+
+	case msg.OpAdd:
+		_, cur := e.specValue(b, op.Key)
+		next := cur + op.Delta
+		nv := kv.EncodeInt(next)
+		if reason := e.spec.write(b.rid, op.Key, nv); reason != "" {
+			return poison(reason)
+		}
+		b.write(op.Key, nv)
+		return msg.OpResult{Num: next, OK: true}
+
+	case msg.OpCheckGE:
+		_, cur := e.specValue(b, op.Key)
+		if cur < op.Delta {
+			r := poison(fmt.Sprintf("check failed: %s=%d < %d", op.Key, cur, op.Delta))
+			r.Num = cur
+			return r
+		}
+		return msg.OpResult{Num: cur, OK: true}
+
+	case msg.OpSleep:
+		// Same cost model as lock mode, minus the held row locks: the queue
+		// executor owns the key for the duration instead.
+		//etxlint:allow lockheld — models SQL row work; the per-key queue owns the key for the work's duration, which is the cost model
+		spin.Sleep(time.Duration(op.Delta))
+		return msg.OpResult{OK: true}
+
+	default:
+		return msg.OpResult{OK: false, Err: fmt.Sprintf("unknown op %d", op.Code)}
+	}
+}
+
+// specValue is the queue-mode read: the branch's own pending write first
+// (read-your-writes), then the chain's nearest predecessor write, then the
+// committed store. Caller holds b.mu.
+func (e *Engine) specValue(b *branch, key string) (val []byte, num int64) {
+	if i, ok := b.wIdx[key]; ok {
+		val = b.writes[i].Val
+	} else if v, fromPred := e.spec.read(b.rid, key); fromPred {
+		val = v
+	} else if v, ok := e.store.Get(key); ok {
+		val = v
+	}
+	if len(val) == 8 {
+		if n, err := kv.DecodeInt(val); err == nil {
+			num = n
+		}
+	}
+	return val, num
+}
+
+// SnapRead answers the read-only fast path: key's last committed value,
+// outside any branch, without locks. The data server calls it at a batch
+// boundary so the snapshot reflects a fully-executed batch.
+func (e *Engine) SnapRead(key string) msg.OpResult {
+	var num int64
+	val, _ := e.store.Get(key)
+	if len(val) == 8 {
+		if n, err := kv.DecodeInt(val); err == nil {
+			num = n
+		}
+	}
+	return msg.OpResult{Val: val, Num: num, OK: true}
+}
+
+// Poison marks rid's branch to vote no, recording reason. The data server
+// uses it when a queue-mode vote gate times out (deadlock resolution by
+// abort, the lock-mode timeout's analogue). Unknown or finished branches are
+// left alone.
+func (e *Engine) Poison(rid id.ResultID, reason string) {
+	b, _, done := e.getBranch(rid, false)
+	if done || b == nil {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.status == StatusActive && !b.poisoned {
+		b.poisoned = true
+		b.reason = reason
+	}
+}
+
+// QueueExec reports whether the engine runs the queue-oriented deterministic
+// execution mode.
+func (e *Engine) QueueExec() bool { return e.cfg.QueueExec }
+
+// LockTimeout returns the engine's lock-wait (and vote-gate) bound.
+func (e *Engine) LockTimeout() time.Duration { return e.cfg.LockTimeout }
+
+// LockStats snapshots the lock manager's contention counters. Queue mode
+// must show zero acquisitions — the property the benchmarks verify.
+func (e *Engine) LockStats() lockmgr.Stats { return e.locks.Stats() }
+
+// SpecStats snapshots the speculative executor's counters (zero when
+// QueueExec is off).
+func (e *Engine) SpecStats() SpecStats {
+	if e.spec == nil {
+		return SpecStats{}
+	}
+	return e.spec.Stats()
+}

@@ -26,6 +26,7 @@ import (
 	"context"
 	"encoding/binary"
 	"fmt"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -47,8 +48,17 @@ type Config struct {
 	// Self identifies the database server (used in errors only).
 	Self id.NodeID
 	// LockTimeout bounds each lock wait; expiry poisons the branch
-	// (deadlock resolution by abort-and-retry). Defaults to 250ms.
+	// (deadlock resolution by abort-and-retry). Defaults to 250ms. In queue
+	// mode the same bound applies to vote-gate waits on undecided chain
+	// predecessors.
 	LockTimeout time.Duration
+	// QueueExec switches the engine to queue-oriented deterministic
+	// execution: operations run speculatively against per-key chains without
+	// any lock-manager acquisition, and commitment is gated on chain
+	// predecessors instead (see spec.go). The caller (the data server's
+	// planner) must serialize same-key operations. Off — the default —
+	// reproduces the paper-exact strict-2PL discipline.
+	QueueExec bool
 }
 
 // BranchStatus is the lifecycle state of a transaction branch.
@@ -85,6 +95,7 @@ type Engine struct {
 	log   *wal.Log
 	store *kv.Store
 	locks *lockmgr.Manager
+	spec  *spec // speculative chains; nil unless Config.QueueExec
 	inc   uint64
 
 	// appendSeq numbers deferred (unforced) prepared/commit appends and
@@ -127,6 +138,9 @@ func Open(st *stablestore.Store, cfg Config) (*Engine, error) {
 		branches: make(map[id.ResultID]*branch),
 		outcomes: make(map[id.ResultID]msg.Outcome),
 	}
+	if cfg.QueueExec {
+		e.spec = newSpec()
+	}
 
 	// Incarnation: read, bump, persist.
 	if raw, ok := st.Get(incarnationKey); ok && len(raw) == 8 {
@@ -149,14 +163,30 @@ func Open(st *stablestore.Store, cfg Config) (*Engine, error) {
 	for rid := range rv.Aborted {
 		e.outcomes[rid] = msg.OutcomeAbort
 	}
-	for rid, ws := range rv.InDoubt {
+	// In-doubt branches are restored in deterministic (sorted) order. Lock
+	// mode re-acquires their locks; queue mode seeds their write-sets into
+	// the speculative chains instead, so post-recovery accessors order
+	// behind them and gate on their eventual decide.
+	inDoubt := make([]id.ResultID, 0, len(rv.InDoubt))
+	for rid := range rv.InDoubt {
+		inDoubt = append(inDoubt, rid)
+	}
+	sort.Slice(inDoubt, func(i, j int) bool { return inDoubt[i].Less(inDoubt[j]) })
+	for _, rid := range inDoubt {
+		ws := rv.InDoubt[rid]
 		b := &branch{rid: rid, status: StatusPrepared, writes: ws, wIdx: make(map[string]int, len(ws))}
 		for i, w := range ws {
 			b.wIdx[w.Key] = i
+			if e.spec != nil {
+				continue
+			}
 			// Locks are re-acquired on a fresh lock table: cannot block.
 			if err := e.locks.Acquire(context.Background(), rid, w.Key, lockmgr.Exclusive); err != nil {
 				return nil, fmt.Errorf("xadb: relock in-doubt branch %s: %w", rid, err)
 			}
+		}
+		if e.spec != nil {
+			e.spec.seed(rid, ws)
 		}
 		e.branches[rid] = b
 	}
@@ -245,6 +275,13 @@ func (e *Engine) getBranch(rid id.ResultID, create bool) (*branch, msg.Outcome, 
 // on first use. Lock waits are bounded by Config.LockTimeout; a timeout
 // poisons the branch so it will vote no.
 func (e *Engine) Exec(ctx context.Context, rid id.ResultID, op msg.Op) msg.OpResult {
+	if op.Code == msg.OpSnapRead {
+		// Read-only fast path: the last committed value, answered without
+		// locks and without creating (or enlisting) a branch — the try never
+		// prepares this server for a snapshot read, so a branch here would
+		// leak. Works identically in both execution modes.
+		return e.SnapRead(op.Key)
+	}
 	b, outcome, done := e.getBranch(rid, true)
 	if done {
 		return msg.OpResult{OK: false, Err: fmt.Sprintf("branch already %s", outcome)}
@@ -256,6 +293,14 @@ func (e *Engine) Exec(ctx context.Context, rid id.ResultID, op msg.Op) msg.OpRes
 		return msg.OpResult{OK: false, Err: "branch already prepared"}
 	case StatusCommitted, StatusAborted:
 		return msg.OpResult{OK: false, Err: fmt.Sprintf("branch already %s", b.status)}
+	}
+
+	if e.spec != nil {
+		// Queue mode: no lock manager. The status check above and the chain
+		// bookkeeping both run under b.mu, so a racing vote either sees the
+		// chain membership this exec records or this exec sees the prepared
+		// status and refuses.
+		return e.execSpec(b, op)
 	}
 
 	lockCtx, cancel := context.WithTimeout(ctx, e.cfg.LockTimeout)
@@ -350,11 +395,38 @@ func (b *branch) write(key string, val []byte) {
 // Vote implements the paper's vote() primitive (XA prepare). A yes vote
 // forces the branch's write-set to the WAL first. Voting on an unknown
 // branch prepares an empty branch and votes yes (this server was simply not
-// touched by the try). Poisoned branches vote no and abort immediately.
+// touched by the try). Poisoned branches vote no and abort immediately. In
+// queue mode the vote additionally waits for every chain predecessor to
+// decide, bounded by the lock-timeout (expiry poisons and votes no).
 func (e *Engine) Vote(rid id.ResultID) msg.Vote {
-	v, _ := e.vote(rid, false, false)
+	v := e.voteWait(rid, false)
 	e.syncIfBehind()
 	return v
+}
+
+// voteWait runs vote, waiting out queue-mode vote gates. The total wait is
+// bounded by Config.LockTimeout: expiry poisons the branch — the vote-gate
+// analogue of a lock-wait timeout, resolving cross-shard chain-order
+// inversions (distributed deadlock) by mutual abort — and the next pass
+// votes no.
+func (e *Engine) voteWait(rid id.ResultID, deferSync bool) msg.Vote {
+	var expire <-chan time.Time
+	for {
+		v, ok, gate := e.vote(rid, deferSync, false)
+		if ok {
+			return v
+		}
+		if expire == nil {
+			t := time.NewTimer(e.cfg.LockTimeout)
+			defer t.Stop()
+			expire = t.C
+		}
+		select {
+		case <-gate:
+		case <-expire:
+			e.Poison(rid, "spec: vote gate timed out waiting for chain predecessors")
+		}
+	}
 }
 
 // VoteBatch runs Vote for every rid, sharing one forced log write across
@@ -391,18 +463,21 @@ func (e *Engine) syncIfBehind() {
 // record is appended unforced and numbered; the caller must run
 // syncIfBehind before releasing any vote. With tryLock a branch whose mutex
 // is busy (typically an Exec waiting out a data-lock acquisition) is not
-// waited for: the call returns ok=false and the caller retries later.
-func (e *Engine) vote(rid id.ResultID, deferSync, tryLock bool) (msg.Vote, bool) {
+// waited for: the call returns ok=false with a nil gate and the caller
+// retries later. In queue mode a branch whose chain predecessors are still
+// undecided returns ok=false with a non-nil gate channel: the caller waits
+// on it (it is closed at the next predecessor decide) and re-votes.
+func (e *Engine) vote(rid id.ResultID, deferSync, tryLock bool) (msg.Vote, bool, <-chan struct{}) {
 	b, outcome, done := e.getBranch(rid, true)
 	if done {
 		if outcome == msg.OutcomeCommit {
-			return msg.VoteYes, true
+			return msg.VoteYes, true, nil
 		}
-		return msg.VoteNo, true
+		return msg.VoteNo, true, nil
 	}
 	if tryLock {
 		if !b.mu.TryLock() {
-			return 0, false
+			return 0, false, nil
 		}
 	} else {
 		b.mu.Lock()
@@ -410,13 +485,28 @@ func (e *Engine) vote(rid id.ResultID, deferSync, tryLock bool) (msg.Vote, bool)
 	defer b.mu.Unlock()
 	switch b.status {
 	case StatusPrepared, StatusCommitted:
-		return msg.VoteYes, true
+		return msg.VoteYes, true, nil
 	case StatusAborted:
-		return msg.VoteNo, true
+		return msg.VoteNo, true, nil
 	}
 	if b.poisoned {
 		e.abortLocked(b)
-		return msg.VoteNo, true
+		return msg.VoteNo, true, nil
+	}
+	if e.spec != nil {
+		// The vote gate: yes only once every chain predecessor has decided,
+		// so decide order extends chain order and an aborted predecessor's
+		// speculative values never reach the store through a successor.
+		gate, ready, cascade := e.spec.gate(rid)
+		if cascade != "" {
+			b.poisoned = true
+			b.reason = cascade
+			e.abortLocked(b)
+			return msg.VoteNo, true, nil
+		}
+		if !ready {
+			return 0, false, gate
+		}
 	}
 	e.log.Append(wal.Record{Type: wal.RecPrepared, RID: rid, Writes: b.writes}, !deferSync)
 	if deferSync {
@@ -425,7 +515,7 @@ func (e *Engine) vote(rid id.ResultID, deferSync, tryLock bool) (msg.Vote, bool)
 		e.appendSeq.Add(1)
 	}
 	b.status = StatusPrepared
-	return msg.VoteYes, true
+	return msg.VoteYes, true, nil
 }
 
 // Decide implements the paper's decide() primitive. It is idempotent: a
@@ -470,8 +560,32 @@ func (e *Engine) DecideBatch(reqs []DecideReq) []msg.Outcome {
 // Decide(abort) later in the drain that would release the contended lock is
 // served before anything waits on the Exec-held branch.
 func (e *Engine) DecideAndVoteBatch(decides []DecideReq, votes []id.ResultID) ([]msg.Outcome, []msg.Vote) {
-	outs := make([]msg.Outcome, len(decides))
-	vs := make([]msg.Vote, len(votes))
+	outs, vs, gated := e.decideAndVoteBatch(decides, votes)
+	// Queue-mode vote gates are waited out inline (bounded by the
+	// lock-timeout), preserving this entry point's votes-are-final contract.
+	for _, i := range gated {
+		vs[i] = e.voteWait(votes[i], true)
+	}
+	e.syncIfBehind()
+	return outs, vs
+}
+
+// DecideAndVoteBatchSpec is the data server's drain entry point: like
+// DecideAndVoteBatch, but queue-mode votes gated on undecided chain
+// predecessors are returned as indices into votes (gated) instead of being
+// waited for inline, so one gated vote cannot stall the whole drain's
+// replies. Gated entries of the vote slice are zero and must not be sent;
+// the caller resolves each with a later Vote call (which waits out the gate
+// and syncs itself). In lock mode gated is always empty.
+func (e *Engine) DecideAndVoteBatchSpec(decides []DecideReq, votes []id.ResultID) ([]msg.Outcome, []msg.Vote, []int) {
+	outs, vs, gated := e.decideAndVoteBatch(decides, votes)
+	e.syncIfBehind()
+	return outs, vs, gated
+}
+
+func (e *Engine) decideAndVoteBatch(decides []DecideReq, votes []id.ResultID) (outs []msg.Outcome, vs []msg.Vote, gated []int) {
+	outs = make([]msg.Outcome, len(decides))
+	vs = make([]msg.Vote, len(votes))
 	var retryD, retryV []int
 	for i, req := range decides {
 		if o, ok := e.decide(req.RID, req.O, true, true); ok {
@@ -481,9 +595,13 @@ func (e *Engine) DecideAndVoteBatch(decides []DecideReq, votes []id.ResultID) ([
 		}
 	}
 	for i, rid := range votes {
-		if v, ok := e.vote(rid, true, true); ok {
+		v, ok, gate := e.vote(rid, true, true)
+		switch {
+		case ok:
 			vs[i] = v
-		} else {
+		case gate != nil:
+			gated = append(gated, i)
+		default:
 			retryV = append(retryV, i)
 		}
 	}
@@ -491,10 +609,14 @@ func (e *Engine) DecideAndVoteBatch(decides []DecideReq, votes []id.ResultID) ([
 		outs[i], _ = e.decide(decides[i].RID, decides[i].O, true, false)
 	}
 	for _, i := range retryV {
-		vs[i], _ = e.vote(votes[i], true, false)
+		v, ok, gate := e.vote(votes[i], true, false)
+		if ok {
+			vs[i] = v
+		} else if gate != nil {
+			gated = append(gated, i)
+		}
 	}
-	e.syncIfBehind()
-	return outs, vs
+	return outs, vs, gated
 }
 
 // decide is the shared Decide implementation. With deferSync commit records
@@ -601,8 +723,12 @@ func (e *Engine) abortLocked(b *branch) {
 }
 
 // finishBranch records the outcome and drops the live branch. Caller holds
-// b.mu.
+// b.mu. In queue mode the branch leaves its chains here, releasing (or, on
+// abort, cascading into) its successors' vote gates.
 func (e *Engine) finishBranch(b *branch, o msg.Outcome) {
+	if e.spec != nil {
+		e.spec.finish(b.rid, o == msg.OutcomeAbort)
+	}
 	e.mu.Lock()
 	e.outcomes[b.rid] = o
 	delete(e.branches, b.rid)
