@@ -80,6 +80,8 @@ func run() error {
 	maxBatch := flag.Int("max-batch", 0, "cap on one outbound batch envelope (0 = default 64)")
 	cohortWindow := flag.Duration("cohort-window", 0, "cohort-consensus window: >0 lets concurrent wo-register writes share one consensus instance per cohort; 0 runs one instance per write (every app server must agree)")
 	maxCohort := flag.Int("max-cohort", 0, "cap on register ops per consensus slot (0 = default 64)")
+	adaptive := flag.Bool("adaptive", false, "self-tuning batching: sample the in-flight depth and collapse batch/cohort caps at depth 1, widening them under pipelining (unset windows default to 500µs/100µs; every app server must agree)")
+	writeTimeout := flag.Duration("write-timeout", 0, "transport write deadline: a peer that stops reading trips it and the connection is dropped (0 = default 5s)")
 	retainSlots := flag.Int("retain-slots", 0, "batch-log retention tail: >0 truncates decided consensus slots below the cluster-wide applied watermark minus this many (laggards catch up via checkpoint transfer); 0 retains every slot forever (every app server must agree)")
 	shards := flag.Int("shards", 0, "key-shard the database tier over the first N -dbservers (0 = all of them)")
 	placeSpec := flag.String("placement", "hash", "partitioner: hash | range:b1,b2,... (every app server must agree)")
@@ -136,7 +138,8 @@ func run() error {
 		Listen: *listen,
 		// Results go back to the addresses in the -clients book; peers and
 		// databases come from theirs.
-		Peers: tcptransport.Merge(apps, dbs, clients),
+		Peers:        tcptransport.Merge(apps, dbs, clients),
+		WriteTimeout: *writeTimeout,
 	})
 	if err != nil {
 		return err
@@ -150,19 +153,20 @@ func run() error {
 		log.Printf("note: -fsync %v is a database-tier cost; pass it to etxdbserver (stateless app servers pay none)", *fsync)
 	}
 	srv, err := core.NewAppServer(core.AppServerConfig{
-		Self:           self,
-		AppServers:     tcptransport.SortedPeers(apps),
-		DataServers:    dbList,
-		Placement:      pmap,
-		Endpoint:       rchan.Wrap(ep, 100*time.Millisecond),
-		Logic:          bankLogic(),
-		SuspectTimeout: *suspect,
-		Workers:        *workers,
-		BatchWindow:    *batchWindow,
-		MaxBatch:       *maxBatch,
-		CohortWindow:   *cohortWindow,
-		MaxCohort:      *maxCohort,
-		RetainSlots:    *retainSlots,
+		Self:            self,
+		AppServers:      tcptransport.SortedPeers(apps),
+		DataServers:     dbList,
+		Placement:       pmap,
+		Endpoint:        rchan.Wrap(ep, 100*time.Millisecond),
+		Logic:           bankLogic(),
+		SuspectTimeout:  *suspect,
+		Workers:         *workers,
+		BatchWindow:     *batchWindow,
+		MaxBatch:        *maxBatch,
+		CohortWindow:    *cohortWindow,
+		MaxCohort:       *maxCohort,
+		AdaptiveWindows: *adaptive,
+		RetainSlots:     *retainSlots,
 	})
 	if err != nil {
 		return err

@@ -20,11 +20,14 @@
 //	etxbench -exp consensus          # cohort consensus: msgs and instances/commit on vs off
 //	etxbench -exp memory             # batch-log memory: slot map + heap, GC on vs off
 //	etxbench -exp queue              # queue-oriented deterministic execution vs strict 2PL
+//	etxbench -exp wire               # vectored TCP transport + adaptive batching windows
 //
 // -scale multiplies the paper's calibrated component costs: 1.0 reproduces
 // the paper's real-time latencies (a slow run), 0.05 keeps the ratios and
 // finishes in seconds. -quick shrinks the extension experiments for CI
-// smoke runs, -json writes every produced report as machine-readable
+// smoke runs, -net lan|wan swaps the memnet substrate of the wire, queue
+// and consensus sweeps for a latcost latency profile, -json writes every
+// produced report as machine-readable
 // JSON (keyed by experiment name) so perf trajectories can accumulate as
 // build artifacts, and -memprofile writes a post-run heap profile for
 // leak hunts.
@@ -49,12 +52,13 @@ func main() {
 }
 
 func run() error {
-	exp := flag.String("exp", "all", "experiment: all|f8|f7|f1|failover|scaling|suspicion|woregister|patience|gc|pipeline|shards|batch|consensus|memory|queue")
+	exp := flag.String("exp", "all", "experiment: all|f8|f7|f1|failover|scaling|suspicion|woregister|patience|gc|pipeline|shards|batch|consensus|memory|queue|wire")
 	scale := flag.Float64("scale", 0.05, "cost-model scale (1.0 = the paper's real-time costs)")
 	requests := flag.Int("requests", 30, "requests per measured column")
 	runs := flag.Int("runs", 5, "runs per failure scenario")
 	inflight := flag.Int("inflight", 16, "pipelining depth K for -exp pipeline")
 	quick := flag.Bool("quick", false, "CI smoke mode: smaller scale and request counts for the extension experiments")
+	netProfile := flag.String("net", "", "latcost network profile for the wire/queue/consensus sweeps: lan|wan (default: each sweep's own substrate)")
 	jsonPath := flag.String("json", "", "write the reports as JSON to this file (keyed by experiment name)")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file after the experiments finish")
 	flag.Parse()
@@ -143,7 +147,7 @@ func run() error {
 		{"queue", func() (fmt.Stringer, error) {
 			// The queue sweep runs on its own fixed LAN-like substrate, so
 			// -scale does not apply to it.
-			cfg := bench.QueueConfig{Quick: *quick}
+			cfg := bench.QueueConfig{Quick: *quick, Net: *netProfile}
 			flag.Visit(func(f *flag.Flag) {
 				switch f.Name {
 				case "requests":
@@ -160,7 +164,7 @@ func run() error {
 		{"consensus", func() (fmt.Stringer, error) {
 			// The consensus sweep is CPU-bound by design (zero-cost network
 			// and log device), so -scale does not apply to it.
-			cfg := bench.ConsensusConfig{Quick: *quick}
+			cfg := bench.ConsensusConfig{Quick: *quick, Net: *netProfile}
 			flag.Visit(func(f *flag.Flag) {
 				switch f.Name {
 				case "requests":
@@ -173,6 +177,24 @@ func run() error {
 				}
 			})
 			return bench.RunConsensus(cfg)
+		}},
+		{"wire", func() (fmt.Stringer, error) {
+			// The wire sweep runs on real TCP loopback (transport section)
+			// and its own memnet substrate (windows section); -scale does
+			// not apply to it.
+			cfg := bench.WireConfig{Quick: *quick, Net: *netProfile}
+			flag.Visit(func(f *flag.Flag) {
+				switch f.Name {
+				case "requests":
+					cfg.Requests = *requests
+				case "inflight":
+					cfg.InFlights = []int{1}
+					if *inflight != 1 {
+						cfg.InFlights = append(cfg.InFlights, *inflight)
+					}
+				}
+			})
+			return bench.RunWire(cfg)
 		}},
 	}
 

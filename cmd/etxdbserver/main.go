@@ -39,6 +39,8 @@ func run() error {
 	batchWindow := flag.Duration("batch-window", 0, "group-commit window: >0 lets one fsync cover a cohort of concurrent forced writes and serves Prepare/Decide rounds in batches; 0 keeps serialized per-write forces")
 	maxBatch := flag.Int("max-batch", 0, "cap on group-commit cohorts and mailbox batches (0 = default 64)")
 	queueExec := flag.Bool("queue-exec", false, "queue-oriented deterministic execution: plan mailbox drains into per-key run queues and execute without lock-manager acquisition (commitment gated on chain order instead)")
+	adaptive := flag.Bool("adaptive", false, "self-tuning group commit: a lone cohort leader skips the accumulation window while pipelined forces still share fsyncs (match the app servers' -adaptive)")
+	writeTimeout := flag.Duration("write-timeout", 0, "transport write deadline: a peer that stops reading trips it and the connection is dropped (0 = default 5s)")
 	seedAcct := flag.String("seed", "alice=100,bob=100", "initial accounts (name=balance,...)")
 	shards := flag.Int("shards", 0, "shard count of the deployment: seed only the accounts this server owns (server -id K owns shard K-1, so ids must run 1..shards); 0 seeds everything")
 	placeSpec := flag.String("placement", "hash", "partitioner: hash | range:b1,b2,... (must match the app servers' -placement)")
@@ -66,6 +68,9 @@ func run() error {
 	// The simulated fsync cost and the group-commit knobs are plain store
 	// settings, so a TCP deployment can reproduce the bench bottleneck (and
 	// its group-commit fix) on real sockets.
+	if *adaptive && *batchWindow <= 0 {
+		*batchWindow = 500 * time.Microsecond
+	}
 	serveBatch := 0
 	if *batchWindow > 0 {
 		serveBatch = *maxBatch
@@ -76,6 +81,9 @@ func run() error {
 	store.SetForceLatency(*fsync)
 	store.SetBatchWindow(*batchWindow)
 	store.SetMaxBatch(serveBatch)
+	// Adaptive keeps the full window for pipelined forces but lets a lone
+	// group-commit leader skip the accumulation sleep entirely.
+	store.SetAdaptive(*adaptive)
 
 	engine, err := xadb.Open(store, xadb.Config{Self: id.DBServer(*idx), QueueExec: *queueExec})
 	if err != nil {
@@ -110,7 +118,7 @@ func run() error {
 	}
 
 	self := id.DBServer(*idx)
-	ep, err := tcptransport.Listen(tcptransport.Config{Self: self, Listen: *listen, Peers: apps})
+	ep, err := tcptransport.Listen(tcptransport.Config{Self: self, Listen: *listen, Peers: apps, WriteTimeout: *writeTimeout})
 	if err != nil {
 		return err
 	}

@@ -131,6 +131,17 @@ type Config struct {
 	// MaxCohort caps register ops per consensus slot (default 64; only
 	// meaningful with CohortWindow set).
 	MaxCohort int
+	// AdaptiveWindows makes the batching machinery self-tuning: each
+	// application server samples its in-flight request depth and collapses
+	// the outbound-batch and consensus-cohort caps to one when a single
+	// request is in flight (batching would only add latency) while widening
+	// them toward MaxBatch/MaxCohort under pipelining, and the databases'
+	// group commit runs a minimal accumulation window. With it set, no
+	// static BatchWindow/CohortWindow choice has to trade depth-1 latency
+	// for depth-64 throughput; unset windows default to small values
+	// (500µs/100µs). Adaptation tunes timing only — protocol semantics are
+	// exactly those of the configured windows.
+	AdaptiveWindows bool
 	// RetainSlots bounds the memory of cohort consensus: each application
 	// server advertises the batch-log slots it has applied, and decided
 	// slots below the cluster-wide minimum minus this retention tail are
@@ -209,6 +220,7 @@ func New(cfg Config) (*Cluster, error) {
 		MaxBatch:          cfg.MaxBatch,
 		CohortWindow:      cfg.CohortWindow,
 		MaxCohort:         cfg.MaxCohort,
+		AdaptiveWindows:   cfg.AdaptiveWindows,
 		RetainSlots:       cfg.RetainSlots,
 		Seed:              seed,
 		SuspectTimeout:    cfg.SuspicionTimeout,

@@ -11,8 +11,8 @@ import (
 	"etx/internal/cluster"
 	"etx/internal/consensus"
 	"etx/internal/core"
+	"etx/internal/latcost"
 	"etx/internal/metrics"
-	"etx/internal/transport"
 	"etx/internal/workload"
 )
 
@@ -66,8 +66,9 @@ type ConsensusReport struct {
 // ConsensusConfig parameterizes RunConsensus. Zero values take defaults;
 // Quick shrinks everything for CI smoke runs.
 type ConsensusConfig struct {
-	Requests  int   // per row
-	InFlights []int // pipelining depths to sweep
+	Requests  int    // per row
+	InFlights []int  // pipelining depths to sweep
+	Net       string // latcost profile overriding the zero-latency default: "", "lan", "wan"
 	Quick     bool
 }
 
@@ -114,7 +115,7 @@ func RunConsensus(cfg ConsensusConfig) (*ConsensusReport, error) {
 			}
 			var best ConsensusRow
 			for r := 0; r < runs; r++ {
-				row, err := oneConsensusRun(window, inflight, cfg.Requests)
+				row, err := oneConsensusRun(window, inflight, cfg.Requests, cfg.Net)
 				if err != nil {
 					return nil, errf("consensus inflight=%d cohort=%v: %w", inflight, cohort, err)
 				}
@@ -148,7 +149,7 @@ func middleTierStats(c *cluster.Cluster) consensus.Stats {
 
 // oneConsensusRun drives one cell: `requests` bank transactions against a
 // one-shard tier at the given pipelining depth.
-func oneConsensusRun(window time.Duration, inflight, requests int) (ConsensusRow, error) {
+func oneConsensusRun(window time.Duration, inflight, requests int, netName string) (ConsensusRow, error) {
 	const clients = 4
 	poolSize := 8 * inflight
 	pool := make([]string, poolSize)
@@ -158,13 +159,20 @@ func oneConsensusRun(window time.Duration, inflight, requests int) (ConsensusRow
 		seed[pool[i]] = 1 << 40
 	}
 
+	// A perfect zero-latency network and a free log device: what remains
+	// is the protocol work itself, which is what the sweep isolates. -net
+	// swaps in a latcost profile (per-tier latencies plus jitter) instead.
+	netOpts, err := latcost.Profile(netName)
+	if err != nil {
+		return ConsensusRow{}, err
+	}
+	netOpts.Seed = int64(inflight + 1)
+
 	c, err := cluster.New(cluster.Config{
 		AppServers:  3,
 		DataServers: 1,
 		Clients:     clients,
-		// A perfect zero-latency network and a free log device: what remains
-		// is the protocol work itself, which is what the sweep isolates.
-		Net: transport.Options{Seed: int64(inflight + 1)},
+		Net:         netOpts,
 		Logic: core.LogicFunc(func(ctx context.Context, tx *core.Tx, req []byte) ([]byte, error) {
 			return workload.Bank(ctx, tx, req, 0)
 		}),

@@ -11,8 +11,8 @@ import (
 
 	"etx/internal/cluster"
 	"etx/internal/core"
+	"etx/internal/latcost"
 	"etx/internal/metrics"
-	"etx/internal/transport"
 	"etx/internal/workload"
 )
 
@@ -66,8 +66,9 @@ type QueueReport struct {
 // QueueConfig parameterizes RunQueue. Zero values take defaults; Quick
 // shrinks everything for CI smoke runs.
 type QueueConfig struct {
-	Requests  int   // per row
-	InFlights []int // pipelining depths to sweep
+	Requests  int    // per row
+	InFlights []int  // pipelining depths to sweep
+	Net       string // latcost profile overriding the default LAN: "", "lan", "wan"
 	Quick     bool
 }
 
@@ -141,7 +142,7 @@ func RunQueue(cfg QueueConfig) (*QueueReport, error) {
 			for _, mode := range []string{"lock", "queue"} {
 				var best QueueRow
 				for r := 0; r < runs; r++ {
-					row, err := oneQueueRun(mode, skew, stream, inflight, cfg.Requests, poolSize)
+					row, err := oneQueueRun(mode, skew, stream, inflight, cfg.Requests, poolSize, cfg.Net)
 					if err != nil {
 						return nil, errf("queue inflight=%d skew=%s mode=%s: %w", inflight, skew, mode, err)
 					}
@@ -158,7 +159,7 @@ func RunQueue(cfg QueueConfig) (*QueueReport, error) {
 
 // oneQueueRun drives one cell: `requests` single-account bank withdrawals
 // against a one-shard tier at the given pipelining depth.
-func oneQueueRun(mode, skew string, stream []int, inflight, requests, poolSize int) (QueueRow, error) {
+func oneQueueRun(mode, skew string, stream []int, inflight, requests, poolSize int, netName string) (QueueRow, error) {
 	const clients = 4
 	pool := make([]string, poolSize)
 	seed := make(map[string]int64, poolSize)
@@ -167,14 +168,24 @@ func oneQueueRun(mode, skew string, stream []int, inflight, requests, poolSize i
 		seed[pool[i]] = 1 << 40
 	}
 
+	// A LAN-like network and a free log device: the per-conflict cost is
+	// then the message delays on the lock-hold (or vote-gate) critical
+	// path, which is what the sweep isolates. -net swaps in a latcost
+	// profile (per-tier latencies plus jitter) instead.
+	netOpts, err := latcost.Profile(netName)
+	if err != nil {
+		return QueueRow{}, err
+	}
+	netOpts.Seed = int64(inflight + 1)
+	if netOpts.Latency == nil {
+		netOpts.DefaultLatency = queueNetLatency
+	}
+
 	c, err := cluster.New(cluster.Config{
 		AppServers:  3,
 		DataServers: 1,
 		Clients:     clients,
-		// A LAN-like network and a free log device: the per-conflict cost is
-		// then the message delays on the lock-hold (or vote-gate) critical
-		// path, which is what the sweep isolates.
-		Net: transport.Options{Seed: int64(inflight + 1), DefaultLatency: queueNetLatency},
+		Net:         netOpts,
 		Logic: core.LogicFunc(func(ctx context.Context, tx *core.Tx, req []byte) ([]byte, error) {
 			return workload.Bank(ctx, tx, req, 0)
 		}),

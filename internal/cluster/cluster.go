@@ -86,6 +86,13 @@ type Config struct {
 	// MaxCohort caps the register ops in one consensus slot (default 64;
 	// only meaningful with CohortWindow set).
 	MaxCohort int
+	// AdaptiveWindows makes every batching window self-tuning: application
+	// servers sample their in-flight depth and collapse outbound-batch and
+	// cohort caps to one at depth 1 while widening them under pipelining,
+	// and the databases' stable stores run a minimal group-commit window so
+	// lone writers never pay leader accumulation. When set, BatchWindow
+	// defaults to 500µs and CohortWindow to 100µs if unset. Deployment-wide.
+	AdaptiveWindows bool
 	// RetainSlots bounds the cohort-consensus batch log by checkpointed
 	// truncation: decided slots below the cluster-wide minimum applied
 	// watermark minus this retention tail are pruned, and laggards past the
@@ -175,6 +182,16 @@ func New(cfg Config) (*Cluster, error) {
 	}
 	if (cfg.Net.LossProb > 0 || cfg.Net.DupProb > 0) && !cfg.Reliable {
 		return nil, errors.New("cluster: a lossy/duplicating network requires Reliable channels")
+	}
+	if cfg.AdaptiveWindows {
+		// Mirror the app servers' own defaulting so maxBatch() and the
+		// stores see the effective windows.
+		if cfg.BatchWindow <= 0 {
+			cfg.BatchWindow = 500 * time.Microsecond
+		}
+		if cfg.CohortWindow <= 0 {
+			cfg.CohortWindow = 100 * time.Microsecond
+		}
 	}
 	c := &Cluster{
 		cfg:      cfg,
@@ -273,6 +290,11 @@ func (c *Cluster) startDB(dbID id.NodeID, store *stablestore.Store, recovery boo
 	}
 	store.SetBatchWindow(c.cfg.BatchWindow)
 	store.SetMaxBatch(c.maxBatch())
+	// Adaptive deployments keep the full accumulation window for pipelined
+	// forces but let a lone group-commit leader skip it (the combiner's own
+	// in-flight count is the depth signal), so depth-1 commits pay no
+	// leader sleep.
+	store.SetAdaptive(c.cfg.AdaptiveWindows)
 	engine, err := xadb.Open(store, xadb.Config{Self: dbID, LockTimeout: c.cfg.LockTimeout, QueueExec: c.cfg.QueueExec})
 	if err != nil {
 		return fmt.Errorf("cluster: open engine %s: %w", dbID, err)
@@ -336,6 +358,7 @@ func (c *Cluster) startApp(appID id.NodeID) error {
 		MaxBatch:          c.maxBatch(),
 		CohortWindow:      c.cfg.CohortWindow,
 		MaxCohort:         c.cfg.MaxCohort,
+		AdaptiveWindows:   c.cfg.AdaptiveWindows,
 		RetainSlots:       c.cfg.RetainSlots,
 		Hooks:             hooks,
 	})

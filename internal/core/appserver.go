@@ -13,6 +13,7 @@ import (
 	"etx/internal/consensus"
 	"etx/internal/fd"
 	"etx/internal/id"
+	"etx/internal/metrics"
 	"etx/internal/msg"
 	"etx/internal/placement"
 	"etx/internal/queue"
@@ -113,6 +114,16 @@ type AppServerConfig struct {
 	// MaxCohort caps the register ops proposed in one consensus slot.
 	// Defaults to 64 when CohortWindow is set.
 	MaxCohort int
+	// AdaptiveWindows makes the batching caps self-tuning: the server
+	// samples its in-flight request depth (the same arrival signal the
+	// stable store's group-commit combiner observes) and collapses the
+	// outbound-batch and cohort caps to one at depth 1 — no waiting peer
+	// exists, so a window would be pure added latency — while widening them
+	// toward MaxBatch/MaxCohort under deep pipelining. When set,
+	// BatchWindow defaults to 500µs and CohortWindow to 100µs if unset.
+	// Adaptation tunes timing only; protocol semantics are unchanged (see
+	// the package comment).
+	AdaptiveWindows bool
 	// RetainSlots bounds the cohort-consensus batch log: each server
 	// piggybacks its applied slot watermark on consensus messages and
 	// heartbeats, and decided slots below the cluster-wide minimum minus
@@ -147,6 +158,14 @@ func (c *AppServerConfig) setDefaults() {
 	}
 	if c.CommitCacheSize <= 0 {
 		c.CommitCacheSize = 4096
+	}
+	if c.AdaptiveWindows {
+		if c.BatchWindow <= 0 {
+			c.BatchWindow = 500 * time.Microsecond
+		}
+		if c.CohortWindow <= 0 {
+			c.CohortWindow = 100 * time.Microsecond
+		}
 	}
 	if c.BatchWindow > 0 && c.MaxBatch <= 0 {
 		c.MaxBatch = 64
@@ -203,6 +222,10 @@ type AppServer struct {
 	// agg, when non-nil, batches outbound Prepare/Decide fan-out per
 	// participant (AppServerConfig.BatchWindow).
 	agg *outAgg
+
+	// depthEWMA smooths the sampled in-flight depth for the adaptive
+	// windows (nil unless AdaptiveWindows).
+	depthEWMA *metrics.EWMA
 
 	calls  callRouter
 	execID atomic.Uint64
@@ -263,8 +286,14 @@ func NewAppServer(cfg AppServerConfig) (*AppServer, error) {
 	}
 	s.ctx, s.cancel = context.WithCancel(context.Background())
 	s.calls.init()
+	var depth func() int
+	if cfg.AdaptiveWindows {
+		s.depthEWMA = metrics.NewEWMA(0.125)
+		depth = s.inflightDepth
+	}
 	if cfg.BatchWindow > 0 {
 		s.agg = newOutAgg(cfg.Endpoint, cfg.BatchWindow, cfg.MaxBatch)
+		s.agg.depth = depth
 	}
 
 	if cfg.Detector != nil {
@@ -308,6 +337,7 @@ func NewAppServer(cfg AppServerConfig) (*AppServer, error) {
 		s.regs, err = woregister.NewBatched(cons, woregister.Options{
 			CohortWindow: cfg.CohortWindow,
 			MaxCohort:    cfg.MaxCohort,
+			Depth:        depth,
 			Self:         cfg.Self,
 			Peers:        cfg.AppServers,
 			Detector:     s.det,
@@ -489,6 +519,22 @@ func (s *AppServer) clearPending(rid id.ResultID) {
 	s.pendingMu.Lock()
 	delete(s.pending, rid)
 	s.pendingMu.Unlock()
+}
+
+// inflightDepth samples the number of requests admitted and not yet
+// terminated — the pipelining depth the adaptive windows key on. The
+// instantaneous count is folded into an EWMA and the larger of the two is
+// returned, so a momentary trough between bursts does not collapse the
+// windows mid-load while a fresh burst widens them immediately.
+func (s *AppServer) inflightDepth() int {
+	s.pendingMu.Lock()
+	n := len(s.pending)
+	s.pendingMu.Unlock()
+	s.depthEWMA.Observe(float64(n))
+	if sm := int(s.depthEWMA.Value() + 0.5); sm > n {
+		return sm
+	}
+	return n
 }
 
 // computeThread is the paper's computation thread (Figure 5): it serves
@@ -966,7 +1012,30 @@ func (s *AppServer) DebugTry(rid id.ResultID) string {
 	}
 	fmt.Fprintf(&b, " suspects=%v", suspected)
 	fmt.Fprintf(&b, " consensus{%s}", s.cons.Stats())
+	if ws, ok := wireStats(s.cfg.Endpoint); ok {
+		fmt.Fprintf(&b, " wire{%s}", ws)
+	}
 	return b.String()
+}
+
+// wireStats extracts wire-pressure counters when the transport exposes them
+// (real TCP deployments), unwrapping reliable-channel layers along the way.
+// Interface assertions keep the protocol packages free of a dependency on
+// any concrete transport.
+func wireStats(ep transport.Endpoint) (string, bool) {
+	type statser interface{ WireStats() string }
+	type unwrapper interface{ Inner() transport.Endpoint }
+	for ep != nil {
+		if s, ok := ep.(statser); ok {
+			return s.WireStats(), true
+		}
+		u, ok := ep.(unwrapper)
+		if !ok {
+			break
+		}
+		ep = u.Inner()
+	}
+	return "", false
 }
 
 // --- outbound batching -------------------------------------------------------
@@ -980,6 +1049,11 @@ type outAgg struct {
 	ep     transport.Endpoint
 	window time.Duration
 	max    int
+	// depth, when non-nil, samples the in-flight pipelining depth and the
+	// effective batch cap adapts to it (AdaptiveWindows): cap 1 at depth 1
+	// (flush immediately, no window latency), widening toward max as the
+	// pipeline deepens.
+	depth func() int
 
 	mu     sync.Mutex
 	closed bool
@@ -998,6 +1072,12 @@ func newOutAgg(ep transport.Endpoint, window time.Duration, max int) *outAgg {
 // send buffers p for db, flushing when the batch cap is reached; the first
 // message of a buffer arms the window timer that flushes the rest.
 func (a *outAgg) send(db id.NodeID, p msg.Payload) {
+	// Sample the depth before taking a.mu: inflightDepth takes the server's
+	// pendingMu and lock nesting stays flat.
+	max := a.max
+	if a.depth != nil {
+		max = adaptiveCap(a.max, a.depth())
+	}
 	a.mu.Lock()
 	if a.closed {
 		a.mu.Unlock()
@@ -1010,7 +1090,7 @@ func (a *outAgg) send(db id.NodeID, p msg.Payload) {
 		a.pend[db] = b
 	}
 	b.msgs = append(b.msgs, p)
-	if len(b.msgs) >= a.max {
+	if len(b.msgs) >= max {
 		msgs := b.msgs
 		b.msgs = nil
 		if b.timer != nil {
@@ -1051,6 +1131,25 @@ func (a *outAgg) flush(db id.NodeID, msgs []msg.Payload) {
 		return
 	}
 	_ = a.ep.Send(msg.Envelope{To: db, Payload: msg.Batch{Msgs: msgs}})
+}
+
+// adaptiveCap sizes a batch cap to the observed in-flight depth: depth 1
+// collapses batching entirely (an appended message flushes at once, so the
+// window never adds latency), deeper pipelines widen toward the configured
+// cap. Because the collapse is append-then-flush rather than a bypass,
+// buffered and unbuffered sends can never reorder.
+func adaptiveCap(configured, depth int) int {
+	if depth <= 1 {
+		return 1
+	}
+	m := 2 * depth
+	if m < 8 {
+		m = 8
+	}
+	if m > configured {
+		m = configured
+	}
+	return m
 }
 
 // stop flushes every pending buffer and sends all later traffic directly.

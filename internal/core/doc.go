@@ -22,6 +22,17 @@
 // them cheaper per request — so the Figure 8 rows remain comparable with
 // batching on or off.
 //
+// AppServerConfig.AdaptiveWindows makes every batching knob self-tuning: the
+// server samples its own in-flight request depth (EWMA-smoothed) and sizes
+// the outbound-aggregation cap, the cohort-sequencer cap and hold, and the
+// store's group-commit window to it — collapsing to unbatched behaviour for
+// a lone request, widening toward the configured caps under pipelining.
+// Adaptation changes timing only, never protocol semantics: the messages,
+// register writes and forced-log rules are identical at every depth, so a
+// deployment with windows at 0 and adaptation off remains exactly the
+// paper's protocol, and an adaptive one is the same protocol with different
+// batch boundaries.
+//
 // The database server runs one of two execution modes. Lock mode (the
 // default) is the paper's discipline: strict two-phase locking in the engine,
 // an exclusive lock held from a key's first Exec until Decide. Queue mode

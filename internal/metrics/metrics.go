@@ -53,6 +53,49 @@ func (g *Gauge) Add(n int64) { g.v.Add(n) }
 // Load returns the current level.
 func (g *Gauge) Load() int64 { return g.v.Load() }
 
+// EWMA is an exponentially weighted moving average, safe for concurrent
+// use. The adaptive batching windows use one to smooth the observed
+// in-flight depth: instantaneous depth whipsaws between ticks under bursty
+// arrivals, and the window sizing should follow the sustained load, not the
+// last sample.
+type EWMA struct {
+	alpha float64
+	bits  atomic.Uint64 // float64 bits of the current average; 0 = no samples yet
+}
+
+// NewEWMA returns an average weighting each new observation by alpha
+// (0 < alpha <= 1); smaller alpha means a longer memory.
+func NewEWMA(alpha float64) *EWMA {
+	return &EWMA{alpha: alpha}
+}
+
+// Observe folds one sample into the average. The first sample seeds the
+// average directly.
+func (e *EWMA) Observe(v float64) {
+	for {
+		old := e.bits.Load()
+		var next float64
+		if old == 0 {
+			next = v
+		} else {
+			cur := math.Float64frombits(old)
+			next = cur + e.alpha*(v-cur)
+		}
+		if e.bits.CompareAndSwap(old, math.Float64bits(next)) {
+			return
+		}
+	}
+}
+
+// Value returns the current average (0 before any observation).
+func (e *EWMA) Value() float64 {
+	b := e.bits.Load()
+	if b == 0 {
+		return 0
+	}
+	return math.Float64frombits(b)
+}
+
 // Sample accumulates observations. Safe for concurrent use.
 type Sample struct {
 	mu   sync.Mutex

@@ -97,6 +97,44 @@ func TestSummaryString(t *testing.T) {
 	}
 }
 
+func TestEWMA(t *testing.T) {
+	e := NewEWMA(0.5)
+	if e.Value() != 0 {
+		t.Errorf("unseeded EWMA = %v", e.Value())
+	}
+	e.Observe(10) // first observation seeds directly
+	if !almost(e.Value(), 10, 1e-9) {
+		t.Errorf("seeded EWMA = %v, want 10", e.Value())
+	}
+	e.Observe(20) // 0.5*20 + 0.5*10
+	if !almost(e.Value(), 15, 1e-9) {
+		t.Errorf("EWMA = %v, want 15", e.Value())
+	}
+	e.Observe(0) // decays, never snaps to the trough
+	if !almost(e.Value(), 7.5, 1e-9) {
+		t.Errorf("EWMA = %v, want 7.5", e.Value())
+	}
+}
+
+func TestEWMAConcurrentObserve(t *testing.T) {
+	e := NewEWMA(0.125)
+	done := make(chan struct{})
+	for w := 0; w < 4; w++ {
+		go func() {
+			defer func() { done <- struct{}{} }()
+			for i := 0; i < 1000; i++ {
+				e.Observe(8)
+			}
+		}()
+	}
+	for w := 0; w < 4; w++ {
+		<-done
+	}
+	if !almost(e.Value(), 8, 1e-9) {
+		t.Errorf("constant-input EWMA = %v, want 8", e.Value())
+	}
+}
+
 func TestPercentileWithinRangeProperty(t *testing.T) {
 	f := func(vals []float64, p float64) bool {
 		if len(vals) == 0 {

@@ -80,6 +80,10 @@ func Wrap(inner transport.Endpoint, retransmit time.Duration) *Endpoint {
 // ID implements transport.Endpoint.
 func (ep *Endpoint) ID() id.NodeID { return ep.inner.ID() }
 
+// Inner exposes the wrapped endpoint so diagnostics can reach
+// transport-specific state (wire counters) through the reliable layer.
+func (ep *Endpoint) Inner() transport.Endpoint { return ep.inner }
+
 // Recv implements transport.Endpoint.
 func (ep *Endpoint) Recv() <-chan msg.Envelope { return ep.recv }
 

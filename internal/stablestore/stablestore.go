@@ -35,6 +35,8 @@ type Store struct {
 	forceLatency atomic.Int64 // nanoseconds per device force
 	batchWindow  atomic.Int64 // group-commit accumulation window; 0 disables
 	maxBatch     atomic.Int64 // cohort size cap; 0 = unlimited
+	adaptive     atomic.Bool  // lone leaders skip the accumulation window
+	forcers      atomic.Int64 // force() calls currently in flight
 	forcedWrites atomic.Int64 // forced writes requested (Append force, Put, Sync)
 	totalWrites  atomic.Int64
 	syncs        atomic.Int64 // device forces actually paid
@@ -84,6 +86,14 @@ func (s *Store) SetBatchWindow(d time.Duration) { s.batchWindow.Store(int64(d)) 
 
 // SetMaxBatch caps the group-commit cohort size; 0 means unlimited.
 func (s *Store) SetMaxBatch(n int) { s.maxBatch.Store(int64(n)) }
+
+// SetAdaptive makes the combiner's accumulation window depth-aware: a cohort
+// leader that observes no other force in flight heads straight for the
+// device instead of sleeping the window — a lone writer has no followers
+// worth waiting for — while concurrent arrivals still pay the window and
+// share the force. The observed signal is the combiner's own in-flight
+// count, so no caller plumbing is needed.
+func (s *Store) SetAdaptive(on bool) { s.adaptive.Store(on) }
 
 // ForcedWrites returns how many forced writes were requested and completed:
 // forced appends, puts and Syncs (metrics).
@@ -138,6 +148,8 @@ func (s *Store) force() {
 		// nothing counted, Syncs() reports device forces actually paid.
 		return
 	}
+	s.forcers.Add(1)
+	defer s.forcers.Add(-1)
 	window := time.Duration(s.batchWindow.Load())
 	if window <= 0 {
 		// Pre-group-commit behaviour: one serialized device force each.
@@ -166,8 +178,14 @@ func (s *Store) force() {
 	// Accumulate followers for the window, then head for the device. The
 	// cohort stays open until the device is actually ours: everything that
 	// arrives while the previous force is still in flight joins this cohort
-	// and is covered by our single force.
-	spin.Sleep(window)
+	// and is covered by our single force. An adaptive lone leader skips the
+	// accumulation entirely — the snapshot may miss a racing arrival, but
+	// the racer either enrolls before this leader reaches the device (the
+	// cohort is still open) or leads its own cohort; durability never
+	// depends on the window.
+	if !s.adaptive.Load() || s.forcers.Load() > 1 {
+		spin.Sleep(window)
+	}
 	s.forceMu.Lock()
 	s.cohortMu.Lock()
 	if s.cohort == c {

@@ -1,0 +1,171 @@
+package tcptransport_test
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"etx/internal/core"
+	"etx/internal/id"
+	"etx/internal/kv"
+	"etx/internal/msg"
+	"etx/internal/rchan"
+	"etx/internal/stablestore"
+	"etx/internal/transport/tcptransport"
+	"etx/internal/xadb"
+)
+
+// runBankWorkload stands up the full batched stack over loopback TCP with the
+// given per-flush frame cap and runs a deterministic bank workload: worker i
+// withdraws from its own account rounds times, sequentially. It returns every
+// reply in (worker, round) order plus the final balances.
+func runBankWorkload(t *testing.T, maxWritev int) (replies []string, balances []int64) {
+	t.Helper()
+	appIDs := []id.NodeID{id.AppServer(1), id.AppServer(2), id.AppServer(3)}
+	dbID := id.DBServer(1)
+	clID := id.Client(1)
+
+	eps := make(map[id.NodeID]*tcptransport.Endpoint)
+	book := make(map[id.NodeID]string)
+	for _, n := range append(append([]id.NodeID{}, appIDs...), dbID, clID) {
+		ep, err := tcptransport.Listen(tcptransport.Config{Self: n, Listen: "127.0.0.1:0", MaxWritev: maxWritev})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { ep.Close() })
+		eps[n] = ep
+		book[n] = ep.Addr()
+	}
+	for _, ep := range eps {
+		ep.SetPeers(book)
+	}
+
+	store := stablestore.New(500 * time.Microsecond)
+	store.SetBatchWindow(500 * time.Microsecond)
+	engine, err := xadb.Open(store, xadb.Config{Self: dbID})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const workers = 8
+	const rounds = 3
+	seed := make([]kv.Write, workers)
+	for i := range seed {
+		seed[i] = kv.Write{Key: fmt.Sprintf("acct/a%02d", i), Val: kv.EncodeInt(100)}
+	}
+	engine.Seed(seed)
+	dbSrv, err := core.NewDataServer(core.DataServerConfig{
+		Self: dbID, AppServers: appIDs, Engine: engine,
+		Endpoint: rchan.Wrap(eps[dbID], 50*time.Millisecond),
+		MaxBatch: 64,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dbSrv.Start()
+	t.Cleanup(dbSrv.Stop)
+
+	logic := core.LogicFunc(func(ctx context.Context, tx *core.Tx, req []byte) ([]byte, error) {
+		rep, err := tx.Exec(ctx, tx.DBs()[0], msg.Op{Code: msg.OpAdd, Key: string(req), Delta: -1})
+		if err != nil {
+			return nil, err
+		}
+		return []byte(fmt.Sprintf("%d", rep.Num)), nil
+	})
+	for _, appID := range appIDs {
+		srv, err := core.NewAppServer(core.AppServerConfig{
+			Self: appID, AppServers: appIDs, DataServers: []id.NodeID{dbID},
+			Endpoint:       rchan.Wrap(eps[appID], 50*time.Millisecond),
+			Logic:          logic,
+			SuspectTimeout: 300 * time.Millisecond,
+			Workers:        workers,
+			BatchWindow:    500 * time.Microsecond,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv.Start()
+		t.Cleanup(srv.Stop)
+	}
+
+	cl, err := core.NewClient(core.ClientConfig{
+		Self: clID, AppServers: appIDs,
+		Endpoint: rchan.Wrap(eps[clID], 50*time.Millisecond),
+		Backoff:  300 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(cl.Stop)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	out := make([][]string, workers)
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		key := fmt.Sprintf("acct/a%02d", i)
+		out[i] = make([]string, rounds)
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				res, err := cl.Issue(ctx, []byte(key))
+				if err != nil {
+					t.Errorf("%s round %d: %v", key, r, err)
+					return
+				}
+				out[i][r] = string(res)
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	for i := 0; i < workers; i++ {
+		replies = append(replies, out[i]...)
+		n, _ := engine.Store().GetInt(fmt.Sprintf("acct/a%02d", i))
+		balances = append(balances, n)
+	}
+	return replies, balances
+}
+
+// TestWritevParityWithPerFrameWrites is the e2e parity gate of the transport
+// rewrite: the batched commit path must produce byte-identical outcomes
+// whether frames cross the wire one write per frame (MaxWritev 1 — the
+// historical transport's behaviour) or packed many to a writev. Vectoring is
+// a kernel-boundary optimization; nothing above the framing layer may be able
+// to tell the difference.
+func TestWritevParityWithPerFrameWrites(t *testing.T) {
+	if testing.Short() {
+		t.Skip("TCP end-to-end test skipped in -short mode")
+	}
+	perFrameReplies, perFrameBalances := runBankWorkload(t, 1)
+	writevReplies, writevBalances := runBankWorkload(t, 64)
+
+	if len(perFrameReplies) != len(writevReplies) {
+		t.Fatalf("reply counts differ: %d vs %d", len(perFrameReplies), len(writevReplies))
+	}
+	for i := range perFrameReplies {
+		if perFrameReplies[i] != writevReplies[i] {
+			t.Errorf("reply %d: per-frame %q, writev %q", i, perFrameReplies[i], writevReplies[i])
+		}
+	}
+	for i := range perFrameBalances {
+		if perFrameBalances[i] != writevBalances[i] {
+			t.Errorf("balance %d: per-frame %d, writev %d", i, perFrameBalances[i], writevBalances[i])
+		}
+	}
+	// The workload is deterministic, so pin the absolute values too: each
+	// account sees exactly rounds sequential withdrawals from 100.
+	for i, r := range perFrameReplies {
+		want := fmt.Sprintf("%d", 99-i%3)
+		if r != want {
+			t.Errorf("reply %d = %q, want %q", i, r, want)
+		}
+	}
+	for i, b := range perFrameBalances {
+		if b != 97 {
+			t.Errorf("balance %d = %d, want 97", i, b)
+		}
+	}
+}

@@ -4,9 +4,31 @@
 // own connection lazily and drops messages on connection failure — the
 // fair-loss behaviour the reliable-channel layer (internal/rchan) is
 // designed to sit on.
+//
+// # Send path
+//
+// Send never touches the socket. It encodes the envelope into a pooled
+// frame and hands the frame to the destination peer's writer goroutine
+// through a bounded queue, returning immediately: a stalled or unreachable
+// peer can never wedge a sending goroutine. The writer drains whatever is
+// queued and flushes the whole drain to the kernel in one scatter-gather
+// writev (net.Buffers) without coalescing the frames through a copy; a
+// build-tagged fallback (-tags etx_nowritev, writev_fallback.go) coalesces
+// into a single buffered write for platforms where writev buys nothing.
+// Every kernel flush runs under Config.WriteTimeout — a peer that accepts
+// the connection but stops reading trips the deadline, the connection is
+// dropped (fair loss, same as the redial-on-error path) and the next drain
+// redials. A full queue likewise drops the frame rather than blocking the
+// sender. Receive-side framing reads into a recycled per-connection buffer
+// (msg.Decode copies every variable-length field out, so reuse is safe).
+//
+// Wire pressure is counted (frames/bytes in both directions, kernel
+// flushes, queue drops, connection drops, coalescing copies — zero on the
+// writev path) and exposed through Stats/WireStats.
 package tcptransport
 
 import (
+	"context"
 	"encoding/binary"
 	"fmt"
 	"io"
@@ -16,6 +38,7 @@ import (
 	"time"
 
 	"etx/internal/id"
+	"etx/internal/metrics"
 	"etx/internal/msg"
 	"etx/internal/queue"
 	"etx/internal/transport"
@@ -23,6 +46,11 @@ import (
 
 // maxFrame bounds a frame to guard against corrupted length prefixes.
 const maxFrame = 32 << 20
+
+// retainedReadBuf caps the receive buffer a connection keeps across frames;
+// frames above it get a one-shot allocation instead of pinning megabytes on
+// every idle connection.
+const retainedReadBuf = 64 << 10
 
 // Config parameterizes a TCP endpoint.
 type Config struct {
@@ -34,6 +62,33 @@ type Config struct {
 	Peers map[id.NodeID]string
 	// DialTimeout bounds connection attempts. Default 2s.
 	DialTimeout time.Duration
+	// WriteTimeout bounds one kernel flush (the writev covering a whole
+	// queue drain). A peer that stops reading trips the deadline and the
+	// connection is dropped — fair loss — instead of wedging the writer
+	// while frames pile up behind it. Default 5s.
+	WriteTimeout time.Duration
+	// QueueDepth bounds each peer's outbound frame queue; a send finding
+	// the queue full drops the frame (fair loss, counted). Default 1024.
+	QueueDepth int
+	// MaxWritev caps the frames one kernel flush covers. Default 64;
+	// 1 reproduces the historical one-write-per-frame transport (the
+	// wire benchmark's baseline).
+	MaxWritev int
+}
+
+func (c *Config) setDefaults() {
+	if c.DialTimeout <= 0 {
+		c.DialTimeout = 2 * time.Second
+	}
+	if c.WriteTimeout <= 0 {
+		c.WriteTimeout = 5 * time.Second
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 1024
+	}
+	if c.MaxWritev <= 0 {
+		c.MaxWritev = 64
+	}
 }
 
 // Endpoint is a TCP-backed transport.Endpoint.
@@ -41,8 +96,14 @@ type Endpoint struct {
 	cfg Config
 	ln  net.Listener
 
+	// dialCtx cancels in-flight dials on Close so a writer blocked in a
+	// connection attempt cannot delay teardown.
+	dialCtx    context.Context
+	dialCancel context.CancelFunc
+
 	mu       sync.Mutex
-	conns    map[id.NodeID]*peerConn
+	shut     bool // guarded by mu — Close has begun; no new writers
+	writers  map[id.NodeID]*peerConn
 	accepted map[net.Conn]bool
 
 	inbox  *queue.Queue[msg.Envelope]
@@ -50,19 +111,59 @@ type Endpoint struct {
 	done   chan struct{}
 	wg     sync.WaitGroup
 	closed sync.Once
+
+	// Wire counters, snapshotted by Stats (etxlint statswired).
+	framesSent  metrics.Counter
+	bytesSent   metrics.Counter
+	framesRecv  metrics.Counter
+	bytesRecv   metrics.Counter
+	writevCalls metrics.Counter // kernel flushes (one writev per queue drain)
+	coalesced   metrics.Counter // frames copied into a coalescing buffer (fallback only)
+	queueDrops  metrics.Counter // frames dropped on a full peer queue
+	connDrops   metrics.Counter // connections dropped on write error or deadline
+	queued      metrics.Gauge   // frames currently queued across peers
 }
 
-// peerConn is an outgoing connection with a write lock: concurrent Sends to
-// the same peer serialize per frame, so frames from different goroutines
-// never interleave on the stream (a partial interleaved write would corrupt
-// the framing and tear the connection down).
+// peerConn is one peer's writer: a bounded frame queue drained by a
+// dedicated goroutine that owns the outgoing connection. The writer
+// persists across redials; only the connection is dropped on error.
 type peerConn struct {
+	peer id.NodeID
+	q    chan *[]byte
+
 	mu sync.Mutex
-	c  net.Conn
+	c  net.Conn // guarded by mu — live conn, nil between drops and redials
+}
+
+func (pc *peerConn) conn() net.Conn {
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	return pc.c
+}
+
+func (pc *peerConn) setConn(c net.Conn) {
+	pc.mu.Lock()
+	pc.c = c
+	pc.mu.Unlock()
+}
+
+// closeConn drops the live connection (if any); the writer redials on the
+// next drain.
+func (pc *peerConn) closeConn() {
+	pc.mu.Lock()
+	c := pc.c
+	pc.c = nil
+	pc.mu.Unlock()
+	if c != nil {
+		c.Close()
+	}
 }
 
 // framePool recycles frame buffers across Sends; the batched hot path sends
 // thousands of envelopes per second and must not allocate one slice each.
+// Ownership transfers with the frame: Send fills a frame and enqueues it,
+// the writer returns it to the pool only after the kernel flush that
+// consumed it (or Send itself, when the queue is full).
 var framePool = sync.Pool{
 	New: func() any {
 		b := make([]byte, 0, 4096)
@@ -70,11 +171,14 @@ var framePool = sync.Pool{
 	},
 }
 
+func putFrame(f *[]byte) {
+	*f = (*f)[:0]
+	framePool.Put(f)
+}
+
 // Listen starts a TCP endpoint for cfg.Self on cfg.Listen.
 func Listen(cfg Config) (*Endpoint, error) {
-	if cfg.DialTimeout <= 0 {
-		cfg.DialTimeout = 2 * time.Second
-	}
+	cfg.setDefaults()
 	ln, err := net.Listen("tcp", cfg.Listen)
 	if err != nil {
 		return nil, fmt.Errorf("tcptransport: listen %s: %w", cfg.Listen, err)
@@ -82,12 +186,13 @@ func Listen(cfg Config) (*Endpoint, error) {
 	ep := &Endpoint{
 		cfg:      cfg,
 		ln:       ln,
-		conns:    make(map[id.NodeID]*peerConn),
+		writers:  make(map[id.NodeID]*peerConn),
 		accepted: make(map[net.Conn]bool),
 		inbox:    queue.New[msg.Envelope](),
 		recv:     make(chan msg.Envelope, 64),
 		done:     make(chan struct{}),
 	}
+	ep.dialCtx, ep.dialCancel = context.WithCancel(context.Background())
 	ep.wg.Add(2)
 	go ep.acceptLoop()
 	go ep.pump()
@@ -120,13 +225,16 @@ func (ep *Endpoint) Recv() <-chan msg.Envelope { return ep.recv }
 func (ep *Endpoint) Close() error {
 	var err error
 	ep.closed.Do(func() {
+		ep.mu.Lock()
+		ep.shut = true
+		ep.mu.Unlock()
 		close(ep.done)
+		ep.dialCancel()
 		err = ep.ln.Close()
 		ep.mu.Lock()
-		for _, pc := range ep.conns {
-			pc.c.Close()
+		for _, pc := range ep.writers {
+			pc.closeConn()
 		}
-		ep.conns = make(map[id.NodeID]*peerConn)
 		// Incoming connections must be closed too or their read loops would
 		// block in Read forever and Wait would never return.
 		for c := range ep.accepted {
@@ -136,14 +244,29 @@ func (ep *Endpoint) Close() error {
 		ep.mu.Unlock()
 		ep.inbox.Close()
 		ep.wg.Wait()
+		// The writers have exited; recycle whatever they left queued.
+		ep.mu.Lock()
+		for _, pc := range ep.writers {
+			for {
+				select {
+				case f := <-pc.q:
+					putFrame(f)
+				default:
+					goto drained
+				}
+			}
+		drained:
+		}
+		ep.writers = make(map[id.NodeID]*peerConn)
+		ep.mu.Unlock()
 	})
 	return err
 }
 
-// Send implements transport.Endpoint. Failures to reach the peer silently
-// drop the message (fair-loss link); the connection is discarded so the next
-// send redials. The frame buffer is pooled and the envelope encoded in
-// place, so the steady state allocates nothing per send.
+// Send implements transport.Endpoint. It encodes the envelope into a pooled
+// frame and enqueues it on the destination's writer without ever blocking:
+// an unreachable, stalled or backlogged peer silently drops the message
+// (fair-loss link). The steady state allocates nothing per send.
 func (ep *Endpoint) Send(env msg.Envelope) error {
 	select {
 	case <-ep.done:
@@ -156,58 +279,107 @@ func (ep *Endpoint) Send(env msg.Envelope) error {
 	frame := append((*bufp)[:0], 0, 0, 0, 0)
 	frame, err := msg.AppendEncode(frame, env)
 	if err != nil {
-		framePool.Put(bufp)
+		putFrame(bufp)
 		return fmt.Errorf("tcptransport: encode: %w", err)
 	}
 	binary.BigEndian.PutUint32(frame, uint32(len(frame)-4))
-	pc, err := ep.conn(env.To)
-	if err == nil {
-		pc.mu.Lock()
-		_, werr := pc.c.Write(frame)
-		pc.mu.Unlock()
-		if werr != nil {
-			ep.dropConn(env.To, pc) // broken link: fair loss
-		}
+	*bufp = frame
+	pc, err := ep.writer(env.To)
+	if err != nil {
+		putFrame(bufp)
+		return err
 	}
-	*bufp = frame[:0]
-	framePool.Put(bufp)
-	return nil // unreachable peer: fair loss
+	select {
+	case pc.q <- bufp:
+		ep.queued.Inc()
+	default:
+		// Bounded queue full: the peer is slower than the senders. Fair loss.
+		ep.queueDrops.Inc()
+		putFrame(bufp)
+	}
+	return nil
 }
 
-// conn returns (dialing if needed) the outgoing connection to peer.
-func (ep *Endpoint) conn(peer id.NodeID) (*peerConn, error) {
-	ep.mu.Lock()
-	if pc, ok := ep.conns[peer]; ok {
-		ep.mu.Unlock()
-		return pc, nil
-	}
-	addr, ok := ep.cfg.Peers[peer]
-	ep.mu.Unlock()
-	if !ok {
-		return nil, fmt.Errorf("tcptransport: no address for %s", peer)
-	}
-	c, err := net.DialTimeout("tcp", addr, ep.cfg.DialTimeout)
-	if err != nil {
-		return nil, err
-	}
+// writer returns (starting if needed) the writer goroutine for peer. The
+// writer outlives individual connections: it redials after drops and exits
+// only when the endpoint closes.
+func (ep *Endpoint) writer(peer id.NodeID) (*peerConn, error) {
 	ep.mu.Lock()
 	defer ep.mu.Unlock()
-	if existing, ok := ep.conns[peer]; ok {
-		c.Close()
-		return existing, nil
+	if ep.shut {
+		return nil, transport.ErrClosed
 	}
-	pc := &peerConn{c: c}
-	ep.conns[peer] = pc
+	pc := ep.writers[peer]
+	if pc == nil {
+		pc = &peerConn{peer: peer, q: make(chan *[]byte, ep.cfg.QueueDepth)}
+		ep.writers[peer] = pc
+		ep.wg.Add(1)
+		go ep.writeLoop(pc)
+	}
 	return pc, nil
 }
 
-func (ep *Endpoint) dropConn(peer id.NodeID, pc *peerConn) {
-	pc.c.Close()
-	ep.mu.Lock()
-	if ep.conns[peer] == pc {
-		delete(ep.conns, peer)
+// writeLoop drains one peer's frame queue and flushes each drain to the
+// kernel in a single vectored write. Dial failures and write errors drop
+// the drained frames (fair loss) and the next drain starts over with a
+// fresh connection attempt.
+func (ep *Endpoint) writeLoop(pc *peerConn) {
+	defer ep.wg.Done()
+	defer pc.closeConn()
+	frames := make([]*[]byte, 0, ep.cfg.MaxWritev)
+	for {
+		frames = frames[:0]
+		select {
+		case f := <-pc.q:
+			frames = append(frames, f)
+		case <-ep.done:
+			return
+		}
+		// Opportunistic drain: everything queued behind the first frame
+		// rides the same kernel flush.
+	drain:
+		for len(frames) < ep.cfg.MaxWritev {
+			select {
+			case f := <-pc.q:
+				frames = append(frames, f)
+			default:
+				break drain
+			}
+		}
+		ep.queued.Add(-int64(len(frames)))
+		c := pc.conn()
+		if c == nil {
+			c = ep.dial(pc)
+		}
+		if c != nil {
+			if err := ep.flush(c, frames); err != nil {
+				// Broken or stalled link (the deadline fired): fair loss.
+				ep.connDrops.Inc()
+				pc.closeConn()
+			}
+		}
+		for _, f := range frames {
+			putFrame(f)
+		}
 	}
+}
+
+// dial attempts the outgoing connection for pc, returning nil on failure
+// (the drained frames are then dropped — fair loss).
+func (ep *Endpoint) dial(pc *peerConn) net.Conn {
+	ep.mu.Lock()
+	addr, ok := ep.cfg.Peers[pc.peer]
 	ep.mu.Unlock()
+	if !ok {
+		return nil
+	}
+	d := net.Dialer{Timeout: ep.cfg.DialTimeout}
+	c, err := d.DialContext(ep.dialCtx, "tcp", addr)
+	if err != nil {
+		return nil
+	}
+	pc.setConn(c)
+	return c
 }
 
 func (ep *Endpoint) acceptLoop() {
@@ -229,6 +401,9 @@ func (ep *Endpoint) acceptLoop() {
 }
 
 // readLoop decodes frames from one incoming connection until it breaks.
+// Frames are read into a recycled per-connection buffer: msg.Decode copies
+// every variable-length field out of its input, so reusing the buffer for
+// the next frame can never corrupt a delivered envelope.
 func (ep *Endpoint) readLoop(c net.Conn) {
 	defer func() {
 		c.Close()
@@ -237,6 +412,7 @@ func (ep *Endpoint) readLoop(c net.Conn) {
 		ep.mu.Unlock()
 	}()
 	var lenBuf [4]byte
+	buf := make([]byte, 4096)
 	for {
 		select {
 		case <-ep.done:
@@ -250,11 +426,24 @@ func (ep *Endpoint) readLoop(c net.Conn) {
 		if n == 0 || n > maxFrame {
 			return
 		}
-		buf := make([]byte, n)
-		if _, err := io.ReadFull(c, buf); err != nil {
+		b := buf
+		if int(n) > len(b) {
+			if n <= retainedReadBuf {
+				buf = make([]byte, retainedReadBuf)
+				b = buf
+			} else {
+				// Oversize frame: one-shot allocation, the retained buffer
+				// stays small.
+				b = make([]byte, n)
+			}
+		}
+		b = b[:n]
+		if _, err := io.ReadFull(c, b); err != nil {
 			return
 		}
-		env, err := msg.Decode(buf)
+		ep.framesRecv.Inc()
+		ep.bytesRecv.Add(uint64(n) + 4)
+		env, err := msg.Decode(b)
 		if err != nil {
 			continue // corrupted frame: drop, keep the stream
 		}
@@ -288,6 +477,61 @@ func (ep *Endpoint) pump() {
 		}
 	}
 }
+
+// Stats is a point-in-time snapshot of an endpoint's wire counters.
+type Stats struct {
+	FramesSent  uint64 // frames handed to the kernel
+	BytesSent   uint64 // bytes handed to the kernel (prefix included)
+	FramesRecv  uint64 // frames read off incoming connections
+	BytesRecv   uint64 // bytes read off incoming connections (prefix included)
+	WritevCalls uint64 // kernel flushes: one vectored write per queue drain
+	Coalesced   uint64 // frames copied through a coalescing buffer (0 on the writev path)
+	QueueDrops  uint64 // frames dropped because a peer queue was full
+	ConnDrops   uint64 // connections dropped on write error or expired deadline
+	Queued      int64  // frames currently queued across all peers
+}
+
+// Stats snapshots the endpoint's wire counters.
+func (ep *Endpoint) Stats() Stats {
+	return Stats{
+		FramesSent:  ep.framesSent.Load(),
+		BytesSent:   ep.bytesSent.Load(),
+		FramesRecv:  ep.framesRecv.Load(),
+		BytesRecv:   ep.bytesRecv.Load(),
+		WritevCalls: ep.writevCalls.Load(),
+		Coalesced:   ep.coalesced.Load(),
+		QueueDrops:  ep.queueDrops.Load(),
+		ConnDrops:   ep.connDrops.Load(),
+		Queued:      ep.queued.Load(),
+	}
+}
+
+// FramesPerWritev returns the mean frames one kernel flush covered — the
+// vectored-write amortization factor (1.0 means every frame paid its own
+// syscall).
+func (s Stats) FramesPerWritev() float64 {
+	if s.WritevCalls == 0 {
+		return 0
+	}
+	return float64(s.FramesSent) / float64(s.WritevCalls)
+}
+
+// String renders the snapshot on one line.
+func (s Stats) String() string {
+	return fmt.Sprintf("sent=%d/%dB recv=%d/%dB writev=%d (%.1f frames/call) coalesced=%d qdrop=%d cdrop=%d queued=%d",
+		s.FramesSent, s.BytesSent, s.FramesRecv, s.BytesRecv,
+		s.WritevCalls, s.FramesPerWritev(), s.Coalesced, s.QueueDrops, s.ConnDrops, s.Queued)
+}
+
+// Vectored reports whether this binary's flush path is the scatter-gather
+// writev implementation (false under -tags etx_nowritev); benchmarks gate
+// their zero-copy assertions on it.
+func Vectored() bool { return vectoredWrites }
+
+// WireStats renders the current wire counters for liveness diagnostics;
+// core.DebugTry folds it into its dump through an interface assertion, so
+// the protocol packages need no dependency on this one.
+func (ep *Endpoint) WireStats() string { return ep.Stats().String() }
 
 // ParsePeers parses an address book of the form "1=host:port,2=host:port"
 // for the given role (cmd flag support).

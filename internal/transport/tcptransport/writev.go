@@ -1,0 +1,48 @@
+//go:build !etx_nowritev
+
+package tcptransport
+
+import (
+	"net"
+	"time"
+)
+
+// vectoredWrites reports which flush implementation this binary carries;
+// tests use it to gate zero-copy assertions.
+const vectoredWrites = true
+
+// flush hands one queue drain to the kernel in a single vectored write
+// (writev via net.Buffers): the frames are scatter-gathered directly from
+// the pooled buffers, no coalescing copy. The whole flush runs under
+// WriteTimeout so a peer that stops reading trips the deadline instead of
+// wedging the writer.
+func (ep *Endpoint) flush(c net.Conn, frames []*[]byte) error {
+	if err := c.SetWriteDeadline(time.Now().Add(ep.cfg.WriteTimeout)); err != nil {
+		return err
+	}
+	var total uint64
+	if len(frames) == 1 {
+		// One frame: a plain write is the same syscall count with less setup.
+		f := *frames[0]
+		if _, err := c.Write(f); err != nil {
+			return err
+		}
+		total = uint64(len(f))
+	} else {
+		// net.Buffers.WriteTo consumes (modifies) the slice, so build a
+		// fresh header array per flush; the frame payloads themselves are
+		// referenced, not copied.
+		bufs := make(net.Buffers, len(frames))
+		for i, f := range frames {
+			bufs[i] = *f
+			total += uint64(len(*f))
+		}
+		if _, err := bufs.WriteTo(c); err != nil {
+			return err
+		}
+	}
+	ep.writevCalls.Inc()
+	ep.framesSent.Add(uint64(len(frames)))
+	ep.bytesSent.Add(total)
+	return nil
+}

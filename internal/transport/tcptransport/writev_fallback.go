@@ -1,0 +1,49 @@
+//go:build etx_nowritev
+
+package tcptransport
+
+import (
+	"net"
+	"time"
+)
+
+// vectoredWrites reports which flush implementation this binary carries;
+// tests use it to gate zero-copy assertions.
+const vectoredWrites = false
+
+// flush is the coalescing fallback for platforms where vectored writes buy
+// nothing: one queue drain is copied into a scratch buffer and handed to
+// the kernel with a single plain write. Still one syscall per drain and
+// still under WriteTimeout — only the zero-copy property is given up, and
+// the coalesced counter records every frame that paid the copy.
+func (ep *Endpoint) flush(c net.Conn, frames []*[]byte) error {
+	if err := c.SetWriteDeadline(time.Now().Add(ep.cfg.WriteTimeout)); err != nil {
+		return err
+	}
+	var total uint64
+	if len(frames) == 1 {
+		f := *frames[0]
+		if _, err := c.Write(f); err != nil {
+			return err
+		}
+		total = uint64(len(f))
+	} else {
+		scratch := framePool.Get().(*[]byte)
+		buf := (*scratch)[:0]
+		for _, f := range frames {
+			buf = append(buf, *f...)
+		}
+		*scratch = buf
+		ep.coalesced.Add(uint64(len(frames)))
+		_, err := c.Write(buf)
+		putFrame(scratch)
+		if err != nil {
+			return err
+		}
+		total = uint64(len(buf))
+	}
+	ep.writevCalls.Inc()
+	ep.framesSent.Add(uint64(len(frames)))
+	ep.bytesSent.Add(total)
+	return nil
+}

@@ -1,0 +1,353 @@
+package tcptransport
+
+import (
+	"encoding/binary"
+	"io"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"etx/internal/id"
+	"etx/internal/msg"
+)
+
+// TestMultiFrameDrainPreservesBoundaries hammers one link with concurrent
+// senders and varied frame sizes so the writer's opportunistic drain flushes
+// many frames per writev, then verifies every envelope arrives intact: the
+// scatter-gather path must preserve frame boundaries exactly (no byte of one
+// frame bleeding into the next) with zero coalescing copies.
+func TestMultiFrameDrainPreservesBoundaries(t *testing.T) {
+	a, b := pairUp(t, id.AppServer(1), id.AppServer(2))
+
+	const senders = 4
+	const perSender = 150
+	const total = senders * perSender
+
+	// Varied sizes: tiny frames that pack many to a drain, frames that
+	// outgrow the initial pool buffer, and one class above retainedReadBuf to
+	// cross the receiver's one-shot-allocation path.
+	sizes := []int{16, 300, 5000, retainedReadBuf + 512}
+
+	bodyFor := func(worker, i int) []byte {
+		body := make([]byte, sizes[(worker+i)%len(sizes)])
+		pat := byte(worker*31 + i)
+		for j := range body {
+			body[j] = pat + byte(j)
+		}
+		return body
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < senders; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perSender; i++ {
+				rid := id.ResultID{Client: id.Client(w + 1), Seq: uint64(i), Try: 1}
+				env := msg.Envelope{To: b.ID(), Payload: msg.Request{RID: rid, Body: bodyFor(w, i)}}
+				if err := a.Send(env); err != nil {
+					t.Errorf("send %d/%d: %v", w, i, err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	seen := make(map[id.ResultID]bool)
+	deadline := time.After(30 * time.Second)
+	for len(seen) < total {
+		select {
+		case env, ok := <-b.Recv():
+			if !ok {
+				t.Fatal("receiver closed early")
+			}
+			req, okr := env.Payload.(msg.Request)
+			if !okr {
+				t.Fatalf("unexpected payload %T", env.Payload)
+			}
+			w, i := req.RID.Client.Index-1, int(req.RID.Seq)
+			want := bodyFor(w, i)
+			if len(req.Body) != len(want) {
+				t.Fatalf("frame (%d,%d): body %d bytes, want %d", w, i, len(req.Body), len(want))
+			}
+			for j := range want {
+				if req.Body[j] != want[j] {
+					t.Fatalf("frame (%d,%d): byte %d = %#x, want %#x (boundary bleed)", w, i, j, req.Body[j], want[j])
+				}
+			}
+			if seen[req.RID] {
+				t.Fatalf("frame (%d,%d) delivered twice", w, i)
+			}
+			seen[req.RID] = true
+		case <-deadline:
+			t.Fatalf("only %d/%d frames delivered", len(seen), total)
+		}
+	}
+
+	st := a.Stats()
+	if st.FramesSent != total {
+		t.Errorf("FramesSent = %d, want %d", st.FramesSent, total)
+	}
+	if st.QueueDrops != 0 {
+		t.Errorf("QueueDrops = %d on an uncontended link", st.QueueDrops)
+	}
+	if st.WritevCalls == 0 || st.WritevCalls > st.FramesSent {
+		t.Errorf("WritevCalls = %d (FramesSent %d)", st.WritevCalls, st.FramesSent)
+	}
+	if Vectored() && st.Coalesced != 0 {
+		t.Errorf("Coalesced = %d on the writev path, want 0 copies", st.Coalesced)
+	}
+	if rb := b.Stats(); rb.FramesRecv != total {
+		t.Errorf("receiver FramesRecv = %d, want %d", rb.FramesRecv, total)
+	}
+}
+
+// rawReader accepts one connection and hands it back; the caller controls
+// exactly when and how fast bytes are read off the wire.
+func rawListener(t *testing.T) (net.Listener, string) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	return ln, ln.Addr().String()
+}
+
+// TestPooledFramesNotReusedWhileQueued pins the ownership rule of the frame
+// pool: a frame handed to a writer queue belongs to that writer until the
+// kernel flush that consumes it. The slow peer's reader stalls so large
+// frames pile up queued and mid-flush while concurrent senders churn the pool
+// hard on a fast peer; the raw bytes read off the slow link afterwards must
+// still decode to exactly the envelopes that were enqueued.
+func TestPooledFramesNotReusedWhileQueued(t *testing.T) {
+	slowLn, slowAddr := rawListener(t)
+	fastLn, fastAddr := rawListener(t)
+
+	slowPeer, fastPeer := id.AppServer(2), id.AppServer(3)
+	ep, err := Listen(Config{
+		Self: id.AppServer(1), Listen: "127.0.0.1:0",
+		Peers:        map[id.NodeID]string{slowPeer: slowAddr, fastPeer: fastAddr},
+		QueueDepth:   4096,             // never drop: every frame must eventually cross
+		WriteTimeout: 60 * time.Second, // backpressure, not the deadline, stalls this link
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ep.Close()
+
+	// Fast peer: drain and discard as quickly as possible, recycling the
+	// endpoint's pooled frames at full speed.
+	go func() {
+		c, err := fastLn.Accept()
+		if err != nil {
+			return
+		}
+		defer c.Close()
+		io.Copy(io.Discard, c)
+	}()
+
+	const slowFrames = 64
+	const slowBody = 256 << 10 // 16 MiB total: far beyond loopback socket buffers
+	const churnFrames = 2000
+
+	accepted := make(chan net.Conn, 1)
+	go func() {
+		c, err := slowLn.Accept()
+		if err != nil {
+			return
+		}
+		accepted <- c
+	}()
+
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() { // big frames into the stalled link
+		defer wg.Done()
+		body := make([]byte, slowBody)
+		for i := 0; i < slowFrames; i++ {
+			for j := range body {
+				body[j] = byte(i)
+			}
+			rid := id.ResultID{Client: id.Client(1), Seq: uint64(i), Try: 1}
+			if err := ep.Send(msg.Envelope{To: slowPeer, Payload: msg.Request{RID: rid, Body: body}}); err != nil {
+				t.Errorf("slow send %d: %v", i, err)
+				return
+			}
+		}
+	}()
+	go func() { // pool churn on the fast link
+		defer wg.Done()
+		body := make([]byte, 512)
+		for i := 0; i < churnFrames; i++ {
+			rid := id.ResultID{Client: id.Client(9), Seq: uint64(i), Try: 1}
+			if err := ep.Send(msg.Envelope{To: fastPeer, Payload: msg.Request{RID: rid, Body: body}}); err != nil {
+				t.Errorf("churn send %d: %v", i, err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+
+	// Only now start reading the stalled link: everything still queued (or
+	// blocked mid-flush) was exposed to the churn above while waiting.
+	var conn net.Conn
+	select {
+	case conn = <-accepted:
+	case <-time.After(10 * time.Second):
+		t.Fatal("slow peer never dialed")
+	}
+	defer conn.Close()
+	conn.SetReadDeadline(time.Now().Add(60 * time.Second))
+
+	got := make(map[uint64]bool)
+	var lenBuf [4]byte
+	buf := make([]byte, slowBody+1024)
+	for len(got) < slowFrames {
+		if _, err := io.ReadFull(conn, lenBuf[:]); err != nil {
+			t.Fatalf("after %d/%d frames: %v", len(got), slowFrames, err)
+		}
+		n := binary.BigEndian.Uint32(lenBuf[:])
+		if int(n) > len(buf) {
+			t.Fatalf("frame length %d exceeds any sent frame", n)
+		}
+		if _, err := io.ReadFull(conn, buf[:n]); err != nil {
+			t.Fatalf("frame body: %v", err)
+		}
+		env, err := msg.Decode(buf[:n])
+		if err != nil {
+			t.Fatalf("frame %d corrupted: %v", len(got), err)
+		}
+		req, ok := env.Payload.(msg.Request)
+		if !ok {
+			t.Fatalf("unexpected payload %T", env.Payload)
+		}
+		if len(req.Body) != slowBody {
+			t.Fatalf("seq %d: body %d bytes, want %d", req.RID.Seq, len(req.Body), slowBody)
+		}
+		pat := byte(req.RID.Seq)
+		for j, bb := range req.Body {
+			if bb != pat {
+				t.Fatalf("seq %d: byte %d = %#x, want %#x (pooled frame reused while queued)", req.RID.Seq, j, bb, pat)
+			}
+		}
+		if got[req.RID.Seq] {
+			t.Fatalf("seq %d delivered twice", req.RID.Seq)
+		}
+		got[req.RID.Seq] = true
+	}
+	if st := ep.Stats(); st.QueueDrops != 0 {
+		t.Errorf("QueueDrops = %d, want 0 (queue sized for the whole workload)", st.QueueDrops)
+	}
+}
+
+// TestWriteDeadlineDropsStalledPeer verifies the WriteTimeout satellite: a
+// peer that accepts the connection but never reads must trip the write
+// deadline, get its connection dropped (counted), and — once a live peer
+// returns on the same address — the writer must redial and deliver again.
+func TestWriteDeadlineDropsStalledPeer(t *testing.T) {
+	stalledLn, stalledAddr := rawListener(t)
+	peer := id.AppServer(2)
+
+	ep, err := Listen(Config{
+		Self: id.AppServer(1), Listen: "127.0.0.1:0",
+		Peers:        map[id.NodeID]string{peer: stalledAddr},
+		WriteTimeout: 150 * time.Millisecond,
+		DialTimeout:  500 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ep.Close()
+
+	// Accept and then do nothing: the kernel buffers fill, the flush blocks,
+	// the deadline fires. A tiny receive window makes that quick.
+	var stalledConns []net.Conn
+	var stalledMu sync.Mutex
+	go func() {
+		for {
+			c, err := stalledLn.Accept()
+			if err != nil {
+				return
+			}
+			if tc, ok := c.(*net.TCPConn); ok {
+				tc.SetReadBuffer(4 << 10)
+			}
+			stalledMu.Lock()
+			stalledConns = append(stalledConns, c)
+			stalledMu.Unlock()
+		}
+	}()
+
+	body := make([]byte, 256<<10)
+	deadline := time.Now().Add(15 * time.Second)
+	for ep.Stats().ConnDrops == 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("deadline never tripped: %s", ep.Stats())
+		}
+		rid := id.ResultID{Client: id.Client(1), Seq: 1, Try: 1}
+		ep.Send(msg.Envelope{To: peer, Payload: msg.Request{RID: rid, Body: body}})
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// Replace the black hole with a live endpoint on the same address; the
+	// persistent writer must redial and deliver.
+	stalledLn.Close()
+	stalledMu.Lock()
+	for _, c := range stalledConns {
+		c.Close()
+	}
+	stalledMu.Unlock()
+
+	var live *Endpoint
+	for attempt := 0; ; attempt++ {
+		live, err = Listen(Config{Self: peer, Listen: stalledAddr})
+		if err == nil {
+			break
+		}
+		if attempt > 50 {
+			t.Fatalf("rebind %s: %v", stalledAddr, err)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	defer live.Close()
+
+	redial := time.After(15 * time.Second)
+	for seq := uint64(1); ; seq++ {
+		ep.Send(msg.Envelope{To: peer, Payload: msg.Heartbeat{Seq: seq}})
+		select {
+		case env, ok := <-live.Recv():
+			if !ok {
+				t.Fatal("live endpoint closed")
+			}
+			if _, isHB := env.Payload.(msg.Heartbeat); isHB {
+				if drops := ep.Stats().ConnDrops; drops < 1 {
+					t.Fatalf("ConnDrops = %d after a tripped deadline", drops)
+				}
+				return // redelivered after the drop: redial works
+			}
+		case <-time.After(100 * time.Millisecond):
+		}
+		select {
+		case <-redial:
+			t.Fatalf("never redelivered after deadline drop: %s", ep.Stats())
+		default:
+		}
+	}
+}
+
+// TestFramesPerWritev pins the amortization metric's edge cases.
+func TestFramesPerWritev(t *testing.T) {
+	if got := (Stats{}).FramesPerWritev(); got != 0 {
+		t.Errorf("zero-call FramesPerWritev = %v", got)
+	}
+	s := Stats{FramesSent: 96, WritevCalls: 3}
+	if got := s.FramesPerWritev(); got != 32 {
+		t.Errorf("FramesPerWritev = %v, want 32", got)
+	}
+	if str := s.String(); str == "" {
+		t.Error("empty Stats.String")
+	}
+}

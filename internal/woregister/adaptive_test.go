@@ -1,0 +1,99 @@
+package woregister
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"etx/internal/id"
+	"etx/internal/msg"
+)
+
+// TestSequencerAdaptiveCap pins the local copy of the window-sizing curve
+// (mirrors core's; the two must not drift apart).
+func TestSequencerAdaptiveCap(t *testing.T) {
+	cases := []struct {
+		configured, depth, want int
+	}{
+		{64, 0, 1},
+		{64, 1, 1},
+		{64, 4, 8},
+		{64, 16, 32},
+		{64, 64, 64},
+		{4, 64, 4},
+	}
+	for _, c := range cases {
+		if got := adaptiveCap(c.configured, c.depth); got != c.want {
+			t.Errorf("adaptiveCap(%d, %d) = %d, want %d", c.configured, c.depth, got, c.want)
+		}
+	}
+}
+
+// TestDepthOneSkipsEnrollmentHold: with a depth sampler reporting a lone
+// writer, the sequencer must head straight for the proposal instead of
+// sleeping the cohort window — an enormous window adds no latency at depth 1.
+func TestDepthOneSkipsEnrollmentHold(t *testing.T) {
+	const window = 5 * time.Second
+	r := newBatchedRig(t, window, func() int { return 1 })
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+
+	start := time.Now()
+	w, err := r.regs[r.peers[0]].WriteA(ctx, testRID(1), id.AppServer(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	elapsed := time.Since(start)
+	if w != id.AppServer(1) {
+		t.Fatalf("winner = %v", w)
+	}
+	if elapsed >= window/2 {
+		t.Fatalf("lone write took %v against a %v window: the hold was not skipped", elapsed, window)
+	}
+}
+
+// TestDeepPipelineStillFormsCohorts: a depth sampler reporting a deep
+// pipeline keeps the enrollment hold and the widened cap, so concurrent
+// writes must still share batch slots — adaptation never degrades the
+// batching it exists to preserve.
+func TestDeepPipelineStillFormsCohorts(t *testing.T) {
+	r := newBatchedRig(t, 3*time.Millisecond, func() int { return 8 })
+	primary := r.regs[r.peers[0]]
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+
+	const tries = 6
+	commit := msg.Decision{Result: []byte("res"), Outcome: msg.OutcomeCommit}
+	var wg sync.WaitGroup
+	errs := make(chan error, 2*tries)
+	for i := 0; i < tries; i++ {
+		rid := testRID(uint64(i + 1))
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := primary.WriteA(ctx, rid, id.AppServer(1)); err != nil {
+				errs <- err
+			}
+		}()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := primary.WriteD(ctx, rid, commit); err != nil {
+				errs <- err
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	st := r.nodes[r.peers[0]].Stats()
+	if st.Proposes >= 2*tries {
+		t.Errorf("%d proposals for %d writes: depth-8 cohorts never formed", st.Proposes, 2*tries)
+	}
+	if st.BatchOps == 0 {
+		t.Error("no ops decided through batch slots")
+	}
+}

@@ -23,8 +23,14 @@ type batchedRig struct {
 	dets  map[id.NodeID]*fd.Scripted
 }
 
-func newBatchedRig(t *testing.T, window time.Duration) *batchedRig {
+// The optional depth sampler is installed on every server's sequencer
+// (core's AdaptiveWindows plumbing).
+func newBatchedRig(t *testing.T, window time.Duration, depth ...func() int) *batchedRig {
 	t.Helper()
+	var depthFn func() int
+	if len(depth) > 0 {
+		depthFn = depth[0]
+	}
 	net := transport.NewMemNetwork(transport.Options{
 		DefaultLatency: 100 * time.Microsecond,
 		Jitter:         200 * time.Microsecond,
@@ -55,6 +61,7 @@ func newBatchedRig(t *testing.T, window time.Duration) *batchedRig {
 		}
 		regs, err := NewBatched(node, Options{
 			CohortWindow: window,
+			Depth:        depthFn,
 			Self:         p,
 			Peers:        r.peers,
 			Detector:     det,

@@ -67,6 +67,13 @@ type Options struct {
 	CohortWindow time.Duration
 	// MaxCohort caps the ops proposed in one slot. Defaults to 64.
 	MaxCohort int
+	// Depth, when non-nil, samples the caller's in-flight pipelining depth
+	// and the sequencer adapts to it (core's AdaptiveWindows): at depth 1
+	// the enrollment hold is skipped and the cohort cap collapses to one —
+	// a lone writer has no followers worth waiting for — while deeper
+	// pipelines widen the cap toward MaxCohort. Timing only; the slot
+	// protocol itself is unchanged.
+	Depth func() int
 	// Self and Peers mirror the consensus membership; Peers order selects
 	// the preferred sequencer (first unsuspected peer).
 	Self  id.NodeID
@@ -313,6 +320,10 @@ func (s *sequencer) enqueueRemote(from id.NodeID, ops []msg.RegOp) {
 func (s *sequencer) take() []msg.RegOp {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	max := s.opts.MaxCohort
+	if s.opts.Depth != nil {
+		max = adaptiveCap(max, s.opts.Depth())
+	}
 	var batch []msg.RegOp
 	kept := s.pending[:0]
 	for _, op := range s.pending {
@@ -320,7 +331,7 @@ func (s *sequencer) take() []msg.RegOp {
 			delete(s.member, op.Reg)
 			continue
 		}
-		if len(batch) < s.opts.MaxCohort {
+		if len(batch) < max {
 			batch = append(batch, op)
 		} else {
 			kept = append(kept, op)
@@ -328,6 +339,23 @@ func (s *sequencer) take() []msg.RegOp {
 	}
 	s.pending = kept
 	return batch
+}
+
+// adaptiveCap sizes the cohort cap to the observed pipelining depth:
+// depth 1 collapses the cohort to a single op, deeper pipelines widen
+// toward the configured cap. (Mirrors core's outbound-batch sizing.)
+func adaptiveCap(configured, depth int) int {
+	if depth <= 1 {
+		return 1
+	}
+	m := 2 * depth
+	if m < 8 {
+		m = 8
+	}
+	if m > configured {
+		m = configured
+	}
+	return m
 }
 
 // requeue returns still-undecided ops to the head of the pending pool (they
@@ -399,7 +427,12 @@ func (s *sequencer) run() {
 			// write that latency for followers that are not coming; under
 			// load the in-flight slot ahead of a cohort is the effective
 			// window regardless of the configured magnitude.
-			if s.opts.CohortWindow >= minTimedWindow && !s.sleep(s.opts.CohortWindow) {
+			// With a depth sampler installed, a lone writer (depth <= 1)
+			// skips the hold entirely: no follower is coming, so the window
+			// would be pure added latency.
+			hold := s.opts.CohortWindow >= minTimedWindow &&
+				(s.opts.Depth == nil || s.opts.Depth() > 1)
+			if hold && !s.sleep(s.opts.CohortWindow) {
 				return
 			}
 		}
