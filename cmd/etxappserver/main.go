@@ -85,6 +85,7 @@ func run() error {
 	retainSlots := flag.Int("retain-slots", 0, "batch-log retention tail: >0 truncates decided consensus slots below the cluster-wide applied watermark minus this many (laggards catch up via checkpoint transfer); 0 retains every slot forever (every app server must agree)")
 	shards := flag.Int("shards", 0, "key-shard the database tier over the first N -dbservers (0 = all of them)")
 	placeSpec := flag.String("placement", "hash", "partitioner: hash | range:b1,b2,... (every app server must agree)")
+	replicas := flag.Int("replicas", 1, "data-tier replica factor: member k (0-based) of shard s is dbserver id s+1+k*shards, all listed in -dbservers; >1 routes through the epoch-stamped view so promoted backups take over their shard's traffic (every app server must agree)")
 	flag.Parse()
 
 	apps, err := tcptransport.ParsePeers(id.RoleAppServer, *appSpec)
@@ -103,8 +104,16 @@ func run() error {
 		return fmt.Errorf("need -appservers and -dbservers address books")
 	}
 	dbList := tcptransport.SortedPeers(dbs)
+	if *replicas < 1 {
+		return fmt.Errorf("-replicas must be at least 1, got %d", *replicas)
+	}
 	if *shards <= 0 {
-		*shards = len(dbList)
+		// On a replicated tier the book lists every group member, so the
+		// natural default is one shard per replica-factor-sized slice.
+		if len(dbList)%*replicas != 0 {
+			return fmt.Errorf("-dbservers lists %d servers, not a multiple of -replicas %d; pass -shards explicitly", len(dbList), *replicas)
+		}
+		*shards = len(dbList) / *replicas
 	}
 	if *shards > len(dbList) {
 		return fmt.Errorf("-shards %d exceeds the %d servers in -dbservers", *shards, len(dbList))
@@ -124,6 +133,28 @@ func run() error {
 	for s, db := range dbList[:*shards] {
 		if db.Index != s+1 {
 			log.Printf("warning: shard %d is served by %s; etxdbserver -shards seeding assumes ids 1..%d, so seeded keys may sit on the wrong server", s, db, *shards)
+		}
+	}
+	// Replicated data tier: the epoch-stamped view starts at the boot
+	// primaries (the placement map's targets) and advances as promoted
+	// backups announce NewPrimary. Routing stays keyed to boot identities;
+	// the view only translates the delivery target, so the paper's
+	// participant lists never change shape.
+	var view *placement.View
+	if *replicas > 1 {
+		groups := make([][]id.NodeID, *shards)
+		for s := 0; s < *shards; s++ {
+			for k := 0; k < *replicas; k++ {
+				member := id.DBServer(s + 1 + k**shards)
+				if _, ok := dbs[member]; !ok {
+					return fmt.Errorf("-replicas %d needs dbserver id %d (member %d of shard %d) in -dbservers", *replicas, member.Index, k, s)
+				}
+				groups[s] = append(groups[s], member)
+			}
+		}
+		view, err = placement.NewView(groups)
+		if err != nil {
+			return err
 		}
 	}
 	if len(clients) == 0 {
@@ -157,6 +188,7 @@ func run() error {
 		AppServers:      tcptransport.SortedPeers(apps),
 		DataServers:     dbList,
 		Placement:       pmap,
+		View:            view,
 		Endpoint:        rchan.Wrap(ep, 100*time.Millisecond),
 		Logic:           bankLogic(),
 		SuspectTimeout:  *suspect,

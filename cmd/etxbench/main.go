@@ -82,7 +82,18 @@ func run() error {
 		{"f7", func() (fmt.Stringer, error) { return bench.RunFigure7(*scale) }},
 		{"f1", func() (fmt.Stringer, error) { return bench.RunFigure1(*scale) }},
 		{"failover", func() (fmt.Stringer, error) {
-			return bench.RunFailover(bench.FailoverConfig{Scale: *scale, Runs: *runs})
+			cfg := bench.FailoverConfig{Scale: *scale, Quick: *quick}
+			// -runs defaults to a value tuned for the full run; in quick
+			// mode honour it only when the user set it explicitly.
+			if !*quick {
+				cfg.Runs = *runs
+			}
+			flag.Visit(func(f *flag.Flag) {
+				if f.Name == "runs" {
+					cfg.Runs = *runs
+				}
+			})
+			return bench.RunFailover(cfg)
 		}},
 		{"scaling", func() (fmt.Stringer, error) { return bench.RunScaling(*scale, *requests) }},
 		{"suspicion", func() (fmt.Stringer, error) { return bench.RunSuspicion(*scale, *runs) }},

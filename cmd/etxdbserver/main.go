@@ -3,6 +3,19 @@
 // journal file, so killing and restarting the process exercises real crash
 // recovery: in-doubt branches are restored with their locks and a [Ready]
 // notification announces the new incarnation to the application servers.
+//
+// With a -group address book the server is one member of a replica group:
+// the primary (the lowest id, or any member started without -backup)
+// streams every appended log record to the other members, and a member
+// started with -backup applies the stream to its own journal and promotes
+// itself — replaying the log, re-seeding in-doubt branches, announcing the
+// new epoch — when the primary stops heartbeating. The application servers
+// must run with a matching -replicas so their epoch-stamped view routes
+// around the deposed primary.
+//
+// SIGINT/SIGTERM trigger a graceful shutdown: the server drains its
+// mailbox to a quiet point, stops, forces a final stable-storage Sync and
+// closes the transport, so soak scripts can cycle servers cleanly.
 package main
 
 import (
@@ -11,16 +24,21 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"sync"
 	"syscall"
 	"time"
 
 	"etx/internal/core"
 	"etx/internal/id"
 	"etx/internal/kv"
+	"etx/internal/msg"
 	"etx/internal/placement"
 	"etx/internal/rchan"
+	"etx/internal/repl"
 	"etx/internal/stablestore"
+	"etx/internal/transport"
 	"etx/internal/transport/tcptransport"
+	"etx/internal/wal"
 	"etx/internal/xadb"
 )
 
@@ -44,6 +62,10 @@ func run() error {
 	seedAcct := flag.String("seed", "alice=100,bob=100", "initial accounts (name=balance,...)")
 	shards := flag.Int("shards", 0, "shard count of the deployment: seed only the accounts this server owns (server -id K owns shard K-1, so ids must run 1..shards); 0 seeds everything")
 	placeSpec := flag.String("placement", "hash", "partitioner: hash | range:b1,b2,... (must match the app servers' -placement)")
+	groupSpec := flag.String("group", "", "replica-group address book of this server's shard, itself included, e.g. 1=:7201,4=:7204; ascending id is promotion order and the lowest id is the boot primary")
+	backup := flag.Bool("backup", false, "run as a backup applier of -group: apply the primary's record stream to -data and promote on suspicion instead of serving transactions")
+	suspect := flag.Duration("suspect", 500*time.Millisecond, "replica-group failure-suspicion timeout (only meaningful with -group)")
+	drainWait := flag.Duration("drain", 5*time.Second, "graceful-shutdown bound: how long SIGINT/SIGTERM waits for the mailbox to quiesce before stopping")
 	flag.Parse()
 
 	apps, err := tcptransport.ParsePeers(id.RoleAppServer, *appSpec)
@@ -52,6 +74,26 @@ func run() error {
 	}
 	if len(apps) == 0 {
 		return fmt.Errorf("need an -appservers address book")
+	}
+	groupBook, err := tcptransport.ParsePeers(id.RoleDBServer, *groupSpec)
+	if err != nil {
+		return err
+	}
+	group := tcptransport.SortedPeers(groupBook)
+	self := id.DBServer(*idx)
+	if len(group) > 0 {
+		found := false
+		for _, m := range group {
+			if m == self {
+				found = true
+			}
+		}
+		if !found {
+			return fmt.Errorf("-group %q does not contain this server (-id %d)", *groupSpec, *idx)
+		}
+	}
+	if *backup && len(group) < 2 {
+		return fmt.Errorf("-backup needs a -group of at least two members")
 	}
 
 	// Recovery is real here: if the journal already has content, this start
@@ -85,66 +127,164 @@ func run() error {
 	// group-commit leader skip the accumulation sleep entirely.
 	store.SetAdaptive(*adaptive)
 
-	engine, err := xadb.Open(store, xadb.Config{Self: id.DBServer(*idx), QueueExec: *queueExec})
-	if err != nil {
-		return err
-	}
-	if !recovery {
-		seed, err := parseSeed(*seedAcct)
-		if err != nil {
-			return err
-		}
-		if *shards > 0 {
-			// Per-shard seeding: this server holds only the keys whose home
-			// shard it is. The shard of server -id N is N-1, matching the
-			// app servers' placement over the sorted -dbservers book — the
-			// partitioner must therefore be the same on both tiers.
-			policy, err := placement.Parse(*placeSpec, *shards)
-			if err != nil {
-				return err
-			}
-			if *idx > *shards {
-				log.Printf("warning: -id %d owns no shard of a %d-shard tier; seeding nothing", *idx, *shards)
-			}
-			own := seed[:0]
-			for _, w := range seed {
-				if policy.ShardFor(w.Key) == *idx-1 {
-					own = append(own, w)
-				}
-			}
-			seed = own
-		}
-		engine.Seed(seed)
-	}
-
-	self := id.DBServer(*idx)
-	ep, err := tcptransport.Listen(tcptransport.Config{Self: self, Listen: *listen, Peers: apps, WriteTimeout: *writeTimeout})
-	if err != nil {
-		return err
-	}
-	defer ep.Close()
-
-	srv, err := core.NewDataServer(core.DataServerConfig{
-		Self:       self,
-		AppServers: tcptransport.SortedPeers(apps),
-		Engine:     engine,
-		Endpoint:   rchan.Wrap(ep, 100*time.Millisecond),
-		Recovery:   recovery,
-		MaxBatch:   serveBatch,
-		QueueExec:  *queueExec,
+	ep, err := tcptransport.Listen(tcptransport.Config{
+		Self:         self,
+		Listen:       *listen,
+		Peers:        tcptransport.Merge(apps, groupBook),
+		WriteTimeout: *writeTimeout,
 	})
 	if err != nil {
 		return err
 	}
-	srv.Start()
-	defer srv.Stop()
-	log.Printf("dbserver-%d listening on %s (incarnation %d, recovery=%v, %d in-doubt branches)",
-		*idx, ep.Addr(), engine.Incarnation(), recovery, len(engine.InDoubt()))
+	defer ep.Close()
+	endpoint := rchan.Wrap(ep, 100*time.Millisecond)
+	appList := tcptransport.SortedPeers(apps)
+
+	// startPrimary opens the engine over store and serves the shard. On a
+	// replicated deployment it also streams every appended log record to
+	// the group peers (promotion order is ascending id, matching the
+	// in-process cluster's numbering).
+	var srvMu sync.Mutex
+	var srv *core.DataServer
+	startPrimary := func(recovery bool, epoch uint64) error {
+		var streamer *repl.Streamer
+		if len(group) > 1 {
+			var peers []id.NodeID
+			for _, m := range group {
+				if m != self {
+					peers = append(peers, m)
+				}
+			}
+			streamer = repl.NewStreamer(repl.StreamerConfig{
+				Self:    self,
+				Backups: peers,
+				Send: func(to id.NodeID, p msg.Payload) error {
+					return endpoint.Send(msg.Envelope{To: to, Payload: p})
+				},
+			})
+		}
+		xcfg := xadb.Config{Self: self, QueueExec: *queueExec}
+		if streamer != nil {
+			xcfg.Replicate = streamer.Replicate
+		}
+		engine, err := xadb.Open(store, xcfg)
+		if err != nil {
+			return err
+		}
+		if streamer != nil {
+			streamer.SetInc(engine.Incarnation())
+			if recovery {
+				recs, err := wal.New(store).Records()
+				if err != nil {
+					return fmt.Errorf("prime stream: %w", err)
+				}
+				streamer.Prime(recs)
+			}
+			streamer.Start()
+		}
+		if !recovery {
+			seed, err := parseSeed(*seedAcct)
+			if err != nil {
+				return err
+			}
+			if *shards > 0 {
+				// Per-shard seeding: this server holds only the keys whose home
+				// shard it is. The shard of server -id N is N-1, matching the
+				// app servers' placement over the sorted -dbservers book — the
+				// partitioner must therefore be the same on both tiers.
+				policy, err := placement.Parse(*placeSpec, *shards)
+				if err != nil {
+					return err
+				}
+				if *idx > *shards {
+					log.Printf("warning: -id %d owns no shard of a %d-shard tier; seeding nothing", *idx, *shards)
+				}
+				own := seed[:0]
+				for _, w := range seed {
+					if policy.ShardFor(w.Key) == *idx-1 {
+						own = append(own, w)
+					}
+				}
+				seed = own
+			}
+			engine.Seed(seed)
+		}
+		s, err := core.NewDataServer(core.DataServerConfig{
+			Self:       self,
+			AppServers: appList,
+			Engine:     engine,
+			Endpoint:   endpoint,
+			Recovery:   recovery,
+			MaxBatch:   serveBatch,
+			QueueExec:  *queueExec,
+			Repl:       streamer,
+			Epoch:      epoch,
+		})
+		if err != nil {
+			return err
+		}
+		s.Start()
+		srvMu.Lock()
+		srv = s
+		srvMu.Unlock()
+		log.Printf("dbserver-%d serving on %s (incarnation %d, recovery=%v, %d in-doubt branches, %d group peers)",
+			*idx, ep.Addr(), engine.Incarnation(), recovery, len(engine.InDoubt()), len(group))
+		return nil
+	}
+
+	var applier *repl.Backup
+	if *backup {
+		// Backup role: apply the primary's stream to this journal, monitor
+		// the group with heartbeats, take the shard over when the current
+		// primary is suspected. No engine runs until promotion; the seed
+		// arrives as the first streamed record.
+		applier = repl.NewBackup(repl.BackupConfig{
+			Self:           self,
+			Shard:          group[0].Index - 1,
+			Group:          group,
+			AppServers:     appList,
+			Endpoint:       endpoint,
+			Store:          store,
+			SuspectTimeout: *suspect,
+			TakeOver: func(epoch uint64) error {
+				return startPrimary(true, epoch)
+			},
+			OnPromote: func(lat time.Duration) {
+				log.Printf("dbserver-%d promoted to shard primary (drain-to-takeover %v)", *idx, lat)
+			},
+			Logf: log.Printf,
+		})
+		applier.Start()
+		log.Printf("dbserver-%d backing up shard %d on %s (group %v)", *idx, group[0].Index-1, ep.Addr(), group)
+	} else {
+		if err := startPrimary(recovery, 1); err != nil {
+			return err
+		}
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
-	log.Printf("dbserver-%d shutting down", *idx)
+
+	// Graceful shutdown: quiesce the mailbox so in-flight Prepare/Decide
+	// rounds finish, stop the serve loop, force a last Sync so everything
+	// journaled is durable, then close the transport.
+	log.Printf("dbserver-%d shutting down: draining mailbox", *idx)
+	if applier != nil {
+		applier.Stop()
+	}
+	srvMu.Lock()
+	s := srv
+	srvMu.Unlock()
+	if s != nil {
+		s.Drain(200*time.Millisecond, *drainWait)
+		s.Stop()
+	}
+	store.Sync()
+	if err := ep.Close(); err != nil && err != transport.ErrClosed {
+		log.Printf("dbserver-%d transport close: %v", *idx, err)
+	}
+	log.Printf("dbserver-%d shutdown complete (journal synced)", *idx)
 	return nil
 }
 

@@ -165,6 +165,16 @@ type Config struct {
 	// (default 1, the paper's model). Raise it so pipelined clients get
 	// genuine middle-tier concurrency.
 	Workers int
+	// ReplicaFactor gives every shard a replica group: the primary executes,
+	// votes and decides exactly as before while streaming its decided effects
+	// asynchronously to ReplicaFactor-1 backups, and when the primary is
+	// suspected the lowest-ranked live backup replays its log tail, re-seeds
+	// in-doubt branches through the ordinary recovery path and takes the
+	// shard over. Application servers re-route through an epoch-stamped view,
+	// so a deposed primary's votes and acks are rejected by epoch. 1 — the
+	// default — is the paper-exact unreplicated tier: none of the replication
+	// machinery is instantiated.
+	ReplicaFactor int
 	// QueueExec switches the database tier to queue-oriented deterministic
 	// batch execution: each data server plans its mailbox drains into
 	// per-key FIFO run queues and executes them without any lock-manager
@@ -229,6 +239,7 @@ func New(cfg Config) (*Cluster, error) {
 		ClientMaxInFlight: cfg.MaxInFlight,
 		Workers:           cfg.Workers,
 		QueueExec:         cfg.QueueExec,
+		ReplicaFactor:     cfg.ReplicaFactor,
 		Logic: core.LogicFunc(func(ctx context.Context, tx *core.Tx, req []byte) ([]byte, error) {
 			return logic(ctx, &Tx{inner: tx}, req)
 		}),
@@ -280,8 +291,19 @@ func (c *Cluster) CrashDBServer(i int) { c.inner.CrashDB(i) }
 
 // RecoverDBServer restarts a crashed database server: it replays its
 // write-ahead log, restores in-doubt transaction branches, and announces
-// recovery to the middle tier.
+// recovery to the middle tier. On a replicated tier (ReplicaFactor > 1) a
+// recovered server that lost its shard to a promoted backup rejoins the
+// replica group as a backup of the new primary instead.
 func (c *Cluster) RecoverDBServer(i int) error { return c.inner.RecoverDB(i) }
+
+// ReplicationStats reports the replicated data tier's failover counters:
+// how many promotions have happened, the mailbox-drain-to-takeover latency
+// of each, and how many messages from deposed primaries the application
+// servers rejected by epoch. All zero on ReplicaFactor=1 deployments.
+func (c *Cluster) ReplicationStats() (promotions int, latencies []time.Duration, staleRejects uint64) {
+	promotions, latencies = c.inner.Promotions()
+	return promotions, latencies, c.inner.StaleRejects()
+}
 
 // ReadInt reads an integer key directly from a database's committed state
 // (0 when the key is absent). Intended for inspection, not transactions.

@@ -29,6 +29,9 @@ type FailoverConfig struct {
 	// SuspectTimeout is the ◊P detector's suspicion timeout; failover time
 	// is dominated by it. Default 20ms.
 	SuspectTimeout time.Duration
+	// Quick shrinks the data-tier kill-primary scenario (and the per-point
+	// run count) for CI smoke runs.
+	Quick bool
 }
 
 func (c *FailoverConfig) setDefaults() {
@@ -37,6 +40,9 @@ func (c *FailoverConfig) setDefaults() {
 	}
 	if c.Runs <= 0 {
 		c.Runs = 5
+		if c.Quick {
+			c.Runs = 2
+		}
 	}
 	if c.SuspectTimeout <= 0 {
 		c.SuspectTimeout = 20 * time.Millisecond
@@ -58,6 +64,9 @@ type Failover struct {
 	SuspectTimeout time.Duration
 	NoCrash        metrics.Summary
 	Rows           []FailoverRow
+	// DataTier is the replicated-data-tier scenario: kill one shard primary
+	// under pipelined load and let a backup promote (see DataTierFailover).
+	DataTier *DataTierFailover
 }
 
 // RunFailover measures client-observed latency with the primary crashed at
@@ -99,6 +108,14 @@ func RunFailover(cfg FailoverConfig) (*Failover, error) {
 			Tries:   tries / float64(cfg.Runs),
 		})
 	}
+
+	// The replicated data tier: kill one shard primary under load and let
+	// the group's heartbeat detector promote a backup.
+	dt, err := runDataTierFailover(cfg.Quick)
+	if err != nil {
+		return nil, fmt.Errorf("data-tier failover: %w", err)
+	}
+	out.DataTier = dt
 	return out, nil
 }
 
@@ -176,5 +193,9 @@ func (f *Failover) String() string {
 		fmt.Fprintf(&b, "%-18s %12.1f %12.1f %8.1f\n", r.Point, r.Latency.Mean, r.Latency.P99, r.Tries)
 	}
 	b.WriteString("(failover latency ≈ failure-free latency + suspicion timeout + cleaning + retry)\n")
+	if f.DataTier != nil {
+		b.WriteString("\n")
+		b.WriteString(f.DataTier.String())
+	}
 	return b.String()
 }

@@ -24,8 +24,10 @@ import (
 	"etx/internal/msg"
 	"etx/internal/placement"
 	"etx/internal/rchan"
+	"etx/internal/repl"
 	"etx/internal/stablestore"
 	"etx/internal/transport"
+	"etx/internal/wal"
 	"etx/internal/xadb"
 )
 
@@ -110,6 +112,19 @@ type Config struct {
 	QueueExec bool
 	// Seed is the initial content of every database.
 	Seed []kv.Write
+	// ReplicaFactor gives every shard a replica group of this size: the boot
+	// primary plus ReplicaFactor-1 asynchronous backups (internal/repl), with
+	// detector-driven promotion when the primary is suspected. Backup member
+	// k (1-based) of shard s (0-based) runs as DBServer(s+1+k*S) where S is
+	// the shard count, so the boot primaries keep their unreplicated
+	// identities. 1 — the default — is the paper-exact unreplicated tier:
+	// none of the replication machinery is instantiated and every code path
+	// is byte-identical to the pre-replication behaviour.
+	ReplicaFactor int
+	// DBDetector, if set, overrides the failure detector each backup monitors
+	// its replica group with (tests inject fd.Scripted for deterministic
+	// promotions). Nil runs heartbeat detectors inside each group.
+	DBDetector func(self id.NodeID) fd.Detector
 
 	// Knobs forwarded to the processes (zero = package defaults).
 	HeartbeatInterval time.Duration
@@ -131,9 +146,16 @@ type Config struct {
 }
 
 type dbNode struct {
-	srv    *core.DataServer
-	engine *xadb.Engine
-	store  *stablestore.Store
+	srv      *core.DataServer
+	engine   *xadb.Engine
+	store    *stablestore.Store
+	streamer *repl.Streamer // nil when unreplicated
+}
+
+// repNode is a shard backup: a stream applier over its own stable storage.
+type repNode struct {
+	b     *repl.Backup
+	store *stablestore.Store
 }
 
 // Cluster is a running deployment.
@@ -147,10 +169,22 @@ type Cluster struct {
 	clientIDs []id.NodeID
 	pmap      *placement.Map
 
+	// view and groups exist only on replicated deployments (ReplicaFactor >
+	// 1). The single View instance is shared by every application server and
+	// the cluster itself, so routing and the oracle always agree on shard
+	// ownership.
+	view   *placement.View
+	groups [][]id.NodeID
+
 	mu      sync.Mutex
 	apps    map[id.NodeID]*core.AppServer
 	dbs     map[id.NodeID]*dbNode
+	reps    map[id.NodeID]*repNode
 	clients map[id.NodeID]*core.Client
+
+	replMu      sync.Mutex
+	promotions  int
+	promoteLats []time.Duration
 
 	computedMu sync.Mutex
 	computed   map[id.ResultID]bool // V.1 oracle: tries the logic computed
@@ -193,11 +227,15 @@ func New(cfg Config) (*Cluster, error) {
 			cfg.CohortWindow = 100 * time.Microsecond
 		}
 	}
+	if cfg.ReplicaFactor <= 0 {
+		cfg.ReplicaFactor = 1
+	}
 	c := &Cluster{
 		cfg:      cfg,
 		Net:      transport.NewMemNetwork(cfg.Net),
 		apps:     make(map[id.NodeID]*core.AppServer),
 		dbs:      make(map[id.NodeID]*dbNode),
+		reps:     make(map[id.NodeID]*repNode),
 		clients:  make(map[id.NodeID]*core.Client),
 		computed: make(map[id.ResultID]bool),
 	}
@@ -222,6 +260,32 @@ func New(cfg Config) (*Cluster, error) {
 		return nil, fmt.Errorf("cluster: %w", err)
 	}
 	c.pmap = pmap
+
+	// Replica groups: boot primary DBServer(s+1) plus backups at
+	// DBServer(s+1+k*S), in promotion order. Backups start before the
+	// primaries so the seed snapshot streams straight into live appliers.
+	if cfg.ReplicaFactor > 1 {
+		S := cfg.DataServers
+		for s := 0; s < S; s++ {
+			group := make([]id.NodeID, 0, cfg.ReplicaFactor)
+			for k := 0; k < cfg.ReplicaFactor; k++ {
+				group = append(group, id.DBServer(s+1+k*S))
+			}
+			c.groups = append(c.groups, group)
+		}
+		c.view, err = placement.NewView(c.groups)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: replica view: %w", err)
+		}
+		for s, group := range c.groups {
+			for _, m := range group[1:] {
+				if err := c.startBackup(s, m, stablestore.New(cfg.ForceLatency)); err != nil {
+					c.Stop()
+					return nil, err
+				}
+			}
+		}
+	}
 
 	for _, dbID := range c.dbIDs {
 		if err := c.startDB(dbID, stablestore.New(cfg.ForceLatency), false); err != nil {
@@ -288,6 +352,23 @@ func (c *Cluster) startDB(dbID id.NodeID, store *stablestore.Store, recovery boo
 	if err != nil {
 		return err
 	}
+	// A boot primary serves at epoch 1; a recovered server that is still its
+	// shard's current primary re-serves at the view's current epoch.
+	epoch := uint64(1)
+	if c.view != nil {
+		if sh, ok := c.view.ShardOf(dbID); ok {
+			if cur, e := c.view.Primary(sh); cur == dbID {
+				epoch = e
+			}
+		}
+	}
+	return c.startDBOn(dbID, ep, store, recovery, epoch)
+}
+
+// startDBOn starts a serving database server on an already-attached endpoint
+// (a promoted backup hands its endpoint over so announcements sent after
+// take-over still go out).
+func (c *Cluster) startDBOn(dbID id.NodeID, ep transport.Endpoint, store *stablestore.Store, recovery bool, epoch uint64) error {
 	store.SetBatchWindow(c.cfg.BatchWindow)
 	store.SetMaxBatch(c.maxBatch())
 	// Adaptive deployments keep the full accumulation window for pipelined
@@ -295,9 +376,51 @@ func (c *Cluster) startDB(dbID id.NodeID, store *stablestore.Store, recovery boo
 	// in-flight count is the depth signal), so depth-1 commits pay no
 	// leader sleep.
 	store.SetAdaptive(c.cfg.AdaptiveWindows)
-	engine, err := xadb.Open(store, xadb.Config{Self: dbID, LockTimeout: c.cfg.LockTimeout, QueueExec: c.cfg.QueueExec})
+
+	// On a replicated deployment the primary streams every appended log
+	// record to its group peers (the stream identity is the engine's
+	// incarnation, stamped after Open below).
+	var streamer *repl.Streamer
+	if c.view != nil {
+		if sh, ok := c.view.ShardOf(dbID); ok {
+			var peers []id.NodeID
+			for _, m := range c.groups[sh] {
+				if m != dbID {
+					peers = append(peers, m)
+				}
+			}
+			streamer = repl.NewStreamer(repl.StreamerConfig{
+				Self:    dbID,
+				Backups: peers,
+				Send: func(to id.NodeID, p msg.Payload) error {
+					return ep.Send(msg.Envelope{To: to, Payload: p})
+				},
+				HeartbeatInterval: c.cfg.HeartbeatInterval,
+			})
+		}
+	}
+
+	xcfg := xadb.Config{Self: dbID, LockTimeout: c.cfg.LockTimeout, QueueExec: c.cfg.QueueExec}
+	if streamer != nil {
+		xcfg.Replicate = streamer.Replicate
+	}
+	engine, err := xadb.Open(store, xcfg)
 	if err != nil {
 		return fmt.Errorf("cluster: open engine %s: %w", dbID, err)
+	}
+	if streamer != nil {
+		streamer.SetInc(engine.Incarnation())
+		if recovery {
+			// A recovered or promoted primary starts a fresh stream: prime it
+			// with the full log so backups adopting the stream resync on it
+			// from scratch.
+			recs, err := wal.New(store).Records()
+			if err != nil {
+				return fmt.Errorf("cluster: prime stream %s: %w", dbID, err)
+			}
+			streamer.Prime(recs)
+		}
+		streamer.Start()
 	}
 	if !recovery && len(c.cfg.Seed) > 0 {
 		engine.Seed(c.seedFor(dbID))
@@ -314,13 +437,74 @@ func (c *Cluster) startDB(dbID id.NodeID, store *stablestore.Store, recovery boo
 		Recovery:   recovery,
 		MaxBatch:   drain,
 		QueueExec:  c.cfg.QueueExec,
+		Repl:       streamer,
+		Epoch:      epoch,
 	})
 	if err != nil {
 		return err
 	}
 	srv.Start()
 	c.mu.Lock()
-	c.dbs[dbID] = &dbNode{srv: srv, engine: engine, store: store}
+	c.dbs[dbID] = &dbNode{srv: srv, engine: engine, store: store, streamer: streamer}
+	c.mu.Unlock()
+	return nil
+}
+
+// startBackup starts (or restarts, with its surviving store) the backup
+// applier of shard sh on node self.
+func (c *Cluster) startBackup(sh int, self id.NodeID, store *stablestore.Store) error {
+	ep, err := c.attach(self)
+	if err != nil {
+		return err
+	}
+	var det fd.Detector
+	if c.cfg.DBDetector != nil {
+		det = c.cfg.DBDetector(self)
+	}
+	// The in-memory network can prove the deposed primary's stream tail has
+	// fully landed (nothing in flight on the link, nothing unread in the
+	// mailbox), making the promotion drain exact. The raw endpoint implements
+	// PendingCounter; the reliable-channel wrapper does not, and falls back
+	// to the quiet-period drain.
+	var drained func(id.NodeID) bool
+	if pc, ok := ep.(transport.PendingCounter); ok {
+		drained = func(old id.NodeID) bool {
+			return c.Net.InFlightFrom(old, self) == 0 && pc.Pending() == 0
+		}
+	}
+	curPrimary, curEpoch := c.view.Primary(sh)
+	b := repl.NewBackup(repl.BackupConfig{
+		Self:              self,
+		Shard:             sh,
+		Group:             c.groups[sh],
+		AppServers:        c.appIDs,
+		Endpoint:          ep,
+		Store:             store,
+		InitEpoch:         curEpoch,
+		InitPrimary:       curPrimary,
+		Detector:          det,
+		HeartbeatInterval: c.cfg.HeartbeatInterval,
+		SuspectTimeout:    c.cfg.SuspectTimeout,
+		Drained:           drained,
+		TakeOver: func(epoch uint64) error {
+			if err := c.startDBOn(self, ep, store, true, epoch); err != nil {
+				return err
+			}
+			// Flip the shared view last: the server is up, so traffic routed
+			// by the new epoch finds it serving.
+			c.view.Advance(sh, epoch, self)
+			return nil
+		},
+		OnPromote: func(lat time.Duration) {
+			c.replMu.Lock()
+			c.promotions++
+			c.promoteLats = append(c.promoteLats, lat)
+			c.replMu.Unlock()
+		},
+	})
+	b.Start()
+	c.mu.Lock()
+	c.reps[self] = &repNode{b: b, store: store}
 	c.mu.Unlock()
 	return nil
 }
@@ -343,6 +527,7 @@ func (c *Cluster) startApp(appID id.NodeID) error {
 		AppServers:        c.appIDs,
 		DataServers:       c.dbIDs,
 		Placement:         c.pmap,
+		View:              c.view,
 		Endpoint:          ep,
 		Logic:             &loggedLogic{c: c, inner: c.cfg.Logic},
 		Detector:          det,
@@ -464,6 +649,65 @@ func (c *Cluster) DBIDs() []id.NodeID { return append([]id.NodeID(nil), c.dbIDs.
 // Placement returns the deployment's key-routing map.
 func (c *Cluster) Placement() *placement.Map { return c.pmap }
 
+// View returns the replica view of the data tier (nil when ReplicaFactor=1).
+func (c *Cluster) View() *placement.View { return c.view }
+
+// Groups returns the replica groups in promotion order (nil when
+// unreplicated).
+func (c *Cluster) Groups() [][]id.NodeID {
+	out := make([][]id.NodeID, len(c.groups))
+	for i, g := range c.groups {
+		out[i] = append([]id.NodeID(nil), g...)
+	}
+	return out
+}
+
+// Backup returns the i-th node's backup applier (1-based node index; nil if
+// the node is not running as a backup).
+func (c *Cluster) Backup(i int) *repl.Backup {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if r, ok := c.reps[id.DBServer(i)]; ok {
+		return r.b
+	}
+	return nil
+}
+
+// Streamer returns the i-th node's replication streamer (1-based; nil unless
+// the node is a serving primary on a replicated deployment).
+func (c *Cluster) Streamer(i int) *repl.Streamer {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if n, ok := c.dbs[id.DBServer(i)]; ok {
+		return n.streamer
+	}
+	return nil
+}
+
+// Promotions reports how many promotions completed and their latencies
+// (suspicion observed -> NewPrimary announced).
+func (c *Cluster) Promotions() (int, []time.Duration) {
+	c.replMu.Lock()
+	defer c.replMu.Unlock()
+	return c.promotions, append([]time.Duration(nil), c.promoteLats...)
+}
+
+// StaleRejects sums the application servers' epoch-guard rejections — data-
+// tier messages dropped because their sender had been deposed.
+func (c *Cluster) StaleRejects() uint64 {
+	c.mu.Lock()
+	apps := make([]*core.AppServer, 0, len(c.apps))
+	for _, a := range c.apps {
+		apps = append(apps, a)
+	}
+	c.mu.Unlock()
+	var n uint64
+	for _, a := range apps {
+		n += a.Stats().StaleRejects
+	}
+	return n
+}
+
 // Sharded reports whether the database tier is key-sharded (per-shard
 // seeding, keyed routing as the intended data surface).
 func (c *Cluster) Sharded() bool { return c.cfg.Shards > 0 }
@@ -503,8 +747,8 @@ func (c *Cluster) CrashApp(i int) {
 	}
 }
 
-// CrashDB crashes the i-th database server, keeping its stable storage for a
-// later RecoverDB.
+// CrashDB crashes the i-th database-tier node — a serving primary or a shard
+// backup — keeping its stable storage for a later RecoverDB.
 func (c *Cluster) CrashDB(i int) {
 	dbID := id.DBServer(i)
 	c.Net.Crash(dbID)
@@ -513,6 +757,25 @@ func (c *Cluster) CrashDB(i int) {
 	if n != nil {
 		n.srv = nilStop(n.srv, &c.stopWG)
 		n.engine = nil
+		if n.streamer != nil {
+			st := n.streamer
+			n.streamer = nil
+			c.stopWG.Add(1)
+			go func() {
+				defer c.stopWG.Done()
+				st.Stop()
+			}()
+		}
+	}
+	r := c.reps[dbID]
+	if r != nil && r.b != nil {
+		b := r.b
+		r.b = nil
+		c.stopWG.Add(1)
+		go func() {
+			defer c.stopWG.Done()
+			b.Stop()
+		}()
 	}
 	c.mu.Unlock()
 }
@@ -528,17 +791,31 @@ func nilStop(srv *core.DataServer, wg *sync.WaitGroup) *core.DataServer {
 	return nil
 }
 
-// RecoverDB restarts the i-th database server on its surviving stable
-// storage; the fresh server runs recovery and announces [Ready].
+// RecoverDB restarts the i-th database-tier node on its surviving stable
+// storage. On an unreplicated deployment — or when the node is still its
+// shard's current primary — the fresh server runs recovery and announces
+// [Ready]. A node whose shard was promoted away from it (or that was a
+// backup all along) rejoins as a backup: it adopts the current primary's
+// stream, which resyncs its log from scratch.
 func (c *Cluster) RecoverDB(i int) error {
 	dbID := id.DBServer(i)
 	c.mu.Lock()
-	n, ok := c.dbs[dbID]
+	var store *stablestore.Store
+	if n, ok := c.dbs[dbID]; ok {
+		store = n.store
+	} else if r, ok := c.reps[dbID]; ok {
+		store = r.store
+	}
 	c.mu.Unlock()
-	if !ok {
+	if store == nil {
 		return fmt.Errorf("cluster: unknown database %s", dbID)
 	}
-	return c.startDB(dbID, n.store, true)
+	if c.view != nil {
+		if sh, ok := c.view.ShardOf(dbID); ok && !c.view.IsCurrent(dbID) {
+			return c.startBackup(sh, dbID, store)
+		}
+	}
+	return c.startDB(dbID, store, true)
 }
 
 // Retire drops per-request register and cache state on every live
@@ -563,9 +840,11 @@ func (c *Cluster) Stop() {
 		clients := c.clients
 		apps := c.apps
 		dbs := c.dbs
+		reps := c.reps
 		c.clients = map[id.NodeID]*core.Client{}
 		c.apps = map[id.NodeID]*core.AppServer{}
 		c.dbs = map[id.NodeID]*dbNode{}
+		c.reps = map[id.NodeID]*repNode{}
 		c.mu.Unlock()
 		for _, cl := range clients {
 			cl.Stop()
@@ -576,6 +855,14 @@ func (c *Cluster) Stop() {
 		for _, d := range dbs {
 			if d.srv != nil {
 				d.srv.Stop()
+			}
+			if d.streamer != nil {
+				d.streamer.Stop()
+			}
+		}
+		for _, r := range reps {
+			if r.b != nil {
+				r.b.Stop()
 			}
 		}
 		c.Net.Close()
@@ -724,15 +1011,21 @@ func (c *Cluster) CheckProperties() OracleReport {
 				// acknowledged the commit at every one of these servers
 				// before the result went out, so every live one must hold
 				// it (commit records are forced before the ack, so
-				// recovery cannot lose them).
+				// recovery cannot lose them). On a replicated tier the
+				// dlist names boot-time shard identities; the commit is
+				// held by whichever group member serves the shard now.
 				for _, p := range d.Participants {
-					outs, up := outcomes[p]
+					cur := p
+					if c.view != nil {
+						cur = c.view.Current(p)
+					}
+					outs, up := outcomes[cur]
 					if !up {
 						continue
 					}
 					if o, ok := outs[d.RID]; !ok || o != msg.OutcomeCommit {
 						rep.Violations = append(rep.Violations,
-							fmt.Sprintf("A.1 violated: delivered %s not committed at participant %s", d.RID, p))
+							fmt.Sprintf("A.1 violated: delivered %s not committed at participant %s (serving as %s)", d.RID, p, cur))
 					}
 				}
 			} else if !known && allUp {

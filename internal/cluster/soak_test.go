@@ -120,3 +120,104 @@ func TestSoakRandomFaults(t *testing.T) {
 	mustBalances(t, c, 1, initial-total, total)
 	mustOracle(t, c)
 }
+
+// TestSoakReplicatedKillPrimary is the replicated-tier soak of the failover
+// scenario: concurrent clients keep transferring against a factor-3 replica
+// group monitored by the real heartbeat detectors (nothing scripted) while
+// the primary is killed mid-campaign. Every request must still commit
+// exactly once, progress must never stall for longer than a promotion takes,
+// exactly one promotion must happen, and the books must balance on the
+// promoted primary.
+func TestSoakReplicatedKillPrimary(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test skipped in -short mode")
+	}
+	const (
+		clients   = 3
+		perClient = 10
+		amount    = 2
+		initial   = int64(100000)
+	)
+	cfg := Config{
+		Logic:         transferLogic(),
+		Seed:          seedAccounts(initial),
+		Clients:       clients,
+		ReplicaFactor: 3,
+		Net:           transport.Options{Jitter: 200 * time.Microsecond, Seed: 33},
+	}
+	fastKnobs(&cfg)
+	cfg.ComputeTimeout = 10 * time.Second
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Stop()
+
+	// Completion trace: the longest gap between consecutive commits bounds
+	// "throughput never reaches zero" without depending on absolute speed.
+	var traceMu sync.Mutex
+	var trace []time.Time
+
+	killer := make(chan struct{})
+	var killed sync.WaitGroup
+	killed.Add(1)
+	go func() {
+		defer killed.Done()
+		select {
+		case <-killer:
+		case <-time.After(60 * time.Second):
+		}
+		c.CrashDB(1)
+	}()
+
+	var wg sync.WaitGroup
+	for cl := 1; cl <= clients; cl++ {
+		cl := cl
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perClient; i++ {
+				if cl == 1 && i == perClient/2 {
+					close(killer) // kill the primary mid-load, exactly once
+				}
+				ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+				_, err := c.Client(cl).Issue(ctx, []byte(strconv.Itoa(amount)))
+				cancel()
+				if err != nil {
+					t.Errorf("client %d request %d: %v", cl, i, err)
+					return
+				}
+				traceMu.Lock()
+				trace = append(trace, time.Now())
+				traceMu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	killed.Wait()
+	if t.Failed() {
+		return
+	}
+
+	promos, lats := c.Promotions()
+	if promos != 1 {
+		t.Fatalf("promotions = %d (latencies %v), want exactly 1", promos, lats)
+	}
+	var worst time.Duration
+	for i := 1; i < len(trace); i++ {
+		if gap := trace[i].Sub(trace[i-1]); gap > worst {
+			worst = gap
+		}
+	}
+	// A promotion costs roughly suspicion + drain; anything near the request
+	// deadline means throughput actually hit zero for the duration.
+	if worst > 20*time.Second {
+		t.Fatalf("commit stream stalled for %v", worst)
+	}
+	t.Logf("promotion latency %v, worst commit gap %v over %d commits", lats[0], worst, len(trace))
+
+	cur := c.View().Current(id.DBServer(1))
+	total := int64(clients * perClient * amount)
+	mustBalances(t, c, cur.Index, initial-total, total)
+	mustOracle(t, c)
+}

@@ -56,6 +56,16 @@ type AppServerConfig struct {
 	// any deployment. Every application server must be configured with the
 	// same placement.
 	Placement *placement.Map
+	// View, when non-nil, is the epoch-stamped replica view of the data tier:
+	// it translates a boot-time shard identity (what Placement and dlists
+	// record) into the shard's current primary, and it carries the epoch that
+	// fences a deposed primary out of the commit path. nil — the default and
+	// the ReplicaFactor=1 deployment — keeps paper-exact routing: every
+	// message goes to the placement-routed node itself, with no translation,
+	// no epoch guard and no retries. Every application server must share one
+	// View instance per process group (or keep them converged via NewPrimary
+	// broadcasts).
+	View *placement.View
 	// Endpoint is the server's network attachment.
 	Endpoint transport.Endpoint
 	// Logic is the business logic run by the compute thread.
@@ -187,6 +197,7 @@ func (c *AppServerConfig) setDefaults() {
 type AppServer struct {
 	cfg   AppServerConfig
 	place *placement.Map
+	view  *placement.View // nil on unreplicated deployments
 
 	cons *consensus.Node
 	regs *woregister.Registers
@@ -229,6 +240,14 @@ type AppServer struct {
 
 	calls  callRouter
 	execID atomic.Uint64
+
+	// staleRejects counts data-tier messages dropped by the epoch guard: a
+	// vote or ack from a node the view says is no longer its shard's primary.
+	// Non-zero after a promotion proves the fence actually fired.
+	staleRejects metrics.Counter
+	// execRetries counts Exec/GetFast calls re-routed mid-wait because the
+	// view moved their shard to a new primary.
+	execRetries metrics.Counter
 }
 
 // termJob is one decided try awaiting termination at its participants.
@@ -277,6 +296,7 @@ func NewAppServer(cfg AppServerConfig) (*AppServer, error) {
 	s := &AppServer{
 		cfg:       cfg,
 		place:     place,
+		view:      cfg.View,
 		computeQ:  queue.New[msg.Request](),
 		pending:   make(map[id.ResultID]bool),
 		committed: make(map[id.RequestKey]cachedDecision),
@@ -360,6 +380,27 @@ func (s *AppServer) Registers() *woregister.Registers { return s.regs }
 
 // Placement exposes the key-routing map of the deployment.
 func (s *AppServer) Placement() *placement.Map { return s.place }
+
+// View exposes the replica view of the data tier (nil when unreplicated).
+func (s *AppServer) View() *placement.View { return s.view }
+
+// AppServerStats snapshots the server's replication-path counters.
+type AppServerStats struct {
+	// StaleRejects counts data-tier messages dropped by the epoch guard
+	// because the sender is no longer its shard's primary.
+	StaleRejects uint64
+	// ExecRetries counts Exec/GetFast calls re-routed to a newly promoted
+	// primary while waiting for a reply.
+	ExecRetries uint64
+}
+
+// Stats snapshots the server's replication-path counters.
+func (s *AppServer) Stats() AppServerStats {
+	return AppServerStats{
+		StaleRejects: s.staleRejects.Load(),
+		ExecRetries:  s.execRetries.Load(),
+	}
+}
 
 // Retire drops all local state of a finished logical request: its cached
 // committed decision, the cleaning thread's dedup entries, and the registers
@@ -472,29 +513,95 @@ func (s *AppServer) handlePayload(from id.NodeID, payload msg.Payload) {
 	case msg.Request:
 		s.enqueue(m)
 	case msg.VoteMsg:
+		if s.staleSender(from) {
+			return
+		}
 		s.calls.routeVote(from, m)
 	case msg.AckDecide:
+		if s.staleSender(from) {
+			return
+		}
 		s.calls.routeAck(from, m)
 	case msg.Ready:
+		if s.staleSender(from) {
+			return
+		}
 		s.calls.routeReady(from, m.Inc)
 	case msg.ExecReply:
+		if s.staleSender(from) {
+			return
+		}
 		s.calls.routeExecReply(m)
+	case msg.NewPrimary:
+		s.observeNewPrimary(from, m)
 	case msg.RegOps:
 		// A peer's forwarded write cohort: ride this server's sequencer.
 		s.regs.EnqueueRemote(from, m.Ops)
 	case msg.Result, msg.Exec, msg.Prepare, msg.Decide, msg.Commit1P, msg.RData,
-		msg.RAck, msg.Batch, msg.PBStart, msg.PBStartAck, msg.PBOutcome, msg.PBOutcomeAck:
+		msg.RAck, msg.Batch, msg.PBStart, msg.PBStartAck, msg.PBOutcome, msg.PBOutcomeAck,
+		msg.ReplRecord, msg.ReplAck:
 		// Explicitly not ours: Result targets clients, the exec/commit-path
 		// and transport-batch kinds target database servers or the reliable
-		// channel below this demux, and the PB* kinds belong to the
-		// primary-backup baseline. Listing them keeps this switch exhaustive,
-		// so routing a future kind is a conscious decision here.
+		// channel below this demux, the PB* kinds belong to the
+		// primary-backup baseline, and the Repl* kinds flow inside a shard's
+		// replica group. Listing them keeps this switch exhaustive, so
+		// routing a future kind is a conscious decision here.
+	}
+}
+
+// staleSender is the epoch guard of the commit path: on a replicated
+// deployment, a vote, ack, Ready or Exec reply from a data-tier node that the
+// view no longer considers its shard's primary is dropped, and the sender is
+// told who owns its shard now (epoch-stamped, so the deposed node fences
+// itself). This closes the split-brain window: a primary that was falsely
+// suspected keeps executing until the NewPrimary correction reaches it, but
+// nothing it says after its successor's epoch reached this server can commit.
+func (s *AppServer) staleSender(from id.NodeID) bool {
+	if s.view == nil {
+		return false
+	}
+	sh, ok := s.view.ShardOf(from)
+	if !ok || s.view.IsCurrent(from) {
+		return false
+	}
+	s.staleRejects.Inc()
+	cur, ep := s.view.Primary(sh)
+	_ = s.cfg.Endpoint.Send(msg.Envelope{To: from, Payload: msg.NewPrimary{
+		Shard: uint64(sh), Epoch: ep, Primary: cur,
+	}})
+	return true
+}
+
+// observeNewPrimary advances the replica view on a promotion announcement.
+// Announcements are idempotent and may arrive out of order; only a strictly
+// higher epoch moves the view. A node claiming a shard it lost (its
+// announcement carries an epoch at or below the view's) is corrected with the
+// current ownership so it deposes itself.
+func (s *AppServer) observeNewPrimary(from id.NodeID, m msg.NewPrimary) {
+	if s.view == nil || int(m.Shard) < 0 || int(m.Shard) >= s.view.Shards() {
+		return
+	}
+	if s.view.Advance(int(m.Shard), m.Epoch, m.Primary) {
+		return
+	}
+	cur, ep := s.view.Primary(int(m.Shard))
+	if from == m.Primary && cur != from {
+		_ = s.cfg.Endpoint.Send(msg.Envelope{To: from, Payload: msg.NewPrimary{
+			Shard: m.Shard, Epoch: ep, Primary: cur,
+		}})
 	}
 }
 
 // sendDB sends one commit-path message (Prepare/Decide) to a database
-// server, through the outbound aggregator when batching is on.
+// server, through the outbound aggregator when batching is on. On a
+// replicated deployment the boot-time shard identity recorded in dlists is
+// translated to the shard's current primary at send time, so every
+// protocol-level resend (prepare and terminate rounds tick through here)
+// re-resolves routing for free after a promotion.
 func (s *AppServer) sendDB(db id.NodeID, p msg.Payload) {
+	if s.view != nil {
+		db = s.view.Current(db)
+	}
 	if s.agg != nil {
 		s.agg.send(db, p)
 		return
@@ -634,6 +741,36 @@ func (s *AppServer) handleRequest(req msg.Request) {
 	s.enqueueTerminate(rid, final)
 }
 
+// answersFor reports whether a reply from `from` answers for participant db:
+// either it is db itself, or — on a replicated deployment — it is the current
+// primary of db's replica group. A promoted primary's votes and acks are
+// credited to the boot-time identity the dlist records; its votes still carry
+// its own (higher) incarnation, so an in-flight try whose Execs ran on the
+// old primary aborts on the incarnation check exactly as if the database had
+// restarted.
+func (s *AppServer) answersFor(from, db id.NodeID) bool {
+	if from == db {
+		return true
+	}
+	if s.view == nil {
+		return false
+	}
+	shf, okf := s.view.ShardOf(from)
+	shd, okd := s.view.ShardOf(db)
+	return okf && okd && shf == shd && s.view.IsCurrent(from)
+}
+
+// creditFor translates a reply's sender to the participant slot it answers
+// for (see answersFor), or reports that it answers for none of parts.
+func (s *AppServer) creditFor(from id.NodeID, parts []id.NodeID) (id.NodeID, bool) {
+	for _, db := range parts {
+		if s.answersFor(from, db) {
+			return db, true
+		}
+	}
+	return from, false
+}
+
 // prepare implements Figure 4's prepare(): a voting round over the try's
 // participants — the shards the business logic touched — not the whole
 // database tier. Commit requires a yes vote from every participant, each
@@ -658,10 +795,6 @@ func (s *AppServer) prepare(rid id.ResultID, tx *Tx) msg.Outcome {
 		inc   uint64
 		ready bool
 	}
-	member := make(map[id.NodeID]bool, len(parts))
-	for _, db := range parts {
-		member[db] = true
-	}
 	answers := make(map[id.NodeID]answer, len(parts))
 	sendTo := func(only map[id.NodeID]answer) {
 		for _, db := range parts {
@@ -679,18 +812,20 @@ func (s *AppServer) prepare(rid id.ResultID, tx *Tx) msg.Outcome {
 		select {
 		case ev := <-col.ch:
 			// Ready notifications fan out from every database server;
-			// only participants answer this round.
-			if !member[ev.from] {
+			// only participants (or their current primaries) answer this
+			// round.
+			slot, ok := s.creditFor(ev.from, parts)
+			if !ok {
 				break
 			}
-			if _, done := answers[ev.from]; done {
+			if _, done := answers[slot]; done {
 				break
 			}
 			switch ev.kind {
 			case evVote:
-				answers[ev.from] = answer{vote: ev.vote, inc: ev.inc}
+				answers[slot] = answer{vote: ev.vote, inc: ev.inc}
 			case evReady:
-				answers[ev.from] = answer{ready: true}
+				answers[slot] = answer{ready: true}
 			}
 		case <-ticker.C:
 			sendTo(answers)
@@ -739,7 +874,7 @@ func (s *AppServer) prepareOne(rid id.ResultID, tx *Tx, db id.NodeID) msg.Outcom
 	for {
 		select {
 		case ev := <-col.ch:
-			if ev.from != db {
+			if !s.answersFor(ev.from, db) {
 				break
 			}
 			switch ev.kind {
@@ -818,10 +953,6 @@ func (s *AppServer) terminate(rid id.ResultID, dec msg.Decision) {
 	}
 	if len(targets) > 0 {
 		col := s.calls.addCollector(rid)
-		member := make(map[id.NodeID]bool, len(targets))
-		for _, db := range targets {
-			member[db] = true
-		}
 		acked := make(map[id.NodeID]bool, len(targets))
 		send := func(db id.NodeID) {
 			s.sendDB(db, msg.Decide{RID: rid, O: dec.Outcome})
@@ -833,15 +964,16 @@ func (s *AppServer) terminate(rid id.ResultID, dec msg.Decision) {
 		for len(acked) < len(targets) {
 			select {
 			case ev := <-col.ch:
-				if !member[ev.from] {
+				slot, ok := s.creditFor(ev.from, targets)
+				if !ok {
 					break
 				}
 				switch ev.kind {
 				case evAck:
-					acked[ev.from] = true
+					acked[slot] = true
 				case evReady:
-					if !acked[ev.from] {
-						send(ev.from)
+					if !acked[slot] {
+						send(slot)
 					}
 				}
 			case <-ticker.C:
@@ -1318,24 +1450,14 @@ func (t *Tx) CheckAtLeast(ctx context.Context, key string, min int64) error {
 // try's serialization must cover.
 func (t *Tx) GetFast(ctx context.Context, key string) ([]byte, int64, error) {
 	db := t.Home(key)
-	callID := t.s.execID.Add(1)
-	ch := t.s.calls.addExec(callID)
-	defer t.s.calls.removeExec(callID)
-	err := t.s.cfg.Endpoint.Send(msg.Envelope{To: db, Payload: msg.Exec{RID: t.rid, CallID: callID, Op: msg.Op{Code: msg.OpSnapRead, Key: key}}})
+	rep, err := t.s.execCall(ctx, db, msg.Exec{RID: t.rid, Op: msg.Op{Code: msg.OpSnapRead, Key: key}})
 	if err != nil {
 		return nil, 0, fmt.Errorf("core: snap read on %s: %w", db, err)
 	}
-	select {
-	case rep := <-ch:
-		if !rep.Rep.OK {
-			return nil, 0, fmt.Errorf("core: snap read %q: %s", key, rep.Rep.Err)
-		}
-		return rep.Rep.Val, rep.Rep.Num, nil
-	case <-ctx.Done():
-		return nil, 0, fmt.Errorf("core: snap read on %s: %w", db, ctx.Err())
-	case <-t.s.ctx.Done():
-		return nil, 0, errors.New("core: server stopping")
+	if !rep.Rep.OK {
+		return nil, 0, fmt.Errorf("core: snap read %q: %s", key, rep.Rep.Err)
 	}
+	return rep.Rep.Val, rep.Rep.Num, nil
 }
 
 // Exec runs one data operation on db inside this try's branch. A failed
@@ -1343,26 +1465,86 @@ func (t *Tx) GetFast(ctx context.Context, key string) ([]byte, int64, error) {
 // timeout, check violation); an error return means the call itself could not
 // complete (timeout, shutdown, database restarted mid-transaction).
 func (t *Tx) Exec(ctx context.Context, db id.NodeID, op msg.Op) (msg.OpResult, error) {
-	callID := t.s.execID.Add(1)
-	ch := t.s.calls.addExec(callID)
-	defer t.s.calls.removeExec(callID)
 	t.touch(db)
-	err := t.s.cfg.Endpoint.Send(msg.Envelope{To: db, Payload: msg.Exec{RID: t.rid, CallID: callID, Op: op}})
+	rep, err := t.s.execCall(ctx, db, msg.Exec{RID: t.rid, Op: op})
 	if err != nil {
-		return msg.OpResult{}, fmt.Errorf("core: exec on %s: %w", db, err)
+		return msg.OpResult{}, err
 	}
-	select {
-	case rep := <-ch:
-		if prev, ok := t.incarnation(db); !ok {
-			t.incs = append(t.incs, dbInc{db: db, inc: rep.Inc})
-		} else if prev != rep.Inc {
-			return rep.Rep, fmt.Errorf("core: database %s restarted mid-transaction (incarnation %d -> %d)", db, prev, rep.Inc)
+	if prev, ok := t.incarnation(db); !ok {
+		t.incs = append(t.incs, dbInc{db: db, inc: rep.Inc})
+	} else if prev != rep.Inc {
+		return rep.Rep, fmt.Errorf("core: database %s restarted mid-transaction (incarnation %d -> %d)", db, prev, rep.Inc)
+	}
+	return rep.Rep, nil
+}
+
+// execResendCap bounds how many times one Exec call may be re-sent after the
+// replica view moved its shard to a new primary. Re-sends happen only on a
+// primary change — never to the same node, because Exec is not idempotent on
+// a live branch — so the cap is about runaway view churn, not timeouts.
+const execResendCap = 8
+
+// execCall runs one Exec exchange against db's shard. On an unreplicated
+// deployment (nil view) it is exactly the paper's single send-and-wait. On a
+// replicated one the send goes to the shard's current primary, and while
+// waiting the call polls the view with exponential backoff: if a promotion
+// re-homed the shard, the operation is re-sent to the new primary — and only
+// then, so a slow-but-alive primary is never asked to execute twice. The
+// reply carries the incarnation of whichever replica answered; the caller's
+// incarnation pinning turns a mid-try switch into an abort-and-recompute.
+func (s *AppServer) execCall(ctx context.Context, db id.NodeID, ex msg.Exec) (msg.ExecReply, error) {
+	ex.CallID = s.execID.Add(1)
+	ch := s.calls.addExec(ex.CallID)
+	defer s.calls.removeExec(ex.CallID)
+
+	target := db
+	if s.view != nil {
+		target = s.view.Current(db)
+	}
+	if err := s.cfg.Endpoint.Send(msg.Envelope{To: target, Payload: ex}); err != nil {
+		return msg.ExecReply{}, fmt.Errorf("core: exec on %s: %w", db, err)
+	}
+
+	if s.view == nil {
+		select {
+		case rep := <-ch:
+			return rep, nil
+		case <-ctx.Done():
+			return msg.ExecReply{}, fmt.Errorf("core: exec on %s: %w", db, ctx.Err())
+		case <-s.ctx.Done():
+			return msg.ExecReply{}, errors.New("core: server stopping")
 		}
-		return rep.Rep, nil
-	case <-ctx.Done():
-		return msg.OpResult{}, fmt.Errorf("core: exec on %s: %w", db, ctx.Err())
-	case <-t.s.ctx.Done():
-		return msg.OpResult{}, errors.New("core: server stopping")
+	}
+
+	poll := s.cfg.ResendInterval
+	timer := time.NewTimer(poll)
+	defer timer.Stop()
+	resends := 0
+	for {
+		select {
+		case rep := <-ch:
+			return rep, nil
+		case <-timer.C:
+			if cur := s.view.Current(db); cur != target {
+				if resends >= execResendCap {
+					return msg.ExecReply{}, fmt.Errorf("core: exec on %s: shard primary moved %d times without answering", db, resends)
+				}
+				resends++
+				s.execRetries.Inc()
+				target = cur
+				if err := s.cfg.Endpoint.Send(msg.Envelope{To: target, Payload: ex}); err != nil {
+					return msg.ExecReply{}, fmt.Errorf("core: exec on %s: %w", db, err)
+				}
+				poll = s.cfg.ResendInterval
+			} else if poll < 8*s.cfg.ResendInterval {
+				poll *= 2
+			}
+			timer.Reset(poll)
+		case <-ctx.Done():
+			return msg.ExecReply{}, fmt.Errorf("core: exec on %s: %w", db, ctx.Err())
+		case <-s.ctx.Done():
+			return msg.ExecReply{}, errors.New("core: server stopping")
+		}
 	}
 }
 

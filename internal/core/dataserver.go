@@ -5,11 +5,14 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"etx/internal/id"
 	"etx/internal/metrics"
 	"etx/internal/msg"
 	"etx/internal/queue"
+	"etx/internal/repl"
 	"etx/internal/transport"
 	"etx/internal/xadb"
 )
@@ -53,6 +56,16 @@ type DataServerConfig struct {
 	// per-key serialization would be unsound. Off — the default — keeps the
 	// paper-exact lock-managed execution.
 	QueueExec bool
+	// Repl, when the shard is replicated, is the primary's record streamer:
+	// the server routes incoming msg.ReplAck to it. Nil on an unreplicated
+	// server (and on every deployment with ReplicaFactor 1).
+	Repl *repl.Streamer
+	// Epoch is the shard epoch this server serves at: 1 for a boot primary,
+	// the promotion epoch for a promoted backup. NewPrimary announcements
+	// depose the server only when they carry a later epoch (or the same
+	// epoch from a lower-id winner of a concurrent-promotion tie). Zero
+	// defaults to 1.
+	Epoch uint64
 }
 
 // DataServer is the paper's database-server process (Figure 3): a pure
@@ -72,6 +85,17 @@ type DataServer struct {
 	plannedOps     metrics.Counter
 	snapReads      metrics.Counter
 	gatedVotes     metrics.Counter
+
+	// lastServe is the wall-clock nanosecond of the most recent mailbox
+	// activity, read by Drain to find a quiet point for graceful shutdown.
+	lastServe atomic.Int64
+
+	// deposed is set when a NewPrimary announcement names another node as
+	// this shard's primary: a later epoch exists, so this server stops
+	// serving the 2PC surface (its in-flight votes are already rejected by
+	// the application tier's epoch guard; the flag just stops it burning
+	// work and, on a false suspicion, ends the split-brain window).
+	deposed atomic.Bool
 
 	ctx    context.Context
 	cancel context.CancelFunc
@@ -137,19 +161,24 @@ func NewDataServer(cfg DataServerConfig) (*DataServer, error) {
 	if cfg.ExecWorkers <= 0 {
 		cfg.ExecWorkers = 64
 	}
+	if cfg.Epoch == 0 {
+		cfg.Epoch = 1
+	}
 	if cfg.Engine.QueueExec() {
 		// A speculative engine is only sound under the planner's per-key
 		// serialization; never run one behind the lock-mode exec pool.
 		cfg.QueueExec = true
 	}
 	ctx, cancel := context.WithCancel(context.Background())
-	return &DataServer{
+	d := &DataServer{
 		cfg:    cfg,
 		execQ:  queue.New[execJob](),
 		runs:   make(map[string]*keyRun),
 		ctx:    ctx,
 		cancel: cancel,
-	}, nil
+	}
+	d.lastServe.Store(time.Now().UnixNano())
+	return d, nil
 }
 
 // Start launches the server loop. If this is a recovery start it first
@@ -172,6 +201,38 @@ func (d *DataServer) Stop() {
 	d.cancel()
 	d.execQ.Close()
 	d.wg.Wait()
+}
+
+// Drain blocks until the server has been quiet — an empty mailbox and no
+// message served — for the given period, or until max elapses. It is the
+// graceful-shutdown half of Stop: a binary that traps SIGTERM calls Drain
+// first so in-flight Prepare/Decide rounds finish and their forced log
+// records land, then Stop, then a final stable-store Sync. Drain never
+// rejects new work by itself; the operator is expected to have stopped (or
+// be about to stop) the traffic source.
+func (d *DataServer) Drain(quiet, max time.Duration) {
+	if quiet <= 0 {
+		quiet = 50 * time.Millisecond
+	}
+	deadline := time.Now().Add(max)
+	for {
+		idle := time.Duration(time.Now().UnixNano() - d.lastServe.Load())
+		if idle >= quiet && len(d.cfg.Endpoint.Recv()) == 0 {
+			return
+		}
+		if !time.Now().Before(deadline) {
+			return
+		}
+		wait := quiet - idle
+		if wait < time.Millisecond {
+			wait = time.Millisecond
+		}
+		select {
+		case <-time.After(wait):
+		case <-d.ctx.Done():
+			return
+		}
+	}
 }
 
 // execWorker serves queued business-data operations.
@@ -200,6 +261,10 @@ func (d *DataServer) execWorker() {
 // Engine exposes the underlying engine (tests, oracles).
 func (d *DataServer) Engine() *xadb.Engine { return d.cfg.Engine }
 
+// Deposed reports whether a later-epoch primary has taken this server's
+// shard over (tests assert a falsely suspected primary fences itself).
+func (d *DataServer) Deposed() bool { return d.deposed.Load() }
+
 func (d *DataServer) loop() {
 	defer d.wg.Done()
 	for {
@@ -209,6 +274,7 @@ func (d *DataServer) loop() {
 				return
 			}
 			batch := d.drain(env)
+			d.lastServe.Store(time.Now().UnixNano())
 			// Each drained batch is served on its own goroutine, and Execs
 			// get further goroutines of their own: an Exec blocked on a lock
 			// must not delay the Decide(abort) that would release it.
@@ -271,6 +337,9 @@ func (d *DataServer) serveBatch(envs []msg.Envelope) {
 	handle := func(from id.NodeID, p msg.Payload) {
 		switch m := p.(type) {
 		case msg.Exec:
+			if d.deposed.Load() {
+				return // fenced: a later-epoch primary serves this shard now
+			}
 			switch {
 			case d.cfg.QueueExec && m.Op.Code == msg.OpSnapRead:
 				snapFrom = append(snapFrom, from)
@@ -281,12 +350,21 @@ func (d *DataServer) serveBatch(envs []msg.Envelope) {
 				d.execQ.Push(execJob{from: from, m: m})
 			}
 		case msg.Prepare:
+			if d.deposed.Load() {
+				return
+			}
 			prepFrom = append(prepFrom, from)
 			prepRIDs = append(prepRIDs, m.RID)
 		case msg.Decide:
+			if d.deposed.Load() {
+				return
+			}
 			decFrom = append(decFrom, from)
 			decReqs = append(decReqs, xadb.DecideReq{RID: m.RID, O: m.O})
 		case msg.Commit1P:
+			if d.deposed.Load() {
+				return
+			}
 			// Single-phase commit for the unreliable baseline (Figure 7a).
 			d.wg.Add(1)
 			go func() {
@@ -294,16 +372,35 @@ func (d *DataServer) serveBatch(envs []msg.Envelope) {
 				o := d.cfg.Engine.CommitDirect(m.RID)
 				d.reply(from, msg.AckDecide{RID: m.RID, O: o})
 			}()
+		case msg.ReplAck:
+			if d.cfg.Repl != nil {
+				d.cfg.Repl.HandleAck(from, m)
+			}
+		case msg.NewPrimary:
+			// Only replica-group members and stale claimants receive this.
+			// Another node announcing a strictly later epoch owns the shard:
+			// fence ourselves. Concurrent false suspicions can promote two
+			// backups at the SAME epoch; the tie resolves to the lower node
+			// id (group rank is ascending id), so exactly one of the two
+			// deposes and the other keeps serving — matching the tie-break
+			// placement.View.Advance applies on the application servers.
+			if m.Primary != d.cfg.Self &&
+				(m.Epoch > d.cfg.Epoch ||
+					(m.Epoch == d.cfg.Epoch && m.Primary.Index < d.cfg.Self.Index)) {
+				d.deposed.Store(true)
+			}
 		case msg.Request, msg.Result, msg.Heartbeat, msg.Estimate, msg.Propose,
 			msg.CAck, msg.CNack, msg.CDecision, msg.Checkpoint, msg.VoteMsg,
 			msg.AckDecide, msg.Ready, msg.ExecReply, msg.RegOps,
 			msg.RData, msg.RAck, msg.Batch, msg.PBStart, msg.PBStartAck,
-			msg.PBOutcome, msg.PBOutcomeAck:
+			msg.PBOutcome, msg.PBOutcomeAck, msg.ReplRecord:
 			// Database servers are pure servers: requests/results belong to
 			// the client edge, consensus and register traffic to the
 			// application tier, RData/RAck/Batch to the transport layers
-			// below this demux, and PB* to the primary-backup baseline.
-			// Nested Batch payloads are flattened by the caller, never here.
+			// below this demux, PB* to the primary-backup baseline, and
+			// ReplRecord to backup appliers (a deposed predecessor's stale
+			// stream is ignored here). Nested Batch payloads are flattened by
+			// the caller, never here.
 		}
 	}
 	for _, env := range envs {

@@ -48,6 +48,24 @@
 // the commit path. The planner lives in planner.go; Stats counts its batches
 // and operations, snapshot reads and gated votes.
 //
+// On a replicated data tier (internal/repl) recovery has a second entry
+// point. A shard primary streams every log record it appends to its group's
+// backup appliers; when the primary is suspected, the promoted backup runs
+// the *same* recovery path as a restarted server — replay the write-ahead
+// log, re-seed in-doubt branches with their locks, announce the new
+// incarnation — except the log it replays is the one the stream built on its
+// own stable store. The data server then guards the 2PC surface with a
+// deposed flag (a NewPrimary announcement naming another node stops it
+// serving Exec/Prepare/Decide), and the application server routes through
+// the shared placement.View: outgoing messages to a boot identity are
+// translated to the shard's current primary, incoming votes/acks/replies
+// from a stale primary are rejected by epoch (AppServerStats.StaleRejects)
+// and answered with a correction, and Exec calls re-send — to the new target
+// only, never twice to the same node — when the view changes under a
+// bounded-backoff retry loop. None of this machinery exists when the
+// deployment is unreplicated: AppServerConfig.View and
+// DataServerConfig.Repl are nil and every code path is the paper's.
+//
 // Memory is bounded by two garbage-collection layers, both extensions of
 // the treatment the paper defers in Section 5. Per request, Retire discards
 // the commit cache, cleaning dedup entries and both wo-registers of every

@@ -246,6 +246,16 @@ func (w *writer) payload(p Payload) error {
 		w.decision(m.Dec)
 	case PBOutcomeAck:
 		w.rid(m.RID)
+	case ReplRecord:
+		w.uvarint(m.Seq)
+		w.uvarint(m.Inc)
+		w.bytes(m.Rec)
+	case ReplAck:
+		w.uvarint(m.Seq)
+	case NewPrimary:
+		w.uvarint(m.Shard)
+		w.uvarint(m.Epoch)
+		w.node(m.Primary)
 	default:
 		return fmt.Errorf("msg: cannot encode payload type %T", p)
 	}
@@ -544,6 +554,12 @@ func (r *reader) payloadOrErr() (Payload, error) {
 		p = PBOutcome{RID: r.rid(), Dec: r.decision()}
 	case KindPBOutcomeAck:
 		p = PBOutcomeAck{RID: r.rid()}
+	case KindReplRecord:
+		p = ReplRecord{Seq: r.uvarint(), Inc: r.uvarint(), Rec: r.bytes()}
+	case KindReplAck:
+		p = ReplAck{Seq: r.uvarint()}
+	case KindNewPrimary:
+		p = NewPrimary{Shard: r.uvarint(), Epoch: r.uvarint(), Primary: r.node()}
 	default:
 		return nil, fmt.Errorf("%w: %d", ErrBadKind, uint8(k))
 	}

@@ -78,6 +78,10 @@ func allPayloads() []Payload {
 			{Reg: RegKey{Array: RegD, RID: rid(2, 8, 1)}, Val: []byte("dec")},
 		}},
 		Checkpoint{Floor: 0, Regs: nil},
+		ReplRecord{Seq: 12, Inc: 3, Rec: []byte{2, 1, 0, 7}},
+		ReplRecord{Seq: 1, Inc: 1},
+		ReplAck{Seq: 12},
+		NewPrimary{Shard: 2, Epoch: 5, Primary: id.DBServer(6)},
 	}
 }
 

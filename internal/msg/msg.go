@@ -68,6 +68,13 @@ const (
 	// Batch-log state transfer: a node asked about a slot it has truncated
 	// answers with its floor and the applied register effects.
 	KindCheckpoint
+
+	// Data-tier replication: a shard primary streams its write-ahead-log
+	// records to the shard's backups (ReplRecord/ReplAck), and a promoted
+	// backup announces the shard's new epoch-stamped primary (NewPrimary).
+	KindReplRecord
+	KindReplAck
+	KindNewPrimary
 )
 
 // String returns the mnemonic name of the kind.
@@ -123,6 +130,12 @@ func (k Kind) String() string {
 		return "RegOps"
 	case KindCheckpoint:
 		return "Checkpoint"
+	case KindReplRecord:
+		return "ReplRecord"
+	case KindReplAck:
+		return "ReplAck"
+	case KindNewPrimary:
+		return "NewPrimary"
 	default:
 		return fmt.Sprintf("Kind(%d)", uint8(k))
 	}
@@ -606,6 +619,52 @@ type Checkpoint struct {
 // Kind implements Payload.
 func (Checkpoint) Kind() Kind { return KindCheckpoint }
 
+// --- Data-tier replication ----------------------------------------------------
+
+// ReplRecord streams one write-ahead-log record from a shard primary to a
+// backup. Seq is the primary's replication sequence number (1-based,
+// contiguous per stream), Inc the primary's current incarnation — the backup
+// persists it as an incarnation floor, so a promoted backup always opens with
+// a strictly higher incarnation than any the old primary served under — and
+// Rec is the wal-encoded record. The primary sends the record to every backup
+// before the effect it describes is acknowledged to the application tier, so
+// over reliable FIFO channels every acknowledged effect reaches every live
+// backup's mailbox.
+type ReplRecord struct {
+	Seq uint64
+	Inc uint64
+	Rec []byte
+}
+
+// Kind implements Payload.
+func (ReplRecord) Kind() Kind { return KindReplRecord }
+
+// ReplAck is a backup's cumulative acknowledgement: every ReplRecord up to
+// and including Seq is applied to its log. Replication is asynchronous — the
+// primary never waits for it — but the ack stream bounds the observable lag.
+type ReplAck struct {
+	Seq uint64
+}
+
+// Kind implements Payload.
+func (ReplAck) Kind() Kind { return KindReplAck }
+
+// NewPrimary announces the current primary of a shard's replica group under
+// an epoch: a promoted backup broadcasts it to the application tier and its
+// group after taking over, and an application server answers a stale claim
+// (Epoch at or below the one it holds, from a server that is not the current
+// primary) with its own higher-epoch entry so a deposed primary learns it has
+// been passed over. Receivers accept only strictly increasing epochs per
+// shard.
+type NewPrimary struct {
+	Shard   uint64
+	Epoch   uint64
+	Primary id.NodeID
+}
+
+// Kind implements Payload.
+func (NewPrimary) Kind() Kind { return KindNewPrimary }
+
 // Compile-time interface compliance checks.
 var (
 	_ Payload = Request{}
@@ -633,4 +692,7 @@ var (
 	_ Payload = Batch{}
 	_ Payload = RegOps{}
 	_ Payload = Checkpoint{}
+	_ Payload = ReplRecord{}
+	_ Payload = ReplAck{}
+	_ Payload = NewPrimary{}
 )

@@ -24,6 +24,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
 
 	"etx/internal/id"
 )
@@ -204,4 +205,154 @@ func (m *Map) Nodes() []id.NodeID { return append([]id.NodeID(nil), m.nodes...) 
 // String renders the map for logs, e.g. "hash over 4 shards".
 func (m *Map) String() string {
 	return fmt.Sprintf("%s over %d shards", m.policy, len(m.nodes))
+}
+
+// --- epoch-stamped replica-group view ----------------------------------------
+
+// View is an application server's mutable, epoch-stamped picture of the data
+// tier's replica groups. The immutable Map keeps routing keys to each shard's
+// primary-of-record (the node that owned the shard at boot, and the identity
+// under which the shard appears in participant dlists); the View tracks which
+// group member currently serves that shard. Epochs start at 1 (the boot
+// primary) and only strictly higher epochs advance a shard — a deposed
+// primary's stale claim can never roll the view back. Safe for concurrent
+// use.
+//
+// A deployment with ReplicaFactor 1 runs with no View at all (nil), which is
+// the paper-exact single-server behaviour.
+type View struct {
+	mu      sync.Mutex
+	shards  []viewShard
+	ofNode  map[id.NodeID]int // group member -> shard ordinal
+	changes uint64
+}
+
+type viewShard struct {
+	members []id.NodeID // replica group, promotion order; members[0] is the boot primary
+	primary id.NodeID
+	epoch   uint64
+}
+
+// NewView builds a view over the given replica groups: groups[s] lists shard
+// s's members in promotion order, groups[s][0] being the boot primary (the
+// node Map routes the shard to). Every group must be non-empty and no node
+// may appear in two groups.
+func NewView(groups [][]id.NodeID) (*View, error) {
+	v := &View{ofNode: make(map[id.NodeID]int)}
+	for s, g := range groups {
+		if len(g) == 0 {
+			return nil, fmt.Errorf("placement: shard %d has an empty replica group", s)
+		}
+		for _, n := range g {
+			if n.IsZero() {
+				return nil, fmt.Errorf("placement: zero node id in shard %d's group", s)
+			}
+			if prev, dup := v.ofNode[n]; dup {
+				return nil, fmt.Errorf("placement: node %s is in the groups of shards %d and %d", n, prev, s)
+			}
+			v.ofNode[n] = s
+		}
+		v.shards = append(v.shards, viewShard{
+			members: append([]id.NodeID(nil), g...),
+			primary: g[0],
+			epoch:   1,
+		})
+	}
+	return v, nil
+}
+
+// Shards returns the number of replica groups.
+func (v *View) Shards() int { return len(v.shards) }
+
+// ShardOf returns the shard whose replica group contains node.
+func (v *View) ShardOf(node id.NodeID) (int, bool) {
+	s, ok := v.ofNode[node]
+	return s, ok
+}
+
+// Members returns shard s's replica group in promotion order.
+func (v *View) Members(s int) []id.NodeID {
+	return append([]id.NodeID(nil), v.shards[s].members...)
+}
+
+// Primary returns the current primary and epoch of shard s.
+func (v *View) Primary(s int) (id.NodeID, uint64) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.shards[s].primary, v.shards[s].epoch
+}
+
+// Current translates a group member to the current primary of its shard: a
+// request addressed to the boot primary (or any other member) is served by
+// whoever holds the shard now. Nodes outside every group map to themselves.
+func (v *View) Current(node id.NodeID) id.NodeID {
+	s, ok := v.ofNode[node]
+	if !ok {
+		return node
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.shards[s].primary
+}
+
+// IsCurrent reports whether node is the current primary of its shard. Nodes
+// outside every group — not data-tier replicas at all — report true, so the
+// check never rejects traffic the view knows nothing about.
+func (v *View) IsCurrent(node id.NodeID) bool {
+	s, ok := v.ofNode[node]
+	if !ok {
+		return true
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.shards[s].primary == node
+}
+
+// Advance installs primary as shard s's owner under epoch. Strictly higher
+// epochs always win; an announcement at the CURRENT epoch wins only when it
+// names a lower node id than the installed primary — concurrent false
+// suspicions can promote two backups at the same epoch, and the lower id
+// (the group's rank order) is the deterministic tie winner every replica
+// converges on. The return reports whether the view moved. The primary must
+// be a member of the shard's group (a malformed announcement is rejected,
+// not installed).
+func (v *View) Advance(s int, epoch uint64, primary id.NodeID) bool {
+	if s < 0 || s >= len(v.shards) {
+		return false
+	}
+	if got, ok := v.ofNode[primary]; !ok || got != s {
+		return false
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	sh := &v.shards[s]
+	if epoch < sh.epoch || (epoch == sh.epoch && primary.Index >= sh.primary.Index) {
+		return false
+	}
+	sh.epoch = epoch
+	sh.primary = primary
+	v.changes++
+	return true
+}
+
+// Changes counts accepted Advance calls — the number of primary hand-overs
+// this view has observed (tests and benches assert on it).
+func (v *View) Changes() uint64 {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.changes
+}
+
+// String renders the view's current primaries, e.g. "0:db-4@e2 1:db-2@e1".
+func (v *View) String() string {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	var b strings.Builder
+	for s, sh := range v.shards {
+		if s > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%d:%s@e%d", s, sh.primary, sh.epoch)
+	}
+	return b.String()
 }

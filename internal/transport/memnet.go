@@ -6,6 +6,7 @@ import (
 	"math/rand"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"etx/internal/id"
@@ -266,6 +267,27 @@ func (n *MemNetwork) AddSniffer(s Sniffer) {
 	n.sniffers = append(n.sniffers, s)
 }
 
+// InFlightFrom counts scheduler-pending deliveries on the directed link
+// from->to that will still be delivered (the destination is up and has not
+// re-attached since they were sent). The replication layer's promotion drain
+// uses it: once the suspected primary is down, its count is monotonically
+// non-increasing, so a backup can wait for the primary's in-flight stream
+// tail deterministically instead of guessing with a quiet period.
+func (n *MemNetwork) InFlightFrom(from, to id.NodeID) int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.down[to] {
+		return 0
+	}
+	count := 0
+	for _, d := range n.pending {
+		if d.env.From == from && d.env.To == to && d.epoch == n.epoch[to] {
+			count++
+		}
+	}
+	return count
+}
+
 // Quiesce blocks until no deliveries are pending (useful in tests that want
 // the network drained before asserting).
 func (n *MemNetwork) Quiesce() {
@@ -366,6 +388,11 @@ type memEndpoint struct {
 	recv  chan msg.Envelope
 	done  chan struct{}
 
+	// inHand is 1 while the pump holds a message popped from the inbox but
+	// not yet handed to the recv channel; Pending counts it so a message is
+	// never momentarily invisible to drain checks.
+	inHand atomic.Int32
+
 	mu     sync.Mutex
 	closed bool
 }
@@ -388,13 +415,17 @@ func (ep *memEndpoint) pump() {
 	defer close(ep.recv)
 	for {
 		for {
+			ep.inHand.Store(1)
 			env, ok := ep.inbox.Pop()
 			if !ok {
+				ep.inHand.Store(0)
 				break
 			}
 			select {
 			case ep.recv <- env:
+				ep.inHand.Store(0)
 			case <-ep.done:
+				ep.inHand.Store(0)
 				return
 			}
 		}
@@ -430,6 +461,13 @@ func (ep *memEndpoint) Send(env msg.Envelope) error {
 
 // Recv implements Endpoint.
 func (ep *memEndpoint) Recv() <-chan msg.Envelope { return ep.recv }
+
+// Pending counts messages delivered to this endpoint but not yet read from
+// Recv. It implements PendingCounter; together with InFlightFrom it lets the
+// replication layer's promotion drain prove the mailbox empty.
+func (ep *memEndpoint) Pending() int {
+	return ep.inbox.Len() + len(ep.recv) + int(ep.inHand.Load())
+}
 
 // Close implements Endpoint.
 func (ep *memEndpoint) Close() error {

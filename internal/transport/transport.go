@@ -34,6 +34,16 @@ type Endpoint interface {
 	Close() error
 }
 
+// PendingCounter is implemented by endpoints that can report how many
+// delivered messages are waiting unread (the in-memory endpoint does). The
+// replication layer's promotion drain asserts on it when available; endpoints
+// that cannot know (e.g. TCP) simply don't implement it and the drain falls
+// back to a quiet period.
+type PendingCounter interface {
+	// Pending counts messages delivered but not yet read from Recv.
+	Pending() int
+}
+
 // Network hands out endpoints for nodes.
 type Network interface {
 	// Attach creates (or re-creates, after a crash) the endpoint of node.

@@ -84,6 +84,21 @@ func (l *Log) Append(rec Record, force bool) {
 	l.st.Append(logName, Encode(rec), force)
 }
 
+// AppendRaw appends an already-encoded record verbatim. The replication
+// backup applier uses it so the record bytes a primary streamed land on the
+// backup's log byte-identical (no decode/re-encode round trip on the apply
+// path).
+func (l *Log) AppendRaw(enc []byte, force bool) {
+	l.st.Append(logName, enc, force)
+}
+
+// Truncate discards the whole log. A backup adopting a new primary's stream
+// truncates before applying the full resync, so its log converges on the new
+// primary's exactly.
+func (l *Log) Truncate() {
+	l.st.TruncateLog(logName)
+}
+
 // Records decodes the whole log in append order.
 func (l *Log) Records() ([]Record, error) {
 	raw := l.st.ReadLog(logName)

@@ -59,6 +59,15 @@ type Config struct {
 	// planner) must serialize same-key operations. Off — the default —
 	// reproduces the paper-exact strict-2PL discipline.
 	QueueExec bool
+	// Replicate, when set, observes every write-ahead-log record immediately
+	// after its append, under the same branch serialization as the append
+	// itself — so for any two records whose order matters (a branch's
+	// prepared record before its commit record, conflicting commits ordered
+	// by lock or chain hand-over), the hook fires in log order, and the hook
+	// returns before the effect the record describes can be voted or
+	// acknowledged. The data-tier replication streamer hangs off this; nil —
+	// the default — is the paper-exact single-server behaviour.
+	Replicate func(rec wal.Record)
 }
 
 // BranchStatus is the lifecycle state of a transaction branch.
@@ -193,9 +202,39 @@ func Open(st *stablestore.Store, cfg Config) (*Engine, error) {
 	return e, nil
 }
 
+// append writes rec to the WAL and hands it to the replication hook. Call
+// sites hold the same locks the record's ordering constraints come from
+// (b.mu for branch records), so the hook observes constrained records in log
+// order; see Config.Replicate.
+func (e *Engine) append(rec wal.Record, force bool) {
+	e.log.Append(rec, force)
+	if e.cfg.Replicate != nil {
+		e.cfg.Replicate(rec)
+	}
+}
+
 // Incarnation returns this engine's incarnation (1 on first boot, +1 per
 // recovery).
 func (e *Engine) Incarnation() uint64 { return e.inc }
+
+// SetIncarnationFloor persists inc as a lower bound on the incarnation
+// counter of st, if it exceeds the stored one. A backup applies the
+// primary's incarnation (carried on every replicated record) through this,
+// so the engine a promotion opens always runs under a strictly higher
+// incarnation than any the old primary served — the application tier's
+// incarnation pinning then aborts every try whose unprepared work the
+// asynchronous stream may not have carried, exactly as it would across a
+// single-server restart.
+func SetIncarnationFloor(st *stablestore.Store, inc uint64) {
+	if raw, ok := st.Get(incarnationKey); ok && len(raw) == 8 {
+		if binary.BigEndian.Uint64(raw) >= inc {
+			return
+		}
+	}
+	var buf [8]byte
+	binary.BigEndian.PutUint64(buf[:], inc)
+	st.Put(incarnationKey, buf[:])
+}
 
 // Store exposes the live data image (read-only use: tests, seeding checks).
 func (e *Engine) Store() *kv.Store { return e.store }
@@ -206,7 +245,7 @@ func (e *Engine) StableStore() *stablestore.Store { return e.st }
 // Seed atomically installs initial data as a committed snapshot, bypassing
 // transaction machinery (initial database population).
 func (e *Engine) Seed(ws []kv.Write) {
-	e.log.Append(wal.Record{Type: wal.RecSnapshot, Writes: e.seedImage(ws)}, true)
+	e.append(wal.Record{Type: wal.RecSnapshot, Writes: e.seedImage(ws)}, true)
 	e.store.Apply(ws)
 }
 
@@ -508,7 +547,7 @@ func (e *Engine) vote(rid id.ResultID, deferSync, tryLock bool) (msg.Vote, bool,
 			return 0, false, gate
 		}
 	}
-	e.log.Append(wal.Record{Type: wal.RecPrepared, RID: rid, Writes: b.writes}, !deferSync)
+	e.append(wal.Record{Type: wal.RecPrepared, RID: rid, Writes: b.writes}, !deferSync)
 	if deferSync {
 		// Numbered inside b.mu, before the status flips: anyone who can
 		// observe the prepared status observes the pending append too.
@@ -635,11 +674,11 @@ func (e *Engine) decide(rid id.ResultID, outcome msg.Outcome, deferSync, tryLock
 		// appended and numbered before the outcome becomes readable, so a
 		// concurrent decide observing it syncs first.
 		if outcome == msg.OutcomeAbort {
-			e.log.Append(wal.Record{Type: wal.RecAborted, RID: rid}, false)
+			e.append(wal.Record{Type: wal.RecAborted, RID: rid}, false)
 			e.recordOutcome(rid, outcome)
 			return outcome, true
 		}
-		e.log.Append(wal.Record{Type: wal.RecCommitted, RID: rid}, !deferSync)
+		e.append(wal.Record{Type: wal.RecCommitted, RID: rid}, !deferSync)
 		if deferSync {
 			e.appendSeq.Add(1)
 		}
@@ -669,7 +708,7 @@ func (e *Engine) decide(rid id.ResultID, outcome msg.Outcome, deferSync, tryLock
 	// Prepared + commit: record the commit, apply the write-set. The append
 	// is numbered inside b.mu before the status flips and the branch
 	// finishes, so any observer of the committed state syncs before acking.
-	e.log.Append(wal.Record{Type: wal.RecCommitted, RID: rid}, !deferSync)
+	e.append(wal.Record{Type: wal.RecCommitted, RID: rid}, !deferSync)
 	if deferSync {
 		e.appendSeq.Add(1)
 	}
@@ -693,7 +732,7 @@ func (e *Engine) CommitDirect(rid id.ResultID) msg.Outcome {
 	}
 	if b == nil {
 		e.recordOutcome(rid, msg.OutcomeCommit)
-		e.log.Append(wal.Record{Type: wal.RecCommitted, RID: rid}, true)
+		e.append(wal.Record{Type: wal.RecCommitted, RID: rid}, true)
 		return msg.OutcomeCommit
 	}
 	b.mu.Lock()
@@ -704,8 +743,8 @@ func (e *Engine) CommitDirect(rid id.ResultID) msg.Outcome {
 	}
 	// Single-phase: the write-set rides inside a prepared+committed pair so
 	// recovery replays it.
-	e.log.Append(wal.Record{Type: wal.RecPrepared, RID: rid, Writes: b.writes}, false)
-	e.log.Append(wal.Record{Type: wal.RecCommitted, RID: rid}, true)
+	e.append(wal.Record{Type: wal.RecPrepared, RID: rid, Writes: b.writes}, false)
+	e.append(wal.Record{Type: wal.RecCommitted, RID: rid}, true)
 	e.store.Apply(b.writes)
 	b.status = StatusCommitted
 	e.locks.ReleaseAll(rid)
@@ -717,7 +756,7 @@ func (e *Engine) CommitDirect(rid id.ResultID) msg.Outcome {
 // Caller holds b.mu.
 func (e *Engine) abortLocked(b *branch) {
 	b.status = StatusAborted
-	e.log.Append(wal.Record{Type: wal.RecAborted, RID: b.rid}, false)
+	e.append(wal.Record{Type: wal.RecAborted, RID: b.rid}, false)
 	e.locks.ReleaseAll(b.rid)
 	e.finishBranch(b, msg.OutcomeAbort)
 }
