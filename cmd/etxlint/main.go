@@ -6,6 +6,15 @@
 //	go run ./cmd/etxlint ./...
 //	go run ./cmd/etxlint -list
 //	go run ./cmd/etxlint -run lockheld,wallclock ./internal/consensus
+//	go run ./cmd/etxlint -json ./...
+//	go run ./cmd/etxlint -audit-suppressions ./...
+//
+// -json emits one JSON object per diagnostic line (analyzer, file, line,
+// col, message, suppressed) — suppressed findings included — and exits 1
+// only if an unsuppressed finding exists; CI parses this stream to publish
+// annotations. -audit-suppressions lists every //etxlint:allow annotation
+// with its file:line and justification and exits 1 if any justification is
+// empty, keeping suppression debt visible.
 //
 // The driver loads packages with `go list -deps -json` and type-checks them
 // from source (see internal/lint/load.go), so it needs the go toolchain on
@@ -15,6 +24,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -26,8 +36,10 @@ import (
 func main() {
 	list := flag.Bool("list", false, "list available analyzers and exit")
 	run := flag.String("run", "", "comma-separated analyzer names to run (default: all)")
+	jsonOut := flag.Bool("json", false, "emit one JSON object per diagnostic (suppressed included); exit 1 only on unsuppressed findings")
+	audit := flag.Bool("audit-suppressions", false, "list every //etxlint:allow annotation with its justification; exit 1 if any justification is empty")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: etxlint [-list] [-run a,b] [packages]\n")
+		fmt.Fprintf(os.Stderr, "usage: etxlint [-list] [-run a,b] [-json] [-audit-suppressions] [packages]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -74,8 +86,30 @@ func main() {
 		os.Exit(2)
 	}
 
+	if *audit {
+		os.Exit(auditSuppressions(pkgs))
+	}
+
+	enc := json.NewEncoder(os.Stdout)
 	found := 0
 	for _, pkg := range pkgs {
+		if *jsonOut {
+			diags, err := lint.RunAnalyzersAll(pkg, analyzers)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "etxlint: %v\n", err)
+				os.Exit(2)
+			}
+			for _, d := range diags {
+				if err := enc.Encode(d.ToJSON(pkg.Fset)); err != nil {
+					fmt.Fprintf(os.Stderr, "etxlint: %v\n", err)
+					os.Exit(2)
+				}
+				if !d.Suppressed {
+					found++
+				}
+			}
+			continue
+		}
 		diags, err := lint.RunAnalyzers(pkg, analyzers)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "etxlint: %v\n", err)
@@ -91,4 +125,27 @@ func main() {
 		fmt.Fprintf(os.Stderr, "etxlint: %d finding(s)\n", found)
 		os.Exit(1)
 	}
+}
+
+// auditSuppressions prints every //etxlint:allow annotation across pkgs and
+// returns the process exit code: 1 if any justification is empty.
+func auditSuppressions(pkgs []*lint.Package) int {
+	empty := 0
+	total := 0
+	for _, pkg := range pkgs {
+		for _, s := range lint.Suppressions(pkg) {
+			total++
+			just := s.Justification
+			if just == "" {
+				just = "<MISSING JUSTIFICATION>"
+				empty++
+			}
+			fmt.Printf("%s:%d: allow %s — %s\n", s.File, s.Line, strings.Join(s.Analyzers, ","), just)
+		}
+	}
+	fmt.Fprintf(os.Stderr, "etxlint: %d suppression(s), %d missing justification\n", total, empty)
+	if empty > 0 {
+		return 1
+	}
+	return 0
 }

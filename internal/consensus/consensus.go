@@ -1135,6 +1135,7 @@ func (inst *instance) drain() bool {
 		return false
 	default:
 	}
+	//etxlint:allow golifecycle — bounded queue drain: every iteration pops until the inbox empties, then returns
 	for {
 		m, ok := inst.inbox.Pop()
 		if !ok {
@@ -1147,6 +1148,7 @@ func (inst *instance) drain() bool {
 			if !ok {
 				byNode = make(map[id.NodeID]estVal)
 				if inst.estimates == nil {
+					//etxlint:allow epochfence — inbox payloads were fenced at Node.Handle (ObserveWatermark + slot routing) before enqueue
 					inst.estimates = make(map[uint32]map[id.NodeID]estVal)
 				}
 				inst.estimates[p.Round] = byNode
@@ -1157,6 +1159,7 @@ func (inst *instance) drain() bool {
 		case msg.Propose:
 			if _, dup := inst.proposals[p.Round]; !dup {
 				if inst.proposals == nil {
+					//etxlint:allow epochfence — inbox payloads were fenced at Node.Handle (ObserveWatermark + slot routing) before enqueue
 					inst.proposals = make(map[uint32][]byte)
 				}
 				inst.proposals[p.Round] = p.Val

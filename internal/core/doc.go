@@ -87,6 +87,21 @@
 // listed explicitly, never left to default (kindswitch) — and wall-clock
 // reads are confined to injected clocks outside the protocol-identity
 // packages (wallclock).
+//
+// One of those conventions is load-bearing enough to state as an invariant
+// here: epoch fencing. Any message that carries an Epoch, Inc(arnation) or
+// WM field is an assertion about *when* its sender held a role, and a
+// handler must compare that field against its local fenced state — the
+// shard epoch adopted from the last NewPrimary, the incarnation from the
+// last announcement, the applied watermark — before letting the message
+// mutate anything. Asynchrony means a deposed primary's votes, stream
+// records and heartbeats can arrive arbitrarily late; a handler that
+// applies them unfenced resurrects the old incarnation's authority and
+// splits the group (the PR 9 stale-primary-vote bug was exactly this).
+// The epochfence analyzer enforces the shape mechanically: fence first,
+// or delegate the whole payload to a function that does, or carry an
+// //etxlint:allow epochfence annotation explaining why fencing happened
+// upstream.
 package core
 
 import (

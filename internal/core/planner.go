@@ -102,6 +102,7 @@ func (d *DataServer) runPlanned(jobs []execJob) {
 // that raced with the final Pop.
 func (d *DataServer) runKey(key string, kr *keyRun) {
 	defer d.wg.Done()
+	//etxlint:allow golifecycle — self-retiring runner: drains its key queue and deletes itself when empty; Exec observes d.ctx so a cancelled server drains fast and Stop's wg.Wait outlasts it
 	for {
 		job, ok := kr.q.Pop()
 		if !ok {

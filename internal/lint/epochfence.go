@@ -1,0 +1,361 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// EpochFence enforces the promotion-safety discipline from the replicated
+// data tier: any method that receives a msg payload carrying an Epoch,
+// Incarnation/Inc, or WM field must compare that fence field against local
+// state (or hand the field/payload to a callee that does) before it mutates
+// receiver state. A handler that mutates first accepts input from a deposed
+// primary or a stale incarnation — the silent double-apply class that
+// TestReplayedResultsSurvivePromotion pins down dynamically.
+//
+// The fenced-type universe is resolved from the msg package the same way
+// kindswitch resolves the Kind/Payload universe: every Payload implementation
+// declaring a field named Epoch, Inc, Incarnation, or WM is fenced. A payload
+// value taints a method body when it arrives as a parameter, as a
+// single-type type-switch case binding, or via a type assertion; locally
+// constructed payloads (outgoing messages) do not taint.
+//
+// A fence field counts as checked when it appears under a comparison
+// operator or in a switch tag, or when the field or the whole payload is
+// passed to a call — the last form is delegation: view.Advance(m.Epoch),
+// ObserveWatermark(from, m.WM), applyRecord(m) take over the fencing
+// obligation. Handlers fenced at a different layer carry
+// //etxlint:allow epochfence with a reason.
+var EpochFence = &Analyzer{
+	Name: "epochfence",
+	Doc: "methods receiving a msg payload with an Epoch/Inc/Incarnation/WM field must compare it " +
+		"against local fenced state (or delegate it) before mutating receiver state",
+	Run: runEpochFence,
+}
+
+// fenceFieldNames are the field names that make a payload type fenced.
+var fenceFieldNames = map[string]bool{
+	"Epoch":       true,
+	"Inc":         true,
+	"Incarnation": true,
+	"WM":          true,
+}
+
+// resolveFencedTypes enumerates the msg package's Payload implementations
+// that carry a fence field, mapping each type to its fence field names.
+func resolveFencedTypes(pass *Pass) map[*types.TypeName][]string {
+	msgPkg := findImported(pass.Pkg, "msg", func(p *types.Package) bool {
+		k, _ := p.Scope().Lookup("Kind").(*types.TypeName)
+		pl, _ := p.Scope().Lookup("Payload").(*types.TypeName)
+		return k != nil && pl != nil && types.IsInterface(pl.Type()) && !types.IsInterface(k.Type())
+	})
+	if msgPkg == nil {
+		return nil
+	}
+	payload := msgPkg.Scope().Lookup("Payload").(*types.TypeName)
+	iface := payload.Type().Underlying().(*types.Interface)
+	out := make(map[*types.TypeName][]string)
+	scope := msgPkg.Scope()
+	for _, name := range scope.Names() {
+		obj, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok || obj == payload || types.IsInterface(obj.Type()) {
+			continue
+		}
+		if !types.Implements(obj.Type(), iface) && !types.Implements(types.NewPointer(obj.Type()), iface) {
+			continue
+		}
+		st, ok := obj.Type().Underlying().(*types.Struct)
+		if !ok {
+			continue
+		}
+		var fields []string
+		for i := 0; i < st.NumFields(); i++ {
+			if f := st.Field(i); fenceFieldNames[f.Name()] {
+				fields = append(fields, f.Name())
+			}
+		}
+		if len(fields) > 0 {
+			sort.Strings(fields)
+			out[obj] = fields
+		}
+	}
+	return out
+}
+
+// fencedTypeOf returns the fenced type name and fence fields for t (pointer
+// stripped), or nil.
+func fencedTypeOf(fenced map[*types.TypeName][]string, t types.Type) (*types.TypeName, []string) {
+	if t == nil {
+		return nil, nil
+	}
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return nil, nil
+	}
+	fields, ok := fenced[named.Obj()]
+	if !ok {
+		return nil, nil
+	}
+	return named.Obj(), fields
+}
+
+func runEpochFence(pass *Pass) error {
+	fenced := resolveFencedTypes(pass)
+	if len(fenced) == 0 {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Recv == nil || fn.Body == nil || len(fn.Recv.List) == 0 {
+				continue
+			}
+			checkFencedMethod(pass, fenced, fn)
+		}
+	}
+	return nil
+}
+
+// fencedVar is one tainted payload value flowing through a handler body.
+// scopeStart/scopeEnd bound where the variable is visible (a type-switch case
+// binding only exists inside its case clause), so mutations elsewhere in the
+// body are not attributed to it.
+type fencedVar struct {
+	obj        types.Object
+	typeName   string
+	fields     []string
+	scopeStart token.Pos
+	scopeEnd   token.Pos
+	guarded    bool
+	reported   bool
+}
+
+// atomicMutators are write methods on atomic/metrics wrapper fields; calling
+// one on receiver state is a mutation like a plain assignment.
+var atomicMutators = map[string]bool{
+	"Store": true, "Add": true, "Inc": true, "Dec": true, "Set": true,
+	"Swap": true, "CompareAndSwap": true, "Observe": true,
+}
+
+// isAtomicOrMetrics reports whether t (pointer stripped) is a sync/atomic
+// typed wrapper or a type from a package named metrics.
+func isAtomicOrMetrics(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj == nil || obj.Pkg() == nil {
+		return false
+	}
+	return obj.Pkg().Path() == "sync/atomic" || obj.Pkg().Name() == "metrics"
+}
+
+// checkFencedMethod walks one method body in source order (ast.Inspect
+// pre-order), adding fenced payload variables as they come into scope
+// (parameters up front, type-switch bindings and type assertions as they
+// appear) and requiring each to be checked before the first receiver
+// mutation that follows it. Function literals inside the body are walked
+// too: they close over both the receiver and the payload.
+func checkFencedMethod(pass *Pass, fenced map[*types.TypeName][]string, fn *ast.FuncDecl) {
+	var recv types.Object
+	if names := fn.Recv.List[0].Names; len(names) > 0 {
+		recv = pass.Info.Defs[names[0]]
+	}
+	if recv == nil {
+		return
+	}
+
+	vars := make(map[types.Object]*fencedVar)
+	addVar := func(obj types.Object, start, end token.Pos) {
+		if obj == nil {
+			return
+		}
+		if _, dup := vars[obj]; dup {
+			return
+		}
+		if tn, fields := fencedTypeOf(fenced, obj.Type()); tn != nil {
+			vars[obj] = &fencedVar{
+				obj: obj, typeName: tn.Name(), fields: fields,
+				scopeStart: start, scopeEnd: end,
+			}
+		}
+	}
+	for _, field := range fn.Type.Params.List {
+		for _, name := range field.Names {
+			addVar(pass.Info.Defs[name], fn.Body.Pos(), fn.Body.End())
+		}
+	}
+
+	varOf := func(e ast.Expr) *fencedVar {
+		if id, ok := e.(*ast.Ident); ok {
+			return vars[pass.Info.Uses[id]]
+		}
+		return nil
+	}
+	// fenceFieldSel reports the fenced variable when e is v.F for a fence
+	// field F of tracked v.
+	fenceFieldSel := func(e ast.Expr) *fencedVar {
+		sel, ok := e.(*ast.SelectorExpr)
+		if !ok {
+			return nil
+		}
+		v := varOf(sel.X)
+		if v == nil {
+			return nil
+		}
+		for _, f := range v.fields {
+			if sel.Sel.Name == f {
+				return v
+			}
+		}
+		return nil
+	}
+	markUnder := func(e ast.Expr, wholeValueCounts bool) {
+		ast.Inspect(e, func(n ast.Node) bool {
+			ex, ok := n.(ast.Expr)
+			if !ok {
+				return true
+			}
+			if v := fenceFieldSel(ex); v != nil {
+				v.guarded = true
+			}
+			if wholeValueCounts {
+				if v := varOf(ex); v != nil {
+					v.guarded = true
+				}
+			}
+			return true
+		})
+	}
+
+	var rootedAtRecv func(e ast.Expr) bool
+	rootedAtRecv = func(e ast.Expr) bool {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return pass.Info.Uses[x] == recv
+		case *ast.SelectorExpr:
+			return rootedAtRecv(x.X)
+		case *ast.IndexExpr:
+			return rootedAtRecv(x.X)
+		case *ast.StarExpr:
+			return rootedAtRecv(x.X)
+		case *ast.ParenExpr:
+			return rootedAtRecv(x.X)
+		}
+		return false
+	}
+
+	inScope := func(v *fencedVar, pos token.Pos) bool {
+		return pos >= v.scopeStart && pos < v.scopeEnd
+	}
+	report := func(pos token.Pos) {
+		for _, v := range vars {
+			if v.guarded || v.reported || !inScope(v, pos) {
+				continue
+			}
+			v.reported = true
+			pass.Reportf(pos, "receiver state mutated before fencing msg.%s (compare %s.%s against local fenced state, delegate the payload, or annotate //etxlint:allow epochfence with a reason)",
+				v.typeName, v.obj.Name(), strings.Join(v.fields, "/"))
+		}
+	}
+	anyUnguarded := func(pos token.Pos) bool {
+		for _, v := range vars {
+			if !v.guarded && !v.reported && inScope(v, pos) {
+				return true
+			}
+		}
+		return false
+	}
+
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.BinaryExpr:
+			switch x.Op {
+			case token.EQL, token.NEQ, token.LSS, token.GTR, token.LEQ, token.GEQ:
+				markUnder(x.X, false)
+				markUnder(x.Y, false)
+			}
+		case *ast.CallExpr:
+			for _, arg := range x.Args {
+				markUnder(arg, true)
+			}
+		case *ast.SwitchStmt:
+			if x.Tag != nil {
+				markUnder(x.Tag, false)
+			}
+		case *ast.CaseClause:
+			// A single-type case clause of a type switch binds the payload
+			// at its concrete type, scoped to the clause body.
+			if len(x.List) == 1 {
+				addVar(pass.Info.Implicits[x], x.Pos(), x.End())
+			}
+		case *ast.AssignStmt:
+			// A type assertion taints the bound variable.
+			if len(x.Rhs) == 1 {
+				if ta, ok := x.Rhs[0].(*ast.TypeAssertExpr); ok && ta.Type != nil && len(x.Lhs) > 0 {
+					if id, ok := x.Lhs[0].(*ast.Ident); ok {
+						addVar(pass.Info.Defs[id], x.Pos(), fn.Body.End())
+					}
+				}
+			}
+			// Guards syntactically inside this statement's RHS (a compare
+			// or a delegating call) count as before the write; a bare
+			// `s.wm = m.WM` adoption does not.
+			for _, rhs := range x.Rhs {
+				ast.Inspect(rhs, func(m ast.Node) bool {
+					switch y := m.(type) {
+					case *ast.BinaryExpr:
+						switch y.Op {
+						case token.EQL, token.NEQ, token.LSS, token.GTR, token.LEQ, token.GEQ:
+							markUnder(y.X, false)
+							markUnder(y.Y, false)
+						}
+					case *ast.CallExpr:
+						for _, arg := range y.Args {
+							markUnder(arg, true)
+						}
+					}
+					return true
+				})
+			}
+			if anyUnguarded(x.Pos()) {
+				for _, lhs := range x.Lhs {
+					if rootedAtRecv(lhs) {
+						report(x.Pos())
+						break
+					}
+				}
+			}
+		case *ast.IncDecStmt:
+			if anyUnguarded(x.Pos()) && rootedAtRecv(x.X) {
+				report(x.Pos())
+			}
+		case *ast.ExprStmt:
+			if call, ok := x.X.(*ast.CallExpr); ok && anyUnguarded(x.Pos()) {
+				if sel, ok := call.Fun.(*ast.SelectorExpr); ok && atomicMutators[sel.Sel.Name] {
+					// Mutation through an atomic or metrics-wrapper FIELD
+					// of the receiver (s.deposed.Store, s.count.Inc) — a
+					// write-method call on an arbitrary sub-component is
+					// that component's business, not receiver mutation.
+					if rootedAtRecv(sel.X) && isAtomicOrMetrics(pass.Info.Types[sel.X].Type) {
+						report(x.Pos())
+					}
+				}
+			}
+		}
+		return true
+	})
+}

@@ -1,0 +1,276 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"regexp"
+)
+
+// GoLifecycle enforces that goroutines launched from long-lived components
+// can be shut down. A type with a Stop/Close/Shutdown/Wait method promises a
+// bounded lifetime; a `go` statement reached from such a type that enters an
+// unconditional `for {}` loop must give the loop a way out — a receive from
+// a done/ctx/stop channel (directly or in a select arm), a comma-ok receive
+// that observes channel close, or a ctx.Err() poll. A loop with none of
+// those outlives Close, which is exactly the writer-goroutine leak class the
+// transport and replication tiers grew defenses against.
+//
+// `for range ch` loops are exempt: ranging a channel terminates when the
+// channel is closed at shutdown. Conditional `for cond {}` loops are exempt:
+// the condition is the exit. Loops that are self-terminating by construction
+// (bounded queue drain after Stop, listener Accept that errors on Close)
+// carry //etxlint:allow golifecycle with the reason.
+var GoLifecycle = &Analyzer{
+	Name: "golifecycle",
+	Doc: "go statements launched from long-lived types (Stop/Close/Shutdown/Wait) must run stoppable " +
+		"loops: select on a done/ctx channel, range a closed-at-shutdown channel, or justify",
+	Run: runGoLifecycle,
+}
+
+// lifecycleMethods mark a type as long-lived (it promises bounded teardown).
+var lifecycleMethods = map[string]bool{
+	"Stop": true, "Close": true, "Shutdown": true, "Wait": true,
+}
+
+// stopChanRe matches the printed form of a channel operand that plausibly
+// carries shutdown intent.
+var stopChanRe = regexp.MustCompile(`(?i)(done|stop|quit|clos|ctx|shut|exit|dying|kill)`)
+
+// isLongLived reports whether t (pointer stripped) declares a lifecycle
+// method.
+func isLongLived(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	for i := 0; i < named.NumMethods(); i++ {
+		if lifecycleMethods[named.Method(i).Name()] {
+			return true
+		}
+	}
+	return false
+}
+
+func runGoLifecycle(pass *Pass) error {
+	// Map from function object to its declaration, for resolving the bodies
+	// of same-package functions a go statement targets.
+	decls := make(map[*types.Func]*ast.FuncDecl)
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			if fn, ok := d.(*ast.FuncDecl); ok {
+				if obj, ok := pass.Info.Defs[fn.Name].(*types.Func); ok {
+					decls[obj] = fn
+				}
+			}
+		}
+	}
+
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fn, ok := d.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				if g, ok := n.(*ast.GoStmt); ok {
+					checkGoStmt(pass, decls, g, fn)
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// launchedFromLongLived reports whether the go statement belongs to a
+// long-lived component: its call target is a method on a long-lived type, or
+// (for function literals) the enclosing function is a method on — or returns
+// — a long-lived type.
+func launchedFromLongLived(pass *Pass, g *ast.GoStmt, encl *ast.FuncDecl) bool {
+	// go x.method(...) on a long-lived x.
+	if sel, ok := g.Call.Fun.(*ast.SelectorExpr); ok {
+		if s, ok := pass.Info.Selections[sel]; ok && s.Kind() == types.MethodVal && isLongLived(s.Recv()) {
+			return true
+		}
+	}
+	if encl == nil {
+		return false
+	}
+	if encl.Recv != nil && len(encl.Recv.List) > 0 {
+		if t := pass.Info.Types[encl.Recv.List[0].Type].Type; isLongLived(t) {
+			return true
+		}
+	}
+	if encl.Type.Results != nil {
+		for _, r := range encl.Type.Results.List {
+			if t := pass.Info.Types[r.Type].Type; isLongLived(t) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// goTargetBodies returns the bodies the go statement hands control to: the
+// launched function literal and/or the bodies of same-package functions it
+// calls at depth ≤ 2 (go func(){ ep.readLoop(c) }() reaches readLoop).
+func goTargetBodies(pass *Pass, decls map[*types.Func]*ast.FuncDecl, g *ast.GoStmt) []*ast.BlockStmt {
+	var out []*ast.BlockStmt
+	seen := make(map[*ast.BlockStmt]bool)
+	var add func(body *ast.BlockStmt, depth int)
+	add = func(body *ast.BlockStmt, depth int) {
+		if body == nil || seen[body] {
+			return
+		}
+		seen[body] = true
+		out = append(out, body)
+		if depth <= 0 {
+			return
+		}
+		ast.Inspect(body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			var obj types.Object
+			switch fun := call.Fun.(type) {
+			case *ast.Ident:
+				obj = pass.Info.Uses[fun]
+			case *ast.SelectorExpr:
+				obj = pass.Info.Uses[fun.Sel]
+			}
+			if fn, ok := obj.(*types.Func); ok {
+				if d := decls[fn]; d != nil {
+					add(d.Body, depth-1)
+				}
+			}
+			return true
+		})
+	}
+	switch fun := g.Call.Fun.(type) {
+	case *ast.FuncLit:
+		add(fun.Body, 2)
+	case *ast.Ident:
+		if fn, ok := pass.Info.Uses[fun].(*types.Func); ok {
+			if d := decls[fn]; d != nil {
+				add(d.Body, 1)
+			}
+		}
+	case *ast.SelectorExpr:
+		if fn, ok := pass.Info.Uses[fun.Sel].(*types.Func); ok {
+			if d := decls[fn]; d != nil {
+				add(d.Body, 1)
+			}
+		}
+	}
+	return out
+}
+
+// exprString renders the ident/selector/call spine of an expression for
+// pattern matching (ep.done -> "ep.done", n.ctx.Done() -> "n.ctx.Done").
+func exprString(e ast.Expr) string {
+	switch x := e.(type) {
+	case *ast.Ident:
+		return x.Name
+	case *ast.SelectorExpr:
+		return exprString(x.X) + "." + x.Sel.Name
+	case *ast.CallExpr:
+		return exprString(x.Fun)
+	case *ast.ParenExpr:
+		return exprString(x.X)
+	case *ast.StarExpr:
+		return exprString(x.X)
+	case *ast.UnaryExpr:
+		return exprString(x.X)
+	case *ast.IndexExpr:
+		return exprString(x.X)
+	}
+	return ""
+}
+
+// loopIsStoppable reports whether an unconditional loop body contains a
+// shutdown-capable exit: a receive whose operand names a done/ctx/stop
+// channel, a comma-ok receive (observes close), or a ctx.Err() poll. The
+// exit may live one call deep in a same-package helper (a round loop whose
+// block() selects on ctx.Done is stoppable through it).
+func loopIsStoppable(pass *Pass, decls map[*types.Func]*ast.FuncDecl, loop *ast.ForStmt) bool {
+	return bodyHasStopSignal(pass, decls, loop.Body, 1)
+}
+
+func bodyHasStopSignal(pass *Pass, decls map[*types.Func]*ast.FuncDecl, body ast.Node, depth int) bool {
+	stoppable := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if stoppable {
+			return false
+		}
+		switch x := n.(type) {
+		case *ast.UnaryExpr:
+			if x.Op.String() == "<-" && stopChanRe.MatchString(exprString(x.X)) {
+				stoppable = true
+				return false
+			}
+		case *ast.AssignStmt:
+			// v, ok := <-ch observes channel close regardless of name.
+			if len(x.Lhs) == 2 && len(x.Rhs) == 1 {
+				if u, ok := x.Rhs[0].(*ast.UnaryExpr); ok && u.Op.String() == "<-" {
+					stoppable = true
+					return false
+				}
+			}
+		case *ast.CallExpr:
+			// ctx.Err() != nil polls cancellation.
+			if sel, ok := x.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Err" &&
+				stopChanRe.MatchString(exprString(sel.X)) {
+				stoppable = true
+				return false
+			}
+			if depth > 0 {
+				var obj types.Object
+				switch fun := x.Fun.(type) {
+				case *ast.Ident:
+					obj = pass.Info.Uses[fun]
+				case *ast.SelectorExpr:
+					obj = pass.Info.Uses[fun.Sel]
+				}
+				if fn, ok := obj.(*types.Func); ok {
+					if d := decls[fn]; d != nil && d.Body != nil && bodyHasStopSignal(pass, decls, d.Body, depth-1) {
+						stoppable = true
+						return false
+					}
+				}
+			}
+		case *ast.RangeStmt:
+			// An inner range over a closed-at-shutdown channel with the
+			// loop exiting after it still needs an outer-level signal;
+			// don't treat inner ranges as exits.
+			return true
+		}
+		return true
+	})
+	return stoppable
+}
+
+func checkGoStmt(pass *Pass, decls map[*types.Func]*ast.FuncDecl, g *ast.GoStmt, encl *ast.FuncDecl) {
+	if !launchedFromLongLived(pass, g, encl) {
+		return
+	}
+	for _, body := range goTargetBodies(pass, decls, g) {
+		// Only outermost unconditional loops: an inner `for {}` is reached
+		// under the outer loop's control flow and inherits its exits.
+		for _, stmt := range body.List {
+			loop, ok := stmt.(*ast.ForStmt)
+			if !ok || loop.Cond != nil {
+				continue
+			}
+			if !loopIsStoppable(pass, decls, loop) {
+				pass.Reportf(loop.Pos(), "goroutine loop launched from a long-lived type has no shutdown path (select on a done/ctx/stop channel, range a channel closed at shutdown, or annotate //etxlint:allow golifecycle with a reason)")
+			}
+		}
+	}
+}

@@ -1,0 +1,54 @@
+// Package leakcheck is the dynamic companion to the golifecycle analyzer: a
+// goroutine-count leak assertion for tests of long-lived components. The
+// analyzer proves every launched loop HAS a shutdown path; this package
+// checks the paths are actually TAKEN — a Stop/Close that returns while its
+// goroutines live is exactly the leak class both exist for.
+//
+// Usage:
+//
+//	func TestServerStops(t *testing.T) {
+//		leakcheck.Check(t)
+//		srv := New(...)
+//		srv.Start()
+//		defer srv.Stop()
+//		...
+//	}
+//
+// Check snapshots the goroutine count up front and registers a cleanup that
+// requires the count to return to the baseline, retrying briefly first:
+// runtime shutdown (timer goroutines parking, network pollers unwinding
+// after a Close) is asynchronous, so an immediate compare would flake.
+package leakcheck
+
+import (
+	"runtime"
+	"testing"
+	"time"
+)
+
+// settle is how long the cleanup waits for goroutine counts to drain back
+// to the baseline before declaring a leak.
+const settle = 2 * time.Second
+
+// Check registers a goroutine-leak assertion on t: at cleanup, the process
+// goroutine count must return to (at most) what it was when Check was
+// called. Call it first in the test, before the component under test starts
+// anything. On failure it reports the full stack dump of every live
+// goroutine, which names the leaked loop directly.
+func Check(t testing.TB) {
+	t.Helper()
+	base := runtime.NumGoroutine()
+	t.Cleanup(func() {
+		deadline := time.Now().Add(settle)
+		n := runtime.NumGoroutine()
+		for n > base && time.Now().Before(deadline) {
+			time.Sleep(10 * time.Millisecond)
+			n = runtime.NumGoroutine()
+		}
+		if n > base {
+			buf := make([]byte, 1<<20)
+			buf = buf[:runtime.Stack(buf, true)]
+			t.Errorf("goroutine leak: %d before the test, %d after cleanup; live stacks:\n%s", base, n, buf)
+		}
+	})
+}

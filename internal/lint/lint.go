@@ -43,11 +43,41 @@ type Analyzer struct {
 	Run func(*Pass) error
 }
 
-// Diagnostic is one finding.
+// Diagnostic is one finding. Suppressed marks findings covered by an
+// //etxlint:allow annotation; RunAnalyzers drops them, RunAnalyzersAll keeps
+// them flagged so tooling (etxlint -json) can surface the full picture.
 type Diagnostic struct {
-	Pos      token.Pos
-	Message  string
-	Analyzer string
+	Pos        token.Pos
+	Message    string
+	Analyzer   string
+	Suppressed bool
+}
+
+// JSONDiagnostic is the machine-readable form of a Diagnostic, one object per
+// line on etxlint -json output. CI parses these to publish annotations, so
+// the field set is a compatibility surface: analyzer, file, line, col,
+// message, suppressed.
+type JSONDiagnostic struct {
+	Analyzer   string `json:"analyzer"`
+	File       string `json:"file"`
+	Line       int    `json:"line"`
+	Col        int    `json:"col"`
+	Message    string `json:"message"`
+	Suppressed bool   `json:"suppressed"`
+}
+
+// ToJSON converts a diagnostic to its wire form using fset for position
+// resolution.
+func (d Diagnostic) ToJSON(fset *token.FileSet) JSONDiagnostic {
+	pos := fset.Position(d.Pos)
+	return JSONDiagnostic{
+		Analyzer:   d.Analyzer,
+		File:       pos.Filename,
+		Line:       pos.Line,
+		Col:        pos.Column,
+		Message:    d.Message,
+		Suppressed: d.Suppressed,
+	}
 }
 
 // Pass carries one type-checked package through one analyzer.
@@ -71,9 +101,61 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	})
 }
 
-// allowRe matches suppression annotations. The analyzer list is a comma-
-// separated run of names; everything after it is the justification.
-var allowRe = regexp.MustCompile(`//\s*etxlint:allow\s+([\w,-]+)`)
+// allowRe matches suppression annotations. The annotation must start the
+// comment (prose that merely mentions the syntax does not suppress); the
+// analyzer list is a comma-separated run of names and everything after it is
+// the justification.
+var allowRe = regexp.MustCompile(`^//\s*etxlint:allow\s+([\w,-]+)[ \t]*(.*)`)
+
+// Suppression is one //etxlint:allow annotation, as reported by
+// etxlint -audit-suppressions.
+type Suppression struct {
+	File          string   // absolute path of the annotated file
+	Line          int      // line the annotation sits on
+	Analyzers     []string // analyzer names the annotation covers
+	Justification string   // text after the analyzer list, dashes stripped
+}
+
+// Suppressions returns every //etxlint:allow annotation in pkg, in file
+// order. The justification is the annotation text after the analyzer list
+// with any leading dash/em-dash separator removed; an empty justification is
+// a policy violation the audit mode turns into a failure.
+func Suppressions(pkg *Package) []Suppression {
+	var out []Suppression
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := allowRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				var names []string
+				for _, name := range strings.Split(m[1], ",") {
+					if name = strings.TrimSpace(name); name != "" {
+						names = append(names, name)
+					}
+				}
+				just := strings.TrimSpace(m[2])
+				just = strings.TrimLeft(just, "—–-")
+				just = strings.TrimSpace(just)
+				out = append(out, Suppression{
+					File:          pos.Filename,
+					Line:          pos.Line,
+					Analyzers:     names,
+					Justification: just,
+				})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].File != out[j].File {
+			return out[i].File < out[j].File
+		}
+		return out[i].Line < out[j].Line
+	})
+	return out
+}
 
 // allowedLines returns, per file-and-line, the set of analyzer names allowed
 // there. A suppression covers its own line and the line below it, so both
@@ -118,6 +200,23 @@ func allowedLines(fset *token.FileSet, files []*ast.File) map[string]map[int]map
 // RunAnalyzers applies every analyzer to pkg and returns the surviving
 // diagnostics (suppressions applied), sorted by position.
 func RunAnalyzers(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	all, err := RunAnalyzersAll(pkg, analyzers)
+	if err != nil {
+		return nil, err
+	}
+	out := all[:0]
+	for _, d := range all {
+		if !d.Suppressed {
+			out = append(out, d)
+		}
+	}
+	return out, nil
+}
+
+// RunAnalyzersAll applies every analyzer to pkg and returns every diagnostic,
+// sorted by position, with suppressed findings kept and flagged rather than
+// dropped. etxlint -json emits this complete view.
+func RunAnalyzersAll(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 	allow := allowedLines(pkg.Fset, pkg.Files)
 	var out []Diagnostic
 	for _, a := range analyzers {
@@ -135,7 +234,7 @@ func RunAnalyzers(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 		for _, d := range pass.diags {
 			pos := pkg.Fset.Position(d.Pos)
 			if set := allow[pos.Filename][pos.Line]; set[a.Name] || set["all"] {
-				continue
+				d.Suppressed = true
 			}
 			out = append(out, d)
 		}
@@ -160,6 +259,9 @@ func All() []*Analyzer {
 		KindSwitch,
 		WallClock,
 		StatsWired,
+		EpochFence,
+		AtomicMix,
+		GoLifecycle,
 	}
 }
 

@@ -2,6 +2,7 @@ package lint
 
 import (
 	"bufio"
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"regexp"
@@ -116,6 +117,104 @@ func TestWallClockFixture(t *testing.T) { runFixture(t, "./etx", []*Analyzer{Wal
 func TestLockHeldFixture(t *testing.T) { runFixture(t, "./locks", []*Analyzer{LockHeld}) }
 
 func TestStatsWiredFixture(t *testing.T) { runFixture(t, "./stats", []*Analyzer{StatsWired}) }
+
+// TestEpochFenceFixture pins the stale-primary-vote bug shape: handlers
+// that tally votes or adopt promotions without an epoch/incarnation compare
+// are caught; fenced, delegated, and justified handlers are not.
+func TestEpochFenceFixture(t *testing.T) { runFixture(t, "./epoch/...", []*Analyzer{EpochFence}) }
+
+func TestAtomicMixFixture(t *testing.T) { runFixture(t, "./atomix", []*Analyzer{AtomicMix}) }
+
+func TestGoLifecycleFixture(t *testing.T) { runFixture(t, "./lifecycle", []*Analyzer{GoLifecycle}) }
+
+// TestRunAnalyzersAllKeepsSuppressed checks the -json contract: suppressed
+// findings are kept and flagged rather than dropped, and every diagnostic
+// round-trips through its JSON wire form unchanged (the CI annotation step
+// parses exactly these objects).
+func TestRunAnalyzersAllKeepsSuppressed(t *testing.T) {
+	dir, err := filepath.Abs(filepath.Join("testdata", "src"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := Load(dir, []string{"./lifecycle"})
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("want 1 package, got %d", len(pkgs))
+	}
+	pkg := pkgs[0]
+	diags, err := RunAnalyzersAll(pkg, []*Analyzer{GoLifecycle})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var suppressed, open int
+	for _, d := range diags {
+		if d.Suppressed {
+			suppressed++
+		} else {
+			open++
+		}
+	}
+	if suppressed != 1 || open != 1 {
+		t.Fatalf("want 1 suppressed + 1 open finding, got %d suppressed, %d open", suppressed, open)
+	}
+	for _, d := range diags {
+		wire := d.ToJSON(pkg.Fset)
+		buf, err := json.Marshal(wire)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var back JSONDiagnostic
+		if err := json.Unmarshal(buf, &back); err != nil {
+			t.Fatal(err)
+		}
+		if back != wire {
+			t.Errorf("JSON round-trip diverged:\n first: %+v\nsecond: %+v", wire, back)
+		}
+		if back.File == "" || back.Line == 0 || back.Analyzer != "golifecycle" {
+			t.Errorf("wire form missing position/analyzer: %+v", back)
+		}
+	}
+}
+
+// TestSuppressions checks the -audit-suppressions contract: every
+// //etxlint:allow annotation is listed with its justification, and an
+// annotation with no justification surfaces as empty (the audit mode turns
+// that into a failure).
+func TestSuppressions(t *testing.T) {
+	dir, err := filepath.Abs(filepath.Join("testdata", "src"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := Load(dir, []string{"./atomix"})
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("want 1 package, got %d", len(pkgs))
+	}
+	sup := Suppressions(pkgs[0])
+	if len(sup) != 2 {
+		t.Fatalf("want 2 suppressions in ./atomix, got %d: %+v", len(sup), sup)
+	}
+	// File order: the justified constructor seed comes first, the bare
+	// teardown annotation second.
+	if got := sup[0].Justification; got != "constructor runs before any goroutine shares n" {
+		t.Errorf("justification = %q, want the constructor reason", got)
+	}
+	if sup[1].Justification != "" {
+		t.Errorf("bare annotation justification = %q, want empty", sup[1].Justification)
+	}
+	for _, s := range sup {
+		if len(s.Analyzers) != 1 || s.Analyzers[0] != "atomicmix" {
+			t.Errorf("analyzers = %v, want [atomicmix]", s.Analyzers)
+		}
+		if s.File == "" || s.Line == 0 {
+			t.Errorf("suppression missing position: %+v", s)
+		}
+	}
+}
 
 // TestSuiteOnFixtures runs the whole suite over every fixture package at
 // once, the way cmd/etxlint does: the wants of every analyzer must be

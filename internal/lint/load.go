@@ -104,6 +104,7 @@ func Load(dir string, patterns []string) ([]*Package, error) {
 			Uses:       make(map[*ast.Ident]types.Object),
 			Selections: make(map[*ast.SelectorExpr]*types.Selection),
 			Scopes:     make(map[ast.Node]*types.Scope),
+			Implicits:  make(map[ast.Node]types.Object),
 		}
 		var errs []error
 		conf := types.Config{

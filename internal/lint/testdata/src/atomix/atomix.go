@@ -1,0 +1,66 @@
+// Package atomix exercises the atomicmix analyzer: memory accessed through
+// sync/atomic anywhere in a package must never be read or written plainly
+// elsewhere, and typed atomic.* fields must only be touched through their
+// method set. The bad shapes reproduce a mixed watermark read — the race
+// class the real tree's watermark mirrors are one typo away from.
+package atomix
+
+import "sync/atomic"
+
+// node mirrors a consensus node's watermark state: wm is written with
+// atomic adds on the hot path; depth is a typed atomic wrapper.
+type node struct {
+	wm    uint64
+	depth atomic.Int64
+}
+
+// newNode seeds the watermark before the node is shared; the annotation
+// records the single-threaded window (suppression-survival case).
+func newNode() *node {
+	n := &node{}
+	//etxlint:allow atomicmix — constructor runs before any goroutine shares n
+	n.wm = 1
+	return n
+}
+
+// bump is the hot-path atomic write that puts wm in the atomic domain.
+func (n *node) bump() {
+	atomic.AddUint64(&n.wm, 1)
+}
+
+// atomicRead stays inside the domain: clean.
+func (n *node) atomicRead() uint64 {
+	return atomic.LoadUint64(&n.wm)
+}
+
+// mixedRead is the bug shape: a plain read of a field the package writes
+// atomically — the race detector only catches it when both paths race in
+// one run; the analyzer catches it always.
+func (n *node) mixedRead() uint64 {
+	return n.wm // want `wm is accessed through sync/atomic elsewhere in this package but used plainly here`
+}
+
+// mixedWrite is the write-side bug shape.
+func (n *node) mixedWrite() {
+	n.wm = 0 // want `wm is accessed through sync/atomic elsewhere in this package but used plainly here`
+}
+
+// teardownRead documents an intentionally missing justification so the
+// suppression audit fixture test has an empty-justification case to catch.
+func (n *node) teardownRead() uint64 {
+	//etxlint:allow atomicmix
+	return n.wm
+}
+
+// depthOps uses the typed wrapper's method set: clean.
+func (n *node) depthOps() int64 {
+	n.depth.Add(1)
+	return n.depth.Load()
+}
+
+// copyTyped copies a typed atomic out of its field: the copy races with
+// concurrent writers and defeats the wrapper.
+func (n *node) copyTyped() int64 {
+	d := n.depth // want `atomic-typed field depth used without its atomic method set`
+	return d.Load()
+}

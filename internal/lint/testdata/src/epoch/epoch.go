@@ -1,0 +1,104 @@
+// Package epoch exercises the epochfence analyzer. The bad shapes reproduce
+// the stale-primary-vote bug the replicated data tier's epoch fencing
+// exists to prevent: a handler that tallies a vote or adopts a promotion
+// without comparing the payload's incarnation/epoch against local state.
+package epoch
+
+import "fixtures/epoch/msg"
+
+// Server mirrors the app server's promotion-sensitive state.
+type Server struct {
+	epoch   uint64
+	inc     uint64
+	wm      uint64
+	deposed bool
+	primary string
+	votes   map[string]bool
+}
+
+// onNewPrimaryBlind adopts a promotion announcement without comparing its
+// epoch: a stale NewPrimary from a long-deposed node re-promotes it.
+func (s *Server) onNewPrimaryBlind(m msg.NewPrimary) {
+	s.primary = m.Primary // want `receiver state mutated before fencing msg\.NewPrimary`
+	s.deposed = false
+}
+
+// onNewPrimaryFenced compares the epoch first: clean.
+func (s *Server) onNewPrimaryFenced(m msg.NewPrimary) {
+	if m.Epoch <= s.epoch {
+		return
+	}
+	s.epoch = m.Epoch
+	s.primary = m.Primary
+	s.deposed = false
+}
+
+// onVoteStale is the stale-primary-vote shape: a vote from an old
+// incarnation is tallied without an incarnation compare, so a deposed
+// primary's vote can decide a batch it no longer owns.
+func (s *Server) onVoteStale(from string, m msg.VoteMsg) {
+	s.votes[from] = true // want `receiver state mutated before fencing msg\.VoteMsg`
+}
+
+// onVoteFenced rejects mismatched incarnations before tallying: clean.
+func (s *Server) onVoteFenced(from string, m msg.VoteMsg) {
+	if m.Inc != s.inc {
+		return
+	}
+	s.votes[from] = true
+}
+
+// onVoteDelegated hands the whole payload to a fencing callee: clean (the
+// callee owns the obligation).
+func (s *Server) onVoteDelegated(from string, m msg.VoteMsg) {
+	s.apply(from, m)
+}
+
+func (s *Server) apply(from string, m msg.VoteMsg) {
+	if m.Inc != s.inc {
+		return
+	}
+	s.votes[from] = true
+}
+
+// onVoteAudited is fenced by its caller; the annotation records that and
+// must survive (suppression-survival case: no finding escapes).
+func (s *Server) onVoteAudited(from string, m msg.VoteMsg) {
+	//etxlint:allow epochfence — dispatch loop verifies the incarnation before routing here
+	s.votes[from] = true
+}
+
+// handle demuxes payloads: the heartbeat case delegates its watermark and
+// the promotion case compares (both clean), while the vote case tallies
+// blind (finding). The unfenced Request payload must not taint.
+func (s *Server) handle(p msg.Payload) {
+	switch m := p.(type) {
+	case msg.Heartbeat:
+		s.observe(m.WM)
+	case msg.VoteMsg:
+		s.votes[m.RID] = true // want `receiver state mutated before fencing msg\.VoteMsg`
+	case msg.NewPrimary:
+		if m.Epoch > s.epoch {
+			s.epoch = m.Epoch
+			s.primary = m.Primary
+		}
+	case msg.Request:
+		s.wm++
+	}
+}
+
+func (s *Server) observe(wm uint64) {
+	if wm > s.wm {
+		s.wm = wm
+	}
+}
+
+// adopt asserts the payload type and adopts without comparing: the taint
+// flows through the type assertion.
+func (s *Server) adopt(p msg.Payload) {
+	m, ok := p.(msg.NewPrimary)
+	if !ok {
+		return
+	}
+	s.primary = m.Primary // want `receiver state mutated before fencing msg\.NewPrimary`
+}

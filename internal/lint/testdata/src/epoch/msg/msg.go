@@ -1,0 +1,49 @@
+// Package msg is a shrunken copy of the real wire package for the
+// epochfence fixture: a Kind/Payload universe where three payloads carry
+// fence fields (Epoch, Inc, WM) and one does not. The analyzer resolves the
+// fenced-type universe from this package by name, exactly as it does from
+// the real internal/msg.
+package msg
+
+// Kind tags a wire payload.
+type Kind uint8
+
+// Kinds.
+const (
+	KindNewPrimary Kind = iota + 1
+	KindVote
+	KindHeartbeat
+	KindRequest
+)
+
+// Payload is the wire payload interface.
+type Payload interface {
+	Kind() Kind
+}
+
+// NewPrimary announces a promotion; Epoch is its fence.
+type NewPrimary struct {
+	Epoch   uint64
+	Primary string
+}
+
+// VoteMsg carries a vote; Inc is its fence.
+type VoteMsg struct {
+	RID string
+	Inc uint64
+}
+
+// Heartbeat carries the applied watermark; WM is its fence.
+type Heartbeat struct {
+	WM uint64
+}
+
+// Request carries no fence field: it must not taint handlers.
+type Request struct {
+	Body []byte
+}
+
+func (NewPrimary) Kind() Kind { return KindNewPrimary }
+func (VoteMsg) Kind() Kind    { return KindVote }
+func (Heartbeat) Kind() Kind  { return KindHeartbeat }
+func (Request) Kind() Kind    { return KindRequest }

@@ -1,0 +1,94 @@
+// Package lifecycle exercises the golifecycle analyzer: goroutines launched
+// from long-lived types (those promising bounded teardown via
+// Stop/Close/Shutdown/Wait) must run stoppable loops. The bad shape
+// reproduces an unstoppable writer loop — the transport leak class where a
+// per-peer writer blocks on its queue forever after Close.
+package lifecycle
+
+// Writer mirrors a transport's per-peer writer: long-lived (has Close).
+type Writer struct {
+	q    chan []byte
+	done chan struct{}
+}
+
+// Close signals shutdown.
+func (w *Writer) Close() { close(w.done) }
+
+// startUnstoppable launches the bug shape: the loop blocks on q with no
+// shutdown path, so the goroutine outlives Close forever.
+func (w *Writer) startUnstoppable() {
+	go w.loopUnstoppable()
+}
+
+func (w *Writer) loopUnstoppable() {
+	for { // want `goroutine loop launched from a long-lived type has no shutdown path`
+		b := <-w.q
+		_ = b
+	}
+}
+
+// startStoppable selects on done: clean.
+func (w *Writer) startStoppable() {
+	go func() {
+		for {
+			select {
+			case b := <-w.q:
+				_ = b
+			case <-w.done:
+				return
+			}
+		}
+	}()
+}
+
+// startRange ranges the queue, which Close's owner closes at shutdown:
+// clean (range over a channel terminates on close).
+func (w *Writer) startRange() {
+	go func() {
+		for b := range w.q {
+			_ = b
+		}
+	}()
+}
+
+// startCommaOk observes channel close through the comma-ok receive: clean.
+func (w *Writer) startCommaOk() {
+	go func() {
+		for {
+			b, ok := <-w.q
+			if !ok {
+				return
+			}
+			_ = b
+		}
+	}()
+}
+
+// startJustified is the accept-loop shape: the loop exits through an error
+// path the analyzer cannot see, and says so (suppression-survival case).
+func (w *Writer) startJustified() {
+	go w.loopJustified()
+}
+
+func (w *Writer) loopJustified() {
+	//etxlint:allow golifecycle — Close unblocks the blocking call, which errors and breaks the loop
+	for {
+		b := <-w.q
+		_ = b
+	}
+}
+
+// task is not long-lived (no Stop/Close/Shutdown/Wait): its loops are out
+// of the analyzer's scope even when unstoppable.
+type task struct {
+	q chan int
+}
+
+func (t *task) start() {
+	go func() {
+		for {
+			v := <-t.q
+			_ = v
+		}
+	}()
+}

@@ -92,7 +92,6 @@ type Streamer struct {
 	acked map[id.NodeID]uint64 // highest cumulative ack per backup
 
 	stop func()
-	wg   sync.WaitGroup
 }
 
 // NewStreamer creates a streamer. Call SetInc with the engine's incarnation

@@ -1,0 +1,130 @@
+package repl
+
+import (
+	"testing"
+	"time"
+
+	"etx/internal/fd"
+	"etx/internal/id"
+	"etx/internal/kv"
+	"etx/internal/lint/leakcheck"
+	"etx/internal/msg"
+	"etx/internal/stablestore"
+	"etx/internal/transport"
+	"etx/internal/wal"
+)
+
+// TestStreamerStopNoLeak pins the primary-side teardown contract: Start
+// launches the group heartbeat beacons, and Stop must reap every goroutine
+// it launched — a beacon that outlives Stop keeps the deposed primary
+// "alive" to the group's detectors.
+func TestStreamerStopNoLeak(t *testing.T) {
+	leakcheck.Check(t)
+
+	net := transport.NewMemNetwork(transport.Options{})
+	defer net.Close()
+	primary := id.DBServer(1)
+	backup := id.DBServer(2)
+	ep, err := net.Attach(primary)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bep, err := net.Attach(backup)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	s := NewStreamer(StreamerConfig{
+		Self:    primary,
+		Backups: []id.NodeID{backup},
+		Send: func(to id.NodeID, p msg.Payload) error {
+			return ep.Send(msg.Envelope{To: to, Payload: p})
+		},
+		HeartbeatInterval: time.Millisecond,
+	})
+	s.SetInc(1)
+	s.Start()
+
+	s.Replicate(wal.Record{Type: wal.RecPrepared, RID: id.ResultID{Seq: 1, Try: 1},
+		Writes: []kv.Write{{Key: "a", Val: []byte("1")}}})
+	s.Replicate(wal.Record{Type: wal.RecCommitted, RID: id.ResultID{Seq: 1, Try: 1}})
+	if got := s.Seq(); got != 2 {
+		t.Fatalf("Seq = %d, want 2", got)
+	}
+
+	// The stream must reach the backup's mailbox.
+	deadline := time.After(2 * time.Second)
+	var got int
+	for got < 2 {
+		select {
+		case env := <-bep.Recv():
+			if _, ok := env.Payload.(msg.ReplRecord); ok {
+				got++
+			}
+		case <-deadline:
+			t.Fatalf("backup saw %d stream records, want 2", got)
+		}
+	}
+
+	s.HandleAck(backup, msg.ReplAck{Seq: 2})
+	if lag := s.Lag(); lag != 0 {
+		t.Fatalf("Lag after full ack = %d, want 0", lag)
+	}
+	s.Stop()
+}
+
+// TestBackupStopNoLeak pins the replica-side teardown contract: Stop must
+// terminate the applier loop and the heartbeat detector it started, even
+// with unacked buffered state. The scripted detector never suspects, so the
+// backup cannot wander into a promotion mid-teardown.
+func TestBackupStopNoLeak(t *testing.T) {
+	leakcheck.Check(t)
+
+	net := transport.NewMemNetwork(transport.Options{})
+	defer net.Close()
+	primary := id.DBServer(1)
+	self := id.DBServer(2)
+	pep, err := net.Attach(primary)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ep, err := net.Attach(self)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	b := NewBackup(BackupConfig{
+		Self:              self,
+		Group:             []id.NodeID{primary, self},
+		Endpoint:          ep,
+		Store:             stablestore.New(0),
+		Detector:          fd.NewScripted(),
+		HeartbeatInterval: time.Millisecond,
+		TakeOver:          func(epoch uint64) error { return nil },
+	})
+	b.Start()
+
+	// Stream two records in sequence; the backup must apply and ack them.
+	for seq := uint64(1); seq <= 2; seq++ {
+		rec := wal.Encode(wal.Record{Type: wal.RecCommitted, RID: id.ResultID{Seq: seq, Try: 1}})
+		if err := pep.Send(msg.Envelope{To: self, Payload: msg.ReplRecord{Seq: seq, Inc: 1, Rec: rec}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if _, seq := b.Applied(); seq == 2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			_, seq := b.Applied()
+			t.Fatalf("backup applied through %d, want 2", seq)
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	b.Stop()
+	if b.Promoted() {
+		t.Fatal("backup promoted itself with a never-suspecting detector")
+	}
+}

@@ -6,13 +6,17 @@ import (
 	"time"
 
 	"etx/internal/id"
+	"etx/internal/lint/leakcheck"
 	"etx/internal/msg"
 	"etx/internal/rchan"
 )
 
-// pairUp creates two connected endpoints on loopback.
+// pairUp creates two connected endpoints on loopback. Every test that goes
+// through it also asserts that Close reaps the accept/read/write goroutines
+// (the leak class the golifecycle analyzer guards statically).
 func pairUp(t *testing.T, a, b id.NodeID) (*Endpoint, *Endpoint) {
 	t.Helper()
+	leakcheck.Check(t)
 	epA, err := Listen(Config{Self: a, Listen: "127.0.0.1:0"})
 	if err != nil {
 		t.Fatal(err)
